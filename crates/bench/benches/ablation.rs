@@ -1,0 +1,84 @@
+//! Criterion bench for experiments E8/E10 — design-choice ablations:
+//!
+//! * `caps_*` — Strict λ caps (+ δ staging) vs Relaxed caps (§2.3);
+//! * `solver_*` — dense simplex vs structured network flow, full pipeline;
+//! * `multilevel_*` — flat IGPR vs the paper's future-work multilevel IGP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igp_core::multilevel::{multilevel_repartition, MultilevelConfig};
+use igp_core::{BalanceSolver, CapPolicy, IgpConfig, IncrementalPartitioner};
+use igp_graph::{generators, PartId, Partitioning};
+use std::hint::black_box;
+
+fn scenario() -> (Partitioning, igp_graph::IncrementalGraph) {
+    let g = generators::grid(40, 40);
+    let assign: Vec<PartId> = (0..1600).map(|v| ((v % 40) / 5) as PartId).collect();
+    let old = Partitioning::from_assignment(&g, 8, assign);
+    let delta = generators::localized_growth_delta(&g, 39, 120, 9);
+    (old, delta.apply(&g))
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (old, inc) = scenario();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    for (policy, name) in [(CapPolicy::Strict, "caps_strict"), (CapPolicy::Relaxed, "caps_relaxed")]
+    {
+        let mut cfg = IgpConfig::new(8);
+        cfg.cap_policy = policy;
+        let p = IncrementalPartitioner::igp(cfg);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(p.repartition(black_box(&inc), black_box(&old))))
+        });
+    }
+
+    for (solver, name) in [
+        (BalanceSolver::DenseSimplex, "solver_dense_simplex"),
+        (BalanceSolver::BoundedSimplex, "solver_bounded_simplex"),
+        (BalanceSolver::NetworkFlow, "solver_network_flow"),
+    ] {
+        let mut cfg = IgpConfig::new(8);
+        cfg.solver = solver;
+        let p = IncrementalPartitioner::igpr(cfg);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(p.repartition(black_box(&inc), black_box(&old))))
+        });
+    }
+
+    // Refinement-engine ablation: the paper's LP circulation vs greedy FM.
+    {
+        let cfg = IgpConfig::new(8);
+        let p = IncrementalPartitioner::igpr(cfg);
+        g.bench_function("refine_lp_circulation", |b| {
+            b.iter(|| black_box(p.repartition(black_box(&inc), black_box(&old))))
+        });
+        let mut cfg = IgpConfig::new(8);
+        cfg.refine.engine = igp_core::RefineEngine::Fm { slack: 1 };
+        let p = IncrementalPartitioner::igpr(cfg);
+        g.bench_function("refine_fm_greedy", |b| {
+            b.iter(|| black_box(p.repartition(black_box(&inc), black_box(&old))))
+        });
+    }
+
+    g.bench_function("multilevel_flat_igpr", |b| {
+        let p = IncrementalPartitioner::igpr(IgpConfig::new(8));
+        b.iter(|| black_box(p.repartition(black_box(&inc), black_box(&old))))
+    });
+    g.bench_function("multilevel_coarse_igp", |b| {
+        let cfg = IgpConfig::new(8);
+        let ml = MultilevelConfig { coarsen_to: 200, max_levels: 4 };
+        b.iter(|| {
+            black_box(multilevel_repartition(
+                black_box(&inc),
+                black_box(&old),
+                &cfg,
+                &ml,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E1 (paper Figure 11, test set A):
+//! SB-from-scratch vs IGP vs IGPR on the first chained increment
+//! (1071 → 1096 nodes, 32 partitions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igp_core::{IgpConfig, IncrementalPartitioner};
+use igp_mesh::sequence::paper_sequence_a;
+use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let seq = paper_sequence_a(42);
+    let parts = 32;
+    let rsb_opts = RsbOptions {
+        fiedler: igp_spectral::FiedlerOptions {
+            subspace: 40,
+            max_restarts: 4,
+            tol: 1e-4,
+            seed: 0x5eed,
+        },
+    };
+    let old = recursive_spectral_bisection(&seq.base, parts, rsb_opts);
+    let inc = &seq.steps[0].inc;
+
+    let mut g = c.benchmark_group("fig11_testA_1096");
+    g.sample_size(10);
+    g.bench_function("SB_from_scratch", |b| {
+        b.iter(|| {
+            black_box(recursive_spectral_bisection(
+                black_box(inc.new_graph()),
+                parts,
+                rsb_opts,
+            ))
+        })
+    });
+    g.bench_function("IGP", |b| {
+        let p = IncrementalPartitioner::igp(IgpConfig::new(parts));
+        b.iter(|| black_box(p.repartition(black_box(inc), black_box(&old))))
+    });
+    g.bench_function("IGPR", |b| {
+        let p = IncrementalPartitioner::igpr(IgpConfig::new(parts));
+        b.iter(|| black_box(p.repartition(black_box(inc), black_box(&old))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for experiment E2 (paper Figure 14, test set B):
+//! IGP/IGPR on the 10166-node mesh under the smallest (+48) and largest
+//! (+672, multi-stage) increments. The SB-from-scratch timing on this
+//! mesh is covered by the `repro_fig14` binary (it is minutes-scale by
+//! design — that gap *is* the paper's headline result).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igp_core::{IgpConfig, IncrementalPartitioner};
+use igp_mesh::sequence::paper_sequence_b;
+use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+use std::hint::black_box;
+
+fn bench_fig14(c: &mut Criterion) {
+    let seq = paper_sequence_b(42);
+    let parts = 32;
+    let rsb_opts = RsbOptions {
+        fiedler: igp_spectral::FiedlerOptions {
+            subspace: 40,
+            max_restarts: 4,
+            tol: 1e-4,
+            seed: 0x5eed,
+        },
+    };
+    let old = recursive_spectral_bisection(&seq.base, parts, rsb_opts);
+
+    let mut g = c.benchmark_group("fig14_testB");
+    g.sample_size(10);
+    for (idx, name) in [(0usize, "plus48"), (3usize, "plus672")] {
+        let inc = &seq.steps[idx].inc;
+        g.bench_function(format!("IGP_{name}"), |b| {
+            let p = IncrementalPartitioner::igp(IgpConfig::new(parts));
+            b.iter(|| black_box(p.repartition(black_box(inc), black_box(&old))))
+        });
+        g.bench_function(format!("IGPR_{name}"), |b| {
+            let p = IncrementalPartitioner::igpr(IgpConfig::new(parts));
+            b.iter(|| black_box(p.repartition(black_box(inc), black_box(&old))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E9: the layering phase (paper Figure 3)
+//! across mesh sizes — the non-LP part of the pipeline's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igp_core::layer::layer_partitions;
+use igp_graph::generators;
+use igp_graph::PartId;
+use std::hint::black_box;
+
+fn bench_layering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layering");
+    g.sample_size(20);
+    for (side, parts) in [(32usize, 8usize), (64, 16), (128, 32)] {
+        let graph = generators::grid(side, side);
+        let n = side * side;
+        // Band partitioning.
+        let band = side / parts.min(side);
+        let assign: Vec<PartId> =
+            (0..n).map(|v| (((v % side) / band.max(1)).min(parts - 1)) as PartId).collect();
+        g.bench_function(format!("grid{side}x{side}_p{parts}"), |b| {
+            b.iter(|| black_box(layer_partitions(black_box(&graph), black_box(&assign), parts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_layering);
+criterion_main!(benches);

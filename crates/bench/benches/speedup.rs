@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E3: SPMD-parallel IGP at several worker
+//! counts. Wall time on this host is bounded by its core count; the
+//! simulated CM-5 speedup (the paper's claim) is printed by
+//! `repro_speedup`. This bench tracks the real threaded overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igp_core::parallel::ParallelPartitioner;
+use igp_core::IgpConfig;
+use igp_mesh::sequence::paper_sequence_a;
+use igp_runtime::CostModel;
+use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+use std::hint::black_box;
+
+fn bench_speedup(c: &mut Criterion) {
+    let seq = paper_sequence_a(42);
+    let parts = 32;
+    let old = recursive_spectral_bisection(
+        &seq.base,
+        parts,
+        RsbOptions {
+            fiedler: igp_spectral::FiedlerOptions {
+                subspace: 40,
+                max_restarts: 4,
+                tol: 1e-4,
+                seed: 0x5eed,
+            },
+        },
+    );
+    let inc = &seq.steps[0].inc;
+
+    let mut g = c.benchmark_group("speedup_testA");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(format!("parallel_igp_w{workers}"), |b| {
+            let p =
+                ParallelPartitioner::new(IgpConfig::new(parts), workers, false, CostModel::cm5());
+            b.iter(|| black_box(p.repartition(black_box(inc), black_box(&old))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

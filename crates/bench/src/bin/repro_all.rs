@@ -1,0 +1,103 @@
+//! Runs every reproduction experiment in one pass (E1–E3 via the other
+//! binaries' code paths, plus the worked-LP checks E4/E5 and the LP-size
+//! accounting E7) and prints a combined report. Used to fill
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p igp-bench --release --bin repro_all [seed]
+//! ```
+
+use igp_bench::experiments::{run_sequence_experiment, run_speedup_experiment, Fidelity};
+use igp_bench::tables::{full_table, speedup_table};
+use igp_lp::{solve, LpModel};
+use igp_mesh::sequence::{paper_sequence_a, paper_sequence_b};
+use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+
+fn check_figure5() {
+    let caps = [9.0, 7.0, 12.0, 10.0, 11.0, 3.0, 7.0, 9.0, 7.0, 5.0];
+    let mut m = LpModel::minimize(10);
+    for i in 0..10 {
+        m.set_objective(i, 1.0);
+        m.set_upper_bound(i, caps[i]);
+    }
+    m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+    m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
+    m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+    m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
+    let s = solve(&m).unwrap();
+    println!(
+        "E4 (paper Figure 5 LP): objective = {} (paper: l03=8, l12=1, total 9) -> {}",
+        s.objective,
+        if (s.objective - 9.0).abs() < 1e-6 && (s.x[2] - 8.0).abs() < 1e-6 {
+            "MATCHES"
+        } else {
+            "MISMATCH"
+        }
+    );
+}
+
+fn check_figure8() {
+    let caps = [1.0, 1.0, 1.0, 2.0, 1.0, 0.0, 1.0, 1.0, 2.0, 1.0];
+    let mut m = LpModel::maximize(10);
+    for i in 0..10 {
+        m.set_objective(i, 1.0);
+        m.set_upper_bound(i, caps[i]);
+    }
+    m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 0.0);
+    m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 0.0);
+    m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], 0.0);
+    m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], 0.0);
+    let s = solve(&m).unwrap();
+    println!(
+        "E5 (paper Figure 8 LP): objective = {} (LP optimum 9; the paper prints a \
+         solution totalling 8 with a per-node conservation typo) -> {}",
+        s.objective,
+        if (s.objective - 9.0).abs() < 1e-6 { "LP OPTIMUM CONFIRMED" } else { "MISMATCH" }
+    );
+}
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let parts = 32;
+    println!("================ repro_all (seed {seed}, P = {parts}) ================\n");
+    check_figure5();
+    check_figure8();
+
+    println!("\n---------------- E1: Figure 11 (test set A) ----------------");
+    let seq_a = paper_sequence_a(seed);
+    let (base_a, steps_a) = run_sequence_experiment(&seq_a, parts, Fidelity::full());
+    println!(
+        "{}",
+        full_table("A", seq_a.base.num_vertices(), seq_a.base.num_edges(), &base_a, &steps_a)
+    );
+    // E7: LP sizes (paper: v = 188, c = 126 for the first increment).
+    let (v, c) = steps_a[0].rows[1].lp_size;
+    println!("E7: balance LP size on A1 = {v} vars x {c} constraints (paper: 188 x 126)");
+
+    println!("\n---------------- E2: Figure 14 (test set B) ----------------");
+    let seq_b = paper_sequence_b(seed);
+    let (base_b, steps_b) = run_sequence_experiment(&seq_b, parts, Fidelity::full());
+    println!(
+        "{}",
+        full_table("B", seq_b.base.num_vertices(), seq_b.base.num_edges(), &base_b, &steps_b)
+    );
+    println!(
+        "stage counts: {:?} (paper: [1, 1, 2, 3])",
+        steps_b.iter().map(|s| s.rows[1].stages).collect::<Vec<_>>()
+    );
+
+    println!("\n---------------- E3: speedup ----------------");
+    let old_a = recursive_spectral_bisection(&seq_a.base, parts, RsbOptions::default());
+    let pts = run_speedup_experiment(
+        &seq_a.steps[0].inc,
+        &old_a,
+        parts,
+        &[1, 2, 4, 8, 16, 32],
+        false,
+    );
+    println!("{}", speedup_table("test A step 1, IGP", &pts));
+    println!(
+        "32-worker modeled speedup: {:.1}x (paper claims 15-20x)",
+        pts.last().unwrap().model_speedup
+    );
+}

@@ -1,0 +1,160 @@
+//! Paper-style table formatting.
+//!
+//! Output mirrors the layout of the paper's Figures 11 and 14:
+//!
+//! ```text
+//! |V| = 1096  |E| = 3260                              Cutset
+//! Partitioner   Time-s   Model-s   Model-p    Total   Max   Min
+//! SB            0.631        --        --       733    56    33
+//! IGP           0.013     14.75      0.68       747    55    34
+//! IGPR          0.016     16.87      0.88       730    54    34
+//! ```
+//!
+//! `Time-s` is measured wall time on this host; `Model-s` / `Model-p` are
+//! the simulated CM-5 1-node / 32-node times from the cost model (the
+//! quantity comparable to the paper's `Time-s` / `Time-p` columns).
+
+use crate::experiments::{RowResult, SpeedupPoint, StepResult};
+use std::fmt::Write;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:9.2}"),
+        None => format!("{:>9}", "--"),
+    }
+}
+
+/// Render the SB row for the initial mesh (the paper's "Initial Graph"
+/// sub-table).
+pub fn base_table(name: &str, nv: usize, ne: usize, base: &RowResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Initial graph {name}: |V| = {nv}  |E| = {ne}");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8} {:>9} {:>9} {:>8} {:>5} {:>5}",
+        "Partitioner", "Time-s", "Model-s", "Model-p", "Total", "Max", "Min"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8.3} {:>9} {:>9} {:>8} {:>5} {:>5}",
+        base.name,
+        base.wall_s,
+        "--",
+        "--",
+        base.cut_total,
+        base.cut_max,
+        base.cut_min
+    );
+    s
+}
+
+/// Render one incremental step as a paper-style sub-table.
+pub fn step_table(step: &StepResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\n|V| = {}  |E| = {}                         Cutset",
+        step.num_vertices, step.num_edges
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8} {:>9} {:>9} {:>8} {:>5} {:>5}  {}",
+        "Partitioner", "Time-s", "Model-s", "Model-p", "Total", "Max", "Min", "stages  LP(v x c)"
+    );
+    for r in &step.rows {
+        let stages = if r.name == "SB" {
+            String::new()
+        } else if r.lp_size.0 > 0 {
+            format!("{:>6}  {} x {}", r.stages, r.lp_size.0, r.lp_size.1)
+        } else {
+            format!("{:>6}", r.stages)
+        };
+        let _ = writeln!(
+            s,
+            "{:<12} {:>8.3} {} {} {:>8} {:>5} {:>5}  {}",
+            r.name,
+            r.wall_s,
+            fmt_opt(r.model_s),
+            fmt_opt(r.model_p),
+            r.cut_total,
+            r.cut_max,
+            r.cut_min,
+            stages
+        );
+    }
+    s
+}
+
+/// Render a whole experiment (base + steps).
+pub fn full_table(name: &str, nv: usize, ne: usize, base: &RowResult, steps: &[StepResult]) -> String {
+    let mut s = base_table(name, nv, ne, base);
+    for step in steps {
+        s.push_str(&step_table(step));
+    }
+    s
+}
+
+/// Render the speedup sweep (experiment E3).
+pub fn speedup_table(label: &str, points: &[SpeedupPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Speedup sweep — {label}");
+    let _ = writeln!(
+        s,
+        "{:>8} {:>12} {:>10} {:>12}",
+        "workers", "model-time", "speedup", "wall-time"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:>8} {:>11.3}s {:>9.2}x {:>11.3}s",
+            p.workers, p.model_time, p.model_speedup, p.wall_time
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &'static str) -> RowResult {
+        RowResult {
+            name,
+            wall_s: 0.5,
+            model_s: if name == "SB" { None } else { Some(14.75) },
+            model_p: if name == "SB" { None } else { Some(0.68) },
+            cut_total: 747,
+            cut_max: 55,
+            cut_min: 34,
+            stages: 1,
+            lp_size: (188, 126),
+        }
+    }
+
+    #[test]
+    fn step_table_contains_paper_columns() {
+        let step = StepResult {
+            label: "A1".into(),
+            num_vertices: 1096,
+            num_edges: 3260,
+            rows: vec![row("SB"), row("IGP"), row("IGPR")],
+        };
+        let t = step_table(&step);
+        assert!(t.contains("|V| = 1096"));
+        assert!(t.contains("Cutset"));
+        assert!(t.contains("IGPR"));
+        assert!(t.contains("188 x 126"));
+        assert!(t.contains("747"));
+    }
+
+    #[test]
+    fn speedup_table_renders() {
+        let pts = vec![
+            SpeedupPoint { workers: 1, model_time: 10.0, model_speedup: 1.0, wall_time: 0.1 },
+            SpeedupPoint { workers: 32, model_time: 0.55, model_speedup: 18.2, wall_time: 0.2 },
+        ];
+        let t = speedup_table("mesh A step 1", &pts);
+        assert!(t.contains("18.20x"));
+        assert!(t.contains("workers"));
+    }
+}

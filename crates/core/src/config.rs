@@ -1,0 +1,126 @@
+//! Configuration for the incremental partitioner.
+
+use igp_lp::SimplexOptions;
+
+/// How the load-balancing LP treats the `l_ij ≤ λ_ij` movement caps
+/// (paper §2.3: "One approach is to relax the constraint in (11) and not
+/// have `l_ij ≤ λ_ij` as a constraint").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapPolicy {
+    /// Keep the caps; fall back to δ-staged balancing when infeasible
+    /// (the paper's multi-stage scheme). Movement stays near boundaries.
+    Strict,
+    /// Drop the caps. Always feasible in one stage but "may lead to major
+    /// modifications in the mapping".
+    Relaxed,
+}
+
+/// Which engine solves the two LPs — the dense simplex the paper used, or
+/// one of the structured alternatives the paper's footnote anticipates
+/// (ablations E8/E9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceSolver {
+    /// Dense two-phase simplex with cap rows expanded (the paper's solver).
+    DenseSimplex,
+    /// Bounded-variable simplex: caps handled natively, ~7× smaller
+    /// tableau at P = 32 (the paper's "can be substantially reduced").
+    BoundedSimplex,
+    /// Min-cost-flow / max-circulation network solvers.
+    NetworkFlow,
+}
+
+/// Which refinement algorithm IGPR runs (ablation E8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefineEngine {
+    /// The paper's LP circulation (eq. 14–16): preserves partition sizes
+    /// *exactly*.
+    LpCirculation,
+    /// Greedy Fiduccia–Mattheyses boundary passes: simpler and cheaper but
+    /// needs a balance slack to move anything from an exactly balanced
+    /// state — the trade-off that motivates the paper's LP formulation.
+    Fm {
+        /// Allowed deviation above the average partition count.
+        slack: u32,
+    },
+}
+
+/// Refinement-phase (IGPR) parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineConfig {
+    /// Maximum refinement LP rounds ("applied iteratively until the
+    /// effective gain ... is small").
+    pub max_iters: usize,
+    /// Stop when a round improves the cut by less than this many edges.
+    pub min_gain: u64,
+    /// After this many rounds switch `out(v,j) − in(v) ≥ 0` to `> 0`
+    /// (the paper's strict-inequality rule against zero-gain churn).
+    pub strict_after: usize,
+    /// Refinement algorithm.
+    pub engine: RefineEngine,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_iters: 8,
+            min_gain: 1,
+            strict_after: 3,
+            engine: RefineEngine::LpCirculation,
+        }
+    }
+}
+
+/// Full configuration of the incremental graph partitioner.
+#[derive(Clone, Debug)]
+pub struct IgpConfig {
+    /// Number of partitions `P`.
+    pub num_parts: usize,
+    /// Cap policy for the balance LP.
+    pub cap_policy: CapPolicy,
+    /// Upper bound on balancing stages (the paper's constant `C`).
+    pub max_stages: usize,
+    /// Largest δ tried when scaling the balance RHS.
+    pub max_delta: u32,
+    /// Refinement parameters (used by IGPR).
+    pub refine: RefineConfig,
+    /// Simplex tuning.
+    pub simplex: SimplexOptions,
+    /// LP engine selection.
+    pub solver: BalanceSolver,
+}
+
+impl IgpConfig {
+    /// Defaults for `P` partitions.
+    pub fn new(num_parts: usize) -> Self {
+        assert!(num_parts >= 1);
+        IgpConfig {
+            num_parts,
+            cap_policy: CapPolicy::Strict,
+            max_stages: 8,
+            max_delta: 16,
+            refine: RefineConfig::default(),
+            simplex: SimplexOptions::default(),
+            solver: BalanceSolver::DenseSimplex,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = IgpConfig::new(32);
+        assert_eq!(c.num_parts, 32);
+        assert_eq!(c.cap_policy, CapPolicy::Strict);
+        assert!(c.max_stages >= 1);
+        assert!(c.refine.max_iters >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parts_rejected() {
+        IgpConfig::new(0);
+    }
+}

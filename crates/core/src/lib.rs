@@ -1,0 +1,46 @@
+//! # igp-core — Parallel Incremental Graph Partitioning Using Linear Programming
+//!
+//! This crate is the primary contribution of Ou & Ranka (SC '94): keep a
+//! `P`-way graph partition up to date as the graph changes incrementally,
+//! using linear programming for both load balancing and cut refinement.
+//! The four phases (paper Figure 1):
+//!
+//! 1. [`assign`] — new vertices take the partition of the nearest old
+//!    vertex (multi-source BFS).
+//! 2. [`layer`] — each partition is layered by distance from its boundary,
+//!    producing the movability counts `λ_ij` (paper Figure 3).
+//! 3. [`balance`] — an LP minimizes total movement subject to caps and
+//!    balance (paper eq. 10–12), with δ-staged retries when infeasible.
+//! 4. [`refine`] — an LP maximizes balance-neutral boundary migration that
+//!    reduces the cut (paper eq. 14–16); iterated (IGPR).
+//!
+//! Drivers:
+//! * [`IncrementalPartitioner`] — sequential IGP / IGPR.
+//! * [`parallel::ParallelPartitioner`] — the same algorithm as an SPMD
+//!   program over `igp-runtime`, including a **distributed dense simplex**
+//!   (columns partitioned across ranks), reproducing the paper's "all the
+//!   steps used by our method are inherently parallel" claim with
+//!   simulated CM-5 timings.
+//! * [`multilevel`] — the paper's future-work extension ("another option
+//!    is to use a multilevel approach"): heavy-edge-matching coarsening
+//!    with IGP applied on the coarse graph.
+//! * [`session::IgpSession`] — the solver-loop API: owns the evolving
+//!    graph + partitioning, applies successive increments and raises the
+//!    paper's from-scratch signal on capped-balance infeasibility.
+
+pub mod assign;
+pub mod balance;
+pub mod config;
+pub mod layer;
+pub mod multilevel;
+pub mod parallel;
+pub mod partitioner;
+pub mod psimplex;
+pub mod refine;
+pub mod report;
+pub mod session;
+
+pub use config::{BalanceSolver, CapPolicy, IgpConfig, RefineConfig, RefineEngine};
+pub use parallel::ParallelPartitioner;
+pub use partitioner::IncrementalPartitioner;
+pub use report::IgpReport;

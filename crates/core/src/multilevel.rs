@@ -1,0 +1,353 @@
+//! Multilevel incremental partitioning (the paper's stated future work:
+//! "Another option is to use a multilevel approach and apply incremental
+//! partitioning recursively. We are currently exploring this approach.").
+//!
+//! Strategy:
+//! 1. run phase 1 (assignment) on the fine graph;
+//! 2. coarsen by **intra-partition heavy-edge matching** (matches never
+//!    cross partitions, so the coarse graph inherits a well-defined
+//!    partition and the fine cut equals the coarse cut);
+//! 3. balance on the coarse graph with *weighted* movement LPs (a coarse
+//!    vertex carries the weight of its constituents), which shrinks the
+//!    LP's layering work and lets one move carry several vertices;
+//! 4. project back and finish with the exact fine-level balance +
+//!    refinement.
+//!
+//! The coarse stage does most of the movement cheaply; the fine stage
+//! only corrects the residual ±w granularity error.
+
+use crate::balance::{balance, integer_targets, solve_movement};
+use crate::config::IgpConfig;
+use crate::layer::layer_partitions;
+use crate::refine::refine;
+use igp_graph::{CsrBuilder, CsrGraph, IncrementalGraph, NodeId, PartId, Partitioning, NO_PART};
+
+/// Multilevel driver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MultilevelConfig {
+    /// Stop coarsening when the graph has at most this many vertices.
+    pub coarsen_to: usize,
+    /// Maximum coarsening levels.
+    pub max_levels: usize,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig { coarsen_to: 256, max_levels: 6 }
+    }
+}
+
+/// Report from a multilevel run.
+#[derive(Clone, Debug, Default)]
+pub struct MultilevelReport {
+    /// Vertex counts at each level, finest first.
+    pub level_sizes: Vec<usize>,
+    /// Weighted vertices moved during the coarse stage.
+    pub coarse_moved: u64,
+    /// Vertices moved during the fine correction stage.
+    pub fine_moved: u64,
+}
+
+/// One coarsening level: coarse graph plus fine→coarse map.
+struct Level {
+    graph: CsrGraph,
+    coarse_of: Vec<NodeId>,
+}
+
+/// Heavy-edge matching restricted to same-partition pairs.
+fn coarsen(g: &CsrGraph, assign: &[PartId]) -> Level {
+    let n = g.num_vertices();
+    let mut mate: Vec<NodeId> = vec![igp_graph::INVALID_NODE; n];
+    for v in g.vertices() {
+        if mate[v as usize] != igp_graph::INVALID_NODE {
+            continue;
+        }
+        let mut best: Option<(u64, NodeId)> = None;
+        for (u, w) in g.edges_of(v) {
+            if mate[u as usize] == igp_graph::INVALID_NODE
+                && u != v
+                && assign[u as usize] == assign[v as usize]
+            {
+                match best {
+                    None => best = Some((w, u)),
+                    Some((bw, bu)) => {
+                        if w > bw || (w == bw && u < bu) {
+                            best = Some((w, u));
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // singleton
+        }
+    }
+    // Number coarse vertices: pair representative = smaller id.
+    let mut coarse_of = vec![igp_graph::INVALID_NODE; n];
+    let mut next: NodeId = 0;
+    for v in g.vertices() {
+        let m = mate[v as usize];
+        if m >= v {
+            coarse_of[v as usize] = next;
+            if m != v {
+                coarse_of[m as usize] = next;
+            }
+            next += 1;
+        }
+    }
+    // Aggregate edges and weights.
+    let nc = next as usize;
+    let mut vwgt = vec![0u64; nc];
+    for v in g.vertices() {
+        vwgt[coarse_of[v as usize] as usize] += g.vertex_weight(v);
+    }
+    let mut edges: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    for (u, v, w) in g.undirected_edges() {
+        let (cu, cv) = (coarse_of[u as usize], coarse_of[v as usize]);
+        if cu != cv {
+            let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+            edges.push((key.0, key.1, w));
+        }
+    }
+    edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    let mut b = CsrBuilder::new(nc);
+    for (cv, w) in vwgt.iter().enumerate() {
+        b.set_vertex_weight(cv as NodeId, *w);
+    }
+    let mut it = edges.into_iter().peekable();
+    while let Some((a, bb, mut w)) = it.next() {
+        while let Some(&(a2, b2, w2)) = it.peek() {
+            if a2 == a && b2 == bb {
+                w += w2;
+                it.next();
+            } else {
+                break;
+            }
+        }
+        b.add_edge(a, bb, w);
+    }
+    Level { graph: b.build(), coarse_of }
+}
+
+/// Weighted coarse balancing: move coarse vertices between partitions so
+/// fine-vertex weights approach the targets, using one movement LP per
+/// round (caps = bucket weights). Returns the moved fine weight.
+fn coarse_balance(
+    g: &CsrGraph,
+    part: &mut Partitioning,
+    targets: &[i64],
+    cfg: &IgpConfig,
+) -> u64 {
+    let p = cfg.num_parts;
+    let mut total_moved = 0u64;
+    for _round in 0..cfg.max_stages {
+        let surplus: Vec<i64> =
+            (0..p).map(|q| part.weight(q as PartId) as i64 - targets[q]).collect();
+        if surplus.iter().all(|&s| s.abs() <= 1) {
+            break;
+        }
+        let assign = part.assignment().to_vec();
+        let layering = layer_partitions(g, &assign, p);
+        let buckets = layering.buckets(&assign);
+        // Weighted caps.
+        let mut pairs: Vec<(PartId, PartId)> = Vec::new();
+        let mut caps: Vec<u64> = Vec::new();
+        for i in 0..p {
+            for j in 0..p {
+                let wsum: u64 =
+                    buckets[i * p + j].iter().map(|&v| g.vertex_weight(v)).sum();
+                if wsum > 0 {
+                    pairs.push((i as PartId, j as PartId));
+                    caps.push(wsum);
+                }
+            }
+        }
+        if pairs.is_empty() {
+            break;
+        }
+        // Clamp the demand to what the caps can carry (coarse granularity
+        // may make the exact demand infeasible); fall back to δ-style
+        // halving on infeasibility.
+        let mut applied = false;
+        for delta in 1..=cfg.max_delta {
+            let s = crate::balance::scale_surplus(&surplus, delta);
+            if s.iter().all(|&v| v == 0) {
+                break;
+            }
+            if let Ok((l, _)) = solve_movement(p, &pairs, Some(&caps), &s, cfg) {
+                let mut moved_here = 0u64;
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    let mut want = l[k].max(0) as u64;
+                    for &v in &buckets[i as usize * p + j as usize] {
+                        if want == 0 {
+                            break;
+                        }
+                        let wv = g.vertex_weight(v);
+                        // Move while it does not overshoot by more than wv/2.
+                        if wv <= want || wv - want < wv / 2 + 1 {
+                            part.move_vertex(g, v, j);
+                            moved_here += wv;
+                            want = want.saturating_sub(wv);
+                        }
+                    }
+                }
+                total_moved += moved_here;
+                applied = moved_here > 0;
+                break;
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    total_moved
+}
+
+/// Multilevel IGP: assignment, coarse weighted balance, fine exact balance
+/// plus refinement.
+pub fn multilevel_repartition(
+    inc: &IncrementalGraph,
+    old_part: &Partitioning,
+    cfg: &IgpConfig,
+    ml: &MultilevelConfig,
+) -> (Partitioning, MultilevelReport) {
+    let g = inc.new_graph();
+    let (assign_vec, _) = crate::assign::assign_new_vertices(inc, old_part);
+    let mut report = MultilevelReport::default();
+    report.level_sizes.push(g.num_vertices());
+
+    // Build the coarsening hierarchy.
+    let mut levels: Vec<Level> = Vec::new();
+    let mut cur_graph = g.clone();
+    let mut cur_assign = assign_vec.clone();
+    for _ in 0..ml.max_levels {
+        if cur_graph.num_vertices() <= ml.coarsen_to {
+            break;
+        }
+        let level = coarsen(&cur_graph, &cur_assign);
+        if level.graph.num_vertices() as f64 > 0.95 * cur_graph.num_vertices() as f64 {
+            break; // matching stalled
+        }
+        let mut coarse_assign = vec![NO_PART; level.graph.num_vertices()];
+        for (v, &cv) in level.coarse_of.iter().enumerate() {
+            coarse_assign[cv as usize] = cur_assign[v];
+        }
+        report.level_sizes.push(level.graph.num_vertices());
+        cur_graph = level.graph.clone();
+        cur_assign = coarse_assign;
+        levels.push(level);
+    }
+
+    // Coarse weighted balance at the top of the hierarchy.
+    let fine_targets = integer_targets(
+        &{
+            let mut counts = vec![0u32; cfg.num_parts];
+            for &q in &assign_vec {
+                counts[q as usize] += 1;
+            }
+            counts
+        },
+    );
+    if !levels.is_empty() {
+        let mut coarse_part =
+            Partitioning::from_assignment(&cur_graph, cfg.num_parts, cur_assign.clone());
+        report.coarse_moved = coarse_balance(&cur_graph, &mut coarse_part, &fine_targets, cfg);
+        cur_assign = coarse_part.assignment().to_vec();
+        // Project down through the hierarchy.
+        for level in levels.iter().rev() {
+            let mut fine_assign = vec![NO_PART; level.coarse_of.len()];
+            for (v, &cv) in level.coarse_of.iter().enumerate() {
+                fine_assign[v] = cur_assign[cv as usize];
+            }
+            cur_assign = fine_assign;
+        }
+    }
+
+    // Exact fine-level correction + refinement.
+    let mut part = Partitioning::from_assignment(g, cfg.num_parts, cur_assign);
+    let fine_outcome = balance(g, &mut part, cfg);
+    report.fine_moved = fine_outcome.total_moved;
+    let _ = refine(g, &mut part, cfg);
+    (part, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igp_graph::metrics::CutMetrics;
+    use igp_graph::{generators, GraphDelta};
+
+    #[test]
+    fn coarsening_halves_and_preserves_weight() {
+        let g = generators::grid(10, 10);
+        let assign = vec![0 as PartId; 100];
+        let lvl = coarsen(&g, &assign);
+        assert!(lvl.graph.num_vertices() <= 60, "{}", lvl.graph.num_vertices());
+        assert_eq!(lvl.graph.total_vertex_weight(), 100);
+        lvl.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn coarsening_respects_partitions() {
+        let g = generators::grid(6, 6);
+        let assign: Vec<PartId> = (0..36).map(|v| if v % 6 < 3 { 0 } else { 1 }).collect();
+        let lvl = coarsen(&g, &assign);
+        // Every coarse vertex's constituents share a partition.
+        let mut coarse_part = vec![NO_PART; lvl.graph.num_vertices()];
+        for (v, &cv) in lvl.coarse_of.iter().enumerate() {
+            if coarse_part[cv as usize] == NO_PART {
+                coarse_part[cv as usize] = assign[v];
+            } else {
+                assert_eq!(coarse_part[cv as usize], assign[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_balances_like_flat() {
+        let g = generators::grid(12, 12);
+        let assign: Vec<PartId> = (0..144).map(|v| ((v % 12) / 3) as PartId).collect();
+        let old = Partitioning::from_assignment(&g, 4, assign);
+        let delta = generators::localized_growth_delta(&g, 0, 28, 5);
+        let inc = delta.apply(&g);
+        let cfg = IgpConfig::new(4);
+        let ml = MultilevelConfig { coarsen_to: 32, max_levels: 4 };
+        let (part, report) = multilevel_repartition(&inc, &old, &cfg, &ml);
+        assert!(report.level_sizes.len() > 1, "should actually coarsen");
+        let counts = part.counts();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "{counts:?}");
+        // Cut sane relative to flat IGPR.
+        let flat = crate::IncrementalPartitioner::igpr(IgpConfig::new(4));
+        let (_, flat_rep) = flat.repartition(&inc, &old);
+        let ml_cut = CutMetrics::compute(inc.new_graph(), &part).total_cut_edges;
+        assert!(
+            (ml_cut as f64) < 2.0 * flat_rep.metrics.total_cut_edges as f64 + 8.0,
+            "multilevel cut {ml_cut} vs flat {}",
+            flat_rep.metrics.total_cut_edges
+        );
+    }
+
+    #[test]
+    fn multilevel_noop_below_threshold() {
+        let g = generators::grid(4, 4);
+        let old = Partitioning::from_assignment(
+            &g,
+            2,
+            (0..16).map(|v| if v % 4 < 2 { 0 } else { 1 }).collect(),
+        );
+        let inc = GraphDelta::default().apply(&g);
+        let (part, report) = multilevel_repartition(
+            &inc,
+            &old,
+            &IgpConfig::new(2),
+            &MultilevelConfig::default(),
+        );
+        assert_eq!(report.level_sizes, vec![16]); // never coarsened
+        assert_eq!(part.count(0), 8);
+    }
+}

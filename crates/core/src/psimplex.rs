@@ -1,0 +1,479 @@
+//! Distributed dense simplex (column decomposition over SPMD ranks).
+//!
+//! The paper's parallel implementation hinges on the observation that the
+//! dense simplex parallelizes naturally: each processor owns a strided
+//! subset of tableau columns; one iteration is
+//!
+//! 1. local scan for the best entering column → global arg-min reduce,
+//! 2. the owner broadcasts the entering column (`m + 1` words),
+//! 3. everyone runs the identical ratio test on the replicated RHS,
+//! 4. everyone rank-1-updates its local columns.
+//!
+//! The arithmetic mirrors `igp-lp`'s sequential tableau operation for
+//! operation (same normalization, same update association), so the pivot
+//! sequences — and therefore the solutions — are identical; the point of
+//! this twin is the *cost structure* under the CM-5 model.
+
+use igp_lp::{Cmp, LpError, LpModel, Sense, SimplexOptions, SimplexStats};
+use igp_runtime::Ctx;
+
+/// Outcome of a collective solve (identical on every rank).
+#[derive(Clone, Debug)]
+pub struct ParallelLpSolution {
+    /// Optimal structural variable values.
+    pub x: Vec<f64>,
+    /// Objective in the model's sense.
+    pub objective: f64,
+    /// Pivot counters.
+    pub stats: SimplexStats,
+}
+
+struct DistTableau {
+    /// Locally owned columns: (global index, m entries).
+    cols: Vec<(usize, Vec<f64>)>,
+    /// Reduced cost per local column (aligned with `cols`).
+    red: Vec<f64>,
+    /// Replicated right-hand side.
+    rhs: Vec<f64>,
+    /// Replicated basis (column id per row).
+    basis: Vec<usize>,
+    /// Replicated row-active flags.
+    active: Vec<bool>,
+    /// Full cost vector (replicated; phase-dependent).
+    cost: Vec<f64>,
+    n_struct: usize,
+    n_art: usize,
+    ncols: usize,
+    eps: f64,
+}
+
+/// Solve `model` collectively; all ranks receive the same result.
+pub fn parallel_simplex(
+    ctx: &mut Ctx,
+    model: &LpModel,
+    opts: SimplexOptions,
+) -> Result<ParallelLpSolution, LpError> {
+    let mut t = build(ctx, model, opts.eps);
+    let m = t.rhs.len();
+    let mut stats =
+        SimplexStats { rows: m, cols: t.ncols, ..Default::default() };
+
+    // Phase 1: minimize artificials.
+    if t.n_art > 0 {
+        let mut c1 = vec![0.0; t.ncols];
+        for j in t.ncols - t.n_art..t.ncols {
+            c1[j] = 1.0;
+        }
+        t.cost = c1;
+        price_out(ctx, &mut t);
+        stats.phase1_iters = run_loop(ctx, &mut t, &opts, true)?;
+        let infeas: f64 = (0..m)
+            .filter(|&i| t.active[i])
+            .map(|i| t.cost[t.basis[i]] * t.rhs[i])
+            .sum();
+        let scale = t.rhs.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        if infeas > 1e-7 * (1.0 + scale) {
+            return Err(LpError::Infeasible);
+        }
+        expel_artificials(ctx, &mut t);
+    }
+
+    // Phase 2.
+    let flip = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut c2 = vec![0.0; t.ncols];
+    for (j, &c) in model.objective().iter().enumerate() {
+        c2[j] = flip * c;
+    }
+    t.cost = c2;
+    price_out(ctx, &mut t);
+    stats.phase2_iters = run_loop(ctx, &mut t, &opts, false)?;
+
+    let mut x = vec![0.0; model.num_vars()];
+    for i in 0..m {
+        if t.active[i] && t.basis[i] < model.num_vars() {
+            x[t.basis[i]] = t.rhs[i].max(0.0);
+        }
+    }
+    let objective = model.objective_value(&x);
+    Ok(ParallelLpSolution { x, objective, stats })
+}
+
+/// Standard-form assembly, column-wise, strided by rank.
+fn build(ctx: &mut Ctx, model: &LpModel, eps: f64) -> DistTableau {
+    let n = model.num_vars();
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = model
+        .constraints()
+        .iter()
+        .map(|c| Row { coeffs: c.coeffs.clone(), cmp: c.cmp, rhs: c.rhs })
+        .collect();
+    for (i, ub) in model.upper_bounds().iter().enumerate() {
+        if let Some(u) = ub {
+            rows.push(Row { coeffs: vec![(i, 1.0)], cmp: Cmp::Le, rhs: *u });
+        }
+    }
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            r.rhs = -r.rhs;
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Eq => Cmp::Eq,
+                Cmp::Ge => Cmp::Le,
+            };
+            for c in &mut r.coeffs {
+                c.1 = -c.1;
+            }
+        }
+    }
+    let m = rows.len();
+    let n_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let n_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let ncols = n + n_slack + n_art;
+    let w = ctx.size();
+    let me = ctx.rank();
+    // Dense local columns (strided ownership j % w == me).
+    let mut cols: Vec<(usize, Vec<f64>)> =
+        (me..ncols).step_by(w).map(|j| (j, vec![0.0; m])).collect();
+    let local_index = |j: usize| (j - me) / w; // valid only when j % w == me
+    let mut rhs = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_art = n + n_slack;
+    for (i, r) in rows.iter().enumerate() {
+        rhs[i] = r.rhs;
+        for &(j, a) in &r.coeffs {
+            if j % w == me {
+                cols[local_index(j)].1[i] = a;
+            }
+        }
+        match r.cmp {
+            Cmp::Le => {
+                if next_slack % w == me {
+                    cols[local_index(next_slack)].1[i] = 1.0;
+                }
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                if next_slack % w == me {
+                    cols[local_index(next_slack)].1[i] = -1.0;
+                }
+                next_slack += 1;
+                if next_art % w == me {
+                    cols[local_index(next_art)].1[i] = 1.0;
+                }
+                basis[i] = next_art;
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                if next_art % w == me {
+                    cols[local_index(next_art)].1[i] = 1.0;
+                }
+                basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+    ctx.charge((m * cols.len()) as u64);
+    let red = vec![0.0; cols.len()];
+    DistTableau {
+        cols,
+        red,
+        rhs,
+        basis,
+        active: vec![true; m],
+        cost: vec![0.0; ncols],
+        n_struct: n,
+        n_art,
+        ncols,
+        eps,
+    }
+}
+
+/// Recompute local reduced costs for the current cost vector.
+fn price_out(ctx: &mut Ctx, t: &mut DistTableau) {
+    let m = t.rhs.len();
+    for (k, (j, col)) in t.cols.iter().enumerate() {
+        let mut r = t.cost[*j];
+        for i in 0..m {
+            if t.active[i] {
+                let cb = t.cost[t.basis[i]];
+                if cb != 0.0 {
+                    r -= cb * col[i];
+                }
+            }
+        }
+        t.red[k] = r;
+    }
+    ctx.charge((m * t.cols.len()) as u64);
+}
+
+/// The simplex loop; returns the pivot count.
+fn run_loop(
+    ctx: &mut Ctx,
+    t: &mut DistTableau,
+    opts: &SimplexOptions,
+    phase1: bool,
+) -> Result<usize, LpError> {
+    let limit = if phase1 { t.ncols } else { t.ncols - t.n_art };
+    for iter in 0..opts.max_iters {
+        let bland = iter >= opts.bland_after;
+        // Local entering candidate.
+        let mut local: (f64, u64) = (f64::INFINITY, u64::MAX);
+        for (k, &(j, _)) in t.cols.iter().enumerate() {
+            if j >= limit {
+                continue;
+            }
+            let r = t.red[k];
+            if r < -t.eps {
+                let better = if bland {
+                    (j as u64) < local.1
+                } else {
+                    r < local.0 || (r == local.0 && (j as u64) < local.1)
+                };
+                if better {
+                    local = (if bland { 0.0 } else { r }, j as u64);
+                }
+            }
+        }
+        ctx.charge(t.cols.len() as u64);
+        let global = ctx.allreduce(local, 3, |a, b| {
+            if b.0 < a.0 || (b.0 == a.0 && b.1 < a.1) {
+                b
+            } else {
+                a
+            }
+        });
+        if global.1 == u64::MAX {
+            return Ok(iter); // optimal
+        }
+        let e = global.1 as usize;
+        pivot_on_column(ctx, t, e, None)?;
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Broadcast column `e` from its owner, run the replicated ratio test (or
+/// use `forced_row`), and rank-1-update local state. Errors with
+/// `Unbounded` when no ratio-test row exists.
+fn pivot_on_column(
+    ctx: &mut Ctx,
+    t: &mut DistTableau,
+    e: usize,
+    forced_row: Option<usize>,
+) -> Result<(), LpError> {
+    let w = ctx.size();
+    let me = ctx.rank();
+    let m = t.rhs.len();
+    let owner = e % w;
+    let payload = if owner == me {
+        let k = (e - me) / w;
+        Some((t.cols[k].1.clone(), t.red[k]))
+    } else {
+        None
+    };
+    let (col_e, red_e) = ctx.broadcast_w(owner, payload, m as u64 + 1);
+
+    // Ratio test (replicated, deterministic).
+    let r = match forced_row {
+        Some(r) => r,
+        None => {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for i in 0..m {
+                if !t.active[i] {
+                    continue;
+                }
+                let a = col_e[i];
+                if a > t.eps {
+                    let ratio = t.rhs[i] / a;
+                    match best {
+                        None => best = Some((ratio, t.basis[i], i)),
+                        Some((br, bb, _)) => {
+                            if ratio < br - t.eps
+                                || (ratio < br + t.eps && t.basis[i] < bb)
+                            {
+                                best = Some((ratio, t.basis[i], i));
+                            }
+                        }
+                    }
+                }
+            }
+            ctx.charge(m as u64);
+            match best {
+                Some((_, _, i)) => i,
+                None => return Err(LpError::Unbounded),
+            }
+        }
+    };
+
+    // Rank-1 update mirroring the sequential tableau arithmetic:
+    //   prow_j = a_rj / a_re;  a_ij -= a_ie * prow_j;  red_j -= red_e * prow_j.
+    let inv = 1.0 / col_e[r];
+    let rhs_r = t.rhs[r] * inv;
+    for i in 0..m {
+        if i == r || !t.active[i] {
+            continue;
+        }
+        let f = col_e[i];
+        if f != 0.0 {
+            t.rhs[i] -= f * rhs_r;
+        }
+    }
+    t.rhs[r] = rhs_r;
+    for (k, (j, col)) in t.cols.iter_mut().enumerate() {
+        if *j == e {
+            // The entering column becomes the unit vector e_r.
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = if i == r { 1.0 } else { 0.0 };
+            }
+            t.red[k] = 0.0;
+            continue;
+        }
+        let factor = col[r] * inv;
+        if factor != 0.0 {
+            for i in 0..m {
+                if i == r || !t.active[i] {
+                    continue;
+                }
+                let f = col_e[i];
+                if f != 0.0 {
+                    col[i] -= f * factor;
+                }
+            }
+            col[r] = factor;
+            t.red[k] -= red_e * factor;
+        }
+    }
+    ctx.charge((m * t.cols.len()) as u64 + m as u64);
+    t.basis[r] = e;
+    Ok(())
+}
+
+/// Drive basic artificials out of the basis; deactivate redundant rows.
+fn expel_artificials(ctx: &mut Ctx, t: &mut DistTableau) {
+    let art_lo = t.ncols - t.n_art;
+    for r in 0..t.rhs.len() {
+        if !t.active[r] || t.basis[r] < art_lo {
+            continue;
+        }
+        // Smallest non-artificial column with a usable entry in row r.
+        let mut local = u64::MAX;
+        for &(j, ref col) in &t.cols {
+            if j < art_lo && col[r].abs() > 1e-7 {
+                local = local.min(j as u64);
+            }
+        }
+        ctx.charge(t.cols.len() as u64);
+        let j = ctx.allreduce(local, 2, |a, b| a.min(b));
+        if j == u64::MAX {
+            t.active[r] = false;
+        } else {
+            pivot_on_column(ctx, t, j as usize, Some(r))
+                .expect("forced pivot cannot be unbounded");
+        }
+    }
+    let _ = t.n_struct;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igp_lp::{solve, LpModel};
+    use igp_runtime::{CostModel, Machine};
+
+    /// Solve on `w` ranks and compare to the sequential solver.
+    fn check_matches_sequential(model: &LpModel, w: usize) {
+        let seq = solve(model).unwrap();
+        let machine = Machine::new(w, CostModel::cm5());
+        let (outs, _) = machine.run(|ctx| {
+            parallel_simplex(ctx, model, SimplexOptions::default()).map(|s| (s.x, s.objective))
+        });
+        for (r, out) in outs.iter().enumerate() {
+            let (x, obj) = out.as_ref().expect("parallel solve failed");
+            assert!(
+                (obj - seq.objective).abs() < 1e-6,
+                "rank {r}: objective {obj} vs sequential {}",
+                seq.objective
+            );
+            model.check_feasible(x, 1e-6).unwrap();
+        }
+    }
+
+    fn sample_lp() -> LpModel {
+        let mut m = LpModel::maximize(3);
+        m.set_objective(0, 3.0);
+        m.set_objective(1, 2.0);
+        m.set_objective(2, 4.0);
+        m.add_le(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 10.0);
+        m.add_le(vec![(0, 2.0), (2, 1.0)], 8.0);
+        m.add_ge(vec![(1, 1.0)], 1.0);
+        m
+    }
+
+    #[test]
+    fn matches_sequential_various_ranks() {
+        let m = sample_lp();
+        for w in [1, 2, 3, 5] {
+            check_matches_sequential(&m, w);
+        }
+    }
+
+    #[test]
+    fn equality_and_bounds() {
+        let mut m = LpModel::minimize(4);
+        for i in 0..4 {
+            m.set_objective(i, 1.0 + i as f64);
+            m.set_upper_bound(i, 5.0);
+        }
+        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], 12.0);
+        m.add_ge(vec![(2, 1.0), (3, 1.0)], 3.0);
+        check_matches_sequential(&m, 3);
+    }
+
+    #[test]
+    fn paper_figure5_parallel() {
+        let caps = [9.0, 7.0, 12.0, 10.0, 11.0, 3.0, 7.0, 9.0, 7.0, 5.0];
+        let mut m = LpModel::minimize(10);
+        for i in 0..10 {
+            m.set_objective(i, 1.0);
+            m.set_upper_bound(i, caps[i]);
+        }
+        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+        m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
+        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+        m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
+        check_matches_sequential(&m, 4);
+    }
+
+    #[test]
+    fn infeasible_detected_on_all_ranks() {
+        let mut m = LpModel::minimize(1);
+        m.add_le(vec![(0, 1.0)], 1.0);
+        m.add_ge(vec![(0, 1.0)], 2.0);
+        let (outs, _) = Machine::new(3, CostModel::cm5()).run(|ctx| {
+            parallel_simplex(ctx, &m, SimplexOptions::default()).err()
+        });
+        assert!(outs.iter().all(|e| *e == Some(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn parallel_cuts_per_rank_compute_work() {
+        // More ranks → less charged work per rank for the column updates.
+        let m = sample_lp();
+        let run = |w: usize| {
+            let (_, rep) = Machine::new(w, CostModel::compute_only())
+                .run(|ctx| parallel_simplex(ctx, &m, SimplexOptions::default()).unwrap().objective);
+            rep.makespan
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(t4 < t1, "t1={t1} t4={t4}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Long-running repartitioning sessions.
+//!
+//! The paper's use case is a solver loop: compute for a few iterations,
+//! refine the mesh, repartition, repeat — "the remapping must have a
+//! lower cost relative to the computational cost of executing the few
+//! iterations for which the computational structure remains fixed."
+//! [`IgpSession`] packages that loop: it owns the current graph and
+//! partitioning, applies successive increments, tracks cumulative
+//! statistics, and raises the paper's *from-scratch signal* when capped
+//! balancing becomes infeasible.
+
+use crate::config::IgpConfig;
+use crate::partitioner::IncrementalPartitioner;
+use crate::report::IgpReport;
+use igp_graph::metrics::CutMetrics;
+use igp_graph::{CsrGraph, GraphDelta, IncrementalGraph, Partitioning};
+
+/// Summary of one session step.
+#[derive(Clone, Debug)]
+pub struct StepSummary {
+    /// Step index (0-based).
+    pub step: usize,
+    /// Vertices after the step.
+    pub num_vertices: usize,
+    /// Cut edges after the step.
+    pub cut: u64,
+    /// Max/avg count imbalance after the step.
+    pub imbalance: f64,
+    /// Vertices moved by balancing + refinement.
+    pub moved: u64,
+    /// Balancing stages used.
+    pub stages: usize,
+    /// False if capped balancing gave up (the paper's "it would be better
+    /// to start partitioning from scratch" condition).
+    pub balanced: bool,
+}
+
+/// A stateful incremental-repartitioning session.
+///
+/// ```
+/// use igp_core::{session::IgpSession, IgpConfig};
+/// use igp_graph::{generators, Partitioning};
+///
+/// let g = generators::grid(10, 10);
+/// let part = Partitioning::from_assignment(
+///     &g, 2, (0..100).map(|v| if v % 10 < 5 { 0 } else { 1 }).collect());
+/// let mut session = IgpSession::new(g.clone(), part, IgpConfig::new(2), true);
+///
+/// for step in 0..3 {
+///     let delta = generators::localized_growth_delta(session.graph(), 0, 6, step);
+///     let summary = session.apply_delta(&delta);
+///     assert!(summary.balanced);
+/// }
+/// assert_eq!(session.graph().num_vertices(), 118);
+/// assert_eq!(session.history().len(), 3);
+/// ```
+pub struct IgpSession {
+    graph: CsrGraph,
+    part: Partitioning,
+    partitioner: IncrementalPartitioner,
+    history: Vec<StepSummary>,
+    needs_scratch: bool,
+}
+
+impl IgpSession {
+    /// Start a session from an initial graph and partitioning (typically
+    /// produced by RSB). `refined` selects IGPR vs IGP.
+    pub fn new(graph: CsrGraph, part: Partitioning, cfg: IgpConfig, refined: bool) -> Self {
+        assert_eq!(graph.num_vertices(), part.num_vertices());
+        assert_eq!(part.num_parts(), cfg.num_parts);
+        let partitioner = if refined {
+            IncrementalPartitioner::igpr(cfg)
+        } else {
+            IncrementalPartitioner::igp(cfg)
+        };
+        IgpSession { graph, part, partitioner, history: Vec::new(), needs_scratch: false }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The current partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.part
+    }
+
+    /// Per-step summaries so far.
+    pub fn history(&self) -> &[StepSummary] {
+        &self.history
+    }
+
+    /// True once a step failed to balance under the configured caps — the
+    /// paper's signal to repartition from scratch. Clear it by installing
+    /// a fresh partitioning via [`IgpSession::reset_partitioning`].
+    pub fn needs_scratch(&self) -> bool {
+        self.needs_scratch
+    }
+
+    /// Apply an edit list to the current graph and repartition.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> StepSummary {
+        let inc = delta.apply(&self.graph);
+        self.apply_increment(inc)
+    }
+
+    /// Apply a pre-built incremental graph (its `old` side must match the
+    /// session's current graph) and repartition.
+    pub fn apply_increment(&mut self, inc: IncrementalGraph) -> StepSummary {
+        assert_eq!(
+            inc.old().num_vertices(),
+            self.graph.num_vertices(),
+            "increment does not start from the session's current graph"
+        );
+        let (new_part, report) = self.partitioner.repartition(&inc, &self.part);
+        let summary = self.summarize(&inc, &new_part, &report);
+        self.graph = inc.new_graph().clone();
+        self.part = new_part;
+        self.needs_scratch |= !summary.balanced;
+        self.history.push(summary.clone());
+        summary
+    }
+
+    /// Replace the partitioning (e.g. after an out-of-band from-scratch
+    /// RSB run); clears the from-scratch flag.
+    pub fn reset_partitioning(&mut self, part: Partitioning) {
+        assert_eq!(part.num_vertices(), self.graph.num_vertices());
+        self.part = part;
+        self.needs_scratch = false;
+    }
+
+    fn summarize(
+        &self,
+        inc: &IncrementalGraph,
+        part: &Partitioning,
+        report: &IgpReport,
+    ) -> StepSummary {
+        let m = CutMetrics::compute(inc.new_graph(), part);
+        StepSummary {
+            step: self.history.len(),
+            num_vertices: inc.new_graph().num_vertices(),
+            cut: m.total_cut_edges,
+            imbalance: m.count_imbalance,
+            moved: report.total_moved(),
+            stages: report.num_stages(),
+            balanced: report.balance.balanced,
+        }
+    }
+
+    /// Total vertices moved across the whole session (the cost the paper
+    /// trades against solver time).
+    pub fn total_moved(&self) -> u64 {
+        self.history.iter().map(|s| s.moved).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igp_graph::generators;
+    use igp_graph::PartId;
+
+    fn start() -> IgpSession {
+        let g = generators::grid(8, 8);
+        let assign: Vec<PartId> = (0..64).map(|v| ((v % 8) / 2) as PartId).collect();
+        let part = Partitioning::from_assignment(&g, 4, assign);
+        IgpSession::new(g, part, IgpConfig::new(4), true)
+    }
+
+    #[test]
+    fn multi_step_session() {
+        let mut s = start();
+        for step in 0..4 {
+            let delta = generators::localized_growth_delta(s.graph(), 0, 8, step);
+            let sum = s.apply_delta(&delta);
+            assert!(sum.balanced, "step {step}");
+            assert!(sum.imbalance < 1.05);
+        }
+        assert_eq!(s.graph().num_vertices(), 64 + 32);
+        assert_eq!(s.history().len(), 4);
+        assert!(s.total_moved() > 0);
+        assert!(!s.needs_scratch());
+        s.partitioning().validate(s.graph()).unwrap();
+    }
+
+    #[test]
+    fn scratch_flag_on_infeasible() {
+        // Disconnected islands: growth on one island cannot be balanced.
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            edges.push((i, (i + 1) % 6));
+            edges.push((6 + i, 6 + (i + 1) % 6));
+        }
+        let g = igp_graph::CsrGraph::from_edges(12, &edges);
+        let part = Partitioning::from_assignment(
+            &g,
+            2,
+            (0..12).map(|v| if v < 6 { 0 } else { 1 }).collect(),
+        );
+        let mut s = IgpSession::new(g, part, IgpConfig::new(2), false);
+        let delta = GraphDelta {
+            add_vertices: vec![1; 4],
+            add_edges: (0..4).map(|i| (0, 12 + i, 1)).collect(),
+            ..Default::default()
+        };
+        let sum = s.apply_delta(&delta);
+        assert!(!sum.balanced);
+        assert!(s.needs_scratch());
+        // Installing a fresh partitioning clears the flag.
+        let fresh = Partitioning::round_robin(s.graph(), 2);
+        s.reset_partitioning(fresh);
+        assert!(!s.needs_scratch());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not start from the session's current graph")]
+    fn stale_increment_rejected() {
+        let mut s = start();
+        let other = generators::grid(5, 5);
+        let inc = GraphDelta::default().apply(&other);
+        s.apply_increment(inc);
+    }
+}

@@ -1,0 +1,388 @@
+//! The paper's incremental-graph model.
+//!
+//! Ou & Ranka define the incremental graph as
+//! `G'(V', E')` with `V' = V ∪ V₁ − V₂` and `E' = E ∪ E₁ − E₂`: a small
+//! number of vertices and edges are added and/or deleted. The partitioner
+//! consumes an [`IncrementalGraph`]: the old graph, the new graph, and the
+//! identity map tying surviving vertices together. [`GraphDelta`] is the
+//! edit-list form, convertible in both directions.
+
+use crate::csr::{CsrBuilder, CsrGraph};
+use crate::{NodeId, Weight, INVALID_NODE};
+
+/// An edit list transforming an old graph into a new one.
+///
+/// Vertex addressing: survivors and removed vertices use *old* ids; the
+/// `i`-th added vertex is addressed as `n_old + i`. Edges may reference any
+/// of those.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Weights of the added vertices (the `i`-th gets id `n_old + i`).
+    pub add_vertices: Vec<Weight>,
+    /// Old ids of removed vertices (sorted, unique). Their incident edges
+    /// are removed implicitly.
+    pub remove_vertices: Vec<NodeId>,
+    /// Added undirected edges, in the extended old-id space.
+    pub add_edges: Vec<(NodeId, NodeId, Weight)>,
+    /// Removed undirected edges (old ids; must exist and not touch removed
+    /// vertices — those are implicit).
+    pub remove_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphDelta {
+    /// True if the delta performs no edits.
+    pub fn is_empty(&self) -> bool {
+        self.add_vertices.is_empty()
+            && self.remove_vertices.is_empty()
+            && self.add_edges.is_empty()
+            && self.remove_edges.is_empty()
+    }
+
+    /// Summary string like `+25v -0v +71e -46e` (used in reports).
+    pub fn summary(&self) -> String {
+        format!(
+            "+{}v -{}v +{}e -{}e",
+            self.add_vertices.len(),
+            self.remove_vertices.len(),
+            self.add_edges.len(),
+            self.remove_edges.len()
+        )
+    }
+
+    /// Apply the delta to `old`, producing the incremental-graph pair.
+    pub fn apply(&self, old: &CsrGraph) -> IncrementalGraph {
+        let n_old = old.num_vertices();
+        let n_ext = n_old + self.add_vertices.len();
+        // Extended-id space: old ids ∪ added ids; mark removals.
+        let mut removed = vec![false; n_ext];
+        for &v in &self.remove_vertices {
+            assert!((v as usize) < n_old, "remove_vertices id out of range");
+            assert!(!removed[v as usize], "vertex {v} removed twice");
+            removed[v as usize] = true;
+        }
+        // Compact to new ids.
+        let mut new_of_ext = vec![INVALID_NODE; n_ext];
+        let mut next: NodeId = 0;
+        for (i, slot) in new_of_ext.iter_mut().enumerate() {
+            if !removed[i] {
+                *slot = next;
+                next += 1;
+            }
+        }
+        let n_new = next as usize;
+        let mut b = CsrBuilder::new(n_new);
+        // Vertex weights.
+        for v in 0..n_old {
+            if !removed[v] {
+                b.set_vertex_weight(new_of_ext[v], old.vertex_weight(v as NodeId));
+            }
+        }
+        for (i, &w) in self.add_vertices.iter().enumerate() {
+            b.set_vertex_weight(new_of_ext[n_old + i], w);
+        }
+        // Surviving old edges minus explicit removals.
+        let mut kill: Vec<(NodeId, NodeId)> = self
+            .remove_edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        kill.sort_unstable();
+        kill.dedup();
+        assert_eq!(kill.len(), self.remove_edges.len(), "duplicate edge removal");
+        for (u, v, w) in old.undirected_edges() {
+            if removed[u as usize] || removed[v as usize] {
+                continue;
+            }
+            if kill.binary_search(&(u, v)).is_ok() {
+                continue;
+            }
+            b.add_edge(new_of_ext[u as usize], new_of_ext[v as usize], w);
+        }
+        for &e in &kill {
+            assert!(
+                old.has_edge(e.0, e.1),
+                "remove_edges names a non-existent edge {{{},{}}}",
+                e.0,
+                e.1
+            );
+        }
+        // Added edges.
+        for &(u, v, w) in &self.add_edges {
+            let (nu, nv) = (new_of_ext[u as usize], new_of_ext[v as usize]);
+            assert!(
+                nu != INVALID_NODE && nv != INVALID_NODE,
+                "added edge touches removed vertex"
+            );
+            b.add_edge(nu, nv, w);
+        }
+        let new = b.build();
+        let mut old_of_new = vec![INVALID_NODE; n_new];
+        for v in 0..n_old {
+            if new_of_ext[v] != INVALID_NODE {
+                old_of_new[new_of_ext[v] as usize] = v as NodeId;
+            }
+        }
+        IncrementalGraph::new(old.clone(), new, old_of_new)
+    }
+}
+
+/// An old/new graph pair with vertex identity between them.
+///
+/// `old_of_new[v']` is the old id of the surviving vertex `v'`, or
+/// [`INVALID_NODE`] if `v'` is newly added; `new_of_old` is the inverse
+/// (with [`INVALID_NODE`] for deleted vertices).
+#[derive(Clone, Debug)]
+pub struct IncrementalGraph {
+    old: CsrGraph,
+    new: CsrGraph,
+    old_of_new: Vec<NodeId>,
+    new_of_old: Vec<NodeId>,
+}
+
+impl IncrementalGraph {
+    /// Build from the old graph, new graph and the `old_of_new` map.
+    ///
+    /// Panics unless the map is a partial injection from new ids onto old
+    /// ids (each old id used at most once, all in range).
+    pub fn new(old: CsrGraph, new: CsrGraph, old_of_new: Vec<NodeId>) -> Self {
+        assert_eq!(old_of_new.len(), new.num_vertices(), "old_of_new length mismatch");
+        let mut new_of_old = vec![INVALID_NODE; old.num_vertices()];
+        for (v_new, &v_old) in old_of_new.iter().enumerate() {
+            if v_old != INVALID_NODE {
+                assert!((v_old as usize) < old.num_vertices(), "old id out of range");
+                assert_eq!(
+                    new_of_old[v_old as usize], INVALID_NODE,
+                    "old vertex {v_old} mapped twice"
+                );
+                new_of_old[v_old as usize] = v_new as NodeId;
+            }
+        }
+        IncrementalGraph { old, new, old_of_new, new_of_old }
+    }
+
+    /// Pair two [`crate::DynGraph::snapshot`] results taken from the same
+    /// evolving graph: slots shared by both snapshots are the survivors.
+    pub fn from_snapshots(
+        old: CsrGraph,
+        old_map: &[NodeId],
+        new: CsrGraph,
+        new_map: &[NodeId],
+    ) -> Self {
+        let mut old_of_new = vec![INVALID_NODE; new.num_vertices()];
+        for (slot, &v_old) in old_map.iter().enumerate() {
+            if v_old == INVALID_NODE {
+                continue;
+            }
+            if let Some(&v_new) = new_map.get(slot) {
+                if v_new != INVALID_NODE {
+                    old_of_new[v_new as usize] = v_old;
+                }
+            }
+        }
+        Self::new(old, new, old_of_new)
+    }
+
+    /// The graph before the incremental change.
+    #[inline]
+    pub fn old(&self) -> &CsrGraph {
+        &self.old
+    }
+
+    /// The graph after the incremental change.
+    #[inline]
+    pub fn new_graph(&self) -> &CsrGraph {
+        &self.new
+    }
+
+    /// Old id of new vertex `v`, or [`INVALID_NODE`] if `v` was added.
+    #[inline]
+    pub fn old_of_new(&self, v: NodeId) -> NodeId {
+        self.old_of_new[v as usize]
+    }
+
+    /// New id of old vertex `v`, or [`INVALID_NODE`] if `v` was deleted.
+    #[inline]
+    pub fn new_of_old(&self, v: NodeId) -> NodeId {
+        self.new_of_old[v as usize]
+    }
+
+    /// True if new-graph vertex `v` was added by the increment.
+    #[inline]
+    pub fn is_added(&self, v: NodeId) -> bool {
+        self.old_of_new[v as usize] == INVALID_NODE
+    }
+
+    /// New ids of all added vertices (increasing order).
+    pub fn added_vertices(&self) -> Vec<NodeId> {
+        self.new.vertices().filter(|&v| self.is_added(v)).collect()
+    }
+
+    /// Old ids of all deleted vertices (increasing order).
+    pub fn removed_vertices(&self) -> Vec<NodeId> {
+        self.old
+            .vertices()
+            .filter(|&v| self.new_of_old[v as usize] == INVALID_NODE)
+            .collect()
+    }
+
+    /// Count of surviving vertices.
+    pub fn num_survivors(&self) -> usize {
+        self.old_of_new.iter().filter(|&&v| v != INVALID_NODE).count()
+    }
+
+    /// Recover the edit list (for reporting and tests).
+    pub fn diff(&self) -> GraphDelta {
+        let added_v: Vec<NodeId> = self.added_vertices();
+        let removed_v = self.removed_vertices();
+        // Extended-id addressing for added vertices: n_old + rank.
+        let n_old = self.old.num_vertices() as NodeId;
+        let ext_of_new = |v: NodeId| -> NodeId {
+            let o = self.old_of_new[v as usize];
+            if o != INVALID_NODE {
+                o
+            } else {
+                n_old + added_v.binary_search(&v).unwrap() as NodeId
+            }
+        };
+        let mut add_edges = Vec::new();
+        for (u, v, w) in self.new.undirected_edges() {
+            let (ou, ov) = (self.old_of_new[u as usize], self.old_of_new[v as usize]);
+            let existed =
+                ou != INVALID_NODE && ov != INVALID_NODE && self.old.has_edge(ou, ov);
+            if !existed {
+                let (a, b) = (ext_of_new(u), ext_of_new(v));
+                add_edges.push(if a < b { (a, b, w) } else { (b, a, w) });
+            }
+        }
+        let mut remove_edges = Vec::new();
+        for (u, v, _) in self.old.undirected_edges() {
+            let (nu, nv) = (self.new_of_old[u as usize], self.new_of_old[v as usize]);
+            if nu == INVALID_NODE || nv == INVALID_NODE {
+                continue; // implicit via vertex removal
+            }
+            if !self.new.has_edge(nu, nv) {
+                remove_edges.push((u, v));
+            }
+        }
+        add_edges.sort_unstable();
+        remove_edges.sort_unstable();
+        GraphDelta {
+            add_vertices: added_v.iter().map(|&v| self.new.vertex_weight(v)).collect(),
+            remove_vertices: removed_v,
+            add_edges,
+            remove_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn apply_pure_growth() {
+        // Append vertices 5, 6 hanging off vertex 4.
+        let delta = GraphDelta {
+            add_vertices: vec![1, 1],
+            add_edges: vec![(4, 5, 1), (5, 6, 1)],
+            ..Default::default()
+        };
+        let inc = delta.apply(&path5());
+        assert_eq!(inc.new_graph().num_vertices(), 7);
+        assert_eq!(inc.new_graph().num_edges(), 6);
+        assert_eq!(inc.added_vertices(), vec![5, 6]);
+        assert_eq!(inc.old_of_new(3), 3);
+        assert!(inc.is_added(6));
+        assert_eq!(inc.num_survivors(), 5);
+        inc.new_graph().validate().unwrap();
+    }
+
+    #[test]
+    fn apply_with_removals() {
+        // Remove vertex 2 (splitting the path), bridge with a new edge 1-3,
+        // and drop edge 3-4.
+        let delta = GraphDelta {
+            add_vertices: vec![],
+            remove_vertices: vec![2],
+            add_edges: vec![(1, 3, 1)],
+            remove_edges: vec![(3, 4)],
+        };
+        let inc = delta.apply(&path5());
+        let g = inc.new_graph();
+        assert_eq!(g.num_vertices(), 4);
+        // Edges: 0-1 (kept), 1-3 (added). 1-2/2-3 die with vertex 2, 3-4 removed.
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(inc.new_of_old(2), INVALID_NODE);
+        assert_eq!(inc.new_of_old(3), 2);
+        assert_eq!(inc.new_of_old(4), 3);
+        assert_eq!(inc.removed_vertices(), vec![2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn diff_inverts_apply() {
+        let delta = GraphDelta {
+            add_vertices: vec![7, 9],
+            remove_vertices: vec![0],
+            add_edges: vec![(1, 5, 2), (5, 6, 3)],
+            remove_edges: vec![(2, 3)],
+        };
+        let inc = delta.apply(&path5());
+        let back = inc.diff();
+        assert_eq!(back.add_vertices, delta.add_vertices);
+        assert_eq!(back.remove_vertices, delta.remove_vertices);
+        assert_eq!(back.remove_edges, vec![(2, 3)]);
+        let mut expect = delta.add_edges.clone();
+        expect.sort_unstable();
+        assert_eq!(back.add_edges, expect);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let delta = GraphDelta::default();
+        assert!(delta.is_empty());
+        let inc = delta.apply(&path5());
+        assert_eq!(inc.new_graph(), inc.old());
+        assert!(inc.diff().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent edge")]
+    fn removing_missing_edge_panics() {
+        let delta = GraphDelta { remove_edges: vec![(0, 4)], ..Default::default() };
+        delta.apply(&path5());
+    }
+
+    #[test]
+    fn from_snapshots_identity() {
+        use crate::dyn_graph::DynGraph;
+        let mut dg = DynGraph::with_vertices(3);
+        dg.add_edge(0, 1, 1);
+        let (old, old_map) = dg.snapshot();
+        dg.add_vertex(1);
+        dg.add_edge(2, 3, 1);
+        dg.remove_vertex(1);
+        let (new, new_map) = dg.snapshot();
+        let inc = IncrementalGraph::from_snapshots(old, &old_map, new, &new_map);
+        // Survivors: slots 0 and 2. Slot 1 deleted, slot 3 added.
+        assert_eq!(inc.num_survivors(), 2);
+        assert_eq!(inc.removed_vertices(), vec![1]);
+        assert_eq!(inc.added_vertices().len(), 1);
+        assert_eq!(inc.old_of_new(0), 0); // slot 0
+        assert_eq!(inc.old_of_new(1), 2); // slot 2 was old id 2, new id 1
+    }
+
+    #[test]
+    fn summary_format() {
+        let delta = GraphDelta {
+            add_vertices: vec![1, 1, 1],
+            add_edges: vec![(0, 5, 1)],
+            ..Default::default()
+        };
+        assert_eq!(delta.summary(), "+3v -0v +1e -0e");
+    }
+}

@@ -1,0 +1,290 @@
+//! Mutable adjacency-list graphs for building incremental sequences.
+//!
+//! [`DynGraph`] is the construction-time representation: the mesh layer
+//! mutates it while refining, and [`DynGraph::snapshot`] freezes it into a
+//! [`CsrGraph`] for the partitioner. Vertex ids are stable across edits;
+//! deleting a vertex leaves a tombstone slot (compacted only at snapshot
+//! time, with an id map returned so callers can track identity).
+
+use crate::csr::{CsrBuilder, CsrGraph};
+use crate::{NodeId, Weight};
+
+/// A mutable undirected graph with stable vertex identifiers.
+#[derive(Clone, Debug, Default)]
+pub struct DynGraph {
+    /// Per-slot adjacency (sorted). `None` = deleted / never-created slot.
+    adj: Vec<Option<Vec<(NodeId, Weight)>>>,
+    vwgt: Vec<Weight>,
+    live: usize,
+    num_edges: usize,
+}
+
+impl DynGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A graph with `n` isolated live vertices `0..n`.
+    pub fn with_vertices(n: usize) -> Self {
+        DynGraph {
+            adj: (0..n).map(|_| Some(Vec::new())).collect(),
+            vwgt: vec![1; n],
+            live: n,
+            num_edges: 0,
+        }
+    }
+
+    /// Import from a CSR graph (ids preserved).
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut dg = DynGraph::with_vertices(n);
+        for v in g.vertices() {
+            dg.vwgt[v as usize] = g.vertex_weight(v);
+            dg.adj[v as usize] = Some(g.edges_of(v).collect());
+        }
+        dg.num_edges = g.num_edges();
+        dg
+    }
+
+    /// Number of live vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.live
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Highest slot id ever allocated (live or deleted).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if `v` denotes a live vertex.
+    #[inline]
+    pub fn is_live(&self, v: NodeId) -> bool {
+        (v as usize) < self.adj.len() && self.adj[v as usize].is_some()
+    }
+
+    /// Append a new isolated vertex with weight `w`; returns its id.
+    pub fn add_vertex(&mut self, w: Weight) -> NodeId {
+        let id = self.adj.len() as NodeId;
+        self.adj.push(Some(Vec::new()));
+        self.vwgt.push(w);
+        self.live += 1;
+        id
+    }
+
+    /// Delete vertex `v` and all incident edges.
+    pub fn remove_vertex(&mut self, v: NodeId) {
+        let nbrs: Vec<NodeId> = self
+            .adj[v as usize]
+            .as_ref()
+            .expect("remove_vertex: vertex not live")
+            .iter()
+            .map(|&(u, _)| u)
+            .collect();
+        for u in nbrs {
+            self.remove_edge(v, u);
+        }
+        self.adj[v as usize] = None;
+        self.live -= 1;
+    }
+
+    /// Add the undirected edge `{u, v}` with weight `w`.
+    /// Panics if either endpoint is dead, on self-loops, or if the edge exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        assert!(u != v, "self loop {u}");
+        assert!(self.is_live(u) && self.is_live(v), "add_edge on dead vertex");
+        Self::insert_half(self.adj[u as usize].as_mut().unwrap(), v, w);
+        Self::insert_half(self.adj[v as usize].as_mut().unwrap(), u, w);
+        self.num_edges += 1;
+    }
+
+    /// Add `{u, v}` if absent; returns true if it was inserted.
+    pub fn add_edge_if_absent(&mut self, u: NodeId, v: NodeId, w: Weight) -> bool {
+        if self.has_edge(u, v) {
+            false
+        } else {
+            self.add_edge(u, v, w);
+            true
+        }
+    }
+
+    fn insert_half(list: &mut Vec<(NodeId, Weight)>, v: NodeId, w: Weight) {
+        match list.binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(_) => panic!("duplicate edge to {v}"),
+            Err(pos) => list.insert(pos, (v, w)),
+        }
+    }
+
+    /// Remove the undirected edge `{u, v}`. Panics if absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        Self::remove_half(self.adj[u as usize].as_mut().expect("dead vertex"), v);
+        Self::remove_half(self.adj[v as usize].as_mut().expect("dead vertex"), u);
+        self.num_edges -= 1;
+    }
+
+    fn remove_half(list: &mut Vec<(NodeId, Weight)>, v: NodeId) {
+        let pos = list
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .unwrap_or_else(|_| panic!("edge to {v} absent"));
+        list.remove(pos);
+    }
+
+    /// True if the edge `{u, v}` exists (false if either endpoint is dead).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        match self.adj.get(u as usize).and_then(|s| s.as_ref()) {
+            Some(list) => list.binary_search_by_key(&v, |&(x, _)| x).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Degree of live vertex `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].as_ref().expect("dead vertex").len()
+    }
+
+    /// Neighbour/weight pairs of live vertex `v` (sorted by neighbour id).
+    pub fn edges_of(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        self.adj[v as usize].as_ref().expect("dead vertex")
+    }
+
+    /// Iterate live vertex ids in increasing order.
+    pub fn vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| i as NodeId)
+    }
+
+    /// Weight of live vertex `v`.
+    pub fn vertex_weight(&self, v: NodeId) -> Weight {
+        debug_assert!(self.is_live(v));
+        self.vwgt[v as usize]
+    }
+
+    /// Freeze into a CSR snapshot.
+    ///
+    /// Returns `(graph, new_of_slot)` where `new_of_slot[slot]` is the CSR
+    /// id of a live slot, or [`crate::INVALID_NODE`] for dead slots. Live
+    /// vertices are renumbered in increasing slot order, so an append-only
+    /// history keeps identical prefixes — exactly the identity model
+    /// [`crate::IncrementalGraph`] relies on.
+    pub fn snapshot(&self) -> (CsrGraph, Vec<NodeId>) {
+        let mut new_of_slot = vec![crate::INVALID_NODE; self.adj.len()];
+        let mut next: NodeId = 0;
+        for (slot, s) in self.adj.iter().enumerate() {
+            if s.is_some() {
+                new_of_slot[slot] = next;
+                next += 1;
+            }
+        }
+        let mut b = CsrBuilder::with_edge_capacity(self.live, self.num_edges);
+        for (slot, s) in self.adj.iter().enumerate() {
+            if let Some(list) = s {
+                let u = new_of_slot[slot];
+                b.set_vertex_weight(u, self.vwgt[slot]);
+                for &(nbr, w) in list {
+                    let v = new_of_slot[nbr as usize];
+                    if u < v {
+                        b.add_edge(u, v, w);
+                    }
+                }
+            }
+        }
+        (b.build(), new_of_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INVALID_NODE;
+
+    #[test]
+    fn build_and_snapshot() {
+        let mut g = DynGraph::with_vertices(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 3);
+        assert_eq!(g.num_edges(), 2);
+        let (csr, map) = g.snapshot();
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_edges(), 2);
+        assert_eq!(csr.edge_weight(1, 2), Some(3));
+        assert_eq!(map, vec![0, 1, 2]);
+        csr.validate().unwrap();
+    }
+
+    #[test]
+    fn add_remove_vertex_renumbers() {
+        let mut g = DynGraph::with_vertices(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.remove_vertex(1);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 0);
+        let v = g.add_vertex(5);
+        assert_eq!(v, 3);
+        g.add_edge(0, 3, 2);
+        let (csr, map) = g.snapshot();
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(map[0], 0);
+        assert_eq!(map[1], INVALID_NODE);
+        assert_eq!(map[2], 1);
+        assert_eq!(map[3], 2);
+        assert_eq!(csr.edge_weight(0, 2), Some(2));
+        assert_eq!(csr.vertex_weight(2), 5);
+        csr.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = DynGraph::with_vertices(2);
+        g.add_edge(0, 1, 1);
+        g.remove_edge(1, 0);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn add_edge_if_absent() {
+        let mut g = DynGraph::with_vertices(2);
+        assert!(g.add_edge_if_absent(0, 1, 1));
+        assert!(!g.add_edge_if_absent(1, 0, 1));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let csr = CsrGraph::from_weighted_edges(4, &[(0, 1, 2), (2, 3, 4), (0, 3, 7)]);
+        let g = DynGraph::from_csr(&csr);
+        let (back, map) = g.snapshot();
+        assert_eq!(back, csr);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut g = DynGraph::with_vertices(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 1);
+    }
+
+    #[test]
+    fn vertices_iterator_skips_dead() {
+        let mut g = DynGraph::with_vertices(4);
+        g.remove_vertex(2);
+        let live: Vec<NodeId> = g.vertices().collect();
+        assert_eq!(live, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Plain-text graph and partition I/O in the METIS format.
+//!
+//! The METIS `.graph` format is the de-facto interchange format for
+//! partitioning research (Chaco/METIS/ParMETIS/Zoltan all read it):
+//!
+//! ```text
+//! % comment lines start with '%'
+//! <num_vertices> <num_edges> [fmt [ncon]]
+//! <neighbors of vertex 1, 1-based> ...
+//! ...
+//! ```
+//!
+//! `fmt` is a 3-digit flag string: `1xx` vertex sizes (unsupported), `x1x`
+//! vertex weights, `xx1` edge weights. Partition files are one 0-based
+//! partition id per line (the `.part.P` convention).
+
+use crate::csr::{CsrBuilder, CsrGraph};
+use crate::partition::Partitioning;
+use crate::{NodeId, PartId, Weight};
+use std::fmt::Write as _;
+
+/// Errors from the text parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Header missing or malformed.
+    BadHeader(String),
+    /// A vertex line failed to parse.
+    BadLine { line: usize, reason: String },
+    /// Edge counts or symmetry did not match the header.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(s) => write!(f, "bad header: {s}"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Inconsistent(s) => write!(f, "inconsistent graph: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a graph in METIS format. Writes edge weights iff any edge
+/// weight differs from 1; vertex weights iff any differs from 1.
+pub fn write_metis(g: &CsrGraph) -> String {
+    let has_ew = g.vertices().any(|v| g.edge_weights(v).iter().any(|&w| w != 1));
+    let has_vw = g.vertex_weights().iter().any(|&w| w != 1);
+    let fmt = match (has_vw, has_ew) {
+        (false, false) => "",
+        (false, true) => " 001",
+        (true, false) => " 010",
+        (true, true) => " 011",
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}{}", g.num_vertices(), g.num_edges(), fmt);
+    for v in g.vertices() {
+        let mut first = true;
+        if has_vw {
+            let _ = write!(out, "{}", g.vertex_weight(v));
+            first = false;
+        }
+        for (u, w) in g.edges_of(v) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", u + 1);
+            if has_ew {
+                let _ = write!(out, " {w}");
+            }
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a METIS-format graph.
+pub fn read_metis(text: &str) -> Result<CsrGraph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim_start().starts_with('%'))
+        .map(|(i, l)| (i + 1, l.trim()));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+    let n: usize = head[0]
+        .parse()
+        .map_err(|_| ParseError::BadHeader(format!("bad vertex count {}", head[0])))?;
+    let m: usize = head[1]
+        .parse()
+        .map_err(|_| ParseError::BadHeader(format!("bad edge count {}", head[1])))?;
+    let fmt = head.get(2).copied().unwrap_or("000");
+    let fmt_padded = format!("{fmt:0>3}");
+    let has_vs = fmt_padded.as_bytes()[0] == b'1';
+    let has_vw = fmt_padded.as_bytes()[1] == b'1';
+    let has_ew = fmt_padded.as_bytes()[2] == b'1';
+    if has_vs {
+        return Err(ParseError::BadHeader("vertex sizes (fmt 1xx) unsupported".into()));
+    }
+    let ncon: usize = head
+        .get(3)
+        .map(|s| s.parse().unwrap_or(1))
+        .unwrap_or(if has_vw { 1 } else { 0 });
+    if ncon > 1 {
+        return Err(ParseError::BadHeader("multiple vertex constraints unsupported".into()));
+    }
+
+    let mut b = CsrBuilder::with_edge_capacity(n, m);
+    let mut seen_edges = 0usize;
+    let mut v: NodeId = 0;
+    for (lineno, line) in lines {
+        if v as usize >= n {
+            if line.is_empty() {
+                continue;
+            }
+            return Err(ParseError::Inconsistent(format!(
+                "extra vertex line {lineno} beyond {n} vertices"
+            )));
+        }
+        let mut toks = line.split_whitespace().map(|t| {
+            t.parse::<u64>().map_err(|_| ParseError::BadLine {
+                line: lineno,
+                reason: format!("bad token {t:?}"),
+            })
+        });
+        if has_vw {
+            let w = toks.next().transpose()?.ok_or(ParseError::BadLine {
+                line: lineno,
+                reason: "missing vertex weight".into(),
+            })?;
+            b.set_vertex_weight(v, w as Weight);
+        }
+        loop {
+            let Some(u) = toks.next().transpose()? else { break };
+            if u == 0 || u as usize > n {
+                return Err(ParseError::BadLine {
+                    line: lineno,
+                    reason: format!("neighbor {u} out of range"),
+                });
+            }
+            let u = (u - 1) as NodeId;
+            let w = if has_ew {
+                toks.next().transpose()?.ok_or(ParseError::BadLine {
+                    line: lineno,
+                    reason: "missing edge weight".into(),
+                })? as Weight
+            } else {
+                1
+            };
+            // Each undirected edge appears on both endpoint lines; add once.
+            if v < u {
+                b.add_edge(v, u, w);
+                seen_edges += 1;
+            }
+        }
+        v += 1;
+    }
+    if (v as usize) != n {
+        return Err(ParseError::Inconsistent(format!("{v} vertex lines, header says {n}")));
+    }
+    if seen_edges != m {
+        return Err(ParseError::Inconsistent(format!(
+            "{seen_edges} edges parsed, header says {m}"
+        )));
+    }
+    let g = b.build();
+    g.validate().map_err(ParseError::Inconsistent)?;
+    Ok(g)
+}
+
+/// Serialize a partition vector, one id per line (`.part` convention).
+pub fn write_partition(p: &Partitioning) -> String {
+    let mut out = String::with_capacity(p.num_vertices() * 3);
+    for v in 0..p.num_vertices() {
+        let _ = writeln!(out, "{}", p.part_of(v as NodeId));
+    }
+    out
+}
+
+/// Parse a partition file for `graph` with `num_parts` partitions.
+pub fn read_partition(
+    text: &str,
+    graph: &CsrGraph,
+    num_parts: usize,
+) -> Result<Partitioning, ParseError> {
+    let mut assign: Vec<PartId> = Vec::with_capacity(graph.num_vertices());
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let p: PartId = t.parse().map_err(|_| ParseError::BadLine {
+            line: i + 1,
+            reason: format!("bad partition id {t:?}"),
+        })?;
+        if p as usize >= num_parts {
+            return Err(ParseError::BadLine {
+                line: i + 1,
+                reason: format!("partition {p} out of range 0..{num_parts}"),
+            });
+        }
+        assign.push(p);
+    }
+    if assign.len() != graph.num_vertices() {
+        return Err(ParseError::Inconsistent(format!(
+            "{} partition entries for {} vertices",
+            assign.len(),
+            graph.num_vertices()
+        )));
+    }
+    Ok(Partitioning::from_assignment(graph, num_parts, assign))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = generators::grid(4, 5);
+        let text = write_metis(&g);
+        let back = read_metis(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut g = CsrGraph::from_weighted_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 9)]);
+        g.set_vertex_weights(vec![2, 1, 1, 5]);
+        let text = write_metis(&g);
+        assert!(text.starts_with("4 3 011"));
+        let back = read_metis(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "% a comment\n3 2\n2\n1 3\n2\n";
+        let g = read_metis(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn header_edge_count_mismatch_rejected() {
+        let text = "3 5\n2\n1 3\n2\n";
+        assert!(matches!(read_metis(text), Err(ParseError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn neighbor_out_of_range_rejected() {
+        let text = "2 1\n2\n7\n";
+        assert!(matches!(read_metis(text), Err(ParseError::BadLine { .. })));
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let g = generators::cycle(6);
+        let p = Partitioning::from_assignment(&g, 3, vec![0, 0, 1, 1, 2, 2]);
+        let text = write_partition(&p);
+        let back = read_partition(&text, &g, 3).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn partition_out_of_range_rejected() {
+        let g = generators::cycle(3);
+        assert!(read_partition("0\n1\n5\n", &g, 2).is_err());
+    }
+}

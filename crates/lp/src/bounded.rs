@@ -1,0 +1,534 @@
+//! Bounded-variable primal simplex.
+//!
+//! The paper's LPs are box-constrained (`0 ≤ l_ij ≤ λ_ij` / `b_ij`), and
+//! its footnote observes the dense solve "can be substantially reduced" by
+//! exploiting structure. This solver is that improvement: variable bounds
+//! are handled *natively* by the upper-bounding technique — non-basic
+//! variables rest at either bound and "bound flips" move them across
+//! without a pivot — so the tableau has one row per functional constraint
+//! instead of one per cap. For the paper's 32-partition balance LP that is
+//! ~32 rows instead of ~220, an ~7× smaller tableau at identical optima
+//! (property-tested against [`crate::simplex`] and the flow oracles).
+//!
+//! Representation: `t = B⁻¹A` coefficient tableau (rows only), the basic
+//! solution vector kept separately, and `at_upper` flags for non-basic
+//! columns. Minimization with Dantzig pricing and a Bland fallback.
+
+use crate::model::{Cmp, LpModel, Sense};
+use crate::simplex::{LpError, LpSolution, SimplexOptions, SimplexStats};
+
+/// Solve with the bounded-variable simplex (default options).
+pub fn solve_bounded(model: &LpModel) -> Result<LpSolution, LpError> {
+    solve_bounded_with(model, SimplexOptions::default())
+}
+
+/// Solve with explicit options.
+pub fn solve_bounded_with(
+    model: &LpModel,
+    opts: SimplexOptions,
+) -> Result<LpSolution, LpError> {
+    let mut t = BTableau::build(model, opts.eps);
+    let mut stats = SimplexStats { rows: t.rows.len(), cols: t.ncols, ..Default::default() };
+
+    if t.n_art > 0 {
+        let mut c1 = vec![0.0; t.ncols];
+        for j in t.ncols - t.n_art..t.ncols {
+            c1[j] = 1.0;
+        }
+        t.price_out(&c1);
+        stats.phase1_iters = t.run(&opts, true)?;
+        let infeas: f64 = (0..t.rows.len())
+            .filter(|&i| t.active[i])
+            .map(|i| c1[t.basis[i]] * t.xb[i])
+            .sum();
+        let scale = t.xb.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        if infeas > 1e-7 * (1.0 + scale) {
+            return Err(LpError::Infeasible);
+        }
+        t.expel_artificials();
+    }
+
+    let flip = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut c2 = vec![0.0; t.ncols];
+    for (j, &c) in model.objective().iter().enumerate() {
+        c2[j] = flip * c;
+    }
+    t.price_out(&c2);
+    stats.phase2_iters = t.run(&opts, false)?;
+
+    let x = t.extract(model.num_vars());
+    let objective = model.objective_value(&x);
+    Ok(LpSolution { x, objective, stats })
+}
+
+struct BTableau {
+    /// `B⁻¹A` coefficient rows (length `ncols` each; no rhs column).
+    rows: Vec<Vec<f64>>,
+    /// Current values of the basic variables (aligned with `rows`).
+    xb: Vec<f64>,
+    basis: Vec<usize>,
+    active: Vec<bool>,
+    /// Reduced costs per column.
+    red: Vec<f64>,
+    /// Upper bound per column (`INFINITY` for slacks/artificials).
+    upper: Vec<f64>,
+    /// Non-basic-at-upper flags.
+    at_upper: Vec<bool>,
+    n_art: usize,
+    ncols: usize,
+    eps: f64,
+}
+
+impl BTableau {
+    fn build(model: &LpModel, eps: f64) -> BTableau {
+        let n = model.num_vars();
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            cmp: Cmp,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = model
+            .constraints()
+            .iter()
+            .map(|c| Row { coeffs: c.coeffs.clone(), cmp: c.cmp, rhs: c.rhs })
+            .collect();
+        for r in &mut rows {
+            if r.rhs < 0.0 {
+                r.rhs = -r.rhs;
+                r.cmp = match r.cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Eq => Cmp::Eq,
+                    Cmp::Ge => Cmp::Le,
+                };
+                for c in &mut r.coeffs {
+                    c.1 = -c.1;
+                }
+            }
+        }
+        let m = rows.len();
+        let n_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+        let n_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+        let ncols = n + n_slack + n_art;
+        let mut mat = vec![vec![0.0; ncols]; m];
+        let mut xb = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut upper = vec![f64::INFINITY; ncols];
+        for (j, ub) in model.upper_bounds().iter().enumerate() {
+            if let Some(u) = ub {
+                upper[j] = *u;
+            }
+        }
+        let mut next_slack = n;
+        let mut next_art = n + n_slack;
+        for (i, r) in rows.iter().enumerate() {
+            for &(j, a) in &r.coeffs {
+                mat[i][j] = a;
+            }
+            xb[i] = r.rhs;
+            match r.cmp {
+                Cmp::Le => {
+                    mat[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    mat[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    mat[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    mat[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        BTableau {
+            rows: mat,
+            xb,
+            basis,
+            active: vec![true; m],
+            red: vec![0.0; ncols],
+            upper,
+            at_upper: vec![false; ncols],
+            n_art,
+            ncols,
+            eps,
+        }
+    }
+
+    fn price_out(&mut self, c: &[f64]) {
+        self.red.copy_from_slice(c);
+        for i in 0..self.rows.len() {
+            if !self.active[i] {
+                continue;
+            }
+            let cb = c[self.basis[i]];
+            if cb != 0.0 {
+                for j in 0..self.ncols {
+                    self.red[j] -= cb * self.rows[i][j];
+                }
+            }
+        }
+    }
+
+    fn is_basic(&self, j: usize) -> bool {
+        self.basis.iter().zip(&self.active).any(|(&b, &a)| a && b == j)
+    }
+
+    /// Entering column: a non-basic variable whose reduced cost violates
+    /// optimality in its resting direction.
+    fn choose_entering(&self, bland: bool, phase1: bool) -> Option<usize> {
+        let limit = if phase1 { self.ncols } else { self.ncols - self.n_art };
+        let mut best: Option<(f64, usize)> = None;
+        for j in 0..limit {
+            if self.is_basic(j) {
+                continue;
+            }
+            let r = self.red[j];
+            let viol = if self.at_upper[j] { r } else { -r };
+            if viol > self.eps {
+                if bland {
+                    return Some(j);
+                }
+                match best {
+                    None => best = Some((viol, j)),
+                    Some((bv, _)) if viol > bv => best = Some((viol, j)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(_, j)| j)
+    }
+
+    /// One bounded ratio test + pivot (or bound flip). Returns false when
+    /// the problem is unbounded in the entering direction.
+    fn step(&mut self, e: usize) -> Result<(), LpError> {
+        // Direction: increasing from lower, or decreasing from upper.
+        let d: f64 = if self.at_upper[e] { -1.0 } else { 1.0 };
+        // Limits: entering's own opposite bound, or a basic hitting one.
+        let mut t_max = self.upper[e]; // span of the entering variable
+        let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+        for i in 0..self.rows.len() {
+            if !self.active[i] {
+                continue;
+            }
+            let y = d * self.rows[i][e];
+            if y > self.eps {
+                // basic decreases toward 0
+                let lim = self.xb[i] / y;
+                if lim < t_max - self.eps
+                    || (lim < t_max + self.eps
+                        && leave.map_or(t_max.is_infinite(), |(r, _)| {
+                            self.basis[i] < self.basis[r]
+                        }))
+                {
+                    t_max = lim.max(0.0);
+                    leave = Some((i, false));
+                }
+            } else if y < -self.eps {
+                let ub = self.upper[self.basis[i]];
+                if ub.is_finite() {
+                    // basic increases toward its upper bound
+                    let lim = (ub - self.xb[i]) / (-y);
+                    if lim < t_max - self.eps
+                        || (lim < t_max + self.eps
+                            && leave.map_or(t_max.is_infinite(), |(r, _)| {
+                                self.basis[i] < self.basis[r]
+                            }))
+                    {
+                        t_max = lim.max(0.0);
+                        leave = Some((i, true));
+                    }
+                }
+            }
+        }
+        if t_max.is_infinite() {
+            return Err(LpError::Unbounded);
+        }
+        match leave {
+            None => {
+                // Bound flip: e crosses to its other bound, basis unchanged.
+                for i in 0..self.rows.len() {
+                    if self.active[i] {
+                        self.xb[i] -= d * t_max * self.rows[i][e];
+                    }
+                }
+                self.at_upper[e] = !self.at_upper[e];
+            }
+            Some((r, leaves_at_upper)) => {
+                // Update basic values for the move, then pivot coefficients.
+                let x_e_new = if self.at_upper[e] { self.upper[e] - t_max } else { t_max };
+                for i in 0..self.rows.len() {
+                    if i != r && self.active[i] {
+                        self.xb[i] -= d * t_max * self.rows[i][e];
+                    }
+                }
+                let old_basic = self.basis[r];
+                self.at_upper[old_basic] = leaves_at_upper;
+                self.at_upper[e] = false; // basic now
+                self.pivot(r, e);
+                self.xb[r] = x_e_new;
+            }
+        }
+        Ok(())
+    }
+
+    fn pivot(&mut self, r: usize, e: usize) {
+        let inv = 1.0 / self.rows[r][e];
+        for v in self.rows[r].iter_mut() {
+            *v *= inv;
+        }
+        self.rows[r][e] = 1.0;
+        let prow = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == r || !self.active[i] {
+                continue;
+            }
+            let f = row[e];
+            if f != 0.0 {
+                for j in 0..self.ncols {
+                    row[j] -= f * prow[j];
+                }
+                row[e] = 0.0;
+            }
+        }
+        let f = self.red[e];
+        if f != 0.0 {
+            for j in 0..self.ncols {
+                self.red[j] -= f * prow[j];
+            }
+            self.red[e] = 0.0;
+        }
+        self.basis[r] = e;
+    }
+
+    fn run(&mut self, opts: &SimplexOptions, phase1: bool) -> Result<usize, LpError> {
+        for iter in 0..opts.max_iters {
+            let bland = iter >= opts.bland_after;
+            let Some(e) = self.choose_entering(bland, phase1) else {
+                return Ok(iter);
+            };
+            self.step(e)?;
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn expel_artificials(&mut self) {
+        let art_lo = self.ncols - self.n_art;
+        for r in 0..self.rows.len() {
+            if !self.active[r] || self.basis[r] < art_lo {
+                continue;
+            }
+            let mut col = None;
+            for j in 0..art_lo {
+                if !self.is_basic(j) && self.rows[r][j].abs() > 1e-7 {
+                    col = Some(j);
+                    break;
+                }
+            }
+            match col {
+                Some(j) => {
+                    // Degenerate pivot: the artificial sits at 0, so the
+                    // entering variable stays at its current bound value.
+                    let x_e = if self.at_upper[j] { self.upper[j] } else { 0.0 };
+                    self.at_upper[j] = false;
+                    self.pivot(r, j);
+                    self.xb[r] = x_e;
+                }
+                None => self.active[r] = false,
+            }
+        }
+    }
+
+    fn extract(&self, n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for j in 0..n.min(self.ncols) {
+            if self.at_upper[j] {
+                x[j] = self.upper[j];
+            }
+        }
+        for (i, &b) in self.basis.iter().enumerate() {
+            if self.active[i] && b < n {
+                x[b] = self.xb[i];
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LpModel;
+    use crate::simplex::solve;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Helper: bounded solver must agree with the row-expansion solver.
+    fn check_agrees(m: &LpModel) {
+        let a = solve(m);
+        let b = solve_bounded(m);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_close(x.objective, y.objective);
+                m.check_feasible(&y.x, 1e-6).unwrap();
+            }
+            (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+            (a, b) => panic!("solvers disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_bounded_max() {
+        // max x + y, x ≤ 1.5, y ≤ 2.5, x + y ≤ 3 → 3.
+        let mut m = LpModel::maximize(2);
+        m.set_objective(0, 1.0);
+        m.set_objective(1, 1.0);
+        m.set_upper_bound(0, 1.5);
+        m.set_upper_bound(1, 2.5);
+        m.add_le(vec![(0, 1.0), (1, 1.0)], 3.0);
+        let s = solve_bounded(&m).unwrap();
+        assert_close(s.objective, 3.0);
+        check_agrees(&m);
+    }
+
+    #[test]
+    fn bound_flip_exercised() {
+        // max 5x + y with x ≤ 2 and only a loose row constraint: the
+        // optimal solution parks x at its upper bound via a bound flip.
+        let mut m = LpModel::maximize(2);
+        m.set_objective(0, 5.0);
+        m.set_objective(1, 1.0);
+        m.set_upper_bound(0, 2.0);
+        m.set_upper_bound(1, 3.0);
+        m.add_le(vec![(0, 1.0), (1, 1.0)], 10.0);
+        let s = solve_bounded(&m).unwrap();
+        assert_close(s.objective, 13.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn tableau_is_smaller_than_expanded() {
+        let mut m = LpModel::minimize(10);
+        for i in 0..10 {
+            m.set_objective(i, 1.0);
+            m.set_upper_bound(i, 5.0);
+        }
+        m.add_ge(vec![(0, 1.0), (5, 1.0)], 3.0);
+        let dense = solve(&m).unwrap();
+        let bounded = solve_bounded(&m).unwrap();
+        assert_close(dense.objective, bounded.objective);
+        // Row-expansion pays 1 + 10 rows; bounded pays only 1.
+        assert_eq!(dense.stats.rows, 11);
+        assert_eq!(bounded.stats.rows, 1);
+    }
+
+    #[test]
+    fn paper_figure5_bounded() {
+        let caps = [9.0, 7.0, 12.0, 10.0, 11.0, 3.0, 7.0, 9.0, 7.0, 5.0];
+        let mut m = LpModel::minimize(10);
+        for i in 0..10 {
+            m.set_objective(i, 1.0);
+            m.set_upper_bound(i, caps[i]);
+        }
+        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+        m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
+        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+        m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
+        let s = solve_bounded(&m).unwrap();
+        assert_close(s.objective, 9.0);
+        assert_close(s.x[2], 8.0);
+        assert_close(s.x[4], 1.0);
+    }
+
+    #[test]
+    fn paper_figure8_bounded() {
+        let caps = [1.0, 1.0, 1.0, 2.0, 1.0, 0.0, 1.0, 1.0, 2.0, 1.0];
+        let mut m = LpModel::maximize(10);
+        for i in 0..10 {
+            m.set_objective(i, 1.0);
+            m.set_upper_bound(i, caps[i]);
+        }
+        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 0.0);
+        m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 0.0);
+        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], 0.0);
+        m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], 0.0);
+        let s = solve_bounded(&m).unwrap();
+        assert_close(s.objective, 9.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let mut m = LpModel::minimize(1);
+        m.set_upper_bound(0, 1.0);
+        m.add_ge(vec![(0, 1.0)], 5.0);
+        assert_eq!(solve_bounded(&m).unwrap_err(), LpError::Infeasible);
+
+        let mut m = LpModel::maximize(2);
+        m.set_objective(0, 1.0);
+        m.add_ge(vec![(0, 1.0), (1, -1.0)], 0.0);
+        assert_eq!(solve_bounded(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn equality_with_bounds() {
+        // min x + 2y s.t. x + y = 5, x ≤ 3, y ≤ 4 → x = 3, y = 2.
+        let mut m = LpModel::minimize(2);
+        m.set_objective(0, 1.0);
+        m.set_objective(1, 2.0);
+        m.set_upper_bound(0, 3.0);
+        m.set_upper_bound(1, 4.0);
+        m.add_eq(vec![(0, 1.0), (1, 1.0)], 5.0);
+        let s = solve_bounded(&m).unwrap();
+        assert_close(s.objective, 7.0);
+        assert_close(s.x[0], 3.0);
+        check_agrees(&m);
+    }
+
+    #[test]
+    fn zero_upper_bound_fixes_variable() {
+        let mut m = LpModel::maximize(2);
+        m.set_objective(0, 10.0);
+        m.set_objective(1, 1.0);
+        m.set_upper_bound(0, 0.0);
+        m.add_le(vec![(0, 1.0), (1, 1.0)], 4.0);
+        let s = solve_bounded(&m).unwrap();
+        assert_close(s.x[0], 0.0);
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn random_instances_agree_with_dense() {
+        let mut state = 1234u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        for trial in 0..40 {
+            let n = 2 + (trial % 5);
+            let mut m = if trial % 2 == 0 { LpModel::minimize(n) } else { LpModel::maximize(n) };
+            for i in 0..n {
+                m.set_objective(i, next() - 5.0);
+                m.set_upper_bound(i, next() + 0.5);
+            }
+            for _ in 0..1 + trial % 3 {
+                let row: Vec<(usize, f64)> = (0..n).map(|i| (i, next() - 5.0)).collect();
+                match trial % 3 {
+                    0 => m.add_le(row, next() + 1.0),
+                    1 => m.add_ge(row, -(next())),
+                    _ => m.add_eq(row, next() - 5.0),
+                }
+            }
+            check_agrees(&m);
+        }
+    }
+}

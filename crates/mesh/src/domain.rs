@@ -1,0 +1,298 @@
+//! Composable irregular 2-D domains.
+//!
+//! DIME meshes cover irregular (non-convex, holed) regions. A [`Domain`]
+//! is anything that can answer point membership; constructive solid
+//! geometry combinators build the paper-like test shapes.
+
+use crate::geometry::Point;
+
+/// A region of the plane.
+pub trait Domain: Send + Sync {
+    /// True if `p` is inside the region.
+    fn contains(&self, p: Point) -> bool;
+    /// A bounding box `(min, max)` enclosing the region.
+    fn bounding_box(&self) -> (Point, Point);
+}
+
+/// Axis-aligned rectangle.
+#[derive(Clone, Copy, Debug)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Construct from corners.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(min.x < max.x && min.y < max.y, "degenerate rectangle");
+        Rect { min, max }
+    }
+}
+
+impl Domain for Rect {
+    fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+    fn bounding_box(&self) -> (Point, Point) {
+        (self.min, self.max)
+    }
+}
+
+/// Disc of radius `r` around `center`.
+#[derive(Clone, Copy, Debug)]
+pub struct Disc {
+    /// Centre.
+    pub center: Point,
+    /// Radius.
+    pub radius: f64,
+}
+
+impl Disc {
+    /// Construct a disc.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius > 0.0);
+        Disc { center, radius }
+    }
+}
+
+impl Domain for Disc {
+    fn contains(&self, p: Point) -> bool {
+        p.dist2(self.center) <= self.radius * self.radius
+    }
+    fn bounding_box(&self) -> (Point, Point) {
+        (
+            Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        )
+    }
+}
+
+/// Closed half-plane `n·(p − a) ≥ 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct HalfPlane {
+    /// A point on the boundary line.
+    pub anchor: Point,
+    /// Inward normal.
+    pub normal: Point,
+}
+
+impl Domain for HalfPlane {
+    fn contains(&self, p: Point) -> bool {
+        (p.x - self.anchor.x) * self.normal.x + (p.y - self.anchor.y) * self.normal.y >= 0.0
+    }
+    fn bounding_box(&self) -> (Point, Point) {
+        // Unbounded; callers intersect with something bounded first.
+        (Point::new(-1e12, -1e12), Point::new(1e12, 1e12))
+    }
+}
+
+/// Simple polygon (even-odd rule).
+#[derive(Clone, Debug)]
+pub struct Polygon {
+    verts: Vec<Point>,
+}
+
+impl Polygon {
+    /// Construct from ≥ 3 vertices in order.
+    pub fn new(verts: Vec<Point>) -> Self {
+        assert!(verts.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { verts }
+    }
+}
+
+impl Domain for Polygon {
+    fn contains(&self, p: Point) -> bool {
+        let mut inside = false;
+        let n = self.verts.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (a, b) = (self.verts[i], self.verts[j]);
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+    fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.verts {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+}
+
+/// Set difference `base − holes` (bounding box of `base`).
+#[derive(Clone)]
+pub struct Difference {
+    /// The positive region.
+    pub base: std::sync::Arc<dyn Domain>,
+    /// Subtracted regions.
+    pub holes: Vec<std::sync::Arc<dyn Domain>>,
+}
+
+impl Domain for Difference {
+    fn contains(&self, p: Point) -> bool {
+        self.base.contains(p) && !self.holes.iter().any(|h| h.contains(p))
+    }
+    fn bounding_box(&self) -> (Point, Point) {
+        self.base.bounding_box()
+    }
+}
+
+/// Set union.
+#[derive(Clone)]
+pub struct Union {
+    /// The member regions.
+    pub parts: Vec<std::sync::Arc<dyn Domain>>,
+}
+
+impl Domain for Union {
+    fn contains(&self, p: Point) -> bool {
+        self.parts.iter().any(|d| d.contains(p))
+    }
+    fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for d in &self.parts {
+            let (lo, hi) = d.bounding_box();
+            min.x = min.x.min(lo.x);
+            min.y = min.y.min(lo.y);
+            max.x = max.x.max(hi.x);
+            max.y = max.y.max(hi.y);
+        }
+        (min, max)
+    }
+}
+
+/// The irregular test-A-style domain: a wide plate with two circular holes
+/// and a notch cut from the top — non-convex with interior boundaries,
+/// qualitatively like the paper's Figure 10 airfoil-ish mesh.
+pub fn paper_domain_a() -> Difference {
+    let base = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+    Difference {
+        base: std::sync::Arc::new(base),
+        holes: vec![
+            std::sync::Arc::new(Disc::new(Point::new(1.1, 1.0), 0.35)),
+            std::sync::Arc::new(Disc::new(Point::new(2.9, 0.8), 0.45)),
+            std::sync::Arc::new(Polygon::new(vec![
+                Point::new(1.8, 2.0),
+                Point::new(2.2, 2.0),
+                Point::new(2.0, 1.2),
+            ])),
+        ],
+    }
+}
+
+/// The larger, more irregular test-B-style domain: an L-shaped slab with a
+/// circular hole and a wedge cut, for the "highly irregular mesh with
+/// 10166 nodes" experiments.
+pub fn paper_domain_b() -> Difference {
+    let base = Polygon::new(vec![
+        Point::new(0.0, 0.0),
+        Point::new(6.0, 0.0),
+        Point::new(6.0, 2.4),
+        Point::new(3.4, 2.4),
+        Point::new(3.4, 4.0),
+        Point::new(0.0, 4.0),
+    ]);
+    Difference {
+        base: std::sync::Arc::new(base),
+        holes: vec![
+            std::sync::Arc::new(Disc::new(Point::new(1.6, 1.4), 0.55)),
+            std::sync::Arc::new(Disc::new(Point::new(4.6, 1.2), 0.4)),
+            std::sync::Arc::new(Polygon::new(vec![
+                Point::new(0.0, 2.4),
+                Point::new(1.0, 3.0),
+                Point::new(0.0, 3.6),
+            ])),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_membership() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        assert!(r.contains(Point::new(1.0, 0.5)));
+        assert!(r.contains(Point::new(0.0, 0.0))); // boundary closed
+        assert!(!r.contains(Point::new(2.1, 0.5)));
+    }
+
+    #[test]
+    fn disc_membership() {
+        let d = Disc::new(Point::new(0.0, 0.0), 1.0);
+        assert!(d.contains(Point::new(0.5, 0.5)));
+        assert!(!d.contains(Point::new(0.9, 0.9)));
+        assert!(d.contains(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn half_plane_membership() {
+        let h = HalfPlane { anchor: Point::new(0.0, 0.0), normal: Point::new(0.0, 1.0) };
+        assert!(h.contains(Point::new(5.0, 0.1)));
+        assert!(!h.contains(Point::new(5.0, -0.1)));
+    }
+
+    #[test]
+    fn polygon_membership_l_shape() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!(l.contains(Point::new(0.5, 1.5)));
+        assert!(l.contains(Point::new(1.5, 0.5)));
+        assert!(!l.contains(Point::new(1.5, 1.5))); // the cut corner
+        assert!(!l.contains(Point::new(-0.5, 0.5)));
+    }
+
+    #[test]
+    fn difference_and_union() {
+        let d = Difference {
+            base: std::sync::Arc::new(Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0))),
+            holes: vec![std::sync::Arc::new(Disc::new(Point::new(1.0, 1.0), 0.5))],
+        };
+        assert!(!d.contains(Point::new(1.0, 1.0)));
+        assert!(d.contains(Point::new(0.2, 0.2)));
+        let u = Union {
+            parts: vec![
+                std::sync::Arc::new(Disc::new(Point::new(0.0, 0.0), 1.0)),
+                std::sync::Arc::new(Disc::new(Point::new(3.0, 0.0), 1.0)),
+            ],
+        };
+        assert!(u.contains(Point::new(3.2, 0.0)));
+        assert!(!u.contains(Point::new(1.6, 0.0)));
+        let (lo, hi) = u.bounding_box();
+        assert_eq!(lo.x, -1.0);
+        assert_eq!(hi.x, 4.0);
+    }
+
+    #[test]
+    fn paper_domains_nontrivial() {
+        let a = paper_domain_a();
+        assert!(a.contains(Point::new(0.4, 0.4)));
+        assert!(!a.contains(Point::new(1.1, 1.0))); // inside hole
+        assert!(!a.contains(Point::new(2.0, 1.9))); // inside notch
+        let b = paper_domain_b();
+        assert!(b.contains(Point::new(0.5, 0.5)));
+        assert!(!b.contains(Point::new(5.0, 3.5))); // outside L
+        assert!(!b.contains(Point::new(1.6, 1.4))); // hole
+    }
+}

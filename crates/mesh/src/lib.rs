@@ -1,0 +1,54 @@
+//! # igp-mesh — a DIME-like adaptive triangular mesh environment
+//!
+//! The paper's experiments use meshes produced by **DIME** (Distributed
+//! Irregular Mesh Environment, R.D. Williams, Caltech 1990): irregular
+//! two-dimensional triangular meshes refined repeatedly "in a localized
+//! area". DIME is unavailable, so this crate rebuilds the relevant
+//! behaviour from scratch:
+//!
+//! * [`delaunay::Delaunay`] — incremental Bowyer–Watson Delaunay
+//!   triangulation with point-location by walking.
+//! * [`domain`] — composable irregular 2-D domains (rectangles, discs,
+//!   polygons, CSG union/difference) over which meshes are generated.
+//! * [`TriMesh`] — an extracted triangle mesh with node-graph export
+//!   (`igp-graph::CsrGraph`), the representation the partitioner consumes.
+//! * [`refine`] — localized refinement: insert points at centroids of the
+//!   largest triangles inside a target region, one node per insertion, so
+//!   incremental node counts can be matched to the paper *exactly*.
+//! * [`sequence`] — the two experiment workloads: test set A
+//!   (1071 → 1096 → 1121 → 1152 → 1192 nodes, chained refinements) and
+//!   test set B (10166 + 48/139/229/672 nodes, star-shaped increments),
+//!   exported as [`igp_graph::IncrementalGraph`] steps.
+//!
+//! Vertex identity is stable across refinement (new points append), and a
+//! refinement both adds edges (`E₁`) and removes re-triangulated cavity
+//! edges (`E₂`) — the full incremental model of the paper.
+//!
+//! ```
+//! use igp_mesh::{MeshBuilder, Disc, Point};
+//! use igp_mesh::domain::Rect;
+//!
+//! let domain = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+//! let mut mb = MeshBuilder::generate(domain, 200, 42);
+//! assert_eq!(mb.num_points(), 200);
+//!
+//! // Localized refinement: exactly 15 new mesh nodes inside a disc.
+//! mb.refine_region(&Disc::new(Point::new(1.5, 0.5), 0.2), 15);
+//! let g = mb.graph();
+//! assert_eq!(g.num_vertices(), 215);
+//! assert!(igp_graph::traversal::is_connected(&g));
+//! ```
+
+pub mod delaunay;
+pub mod domain;
+pub mod geometry;
+pub mod mesh;
+pub mod refine;
+pub mod sequence;
+
+pub use delaunay::Delaunay;
+pub use domain::{Disc, Domain, HalfPlane, Polygon, Rect};
+pub use geometry::Point;
+pub use mesh::TriMesh;
+pub use refine::MeshBuilder;
+pub use sequence::{MeshSequence, MeshStep};

@@ -1,0 +1,309 @@
+//! The paper's two experimental mesh workloads, as incremental-graph
+//! sequences.
+//!
+//! * **Test set A** (paper Figures 10/11): an irregular mesh of 1071 nodes
+//!   refined four times in the same localized area, giving 1096, 1121,
+//!   1152 and 1192 nodes — *chained*: each step's old graph is the
+//!   previous step's new graph.
+//! * **Test set B** (paper Figures 12–14): a highly irregular mesh of
+//!   10166 nodes with four *independent* increments of +48, +139, +229 and
+//!   +672 nodes concentrated in one region — *star-shaped*: every step's
+//!   old graph is the base mesh (the paper studies "the effect of different
+//!   amounts of new data added to the original mesh").
+
+use crate::domain::{paper_domain_a, paper_domain_b, Disc, Domain};
+use crate::geometry::Point;
+use crate::refine::MeshBuilder;
+use crate::TriMesh;
+use igp_graph::{CsrGraph, IncrementalGraph, INVALID_NODE};
+
+/// One incremental step of a workload.
+pub struct MeshStep {
+    /// Human-readable label (e.g. `"A2: 1096 -> 1121"`).
+    pub label: String,
+    /// The old/new graph pair with vertex identity.
+    pub inc: IncrementalGraph,
+    /// The refined mesh (for visualization).
+    pub mesh: TriMesh,
+}
+
+/// A full workload: base mesh plus incremental steps.
+pub struct MeshSequence {
+    /// Workload name (`"A"` / `"B"`).
+    pub name: String,
+    /// The initial node graph.
+    pub base: CsrGraph,
+    /// The initial mesh (for visualization).
+    pub base_mesh: TriMesh,
+    /// Incremental steps in order.
+    pub steps: Vec<MeshStep>,
+    /// True if steps chain (A); false if all steps start from `base` (B).
+    pub chained: bool,
+}
+
+/// Identity-prefix incremental graph: `new` extends `old` by appended
+/// vertices (the mesh refinement model — points are never deleted).
+fn appended_inc(old: CsrGraph, new: CsrGraph) -> IncrementalGraph {
+    let n_old = old.num_vertices() as u32;
+    let map = (0..new.num_vertices() as u32)
+        .map(|v| if v < n_old { v } else { INVALID_NODE })
+        .collect();
+    IncrementalGraph::new(old, new, map)
+}
+
+/// Incremental graph for a derefinement step: `removed` old ids (sorted)
+/// were deleted and the survivors compacted order-preservingly
+/// (the contract of [`crate::MeshBuilder::coarsen_region`]).
+pub fn removal_inc(
+    old: CsrGraph,
+    new: CsrGraph,
+    removed: &[u32],
+) -> IncrementalGraph {
+    debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+    let n_old = old.num_vertices();
+    assert_eq!(n_old, new.num_vertices() + removed.len(), "removal count mismatch");
+    let mut old_of_new = Vec::with_capacity(new.num_vertices());
+    let mut r = 0usize;
+    for v in 0..n_old as u32 {
+        if r < removed.len() && removed[r] == v {
+            r += 1;
+        } else {
+            old_of_new.push(v);
+        }
+    }
+    IncrementalGraph::new(old, new, old_of_new)
+}
+
+/// Incremental graph combining a derefinement (removed old ids) followed
+/// by appended refinement points, the general adaptive-window step.
+pub fn mixed_inc(
+    old: CsrGraph,
+    new: CsrGraph,
+    removed: &[u32],
+    added: usize,
+) -> IncrementalGraph {
+    debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+    let n_old = old.num_vertices();
+    assert_eq!(
+        n_old - removed.len() + added,
+        new.num_vertices(),
+        "removal/addition counts mismatch"
+    );
+    let mut old_of_new = Vec::with_capacity(new.num_vertices());
+    let mut r = 0usize;
+    for v in 0..n_old as u32 {
+        if r < removed.len() && removed[r] == v {
+            r += 1;
+        } else {
+            old_of_new.push(v);
+        }
+    }
+    old_of_new.extend(std::iter::repeat(INVALID_NODE).take(added));
+    IncrementalGraph::new(old, new, old_of_new)
+}
+
+/// Build a workload over `domain`: `n0` initial nodes, then `increments`
+/// refinement steps inside `region`. `chained` selects A-style (chained)
+/// vs B-style (star) increments. Deterministic in `seed`.
+pub fn build_sequence<D: Domain + Clone>(
+    name: &str,
+    domain: D,
+    n0: usize,
+    region: Disc,
+    increments: &[usize],
+    chained: bool,
+    seed: u64,
+) -> MeshSequence {
+    let base_builder = MeshBuilder::generate(domain, n0, seed);
+    let base = base_builder.graph();
+    let base_mesh = base_builder.mesh();
+    assert!(
+        igp_graph::traversal::is_connected(&base),
+        "base mesh graph must be connected (seed {seed})"
+    );
+    let mut steps = Vec::with_capacity(increments.len());
+    let mut chain_builder = base_builder.clone();
+    let mut chain_graph = base.clone();
+    for (i, &k) in increments.iter().enumerate() {
+        let (old_graph, mut builder) = if chained {
+            (chain_graph.clone(), chain_builder.clone())
+        } else {
+            (base.clone(), base_builder.clone())
+        };
+        builder.refine_region(&region, k);
+        let new_graph = builder.graph();
+        assert!(
+            igp_graph::traversal::is_connected(&new_graph),
+            "refined mesh graph must stay connected"
+        );
+        let label = format!(
+            "{name}{}: {} -> {}",
+            i + 1,
+            old_graph.num_vertices(),
+            new_graph.num_vertices()
+        );
+        steps.push(MeshStep {
+            label,
+            inc: appended_inc(old_graph, new_graph.clone()),
+            mesh: builder.mesh(),
+        });
+        if chained {
+            chain_builder = builder;
+            chain_graph = new_graph;
+        }
+    }
+    MeshSequence { name: name.to_string(), base, base_mesh, steps, chained }
+}
+
+/// Paper test set A: 1071 → 1096 → 1121 → 1152 → 1192 nodes, chained
+/// localized refinements over the irregular plate domain.
+pub fn paper_sequence_a(seed: u64) -> MeshSequence {
+    build_sequence(
+        "A",
+        paper_domain_a(),
+        1071,
+        Disc::new(Point::new(3.3, 1.55), 0.45),
+        &[25, 25, 31, 40],
+        true,
+        seed,
+    )
+}
+
+/// Paper test set B: base 10166 nodes; star increments +48, +139, +229,
+/// +672 concentrated in one region (the severe-imbalance workload).
+pub fn paper_sequence_b(seed: u64) -> MeshSequence {
+    build_sequence(
+        "B",
+        paper_domain_b(),
+        10166,
+        // A tight disc: all new nodes land in very few partitions, making
+        // "the load imbalance created by the additional nodes ... severe"
+        // (paper §3) and forcing multi-stage balancing on the larger
+        // increments.
+        Disc::new(Point::new(5.2, 1.9), 0.22),
+        &[48, 139, 229, 672],
+        false,
+        seed,
+    )
+}
+
+/// A miniature A-style sequence for unit tests (fast).
+pub fn tiny_sequence(seed: u64) -> MeshSequence {
+    build_sequence(
+        "tiny",
+        crate::domain::Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0)),
+        160,
+        Disc::new(Point::new(1.6, 0.75), 0.25),
+        &[12, 12],
+        true,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Rect;
+    use crate::geometry::Point;
+    use crate::refine::MeshBuilder;
+    use crate::Disc;
+
+    #[test]
+    fn smoothing_preserves_ids_and_connectivity() {
+        let dom = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        let mut mb = MeshBuilder::generate(dom, 150, 5);
+        let before = mb.graph();
+        let angle_before = mb.mesh().min_angle();
+        mb.smooth(3);
+        let after = mb.graph();
+        assert_eq!(after.num_vertices(), 150);
+        assert!(igp_graph::traversal::is_connected(&after));
+        // Smoothing should not degrade the worst angle (usually improves).
+        let angle_after = mb.mesh().min_angle();
+        assert!(angle_after >= angle_before * 0.9, "{angle_before} -> {angle_after}");
+        // Edge set may change (that is the point) but sizes stay similar.
+        let (b, a) = (before.num_edges() as i64, after.num_edges() as i64);
+        assert!((b - a).abs() <= b / 5, "{b} -> {a}");
+    }
+
+    #[test]
+    fn coarsen_region_removes_exact_interior_points() {
+        let dom = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        let mut mb = MeshBuilder::generate(dom, 200, 6);
+        let old = mb.graph();
+        let region = Disc::new(Point::new(1.0, 0.5), 0.3);
+        let removed = mb.coarsen_region(&region, 12);
+        assert!(!removed.is_empty() && removed.len() <= 12);
+        let new = mb.graph();
+        assert_eq!(new.num_vertices(), 200 - removed.len());
+        assert!(igp_graph::traversal::is_connected(&new));
+        // The incremental-graph construction round-trips.
+        let inc = removal_inc(old, new.clone(), &removed);
+        assert_eq!(inc.removed_vertices(), removed);
+        assert_eq!(inc.new_graph(), &new);
+    }
+
+    #[test]
+    fn mixed_inc_refine_and_coarsen() {
+        let dom = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        let mut mb = MeshBuilder::generate(dom, 180, 7);
+        let old = mb.graph();
+        let removed = mb.coarsen_region(&Disc::new(Point::new(0.4, 0.5), 0.25), 8);
+        let added = mb.refine_region(&Disc::new(Point::new(1.6, 0.5), 0.25), 10);
+        let new = mb.graph();
+        let inc = mixed_inc(old, new, &removed, added.len());
+        assert_eq!(inc.removed_vertices().len(), removed.len());
+        assert_eq!(inc.added_vertices().len(), 10);
+        let d = inc.diff();
+        assert!(!d.add_edges.is_empty() && !d.remove_edges.is_empty());
+    }
+
+    #[test]
+    fn tiny_sequence_counts_and_identity() {
+        let s = tiny_sequence(1);
+        assert_eq!(s.base.num_vertices(), 160);
+        assert_eq!(s.steps.len(), 2);
+        assert_eq!(s.steps[0].inc.old().num_vertices(), 160);
+        assert_eq!(s.steps[0].inc.new_graph().num_vertices(), 172);
+        // Chained: step 2 starts from step 1's result.
+        assert_eq!(s.steps[1].inc.old().num_vertices(), 172);
+        assert_eq!(s.steps[1].inc.new_graph().num_vertices(), 184);
+        // Identity prefix.
+        assert_eq!(s.steps[0].inc.added_vertices().len(), 12);
+        assert_eq!(s.steps[0].inc.num_survivors(), 160);
+    }
+
+    #[test]
+    fn star_sequence_all_from_base() {
+        let s = build_sequence(
+            "t",
+            crate::domain::Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            120,
+            Disc::new(Point::new(0.5, 0.5), 0.2),
+            &[10, 20],
+            false,
+            2,
+        );
+        assert_eq!(s.steps[0].inc.old().num_vertices(), 120);
+        assert_eq!(s.steps[1].inc.old().num_vertices(), 120);
+        assert_eq!(s.steps[1].inc.new_graph().num_vertices(), 140);
+    }
+
+    #[test]
+    #[ignore = "slow: builds the full paper meshes (run with --ignored)"]
+    fn paper_sequences_match_node_counts() {
+        let a = paper_sequence_a(42);
+        assert_eq!(a.base.num_vertices(), 1071);
+        let sizes: Vec<usize> =
+            a.steps.iter().map(|s| s.inc.new_graph().num_vertices()).collect();
+        assert_eq!(sizes, vec![1096, 1121, 1152, 1192]);
+        // Edge counts in the paper's ballpark (|E| ≈ 3·|V|).
+        assert!(a.base.num_edges() > 2800 && a.base.num_edges() < 3400);
+
+        let b = paper_sequence_b(42);
+        assert_eq!(b.base.num_vertices(), 10166);
+        let sizes: Vec<usize> =
+            b.steps.iter().map(|s| s.inc.new_graph().num_vertices()).collect();
+        assert_eq!(sizes, vec![10214, 10305, 10395, 10838]);
+    }
+}

@@ -1,0 +1,123 @@
+//! The simulated-time cost model.
+//!
+//! Each rank owns a virtual clock advanced by two kinds of events:
+//!
+//! * **compute** — `charge(u)` adds `u · t_work` seconds;
+//! * **communication** — a message of `w` words departs at the sender's
+//!   clock and arrives `α + β·w` later; the receiver's clock becomes
+//!   `max(receiver clock, arrival)` (classic LogP-style latency model).
+//!
+//! The constants default to CM-5-era magnitudes (33 MHz SPARC nodes, fat
+//! tree network): they matter only for the *ratio* of compute to
+//! communication; the benches additionally rescale by measured sequential
+//! time so absolute values are anchored to this host (DESIGN.md §4).
+
+/// Per-operation cost constants (seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Seconds per charged work unit (≈ a handful of flops + loads).
+    pub t_work: f64,
+    /// Message latency (seconds).
+    pub alpha: f64,
+    /// Per-word transfer cost (seconds/word).
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// CM-5-flavoured constants: ~0.3 µs per work unit (a few operations
+    /// on a 33 MHz SPARC), 6 µs message latency, 0.1 µs per 4-byte word
+    /// (~40 MB/s per-node fat-tree bandwidth).
+    pub fn cm5() -> Self {
+        CostModel { t_work: 3.0e-7, alpha: 6.0e-6, beta: 1.0e-7 }
+    }
+
+    /// A communication-free model (for isolating compute scaling).
+    pub fn compute_only() -> Self {
+        CostModel { t_work: 3.0e-7, alpha: 0.0, beta: 0.0 }
+    }
+
+    /// Cost of one message of `words` 4-byte words.
+    #[inline]
+    pub fn msg_cost(&self, words: u64) -> f64 {
+        self.alpha + self.beta * words as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::cm5()
+    }
+}
+
+/// Aggregate statistics from one [`crate::Machine::run`].
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Final simulated clock per rank.
+    pub per_rank: Vec<f64>,
+    /// Simulated parallel time = max over ranks.
+    pub makespan: f64,
+    /// Total messages sent.
+    pub total_messages: u64,
+    /// Total words sent.
+    pub total_words: u64,
+    /// Total work units charged across ranks.
+    pub total_work: u64,
+    /// Real wall-clock duration of the run (seconds).
+    pub wall_seconds: f64,
+}
+
+impl SimReport {
+    /// Simulated speedup relative to all charged work running on one rank
+    /// with no communication.
+    pub fn speedup_vs_serial(&self, cost: &CostModel) -> f64 {
+        let serial = self.total_work as f64 * cost.t_work;
+        if self.makespan > 0.0 {
+            serial / self.makespan
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of simulated rank-time spent idle/waiting relative to the
+    /// makespan (load-imbalance indicator).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_rank.is_empty() || self.makespan == 0.0 {
+            return 0.0;
+        }
+        let avg: f64 = self.per_rank.iter().sum::<f64>() / self.per_rank.len() as f64;
+        self.makespan / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_cost_formula() {
+        let c = CostModel { t_work: 1.0, alpha: 10.0, beta: 2.0 };
+        assert_eq!(c.msg_cost(0), 10.0);
+        assert_eq!(c.msg_cost(5), 20.0);
+    }
+
+    #[test]
+    fn cm5_magnitudes_sane() {
+        let c = CostModel::cm5();
+        // A message should cost like tens of work units, not millions.
+        let ratio = c.msg_cost(1) / c.t_work;
+        assert!(ratio > 5.0 && ratio < 1000.0, "{ratio}");
+    }
+
+    #[test]
+    fn report_speedup() {
+        let r = SimReport {
+            per_rank: vec![1.0, 2.0],
+            makespan: 2.0,
+            total_work: 10_000_000,
+            ..Default::default()
+        };
+        let c = CostModel { t_work: 1e-6, alpha: 0.0, beta: 0.0 };
+        assert!((r.speedup_vs_serial(&c) - 5.0).abs() < 1e-9);
+        assert!((r.imbalance() - 2.0 / 1.5).abs() < 1e-9);
+    }
+}

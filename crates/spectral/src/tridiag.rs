@@ -1,0 +1,189 @@
+//! Symmetric tridiagonal eigensolver (implicit-shift QL).
+//!
+//! Lanczos reduces the Laplacian to a small symmetric tridiagonal matrix
+//! `T(α, β)`; this module diagonalizes it completely — the classic `tqli`
+//! algorithm with Wilkinson shifts, accumulating the rotations so Ritz
+//! vectors can be reconstructed.
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+#[derive(Clone, Debug)]
+pub struct TridiagEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// `vectors[k]` is the (unit) eigenvector for `values[k]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Diagonalize `T` with diagonal `alpha` (length `m`) and sub-diagonal
+/// `beta` (length `m − 1`). Panics on m = 0 or non-convergence (> 50
+/// sweeps per eigenvalue, which does not occur for Lanczos matrices).
+pub fn eigen_tridiag(alpha: &[f64], beta: &[f64]) -> TridiagEigen {
+    let m = alpha.len();
+    assert!(m > 0, "empty tridiagonal matrix");
+    assert_eq!(beta.len(), m.saturating_sub(1), "beta length must be m-1");
+    let mut d = alpha.to_vec();
+    // e[i] holds the sub-diagonal in slot i (shifted by one vs. input),
+    // with a zero sentinel at the end — the NR `tqli` convention.
+    let mut e = vec![0.0; m];
+    e[..m - 1].copy_from_slice(beta);
+    // z accumulates rotations; starts as identity (row-major z[i][k]:
+    // component i of eigenvector k).
+    let mut z = vec![vec![0.0; m]; m];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for l in 0..m {
+        let mut iter = 0;
+        loop {
+            // Find a negligible sub-diagonal element.
+            let mut mm = l;
+            while mm + 1 < m {
+                let dd = d[mm].abs() + d[mm + 1].abs();
+                if e[mm].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                mm += 1;
+            }
+            if mm == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tqli failed to converge");
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[mm] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..mm).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[mm] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for row in z.iter_mut() {
+                    f = row[i + 1];
+                    row[i + 1] = s * row[i] + c * f;
+                    row[i] = c * row[i] - s * f;
+                }
+            }
+            if r == 0.0 && mm > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[mm] = 0.0;
+        }
+    }
+
+    // Sort ascending, carrying eigenvectors.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&k| d[k]).collect();
+    let vectors: Vec<Vec<f64>> =
+        order.iter().map(|&k| (0..m).map(|i| z[i][k]).collect()).collect();
+    TridiagEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(alpha: &[f64], beta: &[f64], eig: &TridiagEigen) {
+        let m = alpha.len();
+        for (k, (&lam, v)) in eig.values.iter().zip(&eig.vectors).enumerate() {
+            // T v = λ v
+            for i in 0..m {
+                let mut tv = alpha[i] * v[i];
+                if i > 0 {
+                    tv += beta[i - 1] * v[i - 1];
+                }
+                if i + 1 < m {
+                    tv += beta[i] * v[i + 1];
+                }
+                assert!(
+                    (tv - lam * v[i]).abs() < 1e-9,
+                    "eigenpair {k}: residual {} at row {i}",
+                    tv - lam * v[i]
+                );
+            }
+            // Unit norm.
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+        // Ascending.
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eig = eigen_tridiag(&[7.0], &[]);
+        assert_eq!(eig.values, vec![7.0]);
+        assert_eq!(eig.vectors, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] → eigenvalues 1 and 3.
+        let eig = eigen_tridiag(&[2.0, 2.0], &[1.0]);
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&[2.0, 2.0], &[1.0], &eig);
+    }
+
+    #[test]
+    fn path_laplacian_eigenvalues() {
+        // Path P4 Laplacian is tridiagonal: diag [1,2,2,1], off [-1,-1,-1].
+        // Eigenvalues: 2 - 2cos(kπ/4), k = 0..3 → 0, 2−√2, 2, 2+√2.
+        let alpha = [1.0, 2.0, 2.0, 1.0];
+        let beta = [-1.0, -1.0, -1.0];
+        let eig = eigen_tridiag(&alpha, &beta);
+        let expect = [0.0, 2.0 - 2f64.sqrt(), 2.0, 2.0 + 2f64.sqrt()];
+        for (got, want) in eig.values.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        check_decomposition(&alpha, &beta, &eig);
+    }
+
+    #[test]
+    fn diagonal_matrix_sorted() {
+        let eig = eigen_tridiag(&[5.0, -1.0, 3.0], &[0.0, 0.0]);
+        assert_eq!(eig.values, vec![-1.0, 3.0, 5.0]);
+        check_decomposition(&[5.0, -1.0, 3.0], &[0.0, 0.0], &eig);
+    }
+
+    #[test]
+    fn random_matrices_validate() {
+        // Small LCG-driven random tridiagonal systems.
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64) * 4.0 - 2.0
+        };
+        for m in [2usize, 3, 5, 8, 13, 21] {
+            let alpha: Vec<f64> = (0..m).map(|_| next()).collect();
+            let beta: Vec<f64> = (0..m - 1).map(|_| next()).collect();
+            let eig = eigen_tridiag(&alpha, &beta);
+            check_decomposition(&alpha, &beta, &eig);
+            // Trace preserved.
+            let tr: f64 = alpha.iter().sum();
+            let ev: f64 = eig.values.iter().sum();
+            assert!((tr - ev).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Parallel scaling of the SPMD incremental partitioner.
+//!
+//! ```text
+//! cargo run --release --example parallel_speedup
+//! ```
+//!
+//! Runs the same repartitioning problem on 1..32 virtual CM-5 ranks and
+//! prints the simulated time, per-phase breakdown and speedup. The
+//! simulated clock follows the cost model of DESIGN.md §4; the paper's
+//! claim is "speedup of around 15 to 20 on a 32 node CM-5".
+
+use igp::graph::{generators, PartId, Partitioning};
+use igp::parallel::ParallelPartitioner;
+use igp::runtime::CostModel;
+use igp::IgpConfig;
+
+fn main() {
+    let parts = 32;
+    // A 64×64 grid with 32 vertical-band partitions and localized growth.
+    let side = 64usize;
+    let g = generators::grid(side, side);
+    let assign: Vec<PartId> = (0..side * side).map(|v| ((v % side) / 2) as PartId).collect();
+    let old = Partitioning::from_assignment(&g, parts, assign);
+    let delta = generators::localized_growth_delta(&g, (side * side - 1) as u32, 96, 3);
+    let inc = delta.apply(&g);
+    println!(
+        "workload: {} -> {} vertices, {} partitions\n",
+        g.num_vertices(),
+        inc.new_graph().num_vertices(),
+        parts
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workers", "model-time", "speedup", "assign", "balance", "refine", "wall"
+    );
+    let mut t1 = None;
+    for workers in [1usize, 2, 4, 8, 16, 32] {
+        let pp = ParallelPartitioner::new(IgpConfig::new(parts), workers, true, CostModel::cm5());
+        let (part, rep) = pp.repartition(&inc, &old);
+        assert!(rep.balanced);
+        assert!(part.count_imbalance() < 1.02);
+        let base = *t1.get_or_insert(rep.sim.makespan);
+        println!(
+            "{:>8} {:>11.4}s {:>9.2}x {:>9.4}s {:>9.4}s {:>9.4}s {:>9.4}s",
+            workers,
+            rep.sim.makespan,
+            base / rep.sim.makespan,
+            rep.phases.assign,
+            rep.phases.balance - rep.phases.assign,
+            rep.phases.refine - rep.phases.balance,
+            rep.sim.wall_seconds,
+        );
+    }
+    println!("\n(model-time = simulated CM-5 makespan; wall = real threaded run on this host)");
+}

@@ -1,0 +1,50 @@
+//! # igp — Parallel Incremental Graph Partitioning Using Linear Programming
+//!
+//! Umbrella crate re-exporting the full reproduction of Ou & Ranka
+//! (Supercomputing '94). See `README.md` for a tour and `DESIGN.md` for
+//! the system inventory.
+//!
+//! * [`graph`] — CSR/dynamic graphs, incremental deltas, partitions, cut
+//!   metrics (`igp-graph`).
+//! * [`mesh`] — DIME-like adaptive triangular meshes (`igp-mesh`).
+//! * [`lp`] — dense two-phase simplex + network-flow oracles (`igp-lp`).
+//! * [`spectral`] — recursive spectral bisection baseline (`igp-spectral`).
+//! * [`runtime`] — SPMD thread machine with CM-5 cost model
+//!   (`igp-runtime`).
+//! * `core` — the four-phase incremental partitioner, sequential and
+//!   parallel (`igp-core`), re-exported at the top level.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use igp::{IgpConfig, IncrementalPartitioner};
+//! use igp::graph::{generators, Partitioning};
+//!
+//! // A 16×16 grid split into 4 vertical bands.
+//! let g = generators::grid(16, 16);
+//! let assign = (0..256).map(|v| ((v % 16) / 4) as u32).collect();
+//! let old = Partitioning::from_assignment(&g, 4, assign);
+//!
+//! // The application refines near one corner: 30 new vertices appear.
+//! let delta = generators::localized_growth_delta(&g, 0, 30, 7);
+//! let inc = delta.apply(&g);
+//!
+//! // Repartition incrementally instead of from scratch.
+//! let igp = IncrementalPartitioner::igpr(IgpConfig::new(4));
+//! let (new_part, report) = igp.repartition(&inc, &old);
+//! assert!(report.balance.balanced);
+//! assert!(new_part.count_imbalance() < 1.02);
+//! ```
+
+pub use igp_core::*;
+
+/// Graph substrate (`igp-graph`).
+pub use igp_graph as graph;
+/// Linear programming (`igp-lp`).
+pub use igp_lp as lp;
+/// Adaptive meshes (`igp-mesh`).
+pub use igp_mesh as mesh;
+/// SPMD runtime (`igp-runtime`).
+pub use igp_runtime as runtime;
+/// Spectral bisection baseline (`igp-spectral`).
+pub use igp_spectral as spectral;

@@ -1,0 +1,155 @@
+//! Property tests on the incremental partitioner itself: the DESIGN.md §7
+//! invariants under randomized graphs, partitions and increments.
+
+use igp::graph::metrics::CutMetrics;
+use igp::graph::{generators, CsrGraph, NodeId, PartId, Partitioning};
+use igp::layer::layer_partitions;
+use igp::{CapPolicy, IgpConfig, IncrementalPartitioner};
+use proptest::prelude::*;
+
+/// Connected random graph + a partitioning built from BFS-ish slabs so it
+/// starts roughly (not exactly) balanced.
+fn scenario_strategy() -> impl Strategy<Value = (CsrGraph, Partitioning, u64)> {
+    (12usize..60, 2usize..5, any::<u64>()).prop_map(|(n, parts, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in 1..n {
+            let u = next() % v;
+            edges.push((u as NodeId, v as NodeId));
+        }
+        for _ in 0..2 * n {
+            let a = next() % n;
+            let b = next() % n;
+            if a != b {
+                let e = (a.min(b) as NodeId, a.max(b) as NodeId);
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        // Slab partitioning by BFS order from vertex 0.
+        let order = igp::graph::traversal::bfs_order(&g, 0);
+        let mut assign = vec![0 as PartId; n];
+        for (rank, &v) in order.iter().enumerate() {
+            assign[v as usize] = ((rank * parts) / n) as PartId;
+        }
+        let part = Partitioning::from_assignment(&g, parts, assign);
+        (g, part, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After IGP: every vertex assigned, totals preserved, counts within
+    /// one of the averages, and (strict caps) at most slight deformation.
+    #[test]
+    fn igp_invariants((g, old, seed) in scenario_strategy()) {
+        let delta = generators::localized_growth_delta(&g, 0, 6, seed);
+        let inc = delta.apply(&g);
+        let parts = old.num_parts();
+        let (part, report) = IncrementalPartitioner::igp(IgpConfig::new(parts))
+            .repartition(&inc, &old);
+        let n_new = inc.new_graph().num_vertices();
+        prop_assert_eq!(part.num_vertices(), n_new);
+        prop_assert_eq!(part.counts().iter().sum::<u32>() as usize, n_new);
+        if report.balance.balanced {
+            let max = *part.counts().iter().max().unwrap() as i64;
+            let min = *part.counts().iter().min().unwrap() as i64;
+            prop_assert!(max - min <= 1, "{:?}", part.counts());
+        }
+        part.validate(inc.new_graph()).unwrap();
+    }
+
+    /// Refinement (IGPR vs IGP) never increases the cut and never changes
+    /// partition sizes.
+    #[test]
+    fn igpr_refines_without_unbalancing((g, old, seed) in scenario_strategy()) {
+        let delta = generators::localized_growth_delta(&g, 0, 5, seed);
+        let inc = delta.apply(&g);
+        let parts = old.num_parts();
+        let (p1, r1) = IncrementalPartitioner::igp(IgpConfig::new(parts))
+            .repartition(&inc, &old);
+        let (p2, r2) = IncrementalPartitioner::igpr(IgpConfig::new(parts))
+            .repartition(&inc, &old);
+        prop_assert_eq!(p1.counts(), p2.counts());
+        prop_assert!(r2.metrics.total_cut_edges <= r1.metrics.total_cut_edges,
+            "IGPR {} > IGP {}", r2.metrics.total_cut_edges, r1.metrics.total_cut_edges);
+        // Refinement iterations individually monotone.
+        if let Some(rf) = &r2.refine {
+            for it in &rf.iters {
+                prop_assert!(it.cut_after <= it.cut_before);
+            }
+        }
+    }
+
+    /// Layering invariants: every vertex of a connected partition with a
+    /// boundary gets tagged; level-0 = boundary; λ row sums count tagged
+    /// vertices; tags always foreign.
+    #[test]
+    fn layering_invariants((g, part, _) in scenario_strategy()) {
+        let parts = part.num_parts();
+        let lay = layer_partitions(&g, part.assignment(), parts);
+        for v in g.vertices() {
+            let i = part.part_of(v);
+            let t = lay.tag[v as usize];
+            if t != igp::graph::NO_PART {
+                prop_assert_ne!(t, i, "tag must be foreign");
+            }
+            let boundary = part.is_boundary(&g, v);
+            prop_assert_eq!(lay.level[v as usize] == 0, boundary);
+        }
+        let tagged = lay.tag.iter().filter(|&&t| t != igp::graph::NO_PART).count() as u64;
+        let lambda_sum: u64 = (0..parts).flat_map(|i| (0..parts).map(move |j| (i, j)))
+            .map(|(i, j)| lay.lambda(i as PartId, j as PartId)).sum();
+        prop_assert_eq!(lambda_sum, tagged);
+    }
+
+    /// Relaxed caps always balance in few stages; strict caps, when they
+    /// report balanced, agree with the targets.
+    #[test]
+    fn cap_policies_balance((g, old, seed) in scenario_strategy()) {
+        let delta = generators::localized_growth_delta(&g, 0, 8, seed);
+        let inc = delta.apply(&g);
+        let parts = old.num_parts();
+        for policy in [CapPolicy::Strict, CapPolicy::Relaxed] {
+            let mut cfg = IgpConfig::new(parts);
+            cfg.cap_policy = policy;
+            let (part, report) = IncrementalPartitioner::igp(cfg).repartition(&inc, &old);
+            if report.balance.balanced {
+                let max = *part.counts().iter().max().unwrap() as i64;
+                let min = *part.counts().iter().min().unwrap() as i64;
+                prop_assert!(max - min <= 1, "{policy:?}: {:?}", part.counts());
+            }
+        }
+    }
+
+    /// Determinism: repeated runs produce identical assignments.
+    #[test]
+    fn igp_deterministic((g, old, seed) in scenario_strategy()) {
+        let delta = generators::localized_growth_delta(&g, 0, 4, seed);
+        let inc = delta.apply(&g);
+        let igp = IncrementalPartitioner::igpr(IgpConfig::new(old.num_parts()));
+        let (a, _) = igp.repartition(&inc, &old);
+        let (b, _) = igp.repartition(&inc, &old);
+        prop_assert_eq!(a.assignment(), b.assignment());
+    }
+
+    /// Quality sanity: the final machine cost is bounded by the trivial
+    /// upper bound (every edge cut).
+    #[test]
+    fn metrics_bounded((g, old, seed) in scenario_strategy()) {
+        let delta = generators::localized_growth_delta(&g, 0, 4, seed);
+        let inc = delta.apply(&g);
+        let (part, _) = IncrementalPartitioner::igpr(IgpConfig::new(old.num_parts()))
+            .repartition(&inc, &old);
+        let m = CutMetrics::compute(inc.new_graph(), &part);
+        prop_assert!(m.total_cut_edges <= inc.new_graph().num_edges() as u64);
+        prop_assert!(m.sum_boundary() == 2 * m.total_cut_weight);
+    }
+}

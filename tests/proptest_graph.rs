@@ -1,0 +1,124 @@
+//! Property tests on the graph substrate: CSR invariants, delta
+//! apply/diff inversion, BFS-owner verification, metric identities.
+
+use igp::graph::metrics::CutMetrics;
+use igp::graph::traversal::{nearest_owner_bfs, verify_nearest_owner};
+use igp::graph::{CsrGraph, NodeId, Partitioning};
+use proptest::prelude::*;
+
+/// Random simple undirected graph as a deduplicated edge list.
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        // A random spanning tree keeps most instances connected…
+        for v in 1..n {
+            let u = next() % v;
+            edges.push((u as NodeId, v as NodeId));
+        }
+        // …plus random extra edges.
+        for _ in 0..n {
+            let a = next() % n;
+            let b = next() % n;
+            if a != b {
+                let e = (a.min(b) as NodeId, a.max(b) as NodeId);
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_structural_invariants(g in graph_strategy()) {
+        g.validate().unwrap();
+        // Handshake lemma.
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // undirected_edges yields each edge once.
+        prop_assert_eq!(g.undirected_edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn metis_roundtrip(g in graph_strategy()) {
+        let text = igp::graph::io::write_metis(&g);
+        let back = igp::graph::io::read_metis(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn delta_apply_then_diff_is_identity(g in graph_strategy(), seed in any::<u64>()) {
+        let delta = igp::graph::generators::localized_growth_delta(&g, 0, 5, seed);
+        let inc = delta.apply(&g);
+        let d2 = inc.diff();
+        // Re-applying the recovered diff reproduces the same new graph.
+        let inc2 = d2.apply(&g);
+        prop_assert_eq!(inc.new_graph(), inc2.new_graph());
+    }
+
+    #[test]
+    fn nearest_owner_is_verified(g in graph_strategy(), k in 1usize..4) {
+        let n = g.num_vertices();
+        let seeds: Vec<(NodeId, u32)> =
+            (0..k.min(n)).map(|i| ((i * n / k.min(n)) as NodeId, i as u32)).collect();
+        let (owner, dist) = nearest_owner_bfs(&g, &seeds);
+        prop_assert!(verify_nearest_owner(&g, &seeds, &owner, &dist));
+    }
+
+    #[test]
+    fn cut_metric_identities(g in graph_strategy(), parts in 2usize..5, seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let assign: Vec<u32> =
+            (0..n).map(|v| (((v as u64).wrapping_mul(seed | 1) >> 7) % parts as u64) as u32).collect();
+        let p = Partitioning::from_assignment(&g, parts, assign);
+        let m = CutMetrics::compute(&g, &p);
+        // Σ_q C(q) = 2 × total cut weight.
+        prop_assert_eq!(m.sum_boundary(), 2 * m.total_cut_weight);
+        // Per-part counts sum to n.
+        let total: u32 = m.per_part.iter().map(|c| c.count).sum();
+        prop_assert_eq!(total as usize, n);
+        // max ≥ min, boundaries consistent with boundary_vertices.
+        prop_assert!(m.max_boundary >= m.min_boundary);
+        let bv = p.boundary_vertices(&g).len() as u32;
+        let bv_sum: u32 = m.per_part.iter().map(|c| c.boundary_vertices).sum();
+        prop_assert_eq!(bv, bv_sum);
+    }
+
+    #[test]
+    fn moves_keep_partition_consistent(g in graph_strategy(), seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let mut p = Partitioning::round_robin(&g, 3);
+        let mut s = seed;
+        for _ in 0..10 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((s >> 33) as usize % n) as NodeId;
+            let to = ((s >> 11) % 3) as u32;
+            p.move_vertex(&g, v, to);
+        }
+        p.validate(&g).unwrap();
+        let total: u32 = p.counts().iter().sum();
+        prop_assert_eq!(total as usize, n);
+    }
+
+    #[test]
+    fn induced_subgraph_edge_subset(g in graph_strategy()) {
+        let n = g.num_vertices();
+        let keep: Vec<NodeId> = (0..n as NodeId).filter(|v| v % 2 == 0).collect();
+        if keep.len() >= 2 {
+            let (sub, map) = g.induced_subgraph(&keep);
+            sub.validate().unwrap();
+            for (u, v, w) in sub.undirected_edges() {
+                prop_assert_eq!(g.edge_weight(map[u as usize], map[v as usize]), Some(w));
+            }
+        }
+    }
+}

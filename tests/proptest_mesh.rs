@@ -1,0 +1,86 @@
+//! Property tests on the mesh substrate: Delaunay validity on random
+//! point sets, refinement/derefinement invariants, smoothing stability.
+
+use igp::mesh::domain::Rect;
+use igp::mesh::{Delaunay, Disc, MeshBuilder, Point};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    (6usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Empty-circumcircle property and adjacency symmetry hold for random
+    /// insertion sets; triangle count obeys Euler's bound.
+    #[test]
+    fn delaunay_valid_on_random_points(pts in points_strategy()) {
+        let mut d = Delaunay::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        for &p in &pts {
+            d.insert(p);
+        }
+        prop_assert_eq!(d.num_points(), pts.len());
+        d.validate().unwrap();
+        // Euler: triangles = 2n − h − 2 ≤ 2n − 5 for n ≥ 3 non-collinear.
+        let t = d.triangles().len();
+        prop_assert!(t <= 2 * pts.len());
+    }
+
+    /// Refinement adds exactly k vertices, preserves old ids, and keeps
+    /// the node graph connected.
+    #[test]
+    fn refinement_invariants(seed in any::<u64>(), k in 1usize..20) {
+        let dom = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let mut mb = MeshBuilder::generate(dom, 120, seed);
+        let before = mb.graph();
+        let old_points: Vec<Point> = (0..120u32).map(|v| mb.point(v)).collect();
+        let ids = mb.refine_region(&Disc::new(Point::new(0.5, 0.5), 0.2), k);
+        prop_assert_eq!(ids.len(), k);
+        let after = mb.graph();
+        prop_assert_eq!(after.num_vertices(), 120 + k);
+        prop_assert!(igp::graph::traversal::is_connected(&after));
+        // Old point coordinates untouched.
+        for (v, &p) in old_points.iter().enumerate() {
+            prop_assert_eq!(mb.point(v as u32), p);
+        }
+        prop_assert!(after.num_edges() > before.num_edges());
+    }
+
+    /// Derefinement removes ≤ k interior vertices and keeps connectivity;
+    /// the removal incremental-graph round-trips.
+    #[test]
+    fn derefinement_invariants(seed in any::<u64>(), k in 1usize..12) {
+        let dom = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let mut mb = MeshBuilder::generate(dom, 140, seed);
+        let old = mb.graph();
+        let removed = mb.coarsen_region(&Disc::new(Point::new(0.5, 0.5), 0.3), k);
+        prop_assert!(removed.len() <= k);
+        let new = mb.graph();
+        prop_assert_eq!(new.num_vertices(), 140 - removed.len());
+        prop_assert!(igp::graph::traversal::is_connected(&new));
+        if !removed.is_empty() {
+            let inc = igp::mesh::sequence::removal_inc(old, new, &removed);
+            prop_assert_eq!(inc.removed_vertices(), removed);
+        }
+    }
+
+    /// Smoothing never changes the vertex count and keeps connectivity.
+    #[test]
+    fn smoothing_invariants(seed in any::<u64>()) {
+        let dom = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        let mut mb = MeshBuilder::generate(dom, 100, seed);
+        mb.smooth(2);
+        let g = mb.graph();
+        prop_assert_eq!(g.num_vertices(), 100);
+        prop_assert!(igp::graph::traversal::is_connected(&g));
+        g.validate().unwrap();
+    }
+}

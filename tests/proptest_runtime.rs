@@ -1,0 +1,106 @@
+//! Property tests on the SPMD runtime: collectives must agree with their
+//! sequential definitions for every rank count and value assignment, and
+//! simulated clocks must be deterministic.
+
+use igp::runtime::{CostModel, Machine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allreduce_sum_correct(p in 1usize..9, vals in prop::collection::vec(0u64..1000, 9)) {
+        let (out, _) = Machine::new(p, CostModel::cm5())
+            .run(|ctx| ctx.allreduce_sum(vals[ctx.rank()]));
+        let expect: u64 = vals[..p].iter().sum();
+        prop_assert!(out.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn broadcast_from_any_root(p in 1usize..9, root_sel in any::<u64>(), val in any::<u32>()) {
+        let root = (root_sel % p as u64) as usize;
+        let (out, _) = Machine::new(p, CostModel::cm5()).run(|ctx| {
+            let v = if ctx.rank() == root { Some(val) } else { None };
+            ctx.broadcast(root, v)
+        });
+        prop_assert!(out.iter().all(|&v| v == val));
+    }
+
+    #[test]
+    fn gather_orders_by_rank(p in 1usize..8, root_sel in any::<u64>()) {
+        let root = (root_sel % p as u64) as usize;
+        let (out, _) = Machine::new(p, CostModel::cm5())
+            .run(|ctx| ctx.gather(root, ctx.rank() as u32 * 3, 1));
+        let expect: Vec<u32> = (0..p as u32).map(|r| r * 3).collect();
+        for (r, o) in out.iter().enumerate() {
+            if r == root {
+                prop_assert_eq!(o.as_ref(), Some(&expect));
+            } else {
+                prop_assert!(o.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_complete(p in 1usize..8, vals in prop::collection::vec(any::<u16>(), 8)) {
+        let (out, _) = Machine::new(p, CostModel::cm5())
+            .run(|ctx| ctx.allgather(vals[ctx.rank()], 1));
+        for o in out {
+            prop_assert_eq!(&o, &vals[..p]);
+        }
+    }
+
+    #[test]
+    fn exchange_is_transpose(p in 1usize..7) {
+        let (out, _) = Machine::new(p, CostModel::cm5()).run(|ctx| {
+            let me = ctx.rank();
+            let boxes: Vec<Vec<usize>> = (0..p).map(|r| vec![me * 100 + r]).collect();
+            ctx.exchange(boxes, 1)
+        });
+        for (me, inboxes) in out.iter().enumerate() {
+            for (src, b) in inboxes.iter().enumerate() {
+                prop_assert_eq!(b, &vec![src * 100 + me]);
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_reduce_agrees_with_sequential(
+        p in 1usize..8,
+        keys in prop::collection::vec(0.0f64..100.0, 8),
+    ) {
+        let (out, _) = Machine::new(p, CostModel::cm5())
+            .run(|ctx| ctx.allreduce_min_by_key(keys[ctx.rank()], ctx.rank() as u64, 1));
+        let min_key = keys[..p].iter().cloned().fold(f64::INFINITY, f64::min);
+        for (k, _) in out {
+            prop_assert!((k - min_key).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn simulated_clock_deterministic(p in 1usize..6, work in prop::collection::vec(1u64..500, 6)) {
+        let run = || {
+            Machine::new(p, CostModel::cm5()).run(|ctx| {
+                ctx.charge(work[ctx.rank()]);
+                ctx.barrier();
+                ctx.allreduce_sum(1)
+            }).1
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.per_rank, b.per_rank);
+        prop_assert_eq!(a.total_messages, b.total_messages);
+        prop_assert_eq!(a.total_words, b.total_words);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path(p in 1usize..6, work in prop::collection::vec(1u64..500, 6)) {
+        let cost = CostModel { t_work: 1e-6, alpha: 0.0, beta: 0.0 };
+        let (_, rep) = Machine::new(p, cost).run(|ctx| {
+            ctx.charge(work[ctx.rank()]);
+            ctx.barrier();
+        });
+        let max_work = *work[..p].iter().max().unwrap() as f64 * 1e-6;
+        prop_assert!(rep.makespan >= max_work - 1e-12);
+    }
+}
