@@ -23,8 +23,10 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
 
-    for (policy, name) in [(CapPolicy::Strict, "caps_strict"), (CapPolicy::Relaxed, "caps_relaxed")]
-    {
+    for (policy, name) in [
+        (CapPolicy::Strict, "caps_strict"),
+        (CapPolicy::Relaxed, "caps_relaxed"),
+    ] {
         let mut cfg = IgpConfig::new(8);
         cfg.cap_policy = policy;
         let p = IncrementalPartitioner::igp(cfg);
@@ -67,7 +69,10 @@ fn bench_ablation(c: &mut Criterion) {
     });
     g.bench_function("multilevel_coarse_igp", |b| {
         let cfg = IgpConfig::new(8);
-        let ml = MultilevelConfig { coarsen_to: 200, max_levels: 4 };
+        let ml = MultilevelConfig {
+            coarsen_to: 200,
+            max_levels: 4,
+        };
         b.iter(|| {
             black_box(multilevel_repartition(
                 black_box(&inc),

@@ -15,10 +15,17 @@ fn bench_layering(c: &mut Criterion) {
         let n = side * side;
         // Band partitioning.
         let band = side / parts.min(side);
-        let assign: Vec<PartId> =
-            (0..n).map(|v| (((v % side) / band.max(1)).min(parts - 1)) as PartId).collect();
+        let assign: Vec<PartId> = (0..n)
+            .map(|v| (((v % side) / band.max(1)).min(parts - 1)) as PartId)
+            .collect();
         g.bench_function(format!("grid{side}x{side}_p{parts}"), |b| {
-            b.iter(|| black_box(layer_partitions(black_box(&graph), black_box(&assign), parts)))
+            b.iter(|| {
+                black_box(layer_partitions(
+                    black_box(&graph),
+                    black_box(&assign),
+                    parts,
+                ))
+            })
         });
     }
     g.finish();

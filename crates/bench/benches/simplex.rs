@@ -13,7 +13,11 @@ use std::hint::black_box;
 /// A synthetic balance LP shaped like a `p`-partition mesh adjacency:
 /// partitions arranged in a ring with `extra` chords, random caps, random
 /// balanced surplus.
-fn synth_balance_lp(p: usize, extra: usize, seed: u64) -> (LpModel, Vec<(usize, usize, i64)>, Vec<i64>) {
+fn synth_balance_lp(
+    p: usize,
+    extra: usize,
+    seed: u64,
+) -> (LpModel, Vec<(usize, usize, i64)>, Vec<i64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut arcs: Vec<(usize, usize, i64)> = Vec::new();
     for i in 0..p {
@@ -63,17 +67,17 @@ fn bench_simplex(c: &mut Criterion) {
     let mut g = c.benchmark_group("simplex_balance_lp");
     g.sample_size(20);
     // Paper scale: P = 32 with ~3 neighbours each → v ≈ 190, c ≈ 130.
-    for (p, extra, label) in
-        [(8usize, 8usize, "P8"), (32, 64, "P32_paper_scale"), (64, 160, "P64")]
-    {
+    for (p, extra, label) in [
+        (8usize, 8usize, "P8"),
+        (32, 64, "P32_paper_scale"),
+        (64, 160, "P64"),
+    ] {
         let (model, arcs, surplus) = synth_balance_lp(p, extra, 7);
         g.bench_function(format!("dense_simplex_{label}"), |b| {
             b.iter(|| black_box(solve(black_box(&model)).unwrap().objective))
         });
         g.bench_function(format!("bounded_simplex_{label}"), |b| {
-            b.iter(|| {
-                black_box(igp_lp::solve_bounded(black_box(&model)).unwrap().objective)
-            })
+            b.iter(|| black_box(igp_lp::solve_bounded(black_box(&model)).unwrap().objective))
         });
         g.bench_function(format!("network_flow_{label}"), |b| {
             b.iter(|| {

@@ -20,9 +20,29 @@ fn check_figure5() {
         m.set_objective(i, 1.0);
         m.set_upper_bound(i, caps[i]);
     }
-    m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+    m.add_eq(
+        vec![
+            (0, 1.0),
+            (1, 1.0),
+            (2, 1.0),
+            (3, -1.0),
+            (5, -1.0),
+            (8, -1.0),
+        ],
+        8.0,
+    );
     m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
-    m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+    m.add_eq(
+        vec![
+            (5, 1.0),
+            (6, 1.0),
+            (7, 1.0),
+            (1, -1.0),
+            (4, -1.0),
+            (9, -1.0),
+        ],
+        -1.0,
+    );
     m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
     let s = solve(&m).unwrap();
     println!(
@@ -43,21 +63,48 @@ fn check_figure8() {
         m.set_objective(i, 1.0);
         m.set_upper_bound(i, caps[i]);
     }
-    m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 0.0);
+    m.add_eq(
+        vec![
+            (0, 1.0),
+            (1, 1.0),
+            (2, 1.0),
+            (3, -1.0),
+            (5, -1.0),
+            (8, -1.0),
+        ],
+        0.0,
+    );
     m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 0.0);
-    m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], 0.0);
+    m.add_eq(
+        vec![
+            (5, 1.0),
+            (6, 1.0),
+            (7, 1.0),
+            (1, -1.0),
+            (4, -1.0),
+            (9, -1.0),
+        ],
+        0.0,
+    );
     m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], 0.0);
     let s = solve(&m).unwrap();
     println!(
         "E5 (paper Figure 8 LP): objective = {} (LP optimum 9; the paper prints a \
          solution totalling 8 with a per-node conservation typo) -> {}",
         s.objective,
-        if (s.objective - 9.0).abs() < 1e-6 { "LP OPTIMUM CONFIRMED" } else { "MISMATCH" }
+        if (s.objective - 9.0).abs() < 1e-6 {
+            "LP OPTIMUM CONFIRMED"
+        } else {
+            "MISMATCH"
+        }
     );
 }
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let parts = 32;
     println!("================ repro_all (seed {seed}, P = {parts}) ================\n");
     check_figure5();
@@ -68,7 +115,13 @@ fn main() {
     let (base_a, steps_a) = run_sequence_experiment(&seq_a, parts, Fidelity::full());
     println!(
         "{}",
-        full_table("A", seq_a.base.num_vertices(), seq_a.base.num_edges(), &base_a, &steps_a)
+        full_table(
+            "A",
+            seq_a.base.num_vertices(),
+            seq_a.base.num_edges(),
+            &base_a,
+            &steps_a
+        )
     );
     // E7: LP sizes (paper: v = 188, c = 126 for the first increment).
     let (v, c) = steps_a[0].rows[1].lp_size;
@@ -79,7 +132,13 @@ fn main() {
     let (base_b, steps_b) = run_sequence_experiment(&seq_b, parts, Fidelity::full());
     println!(
         "{}",
-        full_table("B", seq_b.base.num_vertices(), seq_b.base.num_edges(), &base_b, &steps_b)
+        full_table(
+            "B",
+            seq_b.base.num_vertices(),
+            seq_b.base.num_edges(),
+            &base_b,
+            &steps_b
+        )
     );
     println!(
         "stage counts: {:?} (paper: [1, 1, 2, 3])",

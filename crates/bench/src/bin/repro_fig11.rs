@@ -14,6 +14,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
     let parts: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    if parts == 0 {
+        eprintln!("error: parts must be >= 1");
+        std::process::exit(2);
+    }
 
     eprintln!("building mesh sequence A (seed {seed}) ...");
     let seq = paper_sequence_a(seed);
@@ -26,7 +30,13 @@ fn main() {
     println!("==== Figure 11 reproduction: test set A, P = {parts} ====\n");
     println!(
         "{}",
-        full_table("A", seq.base.num_vertices(), seq.base.num_edges(), &base, &steps)
+        full_table(
+            "A",
+            seq.base.num_vertices(),
+            seq.base.num_edges(),
+            &base,
+            &steps
+        )
     );
     println!("paper reference (32 partitions, CM-5):");
     println!("  |V|=1096: SB 31.71s  / IGP 14.75s, 0.68s par, cut 747 / IGPR 730");
@@ -45,7 +55,7 @@ fn main() {
         let par_gain = igp.model_s.unwrap() / igp.model_p.unwrap();
         println!(
             "  {}: cut(IGP)/cut(SB) = {q_igp:.3}, cut(IGPR)/cut(SB) = {q_igpr:.3}, \
-             IGP {}x faster than SB (wall), modeled parallel gain {par_gain:.1}x",
+             IGP {:.1}x faster than SB (wall), modeled parallel gain {par_gain:.1}x",
             s.label,
             sb.wall_s / igp.wall_s.max(1e-9),
         );

@@ -15,6 +15,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
     let parts: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    if parts == 0 {
+        eprintln!("error: parts must be >= 1");
+        std::process::exit(2);
+    }
 
     eprintln!("building mesh sequence B (seed {seed}) — 10k nodes, takes a few seconds ...");
     let seq = paper_sequence_b(seed);
@@ -27,7 +31,13 @@ fn main() {
     println!("==== Figure 14 reproduction: test set B, P = {parts} ====\n");
     println!(
         "{}",
-        full_table("B", seq.base.num_vertices(), seq.base.num_edges(), &base, &steps)
+        full_table(
+            "B",
+            seq.base.num_vertices(),
+            seq.base.num_edges(),
+            &base,
+            &steps
+        )
     );
     println!("paper reference (32 partitions, CM-5):");
     println!("  +48  (10214): SB 800.05s / IGP 13.90s, 1.01s par, 1 stage");
@@ -55,6 +65,10 @@ fn main() {
     }
     println!(
         "\nstage counts non-decreasing with increment size: {}",
-        if monotone { "HOLDS (paper: 1,1,2,3)" } else { "VIOLATED" }
+        if monotone {
+            "HOLDS (paper: 1,1,2,3)"
+        } else {
+            "VIOLATED"
+        }
     );
 }

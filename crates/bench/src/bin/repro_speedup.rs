@@ -15,24 +15,31 @@ use igp_mesh::sequence::{paper_sequence_a, paper_sequence_b};
 use igp_spectral::{recursive_spectral_bisection, RsbOptions};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let workers = [1usize, 2, 4, 8, 16, 32];
     let parts = 32;
 
     eprintln!("building mesh sequence A (seed {seed}) ...");
     let seq_a = paper_sequence_a(seed);
     let old_a = recursive_spectral_bisection(&seq_a.base, parts, RsbOptions::default());
-    let pts_a =
-        run_speedup_experiment(&seq_a.steps[0].inc, &old_a, parts, &workers, false);
+    let pts_a = run_speedup_experiment(&seq_a.steps[0].inc, &old_a, parts, &workers, false);
     println!("==== Speedup reproduction (E3), P = {parts} ====\n");
-    println!("{}", speedup_table("test A, 1071 -> 1096 nodes, IGP", &pts_a));
+    println!(
+        "{}",
+        speedup_table("test A, 1071 -> 1096 nodes, IGP", &pts_a)
+    );
 
     eprintln!("building mesh sequence B (seed {seed}) ...");
     let seq_b = paper_sequence_b(seed);
     let old_b = recursive_spectral_bisection(&seq_b.base, parts, RsbOptions::default());
-    let pts_b =
-        run_speedup_experiment(&seq_b.steps[3].inc, &old_b, parts, &workers, false);
-    println!("{}", speedup_table("test B, 10166 -> 10838 nodes (+672), IGP", &pts_b));
+    let pts_b = run_speedup_experiment(&seq_b.steps[3].inc, &old_b, parts, &workers, false);
+    println!(
+        "{}",
+        speedup_table("test B, 10166 -> 10838 nodes (+672), IGP", &pts_b)
+    );
 
     let s_a = pts_a.last().unwrap().model_speedup;
     let s_b = pts_b.last().unwrap().model_speedup;
@@ -40,7 +47,11 @@ fn main() {
     println!("measured (modeled CM-5): A = {s_a:.1}x, B = {s_b:.1}x at 32 workers.");
     println!(
         "shape {}",
-        if s_a > 8.0 && s_b > 8.0 { "HOLDS (within 2x of claim)" } else { "VIOLATED" }
+        if s_a > 8.0 && s_b > 8.0 {
+            "HOLDS (within 2x of claim)"
+        } else {
+            "VIOLATED"
+        }
     );
     println!("(real wall speedup is bounded by this host's core count; see DESIGN.md §4)");
 }

@@ -59,13 +59,21 @@ pub struct Fidelity {
 impl Fidelity {
     /// Settings for the `repro_*` binaries (paper-faithful).
     pub fn full() -> Self {
-        Fidelity { fiedler: FiedlerOptions::default(), model_workers: 32 }
+        Fidelity {
+            fiedler: FiedlerOptions::default(),
+            model_workers: 32,
+        }
     }
 
     /// Cheaper settings for Criterion iterations.
     pub fn bench() -> Self {
         Fidelity {
-            fiedler: FiedlerOptions { subspace: 40, max_restarts: 4, tol: 1e-4, seed: 0x5eed },
+            fiedler: FiedlerOptions {
+                subspace: 40,
+                max_restarts: 4,
+                tol: 1e-4,
+                seed: 0x5eed,
+            },
             model_workers: 32,
         }
     }
@@ -91,7 +99,9 @@ pub fn run_sequence_experiment(
     p: usize,
     fid: Fidelity,
 ) -> (RowResult, Vec<StepResult>) {
-    let rsb_opts = RsbOptions { fiedler: fid.fiedler };
+    let rsb_opts = RsbOptions {
+        fiedler: fid.fiedler,
+    };
     // Base partitioning via RSB (timed).
     let t = Instant::now();
     let base_part = recursive_spectral_bisection(&seq.base, p, rsb_opts);
@@ -114,7 +124,11 @@ pub fn run_sequence_experiment(
     for step in &seq.steps {
         let inc = &step.inc;
         let g = inc.new_graph();
-        let old_part = if seq.chained { carried.clone() } else { base_part.clone() };
+        let old_part = if seq.chained {
+            carried.clone()
+        } else {
+            base_part.clone()
+        };
         let mut rows = Vec::new();
 
         // SB from scratch on the new graph.

@@ -37,13 +37,7 @@ pub fn base_table(name: &str, nv: usize, ne: usize, base: &RowResult) -> String 
     let _ = writeln!(
         s,
         "{:<12} {:>8.3} {:>9} {:>9} {:>8} {:>5} {:>5}",
-        base.name,
-        base.wall_s,
-        "--",
-        "--",
-        base.cut_total,
-        base.cut_max,
-        base.cut_min
+        base.name, base.wall_s, "--", "--", base.cut_total, base.cut_max, base.cut_min
     );
     s
 }
@@ -58,8 +52,8 @@ pub fn step_table(step: &StepResult) -> String {
     );
     let _ = writeln!(
         s,
-        "{:<12} {:>8} {:>9} {:>9} {:>8} {:>5} {:>5}  {}",
-        "Partitioner", "Time-s", "Model-s", "Model-p", "Total", "Max", "Min", "stages  LP(v x c)"
+        "{:<12} {:>8} {:>9} {:>9} {:>8} {:>5} {:>5}  stages  LP(v x c)",
+        "Partitioner", "Time-s", "Model-s", "Model-p", "Total", "Max", "Min"
     );
     for r in &step.rows {
         let stages = if r.name == "SB" {
@@ -86,7 +80,13 @@ pub fn step_table(step: &StepResult) -> String {
 }
 
 /// Render a whole experiment (base + steps).
-pub fn full_table(name: &str, nv: usize, ne: usize, base: &RowResult, steps: &[StepResult]) -> String {
+pub fn full_table(
+    name: &str,
+    nv: usize,
+    ne: usize,
+    base: &RowResult,
+    steps: &[StepResult],
+) -> String {
     let mut s = base_table(name, nv, ne, base);
     for step in steps {
         s.push_str(&step_table(step));
@@ -150,8 +150,18 @@ mod tests {
     #[test]
     fn speedup_table_renders() {
         let pts = vec![
-            SpeedupPoint { workers: 1, model_time: 10.0, model_speedup: 1.0, wall_time: 0.1 },
-            SpeedupPoint { workers: 32, model_time: 0.55, model_speedup: 18.2, wall_time: 0.2 },
+            SpeedupPoint {
+                workers: 1,
+                model_time: 10.0,
+                model_speedup: 1.0,
+                wall_time: 0.1,
+            },
+            SpeedupPoint {
+                workers: 32,
+                model_time: 0.55,
+                model_speedup: 18.2,
+                wall_time: 0.2,
+            },
         ];
         let t = speedup_table("mesh A step 1", &pts);
         assert!(t.contains("18.20x"));

@@ -58,7 +58,7 @@ pub fn assign_new_vertices(
     }
     // Fallback: clusters of new vertices unreachable from any old vertex
     // go, whole, to the currently least-loaded partition.
-    if assign.iter().any(|&q| q == NO_PART) {
+    if assign.contains(&NO_PART) {
         let mut counts: Vec<u64> = vec![0; p];
         for &q in &assign {
             if q != NO_PART {

@@ -234,7 +234,12 @@ pub fn balance(g: &CsrGraph, part: &mut Partitioning, cfg: &IgpConfig) -> Balanc
     let p = cfg.num_parts;
     debug_assert_eq!(part.num_parts(), p);
     let targets = integer_targets(part.counts());
-    let mut out = BalanceOutcome { stages: Vec::new(), balanced: false, total_moved: 0, work: 0 };
+    let mut out = BalanceOutcome {
+        stages: Vec::new(),
+        balanced: false,
+        total_moved: 0,
+        work: 0,
+    };
 
     for _stage in 0..cfg.max_stages {
         let surplus: Vec<i64> = (0..p)
@@ -304,8 +309,7 @@ pub fn balance(g: &CsrGraph, part: &mut Partitioning, cfg: &IgpConfig) -> Balanc
     if !out.balanced {
         // Final check (the loop may have exited on max_stages right after
         // the balancing move).
-        let surplus_zero = (0..p)
-            .all(|q| part.count(q as PartId) as i64 == targets[q]);
+        let surplus_zero = (0..p).all(|q| part.count(q as PartId) as i64 == targets[q]);
         out.balanced = surplus_zero;
     }
     out
@@ -335,8 +339,7 @@ fn apply_moves(
         if want == 0 {
             continue;
         }
-        let mut bucket: Vec<igp_graph::NodeId> =
-            buckets[i as usize * p + j as usize].clone();
+        let mut bucket: Vec<igp_graph::NodeId> = buckets[i as usize * p + j as usize].clone();
         bucket.sort_by_key(|&v| {
             (
                 layering.level[v as usize],
@@ -419,12 +422,24 @@ mod tests {
     fn paper_figure5_through_solver() {
         // The Figure 5 instance via the movement-LP interface.
         let pairs: Vec<(PartId, PartId)> = vec![
-            (0, 1), (0, 2), (0, 3), (1, 0), (1, 2),
-            (2, 0), (2, 1), (2, 3), (3, 0), (3, 2),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 0),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+            (2, 3),
+            (3, 0),
+            (3, 2),
         ];
         let caps = vec![9u64, 7, 12, 10, 11, 3, 7, 9, 7, 5];
         let surplus = vec![8i64, 1, -1, -8];
-        for solver in [BalanceSolver::DenseSimplex, BalanceSolver::BoundedSimplex, BalanceSolver::NetworkFlow] {
+        for solver in [
+            BalanceSolver::DenseSimplex,
+            BalanceSolver::BoundedSimplex,
+            BalanceSolver::NetworkFlow,
+        ] {
             let mut c = cfg(4);
             c.solver = solver;
             let (l, acc) = solve_movement(4, &pairs, Some(&caps), &surplus, &c).unwrap();
@@ -473,7 +488,13 @@ mod tests {
         let mut assign: Vec<PartId> = Vec::new();
         for v in 0..48 {
             let col = v % 12;
-            assign.push(if col < 6 { 0 } else if col < 9 { 1 } else { 2 });
+            assign.push(if col < 6 {
+                0
+            } else if col < 9 {
+                1
+            } else {
+                2
+            });
         }
         let mut part = Partitioning::from_assignment(&g, 3, assign);
         assert_eq!(part.counts(), &[24, 12, 12]);
@@ -530,7 +551,11 @@ mod tests {
     fn network_and_simplex_agree_on_balance() {
         let g = generators::grid(5, 10);
         let assign: Vec<PartId> = (0..50).map(|v| if v % 10 < 7 { 0 } else { 1 }).collect();
-        for solver in [BalanceSolver::DenseSimplex, BalanceSolver::BoundedSimplex, BalanceSolver::NetworkFlow] {
+        for solver in [
+            BalanceSolver::DenseSimplex,
+            BalanceSolver::BoundedSimplex,
+            BalanceSolver::NetworkFlow,
+        ] {
             let mut part = Partitioning::from_assignment(&g, 2, assign.clone());
             let mut c = cfg(2);
             c.solver = solver;

@@ -50,7 +50,7 @@ impl Layering {
                 tmp[assign[v] as usize * p + t as usize].push((l, v as NodeId));
             }
         }
-        for (b, mut list) in buckets.iter_mut().zip(tmp.into_iter()) {
+        for (b, mut list) in buckets.iter_mut().zip(tmp) {
             list.sort_unstable();
             *b = list.into_iter().map(|(_, v)| v).collect();
         }
@@ -66,7 +66,7 @@ pub fn layer_partitions(g: &CsrGraph, assign: &[PartId], p: usize) -> Layering {
     for (v, &q) in assign.iter().enumerate() {
         members[q as usize].push(v as NodeId);
     }
-    let per_part: Vec<(Vec<(NodeId, PartId, u32)>, u64)> = members
+    let per_part: Vec<PartLayerOutput> = members
         .par_iter()
         .enumerate()
         .map(|(i, mem)| layer_one(g, assign, i as PartId, mem))
@@ -92,15 +92,18 @@ pub fn layer_partitions(g: &CsrGraph, assign: &[PartId], p: usize) -> Layering {
     out
 }
 
-/// Layer a single partition; returns `(vertex, tag, level)` labels plus
-/// the work performed. Exposed crate-wide so the SPMD driver can layer
-/// its owned partitions with the identical kernel.
+/// One partition's layering result: `(vertex, tag, level)` labels plus
+/// the work performed.
+pub(crate) type PartLayerOutput = (Vec<(NodeId, PartId, u32)>, u64);
+
+/// Layer a single partition. Exposed crate-wide so the SPMD driver can
+/// layer its owned partitions with the identical kernel.
 pub(crate) fn layer_one(
     g: &CsrGraph,
     assign: &[PartId],
     i: PartId,
     members: &[NodeId],
-) -> (Vec<(NodeId, PartId, u32)>, u64) {
+) -> PartLayerOutput {
     let p_sentinel = u32::MAX;
     let mut work = 0u64;
     // Local state, keyed by position in `members` via a lookup map over
@@ -128,7 +131,7 @@ pub(crate) fn layer_one(
     for (k, &v) in members.iter().enumerate() {
         let mut best: Option<(u32, PartId)> = None; // (count, part)
         counts.clear();
-        counts.resize(num_parts_hint.max(0), 0);
+        counts.resize(num_parts_hint, 0);
         let mut touched: Vec<PartId> = Vec::new();
         for &u in g.neighbors(v) {
             work += 1;
@@ -174,10 +177,7 @@ pub(crate) fn layer_one(
             for &u in g.neighbors(v) {
                 work += 1;
                 let lu = local_of[u as usize];
-                if lu != u32::MAX
-                    && tag[lu as usize] == p_sentinel
-                    && !in_candidates[lu as usize]
-                {
+                if lu != u32::MAX && tag[lu as usize] == p_sentinel && !in_candidates[lu as usize] {
                     in_candidates[lu as usize] = true;
                     candidates.push(u);
                 }
@@ -228,7 +228,11 @@ pub(crate) fn layer_one(
         .iter()
         .enumerate()
         .map(|(k, &v)| {
-            let t = if tag[k] == p_sentinel { NO_PART } else { tag[k] };
+            let t = if tag[k] == p_sentinel {
+                NO_PART
+            } else {
+                tag[k]
+            };
             (v, t, level[k])
         })
         .collect();
@@ -236,6 +240,9 @@ pub(crate) fn layer_one(
 }
 
 #[cfg(test)]
+// Bucket/assignment indices are written `row * stride + col` even when
+// the row is 0, keeping the flat-matrix layout visible.
+#[allow(clippy::identity_op, clippy::erasing_op)]
 mod tests {
     use super::*;
     use igp_graph::{generators, Partitioning};

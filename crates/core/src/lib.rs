@@ -22,11 +22,11 @@
 //!   steps used by our method are inherently parallel" claim with
 //!   simulated CM-5 timings.
 //! * [`multilevel`] — the paper's future-work extension ("another option
-//!    is to use a multilevel approach"): heavy-edge-matching coarsening
-//!    with IGP applied on the coarse graph.
+//!   is to use a multilevel approach"): heavy-edge-matching coarsening
+//!   with IGP applied on the coarse graph.
 //! * [`session::IgpSession`] — the solver-loop API: owns the evolving
-//!    graph + partitioning, applies successive increments and raises the
-//!    paper's from-scratch signal on capped-balance infeasibility.
+//!   graph + partitioning, applies successive increments and raises the
+//!   paper's from-scratch signal on capped-balance infeasibility.
 
 pub mod assign;
 pub mod balance;

@@ -33,7 +33,10 @@ pub struct MultilevelConfig {
 
 impl Default for MultilevelConfig {
     fn default() -> Self {
-        MultilevelConfig { coarsen_to: 256, max_levels: 6 }
+        MultilevelConfig {
+            coarsen_to: 256,
+            max_levels: 6,
+        }
     }
 }
 
@@ -130,23 +133,22 @@ fn coarsen(g: &CsrGraph, assign: &[PartId]) -> Level {
         }
         b.add_edge(a, bb, w);
     }
-    Level { graph: b.build(), coarse_of }
+    Level {
+        graph: b.build(),
+        coarse_of,
+    }
 }
 
 /// Weighted coarse balancing: move coarse vertices between partitions so
 /// fine-vertex weights approach the targets, using one movement LP per
 /// round (caps = bucket weights). Returns the moved fine weight.
-fn coarse_balance(
-    g: &CsrGraph,
-    part: &mut Partitioning,
-    targets: &[i64],
-    cfg: &IgpConfig,
-) -> u64 {
+fn coarse_balance(g: &CsrGraph, part: &mut Partitioning, targets: &[i64], cfg: &IgpConfig) -> u64 {
     let p = cfg.num_parts;
     let mut total_moved = 0u64;
     for _round in 0..cfg.max_stages {
-        let surplus: Vec<i64> =
-            (0..p).map(|q| part.weight(q as PartId) as i64 - targets[q]).collect();
+        let surplus: Vec<i64> = (0..p)
+            .map(|q| part.weight(q as PartId) as i64 - targets[q])
+            .collect();
         if surplus.iter().all(|&s| s.abs() <= 1) {
             break;
         }
@@ -158,8 +160,7 @@ fn coarse_balance(
         let mut caps: Vec<u64> = Vec::new();
         for i in 0..p {
             for j in 0..p {
-                let wsum: u64 =
-                    buckets[i * p + j].iter().map(|&v| g.vertex_weight(v)).sum();
+                let wsum: u64 = buckets[i * p + j].iter().map(|&v| g.vertex_weight(v)).sum();
                 if wsum > 0 {
                     pairs.push((i as PartId, j as PartId));
                     caps.push(wsum);
@@ -243,15 +244,13 @@ pub fn multilevel_repartition(
     }
 
     // Coarse weighted balance at the top of the hierarchy.
-    let fine_targets = integer_targets(
-        &{
-            let mut counts = vec![0u32; cfg.num_parts];
-            for &q in &assign_vec {
-                counts[q as usize] += 1;
-            }
-            counts
-        },
-    );
+    let fine_targets = integer_targets(&{
+        let mut counts = vec![0u32; cfg.num_parts];
+        for &q in &assign_vec {
+            counts[q as usize] += 1;
+        }
+        counts
+    });
     if !levels.is_empty() {
         let mut coarse_part =
             Partitioning::from_assignment(&cur_graph, cfg.num_parts, cur_assign.clone());
@@ -286,7 +285,11 @@ mod tests {
         let g = generators::grid(10, 10);
         let assign = vec![0 as PartId; 100];
         let lvl = coarsen(&g, &assign);
-        assert!(lvl.graph.num_vertices() <= 60, "{}", lvl.graph.num_vertices());
+        assert!(
+            lvl.graph.num_vertices() <= 60,
+            "{}",
+            lvl.graph.num_vertices()
+        );
         assert_eq!(lvl.graph.total_vertex_weight(), 100);
         lvl.graph.validate().unwrap();
     }
@@ -315,7 +318,10 @@ mod tests {
         let delta = generators::localized_growth_delta(&g, 0, 28, 5);
         let inc = delta.apply(&g);
         let cfg = IgpConfig::new(4);
-        let ml = MultilevelConfig { coarsen_to: 32, max_levels: 4 };
+        let ml = MultilevelConfig {
+            coarsen_to: 32,
+            max_levels: 4,
+        };
         let (part, report) = multilevel_repartition(&inc, &old, &cfg, &ml);
         assert!(report.level_sizes.len() > 1, "should actually coarsen");
         let counts = part.counts();
@@ -341,12 +347,8 @@ mod tests {
             (0..16).map(|v| if v % 4 < 2 { 0 } else { 1 }).collect(),
         );
         let inc = GraphDelta::default().apply(&g);
-        let (part, report) = multilevel_repartition(
-            &inc,
-            &old,
-            &IgpConfig::new(2),
-            &MultilevelConfig::default(),
-        );
+        let (part, report) =
+            multilevel_repartition(&inc, &old, &IgpConfig::new(2), &MultilevelConfig::default());
         assert_eq!(report.level_sizes, vec![16]); // never coarsened
         assert_eq!(part.count(0), 8);
     }

@@ -79,7 +79,12 @@ impl ParallelPartitioner {
     /// Full constructor.
     pub fn new(cfg: IgpConfig, workers: usize, refine: bool, cost: CostModel) -> Self {
         assert!(workers >= 1);
-        ParallelPartitioner { cfg, with_refinement: refine, workers, cost }
+        ParallelPartitioner {
+            cfg,
+            with_refinement: refine,
+            workers,
+            cost,
+        }
     }
 
     /// Number of ranks.
@@ -94,20 +99,25 @@ impl ParallelPartitioner {
         inc: &IncrementalGraph,
         old_part: &Partitioning,
     ) -> (Partitioning, ParallelRunReport) {
-        assert_eq!(old_part.num_parts(), self.cfg.num_parts, "partition count mismatch");
+        assert_eq!(
+            old_part.num_parts(),
+            self.cfg.num_parts,
+            "partition count mismatch"
+        );
         let machine = Machine::new(self.workers, self.cost);
         let cfg = &self.cfg;
         let with_refinement = self.with_refinement;
-        let (mut outs, sim) = machine.run(move |ctx| {
-            run_rank(ctx, inc, old_part, cfg, with_refinement)
-        });
+        let (mut outs, sim) =
+            machine.run(move |ctx| run_rank(ctx, inc, old_part, cfg, with_refinement));
         // All ranks compute identical state; take rank 0's copy.
         let r0 = outs.swap_remove(0);
-        let part =
-            Partitioning::from_assignment(inc.new_graph(), self.cfg.num_parts, r0.assign);
+        let part = Partitioning::from_assignment(inc.new_graph(), self.cfg.num_parts, r0.assign);
         let phases = PhaseSim {
             assign: outs.iter().map(|o| o.t_assign).fold(r0.t_assign, f64::max),
-            balance: outs.iter().map(|o| o.t_balance).fold(r0.t_balance, f64::max),
+            balance: outs
+                .iter()
+                .map(|o| o.t_balance)
+                .fold(r0.t_balance, f64::max),
             refine: outs.iter().map(|o| o.t_refine).fold(r0.t_refine, f64::max),
         };
         let report = ParallelRunReport {
@@ -194,7 +204,7 @@ fn run_rank(
     }
     // Orphan clusters (new vertices unreachable from any survivor): rank 0
     // decides, everyone applies.
-    let have_orphans = assign.iter().any(|&q| q == NO_PART);
+    let have_orphans = assign.contains(&NO_PART);
     if have_orphans {
         let decided: Vec<(NodeId, PartId)> = if me == 0 {
             let mut counts: Vec<u64> = vec![0; p];
@@ -236,8 +246,9 @@ fn run_rank(
     let mut balanced = false;
 
     for _stage in 0..cfg.max_stages {
-        let surplus: Vec<i64> =
-            (0..p).map(|q| part.count(q as PartId) as i64 - targets[q]).collect();
+        let surplus: Vec<i64> = (0..p)
+            .map(|q| part.count(q as PartId) as i64 - targets[q])
+            .collect();
         ctx.charge(p as u64);
         if surplus.iter().all(|&s| s == 0) {
             balanced = true;
@@ -328,10 +339,12 @@ fn run_rank(
                     let mut buckets: Vec<Vec<(u32, i64, NodeId)>> = vec![Vec::new(); p * p];
                     for (v, (&t, &l)) in tag.iter().zip(&level).enumerate() {
                         if t != NO_PART {
-                            let gain =
-                                igp_graph::metrics::move_gain(g, &part, v as NodeId, t);
-                            buckets[assign_now[v] as usize * p + t as usize]
-                                .push((l, -gain, v as NodeId));
+                            let gain = igp_graph::metrics::move_gain(g, &part, v as NodeId, t);
+                            buckets[assign_now[v] as usize * p + t as usize].push((
+                                l,
+                                -gain,
+                                v as NodeId,
+                            ));
                         }
                     }
                     for b in &mut buckets {
@@ -443,7 +456,10 @@ fn run_rank(
             }
             // Group into pairs; order candidates best-gain-first.
             merged.sort_by(|a, b| {
-                (a.0, a.1).cmp(&(b.0, b.1)).then(b.3.cmp(&a.3)).then(a.2.cmp(&b.2))
+                (a.0, a.1)
+                    .cmp(&(b.0, b.1))
+                    .then(b.3.cmp(&a.3))
+                    .then(a.2.cmp(&b.2))
             });
             ctx.charge(merged.len() as u64);
             let mut pairs: Vec<(PartId, PartId)> = Vec::new();

@@ -38,12 +38,18 @@ pub struct IncrementalPartitioner {
 impl IncrementalPartitioner {
     /// IGP: no refinement phase.
     pub fn igp(cfg: IgpConfig) -> Self {
-        IncrementalPartitioner { cfg, with_refinement: false }
+        IncrementalPartitioner {
+            cfg,
+            with_refinement: false,
+        }
     }
 
     /// IGPR: with the LP refinement phase.
     pub fn igpr(cfg: IgpConfig) -> Self {
-        IncrementalPartitioner { cfg, with_refinement: true }
+        IncrementalPartitioner {
+            cfg,
+            with_refinement: true,
+        }
     }
 
     /// The active configuration.
@@ -69,7 +75,11 @@ impl IncrementalPartitioner {
             inc.old().num_vertices(),
             "old partitioning does not match the old graph"
         );
-        assert_eq!(old_part.num_parts(), self.cfg.num_parts, "partition count mismatch");
+        assert_eq!(
+            old_part.num_parts(),
+            self.cfg.num_parts,
+            "partition count mismatch"
+        );
         let g = inc.new_graph();
         let mut timings = PhaseTimings::default();
 
@@ -158,7 +168,10 @@ mod tests {
                 nv != igp_graph::INVALID_NODE && part.part_of(nv) != old.part_of(v)
             })
             .count();
-        assert!(moved_old <= 40, "deformation too large: {moved_old} old vertices moved");
+        assert!(
+            moved_old <= 40,
+            "deformation too large: {moved_old} old vertices moved"
+        );
     }
 
     #[test]

@@ -55,8 +55,11 @@ pub fn parallel_simplex(
 ) -> Result<ParallelLpSolution, LpError> {
     let mut t = build(ctx, model, opts.eps);
     let m = t.rhs.len();
-    let mut stats =
-        SimplexStats { rows: m, cols: t.ncols, ..Default::default() };
+    let mut stats = SimplexStats {
+        rows: m,
+        cols: t.ncols,
+        ..Default::default()
+    };
 
     // Phase 1: minimize artificials.
     if t.n_art > 0 {
@@ -98,7 +101,11 @@ pub fn parallel_simplex(
         }
     }
     let objective = model.objective_value(&x);
-    Ok(ParallelLpSolution { x, objective, stats })
+    Ok(ParallelLpSolution {
+        x,
+        objective,
+        stats,
+    })
 }
 
 /// Standard-form assembly, column-wise, strided by rank.
@@ -112,11 +119,19 @@ fn build(ctx: &mut Ctx, model: &LpModel, eps: f64) -> DistTableau {
     let mut rows: Vec<Row> = model
         .constraints()
         .iter()
-        .map(|c| Row { coeffs: c.coeffs.clone(), cmp: c.cmp, rhs: c.rhs })
+        .map(|c| Row {
+            coeffs: c.coeffs.clone(),
+            cmp: c.cmp,
+            rhs: c.rhs,
+        })
         .collect();
     for (i, ub) in model.upper_bounds().iter().enumerate() {
         if let Some(u) = ub {
-            rows.push(Row { coeffs: vec![(i, 1.0)], cmp: Cmp::Le, rhs: *u });
+            rows.push(Row {
+                coeffs: vec![(i, 1.0)],
+                cmp: Cmp::Le,
+                rhs: *u,
+            });
         }
     }
     for r in &mut rows {
@@ -296,9 +311,7 @@ fn pivot_on_column(
                     match best {
                         None => best = Some((ratio, t.basis[i], i)),
                         Some((br, bb, _)) => {
-                            if ratio < br - t.eps
-                                || (ratio < br + t.eps && t.basis[i] < bb)
-                            {
+                            if ratio < br - t.eps || (ratio < br + t.eps && t.basis[i] < bb) {
                                 best = Some((ratio, t.basis[i], i));
                             }
                         }
@@ -375,8 +388,7 @@ fn expel_artificials(ctx: &mut Ctx, t: &mut DistTableau) {
         if j == u64::MAX {
             t.active[r] = false;
         } else {
-            pivot_on_column(ctx, t, j as usize, Some(r))
-                .expect("forced pivot cannot be unbounded");
+            pivot_on_column(ctx, t, j as usize, Some(r)).expect("forced pivot cannot be unbounded");
         }
     }
     let _ = t.n_struct;
@@ -445,9 +457,29 @@ mod tests {
             m.set_objective(i, 1.0);
             m.set_upper_bound(i, caps[i]);
         }
-        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+        m.add_eq(
+            vec![
+                (0, 1.0),
+                (1, 1.0),
+                (2, 1.0),
+                (3, -1.0),
+                (5, -1.0),
+                (8, -1.0),
+            ],
+            8.0,
+        );
         m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
-        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+        m.add_eq(
+            vec![
+                (5, 1.0),
+                (6, 1.0),
+                (7, 1.0),
+                (1, -1.0),
+                (4, -1.0),
+                (9, -1.0),
+            ],
+            -1.0,
+        );
         m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
         check_matches_sequential(&m, 4);
     }
@@ -457,9 +489,8 @@ mod tests {
         let mut m = LpModel::minimize(1);
         m.add_le(vec![(0, 1.0)], 1.0);
         m.add_ge(vec![(0, 1.0)], 2.0);
-        let (outs, _) = Machine::new(3, CostModel::cm5()).run(|ctx| {
-            parallel_simplex(ctx, &m, SimplexOptions::default()).err()
-        });
+        let (outs, _) = Machine::new(3, CostModel::cm5())
+            .run(|ctx| parallel_simplex(ctx, &m, SimplexOptions::default()).err());
         assert!(outs.iter().all(|e| *e == Some(LpError::Infeasible)));
     }
 
@@ -468,8 +499,11 @@ mod tests {
         // More ranks → less charged work per rank for the column updates.
         let m = sample_lp();
         let run = |w: usize| {
-            let (_, rep) = Machine::new(w, CostModel::compute_only())
-                .run(|ctx| parallel_simplex(ctx, &m, SimplexOptions::default()).unwrap().objective);
+            let (_, rep) = Machine::new(w, CostModel::compute_only()).run(|ctx| {
+                parallel_simplex(ctx, &m, SimplexOptions::default())
+                    .unwrap()
+                    .objective
+            });
             rep.makespan
         };
         let t1 = run(1);

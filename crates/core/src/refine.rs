@@ -199,12 +199,7 @@ pub fn refine(g: &CsrGraph, part: &mut Partitioning, cfg: &IgpConfig) -> RefineO
 
 /// FM-engine wrapper (ablation E8): greedy boundary passes with a balance
 /// slack, reported through the same [`RefineOutcome`] shape.
-fn refine_fm(
-    g: &CsrGraph,
-    part: &mut Partitioning,
-    cfg: &IgpConfig,
-    slack: u32,
-) -> RefineOutcome {
+fn refine_fm(g: &CsrGraph, part: &mut Partitioning, cfg: &IgpConfig, slack: u32) -> RefineOutcome {
     let cut_before = CutMetrics::compute(g, part).total_cut_edges;
     let fm = igp_graph::fm::fm_refine(
         g,
@@ -316,6 +311,9 @@ fn refine_lp(g: &CsrGraph, part: &mut Partitioning, cfg: &IgpConfig) -> RefineOu
 }
 
 #[cfg(test)]
+// Grid indices are written `row * side + col` even when the row is 0,
+// keeping the 2-D layout visible.
+#[allow(clippy::identity_op, clippy::erasing_op)]
 mod tests {
     use super::*;
     use igp_graph::generators;
@@ -327,11 +325,23 @@ mod tests {
     #[test]
     fn paper_figure8_circulation() {
         let pairs: Vec<(PartId, PartId)> = vec![
-            (0, 1), (0, 2), (0, 3), (1, 0), (1, 2),
-            (2, 0), (2, 1), (2, 3), (3, 0), (3, 2),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 0),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+            (2, 3),
+            (3, 0),
+            (3, 2),
         ];
         let caps = vec![1u64, 1, 1, 2, 1, 0, 1, 1, 2, 1];
-        for solver in [BalanceSolver::DenseSimplex, BalanceSolver::BoundedSimplex, BalanceSolver::NetworkFlow] {
+        for solver in [
+            BalanceSolver::DenseSimplex,
+            BalanceSolver::BoundedSimplex,
+            BalanceSolver::NetworkFlow,
+        ] {
             let mut c = cfg(4);
             c.solver = solver;
             let (l, _) = solve_circulation(4, &pairs, &caps, &c);
@@ -388,11 +398,7 @@ mod tests {
     #[test]
     fn strict_mode_excludes_zero_gain() {
         let g = generators::cycle(8);
-        let part = Partitioning::from_assignment(
-            &g,
-            2,
-            vec![0, 0, 0, 0, 1, 1, 1, 1],
-        );
+        let part = Partitioning::from_assignment(&g, 2, vec![0, 0, 0, 0, 1, 1, 1, 1]);
         // Boundary vertices on a cycle have gain 0 (1 out, 1 in).
         let (pairs_loose, _, _) = collect_candidates(&g, &part, false);
         let (pairs_strict, _, _) = collect_candidates(&g, &part, true);
@@ -429,7 +435,10 @@ mod tests {
         let cut0 = CutMetrics::compute(&g, &part).total_cut_edges;
         let outcome = refine(&g, &mut part, &cfg(2));
         let cut1 = CutMetrics::compute(&g, &part).total_cut_edges;
-        assert!(cut1 < cut0, "refinement should fix the double dent: {cut0} -> {cut1}");
+        assert!(
+            cut1 < cut0,
+            "refinement should fix the double dent: {cut0} -> {cut1}"
+        );
         assert!(outcome.total_moved >= 2);
         assert_eq!(part.count(0), 16);
     }
@@ -448,7 +457,11 @@ mod tests {
 
         let mut lp_part = base.clone();
         let _ = refine(&g, &mut lp_part, &cfg(2));
-        assert_eq!(lp_part.counts(), base.counts(), "LP preserves sizes exactly");
+        assert_eq!(
+            lp_part.counts(),
+            base.counts(),
+            "LP preserves sizes exactly"
+        );
 
         let mut fm_cfg = cfg(2);
         fm_cfg.refine.engine = RefineEngine::Fm { slack: 1 };
@@ -472,7 +485,11 @@ mod tests {
         let base = Partitioning::from_assignment(&g, 3, assign);
         let cut0 = CutMetrics::compute(&g, &base).total_cut_edges;
         let mut cuts = Vec::new();
-        for solver in [BalanceSolver::DenseSimplex, BalanceSolver::BoundedSimplex, BalanceSolver::NetworkFlow] {
+        for solver in [
+            BalanceSolver::DenseSimplex,
+            BalanceSolver::BoundedSimplex,
+            BalanceSolver::NetworkFlow,
+        ] {
             let mut part = base.clone();
             let mut c = cfg(3);
             c.solver = solver;

@@ -47,9 +47,7 @@ impl IgpReport {
 
     /// Total modeled work units across phases.
     pub fn total_work(&self) -> u64 {
-        self.assign.work
-            + self.balance.work
-            + self.refine.as_ref().map_or(0, |r| r.work)
+        self.assign.work + self.balance.work + self.refine.as_ref().map_or(0, |r| r.work)
     }
 
     /// Fraction of modeled work spent inside LP solves — the paper's
@@ -61,7 +59,11 @@ impl IgpReport {
             .stages
             .iter()
             .map(|s| s.lp.work)
-            .chain(self.refine.iter().flat_map(|r| r.iters.iter().map(|i| i.lp.work)))
+            .chain(
+                self.refine
+                    .iter()
+                    .flat_map(|r| r.iters.iter().map(|i| i.lp.work)),
+            )
             .sum();
         let total = self.total_work();
         if total == 0 {
@@ -143,12 +145,22 @@ mod tests {
 
     fn dummy_report() -> IgpReport {
         IgpReport {
-            assign: AssignReport { new_vertices: 5, clustered: 0, max_dist: 2, work: 100 },
+            assign: AssignReport {
+                new_vertices: 5,
+                clustered: 0,
+                max_dist: 2,
+                work: 100,
+            },
             balance: BalanceOutcome {
                 stages: vec![StageReport {
                     delta: 1,
                     moved: 7,
-                    lp: LpAccounting { vars: 10, constraints: 14, pivots: 6, work: 840 },
+                    lp: LpAccounting {
+                        vars: 10,
+                        constraints: 14,
+                        pivots: 6,
+                        work: 840,
+                    },
                     layer_work: 50,
                 }],
                 balanced: true,

@@ -73,7 +73,13 @@ impl IgpSession {
         } else {
             IncrementalPartitioner::igp(cfg)
         };
-        IgpSession { graph, part, partitioner, history: Vec::new(), needs_scratch: false }
+        IgpSession {
+            graph,
+            part,
+            partitioner,
+            history: Vec::new(),
+            needs_scratch: false,
+        }
     }
 
     /// The current graph.

@@ -27,7 +27,12 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// The empty graph.
     pub fn empty() -> Self {
-        CsrGraph { xadj: vec![0], adj: Vec::new(), ewgt: Vec::new(), vwgt: Vec::new() }
+        CsrGraph {
+            xadj: vec![0],
+            adj: Vec::new(),
+            ewgt: Vec::new(),
+            vwgt: Vec::new(),
+        }
     }
 
     /// Build from an undirected edge list with unit vertex and edge weights.
@@ -85,7 +90,10 @@ impl CsrGraph {
     /// Neighbour/weight pairs of `v`.
     #[inline]
     pub fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.edge_weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(v).iter().copied())
     }
 
     /// Weight of vertex `v`.
@@ -107,7 +115,11 @@ impl CsrGraph {
 
     /// Replace the vertex weights (length must equal `num_vertices`).
     pub fn set_vertex_weights(&mut self, w: Vec<Weight>) {
-        assert_eq!(w.len(), self.num_vertices(), "vertex weight length mismatch");
+        assert_eq!(
+            w.len(),
+            self.num_vertices(),
+            "vertex weight length mismatch"
+        );
         self.vwgt = w;
     }
 
@@ -118,7 +130,10 @@ impl CsrGraph {
 
     /// Weight of edge `{u, v}` if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        self.neighbors(u).binary_search(&v).ok().map(|i| self.edge_weights(u)[i])
+        self.neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.edge_weights(u)[i])
     }
 
     /// Iterate over every vertex id.
@@ -130,7 +145,9 @@ impl CsrGraph {
     /// Iterate each undirected edge once, as `(u, v, w)` with `u < v`.
     pub fn undirected_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.edges_of(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
+            self.edges_of(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
         })
     }
 
@@ -150,7 +167,10 @@ impl CsrGraph {
     /// deduplicated and in range). Returns the subgraph plus the mapping
     /// from subgraph ids back to original ids.
     pub fn induced_subgraph(&self, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
-        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+unique");
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be sorted+unique"
+        );
         let n = self.num_vertices();
         let mut local = vec![u32::MAX; n];
         for (i, &v) in keep.iter().enumerate() {
@@ -228,7 +248,11 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// A builder for a graph of `n` vertices, unit vertex weights.
     pub fn new(n: usize) -> Self {
-        CsrBuilder { n, edges: Vec::new(), vwgt: vec![1; n] }
+        CsrBuilder {
+            n,
+            edges: Vec::new(),
+            vwgt: vec![1; n],
+        }
     }
 
     /// Reserve space for `m` undirected edges.
@@ -244,7 +268,10 @@ impl CsrBuilder {
     /// detected at `build` time.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
         assert!(u != v, "self loop {u}");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range"
+        );
         self.edges.push((u, v, w));
     }
 
@@ -291,7 +318,12 @@ impl CsrBuilder {
             let lo = xadj[v] as usize;
             let hi = xadj[v + 1] as usize;
             scratch.clear();
-            scratch.extend(adj[lo..hi].iter().copied().zip(ewgt[lo..hi].iter().copied()));
+            scratch.extend(
+                adj[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(ewgt[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(u, _)| u);
             for w in scratch.windows(2) {
                 assert!(w[0].0 != w[1].0, "duplicate edge {{{v},{}}}", w[0].0);
@@ -301,7 +333,12 @@ impl CsrBuilder {
                 ewgt[lo + i] = w;
             }
         }
-        CsrGraph { xadj, adj, ewgt, vwgt: self.vwgt }
+        CsrGraph {
+            xadj,
+            adj,
+            ewgt,
+            vwgt: self.vwgt,
+        }
     }
 }
 

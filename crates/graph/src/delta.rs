@@ -88,7 +88,11 @@ impl GraphDelta {
             .collect();
         kill.sort_unstable();
         kill.dedup();
-        assert_eq!(kill.len(), self.remove_edges.len(), "duplicate edge removal");
+        assert_eq!(
+            kill.len(),
+            self.remove_edges.len(),
+            "duplicate edge removal"
+        );
         for (u, v, w) in old.undirected_edges() {
             if removed[u as usize] || removed[v as usize] {
                 continue;
@@ -145,7 +149,11 @@ impl IncrementalGraph {
     /// Panics unless the map is a partial injection from new ids onto old
     /// ids (each old id used at most once, all in range).
     pub fn new(old: CsrGraph, new: CsrGraph, old_of_new: Vec<NodeId>) -> Self {
-        assert_eq!(old_of_new.len(), new.num_vertices(), "old_of_new length mismatch");
+        assert_eq!(
+            old_of_new.len(),
+            new.num_vertices(),
+            "old_of_new length mismatch"
+        );
         let mut new_of_old = vec![INVALID_NODE; old.num_vertices()];
         for (v_new, &v_old) in old_of_new.iter().enumerate() {
             if v_old != INVALID_NODE {
@@ -157,7 +165,12 @@ impl IncrementalGraph {
                 new_of_old[v_old as usize] = v_new as NodeId;
             }
         }
-        IncrementalGraph { old, new, old_of_new, new_of_old }
+        IncrementalGraph {
+            old,
+            new,
+            old_of_new,
+            new_of_old,
+        }
     }
 
     /// Pair two [`crate::DynGraph::snapshot`] results taken from the same
@@ -227,7 +240,10 @@ impl IncrementalGraph {
 
     /// Count of surviving vertices.
     pub fn num_survivors(&self) -> usize {
-        self.old_of_new.iter().filter(|&&v| v != INVALID_NODE).count()
+        self.old_of_new
+            .iter()
+            .filter(|&&v| v != INVALID_NODE)
+            .count()
     }
 
     /// Recover the edit list (for reporting and tests).
@@ -247,8 +263,7 @@ impl IncrementalGraph {
         let mut add_edges = Vec::new();
         for (u, v, w) in self.new.undirected_edges() {
             let (ou, ov) = (self.old_of_new[u as usize], self.old_of_new[v as usize]);
-            let existed =
-                ou != INVALID_NODE && ov != INVALID_NODE && self.old.has_edge(ou, ov);
+            let existed = ou != INVALID_NODE && ov != INVALID_NODE && self.old.has_edge(ou, ov);
             if !existed {
                 let (a, b) = (ext_of_new(u), ext_of_new(v));
                 add_edges.push(if a < b { (a, b, w) } else { (b, a, w) });
@@ -353,7 +368,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-existent edge")]
     fn removing_missing_edge_panics() {
-        let delta = GraphDelta { remove_edges: vec![(0, 4)], ..Default::default() };
+        let delta = GraphDelta {
+            remove_edges: vec![(0, 4)],
+            ..Default::default()
+        };
         delta.apply(&path5());
     }
 

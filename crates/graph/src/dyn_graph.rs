@@ -82,8 +82,7 @@ impl DynGraph {
 
     /// Delete vertex `v` and all incident edges.
     pub fn remove_vertex(&mut self, v: NodeId) {
-        let nbrs: Vec<NodeId> = self
-            .adj[v as usize]
+        let nbrs: Vec<NodeId> = self.adj[v as usize]
             .as_ref()
             .expect("remove_vertex: vertex not live")
             .iter()
@@ -100,7 +99,10 @@ impl DynGraph {
     /// Panics if either endpoint is dead, on self-loops, or if the edge exists.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
         assert!(u != v, "self loop {u}");
-        assert!(self.is_live(u) && self.is_live(v), "add_edge on dead vertex");
+        assert!(
+            self.is_live(u) && self.is_live(v),
+            "add_edge on dead vertex"
+        );
         Self::insert_half(self.adj[u as usize].as_mut().unwrap(), v, w);
         Self::insert_half(self.adj[v as usize].as_mut().unwrap(), u, w);
         self.num_edges += 1;

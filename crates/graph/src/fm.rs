@@ -32,7 +32,11 @@ pub struct FmOptions {
 
 impl Default for FmOptions {
     fn default() -> Self {
-        FmOptions { max_passes: 4, balance_slack: 1, strict_gain: true }
+        FmOptions {
+            max_passes: 4,
+            balance_slack: 1,
+            strict_gain: true,
+        }
     }
 }
 
@@ -61,7 +65,11 @@ pub fn fm_refine(g: &CsrGraph, part: &mut Partitioning, opts: FmOptions) -> FmOu
         let mut cands: Vec<(i64, NodeId, PartId)> = Vec::new();
         for v in g.vertices() {
             if let Some((gain, to)) = best_move(g, part, v) {
-                let ok = if opts.strict_gain { gain > 0 } else { gain >= 0 };
+                let ok = if opts.strict_gain {
+                    gain > 0
+                } else {
+                    gain >= 0
+                };
                 if ok {
                     cands.push((gain, v, to));
                 }
@@ -74,8 +82,14 @@ pub fn fm_refine(g: &CsrGraph, part: &mut Partitioning, opts: FmOptions) -> FmOu
         for (_, v, _) in cands {
             // Re-evaluate: earlier moves may have changed this vertex's
             // situation entirely.
-            let Some((gain, to)) = best_move(g, part, v) else { continue };
-            let improving = if opts.strict_gain { gain > 0 } else { gain >= 0 };
+            let Some((gain, to)) = best_move(g, part, v) else {
+                continue;
+            };
+            let improving = if opts.strict_gain {
+                gain > 0
+            } else {
+                gain >= 0
+            };
             if !improving {
                 continue;
             }
@@ -133,6 +147,9 @@ fn best_move(g: &CsrGraph, part: &Partitioning, v: NodeId) -> Option<(i64, PartI
 }
 
 #[cfg(test)]
+// Grid indices are written `row * side + col` even when the row is 0,
+// keeping the 2-D layout visible.
+#[allow(clippy::identity_op, clippy::erasing_op)]
 mod tests {
     use super::*;
     use crate::generators;
@@ -142,8 +159,7 @@ mod tests {
     fn fixes_double_dent() {
         // Band split with two reciprocal dents: FM must swap them back.
         let g = generators::grid(6, 6);
-        let mut assign: Vec<PartId> =
-            (0..36).map(|v| if v % 6 < 3 { 0 } else { 1 }).collect();
+        let mut assign: Vec<PartId> = (0..36).map(|v| if v % 6 < 3 { 0 } else { 1 }).collect();
         assign[0 * 6 + 3] = 0;
         assign[5 * 6 + 2] = 1;
         let mut part = Partitioning::from_assignment(&g, 2, assign);
@@ -161,7 +177,14 @@ mod tests {
         let g = generators::grid(4, 8);
         let assign: Vec<PartId> = (0..32).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
         let mut part = Partitioning::from_assignment(&g, 2, assign);
-        let _ = fm_refine(&g, &mut part, FmOptions { balance_slack: 0, ..Default::default() });
+        let _ = fm_refine(
+            &g,
+            &mut part,
+            FmOptions {
+                balance_slack: 0,
+                ..Default::default()
+            },
+        );
         assert!(part.counts().iter().all(|&c| c <= 16));
     }
 
@@ -189,17 +212,21 @@ mod tests {
     #[test]
     fn weighted_gain_respected() {
         // Heavy edge into the other side must win.
-        let g = CsrGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 1), (1, 2, 8), (2, 3, 1), (0, 3, 1)],
-        );
+        let g = CsrGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 8), (2, 3, 1), (0, 3, 1)]);
         let mut part = Partitioning::from_assignment(&g, 2, vec![0, 0, 1, 1]);
         let out = fm_refine(
             &g,
             &mut part,
-            FmOptions { balance_slack: 2, ..Default::default() },
+            FmOptions {
+                balance_slack: 2,
+                ..Default::default()
+            },
         );
         let m = CutMetrics::compute(&g, &part);
-        assert!(m.total_cut_weight < 9, "cut weight {} (out {out:?})", m.total_cut_weight);
+        assert!(
+            m.total_cut_weight < 9,
+            "cut weight {} (out {out:?})",
+            m.total_cut_weight
+        );
     }
 }

@@ -45,8 +45,9 @@ pub fn torus(rows: usize, cols: usize) -> CsrGraph {
 
 /// Path on `n` vertices.
 pub fn path(n: usize) -> CsrGraph {
-    let edges: Vec<(NodeId, NodeId)> =
-        (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    let edges: Vec<(NodeId, NodeId)> = (0..n.saturating_sub(1))
+        .map(|i| (i as NodeId, i as NodeId + 1))
+        .collect();
     CsrGraph::from_edges(n, &edges)
 }
 
@@ -72,8 +73,9 @@ pub fn complete(n: usize) -> CsrGraph {
 
 /// Balanced binary tree with `n` vertices (parent `⌊(i−1)/2⌋`).
 pub fn binary_tree(n: usize) -> CsrGraph {
-    let edges: Vec<(NodeId, NodeId)> =
-        (1..n).map(|i| (((i - 1) / 2) as NodeId, i as NodeId)).collect();
+    let edges: Vec<(NodeId, NodeId)> = (1..n)
+        .map(|i| (((i - 1) / 2) as NodeId, i as NodeId))
+        .collect();
     CsrGraph::from_edges(n, &edges)
 }
 
@@ -82,7 +84,9 @@ pub fn binary_tree(n: usize) -> CsrGraph {
 /// irregular computation graphs. Uses a grid spatial index (O(n) expected).
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cells = (1.0 / radius).floor().max(1.0) as usize;
     let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
     let mut grid_idx: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
@@ -129,12 +133,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
 /// seed vertex: `k` new vertices, each attached to 1–3 hosts chosen from a
 /// BFS ball around `center` plus previously added vertices. Mirrors the
 /// paper's "renements in a localized area".
-pub fn localized_growth_delta(
-    graph: &CsrGraph,
-    center: NodeId,
-    k: usize,
-    seed: u64,
-) -> GraphDelta {
+pub fn localized_growth_delta(graph: &CsrGraph, center: NodeId, k: usize, seed: u64) -> GraphDelta {
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = crate::traversal::bfs_distances(graph, &[center]);
     // Hosts: the ~4k nearest old vertices to the centre.
@@ -230,7 +229,11 @@ mod tests {
         // Locality: every attachment host is near the corner vertex 0.
         let dist = crate::traversal::bfs_distances(&g, &[0]);
         for &(u, _, _) in delta.add_edges.iter().filter(|&&(u, _, _)| u < 100) {
-            assert!(dist[u as usize] <= 12, "host {u} too far: {}", dist[u as usize]);
+            assert!(
+                dist[u as usize] <= 12,
+                "host {u} too far: {}",
+                dist[u as usize]
+            );
         }
     }
 }

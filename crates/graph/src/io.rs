@@ -45,7 +45,9 @@ impl std::error::Error for ParseError {}
 /// Serialize a graph in METIS format. Writes edge weights iff any edge
 /// weight differs from 1; vertex weights iff any differs from 1.
 pub fn write_metis(g: &CsrGraph) -> String {
-    let has_ew = g.vertices().any(|v| g.edge_weights(v).iter().any(|&w| w != 1));
+    let has_ew = g
+        .vertices()
+        .any(|v| g.edge_weights(v).iter().any(|&w| w != 1));
     let has_vw = g.vertex_weights().iter().any(|&w| w != 1);
     let fmt = match (has_vw, has_ew) {
         (false, false) => "",
@@ -102,14 +104,18 @@ pub fn read_metis(text: &str) -> Result<CsrGraph, ParseError> {
     let has_vw = fmt_padded.as_bytes()[1] == b'1';
     let has_ew = fmt_padded.as_bytes()[2] == b'1';
     if has_vs {
-        return Err(ParseError::BadHeader("vertex sizes (fmt 1xx) unsupported".into()));
+        return Err(ParseError::BadHeader(
+            "vertex sizes (fmt 1xx) unsupported".into(),
+        ));
     }
     let ncon: usize = head
         .get(3)
         .map(|s| s.parse().unwrap_or(1))
         .unwrap_or(if has_vw { 1 } else { 0 });
     if ncon > 1 {
-        return Err(ParseError::BadHeader("multiple vertex constraints unsupported".into()));
+        return Err(ParseError::BadHeader(
+            "multiple vertex constraints unsupported".into(),
+        ));
     }
 
     let mut b = CsrBuilder::with_edge_capacity(n, m);
@@ -137,8 +143,7 @@ pub fn read_metis(text: &str) -> Result<CsrGraph, ParseError> {
             })?;
             b.set_vertex_weight(v, w as Weight);
         }
-        loop {
-            let Some(u) = toks.next().transpose()? else { break };
+        while let Some(u) = toks.next().transpose()? {
             if u == 0 || u as usize > n {
                 return Err(ParseError::BadLine {
                     line: lineno,
@@ -163,7 +168,9 @@ pub fn read_metis(text: &str) -> Result<CsrGraph, ParseError> {
         v += 1;
     }
     if (v as usize) != n {
-        return Err(ParseError::Inconsistent(format!("{v} vertex lines, header says {n}")));
+        return Err(ParseError::Inconsistent(format!(
+            "{v} vertex lines, header says {n}"
+        )));
     }
     if seen_edges != m {
         return Err(ParseError::Inconsistent(format!(

@@ -271,6 +271,9 @@ mod tests {
         let g = cycle6();
         let p = Partitioning::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]);
         let m = CutMetrics::compute(&g, &p);
-        assert_eq!(m.cutset_row().split_whitespace().collect::<Vec<_>>(), vec!["2", "2", "2"]);
+        assert_eq!(
+            m.cutset_row().split_whitespace().collect::<Vec<_>>(),
+            vec!["2", "2", "2"]
+        );
     }
 }

@@ -21,15 +21,27 @@ impl Partitioning {
     /// Wrap an existing assignment vector. Panics if any entry is out of
     /// range. `graph` supplies the vertex weights.
     pub fn from_assignment(graph: &CsrGraph, num_parts: usize, assign: Vec<PartId>) -> Self {
-        assert_eq!(assign.len(), graph.num_vertices(), "assignment length mismatch");
+        assert_eq!(
+            assign.len(),
+            graph.num_vertices(),
+            "assignment length mismatch"
+        );
         let mut counts = vec![0u32; num_parts];
         let mut weights = vec![0 as Weight; num_parts];
         for (v, &p) in assign.iter().enumerate() {
-            assert!((p as usize) < num_parts, "vertex {v} assigned to invalid part {p}");
+            assert!(
+                (p as usize) < num_parts,
+                "vertex {v} assigned to invalid part {p}"
+            );
             counts[p as usize] += 1;
             weights[p as usize] += graph.vertex_weight(v as NodeId);
         }
-        Partitioning { num_parts, assign, counts, weights }
+        Partitioning {
+            num_parts,
+            assign,
+            counts,
+            weights,
+        }
     }
 
     /// Assign every vertex to partition 0 (useful as a degenerate baseline).
@@ -40,8 +52,9 @@ impl Partitioning {
     /// Round-robin assignment `v ↦ v mod P` (a deliberately bad baseline
     /// with terrible cut, used by tests and ablations).
     pub fn round_robin(graph: &CsrGraph, num_parts: usize) -> Self {
-        let assign =
-            (0..graph.num_vertices()).map(|v| (v % num_parts) as PartId).collect();
+        let assign = (0..graph.num_vertices())
+            .map(|v| (v % num_parts) as PartId)
+            .collect();
         Self::from_assignment(graph, num_parts, assign)
     }
 
@@ -160,12 +173,18 @@ impl Partitioning {
     /// True if `v` has a neighbour in a different partition.
     pub fn is_boundary(&self, graph: &CsrGraph, v: NodeId) -> bool {
         let p = self.assign[v as usize];
-        graph.neighbors(v).iter().any(|&u| self.assign[u as usize] != p)
+        graph
+            .neighbors(v)
+            .iter()
+            .any(|&u| self.assign[u as usize] != p)
     }
 
     /// All boundary vertices, ascending.
     pub fn boundary_vertices(&self, graph: &CsrGraph) -> Vec<NodeId> {
-        graph.vertices().filter(|&v| self.is_boundary(graph, v)).collect()
+        graph
+            .vertices()
+            .filter(|&v| self.is_boundary(graph, v))
+            .collect()
     }
 
     /// The set of partitions adjacent to `p` (the paper's `Neighbor_p`).
@@ -313,7 +332,10 @@ mod tests {
     fn transfer_assignment_skips_removed() {
         let g = cycle6();
         let p = halves(&g);
-        let delta = GraphDelta { remove_vertices: vec![0], ..Default::default() };
+        let delta = GraphDelta {
+            remove_vertices: vec![0],
+            ..Default::default()
+        };
         let inc = delta.apply(&g);
         let partial = transfer_assignment(&inc, &p);
         // New ids 0..5 map to old 1..6.

@@ -96,10 +96,7 @@ pub fn connected_components(graph: &CsrGraph) -> (usize, Vec<u32>) {
 
 /// Connected components of the subgraph induced by `keep(v)`. Vertices
 /// outside the filter get component id `u32::MAX`.
-pub fn components_filtered(
-    graph: &CsrGraph,
-    keep: impl Fn(NodeId) -> bool,
-) -> (usize, Vec<u32>) {
+pub fn components_filtered(graph: &CsrGraph, keep: impl Fn(NodeId) -> bool) -> (usize, Vec<u32>) {
     let n = graph.num_vertices();
     let mut comp = vec![u32::MAX; n];
     let mut stack: Vec<NodeId> = Vec::new();

@@ -23,12 +23,13 @@ pub fn solve_bounded(model: &LpModel) -> Result<LpSolution, LpError> {
 }
 
 /// Solve with explicit options.
-pub fn solve_bounded_with(
-    model: &LpModel,
-    opts: SimplexOptions,
-) -> Result<LpSolution, LpError> {
+pub fn solve_bounded_with(model: &LpModel, opts: SimplexOptions) -> Result<LpSolution, LpError> {
     let mut t = BTableau::build(model, opts.eps);
-    let mut stats = SimplexStats { rows: t.rows.len(), cols: t.ncols, ..Default::default() };
+    let mut stats = SimplexStats {
+        rows: t.rows.len(),
+        cols: t.ncols,
+        ..Default::default()
+    };
 
     if t.n_art > 0 {
         let mut c1 = vec![0.0; t.ncols];
@@ -61,7 +62,11 @@ pub fn solve_bounded_with(
 
     let x = t.extract(model.num_vars());
     let objective = model.objective_value(&x);
-    Ok(LpSolution { x, objective, stats })
+    Ok(LpSolution {
+        x,
+        objective,
+        stats,
+    })
 }
 
 struct BTableau {
@@ -93,7 +98,11 @@ impl BTableau {
         let mut rows: Vec<Row> = model
             .constraints()
             .iter()
-            .map(|c| Row { coeffs: c.coeffs.clone(), cmp: c.cmp, rhs: c.rhs })
+            .map(|c| Row {
+                coeffs: c.coeffs.clone(),
+                cmp: c.cmp,
+                rhs: c.rhs,
+            })
             .collect();
         for r in &mut rows {
             if r.rhs < 0.0 {
@@ -178,13 +187,20 @@ impl BTableau {
     }
 
     fn is_basic(&self, j: usize) -> bool {
-        self.basis.iter().zip(&self.active).any(|(&b, &a)| a && b == j)
+        self.basis
+            .iter()
+            .zip(&self.active)
+            .any(|(&b, &a)| a && b == j)
     }
 
     /// Entering column: a non-basic variable whose reduced cost violates
     /// optimality in its resting direction.
     fn choose_entering(&self, bland: bool, phase1: bool) -> Option<usize> {
-        let limit = if phase1 { self.ncols } else { self.ncols - self.n_art };
+        let limit = if phase1 {
+            self.ncols
+        } else {
+            self.ncols - self.n_art
+        };
         let mut best: Option<(f64, usize)> = None;
         for j in 0..limit {
             if self.is_basic(j) {
@@ -224,9 +240,8 @@ impl BTableau {
                 let lim = self.xb[i] / y;
                 if lim < t_max - self.eps
                     || (lim < t_max + self.eps
-                        && leave.map_or(t_max.is_infinite(), |(r, _)| {
-                            self.basis[i] < self.basis[r]
-                        }))
+                        && leave
+                            .map_or(t_max.is_infinite(), |(r, _)| self.basis[i] < self.basis[r]))
                 {
                     t_max = lim.max(0.0);
                     leave = Some((i, false));
@@ -263,7 +278,11 @@ impl BTableau {
             }
             Some((r, leaves_at_upper)) => {
                 // Update basic values for the move, then pivot coefficients.
-                let x_e_new = if self.at_upper[e] { self.upper[e] - t_max } else { t_max };
+                let x_e_new = if self.at_upper[e] {
+                    self.upper[e] - t_max
+                } else {
+                    t_max
+                };
                 for i in 0..self.rows.len() {
                     if i != r && self.active[i] {
                         self.xb[i] -= d * t_max * self.rows[i][e];
@@ -440,9 +459,29 @@ mod tests {
             m.set_objective(i, 1.0);
             m.set_upper_bound(i, caps[i]);
         }
-        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+        m.add_eq(
+            vec![
+                (0, 1.0),
+                (1, 1.0),
+                (2, 1.0),
+                (3, -1.0),
+                (5, -1.0),
+                (8, -1.0),
+            ],
+            8.0,
+        );
         m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
-        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+        m.add_eq(
+            vec![
+                (5, 1.0),
+                (6, 1.0),
+                (7, 1.0),
+                (1, -1.0),
+                (4, -1.0),
+                (9, -1.0),
+            ],
+            -1.0,
+        );
         m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
         let s = solve_bounded(&m).unwrap();
         assert_close(s.objective, 9.0);
@@ -458,9 +497,29 @@ mod tests {
             m.set_objective(i, 1.0);
             m.set_upper_bound(i, caps[i]);
         }
-        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 0.0);
+        m.add_eq(
+            vec![
+                (0, 1.0),
+                (1, 1.0),
+                (2, 1.0),
+                (3, -1.0),
+                (5, -1.0),
+                (8, -1.0),
+            ],
+            0.0,
+        );
         m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 0.0);
-        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], 0.0);
+        m.add_eq(
+            vec![
+                (5, 1.0),
+                (6, 1.0),
+                (7, 1.0),
+                (1, -1.0),
+                (4, -1.0),
+                (9, -1.0),
+            ],
+            0.0,
+        );
         m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], 0.0);
         let s = solve_bounded(&m).unwrap();
         assert_close(s.objective, 9.0);
@@ -515,7 +574,11 @@ mod tests {
         };
         for trial in 0..40 {
             let n = 2 + (trial % 5);
-            let mut m = if trial % 2 == 0 { LpModel::minimize(n) } else { LpModel::maximize(n) };
+            let mut m = if trial % 2 == 0 {
+                LpModel::minimize(n)
+            } else {
+                LpModel::maximize(n)
+            };
             for i in 0..n {
                 m.set_objective(i, next() - 5.0);
                 m.set_upper_bound(i, next() + 0.5);

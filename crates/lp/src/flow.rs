@@ -26,7 +26,13 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// An empty network on `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { n, first: vec![Vec::new(); n], to: Vec::new(), cap: Vec::new(), cost: Vec::new() }
+        FlowNetwork {
+            n,
+            first: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -212,9 +218,7 @@ impl FlowNetwork {
                     }
                 }
             }
-            if updated_node.is_none() {
-                return None;
-            }
+            updated_node?;
             let _ = round;
         }
         // A node updated in round n lies on or downstream of a negative
@@ -255,8 +259,10 @@ pub fn min_movement_transshipment(
     let s = num_parts;
     let t = num_parts + 1;
     let mut net = FlowNetwork::new(num_parts + 2);
-    let ids: Vec<usize> =
-        arcs.iter().map(|&(u, v, cap)| net.add_edge(u, v, cap, 1)).collect();
+    let ids: Vec<usize> = arcs
+        .iter()
+        .map(|&(u, v, cap)| net.add_edge(u, v, cap, 1))
+        .collect();
     let mut need = 0i64;
     for (j, &b) in surplus.iter().enumerate() {
         if b > 0 {
@@ -280,8 +286,10 @@ pub fn min_movement_transshipment(
 /// negative cycles). Returns `(total_movement, l)` aligned to `arcs`.
 pub fn max_circulation(num_parts: usize, arcs: &[(usize, usize, i64)]) -> (i64, Vec<i64>) {
     let mut net = FlowNetwork::new(num_parts);
-    let ids: Vec<usize> =
-        arcs.iter().map(|&(u, v, cap)| net.add_edge(u, v, cap, -1)).collect();
+    let ids: Vec<usize> = arcs
+        .iter()
+        .map(|&(u, v, cap)| net.add_edge(u, v, cap, -1))
+        .collect();
     let improvement = net.cancel_negative_cycles();
     let l: Vec<i64> = ids.iter().map(|&id| net.flow_on(id)).collect();
     debug_assert_eq!(-improvement, l.iter().sum::<i64>());

@@ -111,7 +111,10 @@ impl LpModel {
 
     /// Set `x_i ≤ u` (`u ≥ 0`; `u = 0` fixes the variable at zero).
     pub fn set_upper_bound(&mut self, i: usize, u: f64) {
-        assert!(u >= 0.0, "upper bound must be non-negative (variables are ≥ 0)");
+        assert!(
+            u >= 0.0,
+            "upper bound must be non-negative (variables are ≥ 0)"
+        );
         self.upper[i] = Some(u);
     }
 
@@ -119,7 +122,11 @@ impl LpModel {
         coeffs.retain(|&(_, a)| a != 0.0);
         coeffs.sort_unstable_by_key(|&(i, _)| i);
         for w in coeffs.windows(2) {
-            assert!(w[0].0 != w[1].0, "duplicate variable {} in constraint", w[0].0);
+            assert!(
+                w[0].0 != w[1].0,
+                "duplicate variable {} in constraint",
+                w[0].0
+            );
         }
         if let Some(&(i, _)) = coeffs.last() {
             assert!(i < self.num_vars, "variable {i} out of range");

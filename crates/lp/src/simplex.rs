@@ -22,7 +22,11 @@ pub struct SimplexOptions {
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        SimplexOptions { max_iters: 100_000, eps: 1e-9, bland_after: 2_000 }
+        SimplexOptions {
+            max_iters: 100_000,
+            eps: 1e-9,
+            bland_after: 2_000,
+        }
     }
 }
 
@@ -156,7 +160,11 @@ impl Simplex {
             }
         }
         let objective = model.objective_value(&x);
-        Ok(LpSolution { x, objective, stats })
+        Ok(LpSolution {
+            x,
+            objective,
+            stats,
+        })
     }
 
     /// Run the simplex loop to optimality; returns the pivot count.
@@ -216,8 +224,7 @@ impl Tableau {
                     Cmp::Eq => Cmp::Eq,
                     Cmp::Ge => Cmp::Le,
                 };
-                let owned: Vec<(usize, f64)> =
-                    r.coeffs.iter().map(|&(i, a)| (i, -a)).collect();
+                let owned: Vec<(usize, f64)> = r.coeffs.iter().map(|&(i, a)| (i, -a)).collect();
                 r.coeffs = std::borrow::Cow::Owned(owned);
             }
         }
@@ -309,7 +316,11 @@ impl Tableau {
     /// (lowest index with negative reduced cost). Artificials may never
     /// re-enter once phase 1 is over.
     fn choose_entering(&self, bland: bool, phase1: bool) -> Option<usize> {
-        let limit = if phase1 { self.cols } else { self.cols - self.n_art };
+        let limit = if phase1 {
+            self.cols
+        } else {
+            self.cols - self.n_art
+        };
         if bland {
             (0..limit).find(|&j| self.red[j] < -self.eps)
         } else {
@@ -341,8 +352,7 @@ impl Tableau {
                 match best {
                     None => best = Some(key),
                     Some((r, b, _)) => {
-                        if ratio < r - self.eps || (ratio < r + self.eps && self.basis[i] < b)
-                        {
+                        if ratio < r - self.eps || (ratio < r + self.eps && self.basis[i] < b) {
                             best = Some(key);
                         }
                     }
@@ -362,6 +372,7 @@ impl Tableau {
             *v *= inv;
         }
         self.rows[leave][enter] = 1.0; // kill roundoff
+
         // Split borrow: copy the pivot row out once (rows are short-lived
         // buffers; this keeps the inner loop branch-free and vectorizable).
         let prow = self.rows[leave].clone();
@@ -556,7 +567,10 @@ mod tests {
         m.add_le(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0);
         m.add_le(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0);
         m.add_le(vec![(2, 1.0)], 1.0);
-        let opts = SimplexOptions { bland_after: 0, ..Default::default() }; // pure Bland
+        let opts = SimplexOptions {
+            bland_after: 0,
+            ..Default::default()
+        }; // pure Bland
         let s = Simplex::new(opts).solve(&m).unwrap();
         assert_close(s.objective, -0.05);
     }
@@ -575,11 +589,31 @@ mod tests {
             m.set_upper_bound(i, caps[i]);
         }
         // out(0)=l01+l02+l03, in(0)=l10+l20+l30
-        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 8.0);
+        m.add_eq(
+            vec![
+                (0, 1.0),
+                (1, 1.0),
+                (2, 1.0),
+                (3, -1.0),
+                (5, -1.0),
+                (8, -1.0),
+            ],
+            8.0,
+        );
         // out(1)=l10+l12, in(1)=l01+l21
         m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 1.0);
         // out(2)=l20+l21+l23, in(2)=l02+l12+l32
-        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], -1.0);
+        m.add_eq(
+            vec![
+                (5, 1.0),
+                (6, 1.0),
+                (7, 1.0),
+                (1, -1.0),
+                (4, -1.0),
+                (9, -1.0),
+            ],
+            -1.0,
+        );
         // out(3)=l30+l32, in(3)=l03+l23
         m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
         let s = solve(&m).unwrap();
@@ -606,9 +640,29 @@ mod tests {
             m.set_objective(i, 1.0);
             m.set_upper_bound(i, caps[i]);
         }
-        m.add_eq(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, -1.0), (5, -1.0), (8, -1.0)], 0.0);
+        m.add_eq(
+            vec![
+                (0, 1.0),
+                (1, 1.0),
+                (2, 1.0),
+                (3, -1.0),
+                (5, -1.0),
+                (8, -1.0),
+            ],
+            0.0,
+        );
         m.add_eq(vec![(3, 1.0), (4, 1.0), (0, -1.0), (6, -1.0)], 0.0);
-        m.add_eq(vec![(5, 1.0), (6, 1.0), (7, 1.0), (1, -1.0), (4, -1.0), (9, -1.0)], 0.0);
+        m.add_eq(
+            vec![
+                (5, 1.0),
+                (6, 1.0),
+                (7, 1.0),
+                (1, -1.0),
+                (4, -1.0),
+                (9, -1.0),
+            ],
+            0.0,
+        );
         m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], 0.0);
         let s = solve(&m).unwrap();
         assert_close(s.objective, 9.0);

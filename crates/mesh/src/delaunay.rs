@@ -55,8 +55,19 @@ impl Delaunay {
             Point::new(cx, cy + 2.0 * m),
         ];
         debug_assert!(orient2d(pts[0], pts[1], pts[2]) > 0.0);
-        let tris = vec![Tri { v: [0, 1, 2], nbr: [NIL, NIL, NIL], alive: true }];
-        Delaunay { pts, tris, free: Vec::new(), hint: 0, bad: Vec::new(), cavity: Vec::new() }
+        let tris = vec![Tri {
+            v: [0, 1, 2],
+            nbr: [NIL, NIL, NIL],
+            alive: true,
+        }];
+        Delaunay {
+            pts,
+            tris,
+            free: Vec::new(),
+            hint: 0,
+            bad: Vec::new(),
+            cavity: Vec::new(),
+        }
     }
 
     /// Number of (public) inserted points.
@@ -205,17 +216,26 @@ impl Delaunay {
             if let Some(id) = self.free.pop() {
                 new_ids.push(id);
             } else {
-                self.tris.push(Tri { v: [0; 3], nbr: [NIL; 3], alive: false });
+                self.tris.push(Tri {
+                    v: [0; 3],
+                    nbr: [NIL; 3],
+                    alive: false,
+                });
                 new_ids.push(self.tris.len() as u32 - 1);
             }
         }
         // Recycle bad slots for *future* inserts.
-        self.free.extend(self.bad.iter().copied().filter(|id| !new_ids.contains(id)));
+        self.free
+            .extend(self.bad.iter().copied().filter(|id| !new_ids.contains(id)));
         // Build (p, a, b) per boundary edge; link across the boundary.
         let cavity = std::mem::take(&mut self.cavity);
         for (idx, &(a, b, outside)) in cavity.iter().enumerate() {
             let id = new_ids[idx];
-            self.tris[id as usize] = Tri { v: [pid, a, b], nbr: [outside, NIL, NIL], alive: true };
+            self.tris[id as usize] = Tri {
+                v: [pid, a, b],
+                nbr: [outside, NIL, NIL],
+                alive: true,
+            };
             if outside != NIL {
                 // Fix the outside triangle's back-pointer (it pointed at a
                 // dead cavity triangle; find the edge (b, a) seen from
@@ -260,8 +280,11 @@ impl Delaunay {
             if !t.alive {
                 continue;
             }
-            let [a, b, c] =
-                [self.pts[t.v[0] as usize], self.pts[t.v[1] as usize], self.pts[t.v[2] as usize]];
+            let [a, b, c] = [
+                self.pts[t.v[0] as usize],
+                self.pts[t.v[1] as usize],
+                self.pts[t.v[2] as usize],
+            ];
             if orient2d(a, b, c) <= 0.0 {
                 return Err(format!("triangle {ti} not CCW"));
             }
@@ -352,10 +375,11 @@ mod tests {
         // The Delaunay triangulation must use the short diagonal (1-3).
         let tris = d.triangles();
         assert_eq!(tris.len(), 2);
-        let has_short_diag = tris
-            .iter()
-            .all(|t| t.contains(&1) && t.contains(&3));
-        assert!(has_short_diag, "triangles {tris:?} should share diagonal 1-3");
+        let has_short_diag = tris.iter().all(|t| t.contains(&1) && t.contains(&3));
+        assert!(
+            has_short_diag,
+            "triangles {tris:?} should share diagonal 1-3"
+        );
         d.validate().unwrap();
     }
 
@@ -366,7 +390,9 @@ mod tests {
         let mut d = unit_box();
         let mut state: u64 = 0x1234_5678_9abc_def0;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for _ in 0..200 {
@@ -385,7 +411,9 @@ mod tests {
         let mut d = unit_box();
         let mut state: u64 = 7;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for _ in 0..60 {

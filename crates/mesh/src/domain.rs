@@ -242,7 +242,10 @@ mod tests {
 
     #[test]
     fn half_plane_membership() {
-        let h = HalfPlane { anchor: Point::new(0.0, 0.0), normal: Point::new(0.0, 1.0) };
+        let h = HalfPlane {
+            anchor: Point::new(0.0, 0.0),
+            normal: Point::new(0.0, 1.0),
+        };
         assert!(h.contains(Point::new(5.0, 0.1)));
         assert!(!h.contains(Point::new(5.0, -0.1)));
     }

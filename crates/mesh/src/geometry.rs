@@ -122,7 +122,9 @@ pub fn min_angle(a: Point, b: Point, c: Point) -> f64 {
         let cosv = ((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2)).clamp(-1.0, 1.0);
         cosv.acos()
     };
-    angle(la, lb, lc).min(angle(lb, la, lc)).min(angle(lc, la, lb))
+    angle(la, lb, lc)
+        .min(angle(lb, la, lc))
+        .min(angle(lc, la, lb))
 }
 
 #[cfg(test)]

@@ -64,7 +64,11 @@ impl TriMesh {
                 *count.entry(key).or_insert(0) += 1;
             }
         }
-        count.into_iter().filter(|&(_, c)| c == 1).map(|(e, _)| e).collect()
+        count
+            .into_iter()
+            .filter(|&(_, c)| c == 1)
+            .map(|(e, _)| e)
+            .collect()
     }
 
     /// Smallest interior angle over all triangles, in radians.

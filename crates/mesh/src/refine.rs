@@ -25,7 +25,11 @@ pub struct MeshBuilder<D: Domain> {
 
 impl<D: Domain + Clone> Clone for MeshBuilder<D> {
     fn clone(&self) -> Self {
-        MeshBuilder { domain: self.domain.clone(), del: self.del.clone(), rng: self.rng.clone() }
+        MeshBuilder {
+            domain: self.domain.clone(),
+            del: self.del.clone(),
+            rng: self.rng.clone(),
+        }
     }
 }
 
@@ -122,7 +126,11 @@ impl<D: Domain> MeshBuilder<D> {
             .triangles()
             .into_iter()
             .filter(|t| {
-                let g = centroid(self.del.point(t[0]), self.del.point(t[1]), self.del.point(t[2]));
+                let g = centroid(
+                    self.del.point(t[0]),
+                    self.del.point(t[1]),
+                    self.del.point(t[2]),
+                );
                 self.domain.contains(g)
             })
             .collect()
@@ -138,8 +146,11 @@ impl<D: Domain> MeshBuilder<D> {
             let target = kept
                 .iter()
                 .map(|t| {
-                    let (a, b, c) =
-                        (self.del.point(t[0]), self.del.point(t[1]), self.del.point(t[2]));
+                    let (a, b, c) = (
+                        self.del.point(t[0]),
+                        self.del.point(t[1]),
+                        self.del.point(t[2]),
+                    );
                     (centroid(a, b, c), tri_area(a, b, c).abs())
                 })
                 .filter(|(g, _)| region.contains(*g) && self.domain.contains(*g))
@@ -280,7 +291,10 @@ impl<D: Domain> MeshBuilder<D> {
         let points: Vec<Point> = (0..self.del.num_points() as u32)
             .map(|v| self.del.point(v))
             .collect();
-        TriMesh { points, tris: self.kept_triangles() }
+        TriMesh {
+            points,
+            tris: self.kept_triangles(),
+        }
     }
 
     /// Extract the node graph, repairing isolated vertices (points whose
@@ -348,7 +362,10 @@ mod tests {
         let mb = MeshBuilder::generate(paper_domain_a(), 400, 11);
         let g = mb.graph();
         assert_eq!(g.num_vertices(), 400);
-        assert!(is_connected(&g), "mesh graph over holed domain must stay connected");
+        assert!(
+            is_connected(&g),
+            "mesh graph over holed domain must stay connected"
+        );
         let mesh = mb.mesh();
         // Holes must actually remove triangles: area < bbox-filling mesh.
         assert!(mesh.area() < 4.0 * 2.0 * 0.95);
@@ -377,7 +394,10 @@ mod tests {
         let d = inc.diff();
         assert_eq!(d.add_vertices.len(), 20);
         assert!(!d.add_edges.is_empty());
-        assert!(!d.remove_edges.is_empty(), "re-triangulation should delete old edges");
+        assert!(
+            !d.remove_edges.is_empty(),
+            "re-triangulation should delete old edges"
+        );
     }
 
     #[test]

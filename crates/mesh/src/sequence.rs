@@ -54,14 +54,14 @@ fn appended_inc(old: CsrGraph, new: CsrGraph) -> IncrementalGraph {
 /// Incremental graph for a derefinement step: `removed` old ids (sorted)
 /// were deleted and the survivors compacted order-preservingly
 /// (the contract of [`crate::MeshBuilder::coarsen_region`]).
-pub fn removal_inc(
-    old: CsrGraph,
-    new: CsrGraph,
-    removed: &[u32],
-) -> IncrementalGraph {
+pub fn removal_inc(old: CsrGraph, new: CsrGraph, removed: &[u32]) -> IncrementalGraph {
     debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
     let n_old = old.num_vertices();
-    assert_eq!(n_old, new.num_vertices() + removed.len(), "removal count mismatch");
+    assert_eq!(
+        n_old,
+        new.num_vertices() + removed.len(),
+        "removal count mismatch"
+    );
     let mut old_of_new = Vec::with_capacity(new.num_vertices());
     let mut r = 0usize;
     for v in 0..n_old as u32 {
@@ -76,12 +76,7 @@ pub fn removal_inc(
 
 /// Incremental graph combining a derefinement (removed old ids) followed
 /// by appended refinement points, the general adaptive-window step.
-pub fn mixed_inc(
-    old: CsrGraph,
-    new: CsrGraph,
-    removed: &[u32],
-    added: usize,
-) -> IncrementalGraph {
+pub fn mixed_inc(old: CsrGraph, new: CsrGraph, removed: &[u32], added: usize) -> IncrementalGraph {
     debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
     let n_old = old.num_vertices();
     assert_eq!(
@@ -98,7 +93,7 @@ pub fn mixed_inc(
             old_of_new.push(v);
         }
     }
-    old_of_new.extend(std::iter::repeat(INVALID_NODE).take(added));
+    old_of_new.extend(std::iter::repeat_n(INVALID_NODE, added));
     IncrementalGraph::new(old, new, old_of_new)
 }
 
@@ -152,7 +147,13 @@ pub fn build_sequence<D: Domain + Clone>(
             chain_graph = new_graph;
         }
     }
-    MeshSequence { name: name.to_string(), base, base_mesh, steps, chained }
+    MeshSequence {
+        name: name.to_string(),
+        base,
+        base_mesh,
+        steps,
+        chained,
+    }
 }
 
 /// Paper test set A: 1071 → 1096 → 1121 → 1152 → 1192 nodes, chained
@@ -220,7 +221,10 @@ mod tests {
         assert!(igp_graph::traversal::is_connected(&after));
         // Smoothing should not degrade the worst angle (usually improves).
         let angle_after = mb.mesh().min_angle();
-        assert!(angle_after >= angle_before * 0.9, "{angle_before} -> {angle_after}");
+        assert!(
+            angle_after >= angle_before * 0.9,
+            "{angle_before} -> {angle_after}"
+        );
         // Edge set may change (that is the point) but sizes stay similar.
         let (b, a) = (before.num_edges() as i64, after.num_edges() as i64);
         assert!((b - a).abs() <= b / 5, "{b} -> {a}");
@@ -294,16 +298,22 @@ mod tests {
     fn paper_sequences_match_node_counts() {
         let a = paper_sequence_a(42);
         assert_eq!(a.base.num_vertices(), 1071);
-        let sizes: Vec<usize> =
-            a.steps.iter().map(|s| s.inc.new_graph().num_vertices()).collect();
+        let sizes: Vec<usize> = a
+            .steps
+            .iter()
+            .map(|s| s.inc.new_graph().num_vertices())
+            .collect();
         assert_eq!(sizes, vec![1096, 1121, 1152, 1192]);
         // Edge counts in the paper's ballpark (|E| ≈ 3·|V|).
         assert!(a.base.num_edges() > 2800 && a.base.num_edges() < 3400);
 
         let b = paper_sequence_b(42);
         assert_eq!(b.base.num_vertices(), 10166);
-        let sizes: Vec<usize> =
-            b.steps.iter().map(|s| s.inc.new_graph().num_vertices()).collect();
+        let sizes: Vec<usize> = b
+            .steps
+            .iter()
+            .map(|s| s.inc.new_graph().num_vertices())
+            .collect();
         assert_eq!(sizes, vec![10214, 10305, 10395, 10838]);
     }
 }

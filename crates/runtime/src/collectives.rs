@@ -61,8 +61,11 @@ impl Ctx {
         }
         let rr = (self.rank() + p - root) % p;
         let levels = ceil_log2(p);
-        let mut have: Option<M> =
-            if rr == 0 { Some(val.expect("root must supply the broadcast value")) } else { None };
+        let mut have: Option<M> = if rr == 0 {
+            Some(val.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
         // At step `bit` (descending), ranks whose low bits (< 2·bit) are all
         // zero hold the value and forward it to `rr + bit`; ranks whose low
         // bits equal exactly `bit` receive from `rr − bit`.
@@ -110,7 +113,11 @@ impl Ctx {
     where
         M: Clone + Send + 'static,
     {
-        self.allreduce((key, payload), words + 2, |a, b| if b.0 < a.0 { b } else { a })
+        self.allreduce(
+            (key, payload),
+            words + 2,
+            |a, b| if b.0 < a.0 { b } else { a },
+        )
     }
 
     /// Gather per-rank values to `root` in rank order (`None` elsewhere).
@@ -204,10 +211,17 @@ mod tests {
         for p in 1..=8 {
             for root in 0..p {
                 let (out, _) = machine(p).run(|ctx| {
-                    let v = if ctx.rank() == root { Some(99u32 + root as u32) } else { None };
+                    let v = if ctx.rank() == root {
+                        Some(99u32 + root as u32)
+                    } else {
+                        None
+                    };
                     ctx.broadcast(root, v)
                 });
-                assert!(out.iter().all(|&v| v == 99 + root as u32), "p={p} root={root}");
+                assert!(
+                    out.iter().all(|&v| v == 99 + root as u32),
+                    "p={p} root={root}"
+                );
             }
         }
     }
@@ -274,7 +288,11 @@ mod tests {
     #[test]
     fn collective_cost_grows_logarithmically() {
         // Makespan of one barrier should scale ~log p, not ~p.
-        let cost = CostModel { t_work: 0.0, alpha: 1.0, beta: 0.0 };
+        let cost = CostModel {
+            t_work: 0.0,
+            alpha: 1.0,
+            beta: 0.0,
+        };
         let t4 = Machine::new(4, cost).run(|ctx| ctx.barrier()).1.makespan;
         let t16 = Machine::new(16, cost).run(|ctx| ctx.barrier()).1.makespan;
         assert!(t16 <= t4 * 3.0, "t4={t4} t16={t16}");

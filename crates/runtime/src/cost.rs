@@ -28,12 +28,20 @@ impl CostModel {
     /// on a 33 MHz SPARC), 6 µs message latency, 0.1 µs per 4-byte word
     /// (~40 MB/s per-node fat-tree bandwidth).
     pub fn cm5() -> Self {
-        CostModel { t_work: 3.0e-7, alpha: 6.0e-6, beta: 1.0e-7 }
+        CostModel {
+            t_work: 3.0e-7,
+            alpha: 6.0e-6,
+            beta: 1.0e-7,
+        }
     }
 
     /// A communication-free model (for isolating compute scaling).
     pub fn compute_only() -> Self {
-        CostModel { t_work: 3.0e-7, alpha: 0.0, beta: 0.0 }
+        CostModel {
+            t_work: 3.0e-7,
+            alpha: 0.0,
+            beta: 0.0,
+        }
     }
 
     /// Cost of one message of `words` 4-byte words.
@@ -95,7 +103,11 @@ mod tests {
 
     #[test]
     fn msg_cost_formula() {
-        let c = CostModel { t_work: 1.0, alpha: 10.0, beta: 2.0 };
+        let c = CostModel {
+            t_work: 1.0,
+            alpha: 10.0,
+            beta: 2.0,
+        };
         assert_eq!(c.msg_cost(0), 10.0);
         assert_eq!(c.msg_cost(5), 20.0);
     }
@@ -116,7 +128,11 @@ mod tests {
             total_work: 10_000_000,
             ..Default::default()
         };
-        let c = CostModel { t_work: 1e-6, alpha: 0.0, beta: 0.0 };
+        let c = CostModel {
+            t_work: 1e-6,
+            alpha: 0.0,
+            beta: 0.0,
+        };
         assert!((r.speedup_vs_serial(&c) - 5.0).abs() < 1e-9);
         assert!((r.imbalance() - 2.0 / 1.5).abs() < 1e-9);
     }

@@ -94,7 +94,12 @@ impl Ctx {
         self.sent_messages += 1;
         self.sent_words += words;
         self.txs[to]
-            .send(Envelope { from: self.rank, arrive, words, payload: Box::new(msg) })
+            .send(Envelope {
+                from: self.rank,
+                arrive,
+                words,
+                payload: Box::new(msg),
+            })
             .expect("receiver hung up");
     }
 
@@ -147,7 +152,14 @@ mod tests {
 
     #[test]
     fn charge_advances_clock() {
-        let m = Machine::new(1, CostModel { t_work: 2.0, alpha: 0.0, beta: 0.0 });
+        let m = Machine::new(
+            1,
+            CostModel {
+                t_work: 2.0,
+                alpha: 0.0,
+                beta: 0.0,
+            },
+        );
         let (t, report) = m.run(|ctx| {
             ctx.charge(5);
             ctx.now()
@@ -176,7 +188,11 @@ mod tests {
 
     #[test]
     fn message_latency_applied() {
-        let cost = CostModel { t_work: 0.0, alpha: 5.0, beta: 1.0 };
+        let cost = CostModel {
+            t_work: 0.0,
+            alpha: 5.0,
+            beta: 1.0,
+        };
         let m = Machine::new(2, cost);
         let (t, _) = m.run(|ctx| {
             if ctx.rank() == 0 {

@@ -47,7 +47,13 @@ impl Machine {
             // to measure the sequential baseline with identical charging).
             let ctx = &mut ctxs[0];
             let out = f(ctx);
-            vec![(out, ctx.now(), ctx.sent_messages, ctx.sent_words, ctx.charged_work)]
+            vec![(
+                out,
+                ctx.now(),
+                ctx.sent_messages,
+                ctx.sent_words,
+                ctx.charged_work,
+            )]
         } else {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = ctxs
@@ -56,7 +62,13 @@ impl Machine {
                         let f = &f;
                         scope.spawn(move |_| {
                             let out = f(ctx);
-                            (out, ctx.now(), ctx.sent_messages, ctx.sent_words, ctx.charged_work)
+                            (
+                                out,
+                                ctx.now(),
+                                ctx.sent_messages,
+                                ctx.sent_words,
+                                ctx.charged_work,
+                            )
                         })
                     })
                     .collect();
@@ -113,7 +125,14 @@ mod tests {
 
     #[test]
     fn makespan_is_max_rank_clock() {
-        let m = Machine::new(3, CostModel { t_work: 1.0, alpha: 0.0, beta: 0.0 });
+        let m = Machine::new(
+            3,
+            CostModel {
+                t_work: 1.0,
+                alpha: 0.0,
+                beta: 0.0,
+            },
+        );
         let (_, report) = m.run(|ctx| ctx.charge(ctx.rank() as u64 * 3));
         assert_eq!(report.per_rank, vec![0.0, 3.0, 6.0]);
         assert_eq!(report.makespan, 6.0);

@@ -29,7 +29,12 @@ pub struct FiedlerOptions {
 
 impl Default for FiedlerOptions {
     fn default() -> Self {
-        FiedlerOptions { subspace: 80, max_restarts: 12, tol: 1e-6, seed: 0x5eed }
+        FiedlerOptions {
+            subspace: 80,
+            max_restarts: 12,
+            tol: 1e-6,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -82,7 +87,12 @@ pub fn fiedler_vector(graph: &CsrGraph, opts: FiedlerOptions) -> FiedlerResult {
     orthogonalize_against_ones(&mut x);
     normalize(&mut x);
     let mut matvecs = 0usize;
-    let mut best = FiedlerResult { vector: x.clone(), value: f64::INFINITY, residual: f64::INFINITY, matvecs: 0 };
+    let mut best = FiedlerResult {
+        vector: x.clone(),
+        value: f64::INFINITY,
+        residual: f64::INFINITY,
+        matvecs: 0,
+    };
 
     for restart in 0..opts.max_restarts {
         let m = opts.subspace.min(n - 1).max(2);
@@ -157,7 +167,12 @@ pub fn fiedler_vector(graph: &CsrGraph, opts: FiedlerOptions) -> FiedlerResult {
             .sum::<f64>()
             .sqrt();
         if res < best.residual {
-            best = FiedlerResult { vector: y.clone(), value: lam, residual: res, matvecs };
+            best = FiedlerResult {
+                vector: y.clone(),
+                value: lam,
+                residual: res,
+                matvecs,
+            };
         }
         if res <= opts.tol * lam.abs().max(1.0) {
             break;
@@ -237,7 +252,10 @@ mod tests {
             }
             s
         };
-        assert!(sign_of(0) * sign_of(11) < 0.0, "ends must have opposite sign");
+        assert!(
+            sign_of(0) * sign_of(11) < 0.0,
+            "ends must have opposite sign"
+        );
         // Columns sorted by value should be monotone in column index or its
         // reverse; just check the middle splits the ends.
         assert!(sign_of(0).abs() > sign_of(5).abs() * 0.5);
@@ -247,6 +265,10 @@ mod tests {
     fn disconnected_graph_yields_near_zero_lambda2() {
         let g = igp_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
         let r = fiedler_vector(&g, FiedlerOptions::default());
-        assert!(r.value.abs() < 1e-8, "λ₂ of a disconnected graph is 0, got {}", r.value);
+        assert!(
+            r.value.abs() < 1e-8,
+            "λ₂ of a disconnected graph is 0, got {}",
+            r.value
+        );
     }
 }

@@ -40,8 +40,12 @@ fn rcb(
     let p_left = parts / 2;
     let target_left = verts.len() * p_left / parts;
     // Pick the wider axis.
-    let (mut minx, mut maxx, mut miny, mut maxy) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut minx, mut maxx, mut miny, mut maxy) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &v in &verts {
         let (x, y) = coords[v as usize];
         minx = minx.min(x);
@@ -51,8 +55,16 @@ fn rcb(
     }
     let use_x = (maxx - minx) >= (maxy - miny);
     verts.sort_by(|&a, &b| {
-        let ka = if use_x { coords[a as usize].0 } else { coords[a as usize].1 };
-        let kb = if use_x { coords[b as usize].0 } else { coords[b as usize].1 };
+        let ka = if use_x {
+            coords[a as usize].0
+        } else {
+            coords[a as usize].1
+        };
+        let kb = if use_x {
+            coords[b as usize].0
+        } else {
+            coords[b as usize].1
+        };
         ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
     });
     let right = verts.split_off(target_left);

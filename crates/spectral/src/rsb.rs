@@ -19,11 +19,7 @@ pub struct RsbOptions {
 }
 
 /// Partition `graph` into `p` parts by recursive spectral bisection.
-pub fn recursive_spectral_bisection(
-    graph: &CsrGraph,
-    p: usize,
-    opts: RsbOptions,
-) -> Partitioning {
+pub fn recursive_spectral_bisection(graph: &CsrGraph, p: usize, opts: RsbOptions) -> Partitioning {
     assert!(p >= 1, "need at least one partition");
     let n = graph.num_vertices();
     let mut assign: Vec<PartId> = vec![0; n];
@@ -128,7 +124,11 @@ mod tests {
         let part = recursive_spectral_bisection(&g, 2, RsbOptions::default());
         assert!(balanced(&part));
         let m = CutMetrics::compute(&g, &part);
-        assert!(m.total_cut_edges <= 12, "cut {} too large", m.total_cut_edges);
+        assert!(
+            m.total_cut_edges <= 12,
+            "cut {} too large",
+            m.total_cut_edges
+        );
     }
 
     #[test]

@@ -93,8 +93,10 @@ pub fn eigen_tridiag(alpha: &[f64], beta: &[f64]) -> TridiagEigen {
     let mut order: Vec<usize> = (0..m).collect();
     order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
     let values: Vec<f64> = order.iter().map(|&k| d[k]).collect();
-    let vectors: Vec<Vec<f64>> =
-        order.iter().map(|&k| (0..m).map(|i| z[i][k]).collect()).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&k| (0..m).map(|i| z[i][k]).collect())
+        .collect();
     TridiagEigen { values, vectors }
 }
 

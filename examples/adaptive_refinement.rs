@@ -28,7 +28,10 @@ fn main() {
     let domain = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 1.0));
     let mut builder = MeshBuilder::generate(domain, 1200, 7);
     let mut g = builder.graph();
-    println!("initial mesh: {} nodes; partitioning with RSB ...", g.num_vertices());
+    println!(
+        "initial mesh: {} nodes; partitioning with RSB ...",
+        g.num_vertices()
+    );
     let mut part = recursive_spectral_bisection(&g, parts, RsbOptions::default());
     let igpr = IncrementalPartitioner::igpr(IgpConfig::new(parts));
 
@@ -62,7 +65,10 @@ fn main() {
         let (new_part, report) = igpr.repartition(&inc, &part);
         let igp_time = t.elapsed().as_secs_f64();
         total_igp_time += igp_time;
-        assert!(report.balance.balanced, "generation {gen} failed to balance");
+        assert!(
+            report.balance.balanced,
+            "generation {gen} failed to balance"
+        );
 
         // From-scratch comparison (the expensive thing we are avoiding).
         let t = Instant::now();

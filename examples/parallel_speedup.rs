@@ -19,7 +19,9 @@ fn main() {
     // A 64×64 grid with 32 vertical-band partitions and localized growth.
     let side = 64usize;
     let g = generators::grid(side, side);
-    let assign: Vec<PartId> = (0..side * side).map(|v| ((v % side) / 2) as PartId).collect();
+    let assign: Vec<PartId> = (0..side * side)
+        .map(|v| ((v % side) / 2) as PartId)
+        .collect();
     let old = Partitioning::from_assignment(&g, parts, assign);
     let delta = generators::localized_growth_delta(&g, (side * side - 1) as u32, 96, 3);
     let inc = delta.apply(&g);

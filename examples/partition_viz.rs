@@ -11,17 +11,19 @@
 
 use igp::assign::assign_new_vertices;
 use igp::balance::balance;
-use igp::layer::layer_partitions;
-use igp::refine::refine;
 use igp::graph::metrics::CutMetrics;
 use igp::graph::{IncrementalGraph, Partitioning};
+use igp::layer::layer_partitions;
 use igp::mesh::domain::Rect;
 use igp::mesh::{Disc, MeshBuilder, Point};
+use igp::refine::refine;
 use igp::spectral::{recursive_spectral_bisection, RsbOptions};
 use igp::IgpConfig;
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "target/viz".into());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/viz".into());
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let parts = 4;
 
@@ -31,7 +33,11 @@ fn main() {
     let g0 = builder.graph();
     let part0 = recursive_spectral_bisection(&g0, parts, RsbOptions::default());
     let mesh0 = builder.mesh();
-    save(&out_dir, "stage0_initial.svg", &mesh0.to_svg(Some(part0.assignment()), 640.0));
+    save(
+        &out_dir,
+        "stage0_initial.svg",
+        &mesh0.to_svg(Some(part0.assignment()), 640.0),
+    );
 
     // Figure 2(b): incremental vertices appear in one corner.
     builder.refine_region(&Disc::new(Point::new(1.7, 1.7), 0.3), 28);
@@ -41,7 +47,13 @@ fn main() {
         g0.clone(),
         g1.clone(),
         (0..g1.num_vertices() as u32)
-            .map(|v| if (v as usize) < g0.num_vertices() { v } else { igp::graph::INVALID_NODE })
+            .map(|v| {
+                if (v as usize) < g0.num_vertices() {
+                    v
+                } else {
+                    igp::graph::INVALID_NODE
+                }
+            })
             .collect(),
     );
     let cfg = IgpConfig::new(parts);
@@ -49,14 +61,26 @@ fn main() {
     // Stage 1 — assignment (paper Figure 2).
     let (assign1, _) = assign_new_vertices(&inc, &part0);
     let mut part = Partitioning::from_assignment(&g1, parts, assign1);
-    save(&out_dir, "stage1_assigned.svg", &mesh1.to_svg(Some(part.assignment()), 640.0));
+    save(
+        &out_dir,
+        "stage1_assigned.svg",
+        &mesh1.to_svg(Some(part.assignment()), 640.0),
+    );
     println!("after assignment: counts {:?}", part.counts());
 
     // Stage 2 — layering (paper Figure 4): colour = closest foreign
     // partition, rendered via the tag array.
     let lay = layer_partitions(&g1, part.assignment(), parts);
-    let tags: Vec<u32> = lay.tag.iter().map(|&t| if t == igp::graph::NO_PART { 99 } else { t }).collect();
-    save(&out_dir, "stage2_layering.svg", &mesh1.to_svg(Some(&tags), 640.0));
+    let tags: Vec<u32> = lay
+        .tag
+        .iter()
+        .map(|&t| if t == igp::graph::NO_PART { 99 } else { t })
+        .collect();
+    save(
+        &out_dir,
+        "stage2_layering.svg",
+        &mesh1.to_svg(Some(&tags), 640.0),
+    );
     let mut lam = String::new();
     for i in 0..parts {
         for j in 0..parts {
@@ -69,7 +93,11 @@ fn main() {
 
     // Stage 3 — balancing (paper Figure 6).
     let outcome = balance(&g1, &mut part, &cfg);
-    save(&out_dir, "stage3_balanced.svg", &mesh1.to_svg(Some(part.assignment()), 640.0));
+    save(
+        &out_dir,
+        "stage3_balanced.svg",
+        &mesh1.to_svg(Some(part.assignment()), 640.0),
+    );
     println!(
         "after balancing: counts {:?} ({} stage(s), moved {})",
         part.counts(),
@@ -81,7 +109,11 @@ fn main() {
     let cut_before = CutMetrics::compute(&g1, &part).total_cut_edges;
     let r = refine(&g1, &mut part, &cfg);
     let cut_after = CutMetrics::compute(&g1, &part).total_cut_edges;
-    save(&out_dir, "stage4_refined.svg", &mesh1.to_svg(Some(part.assignment()), 640.0));
+    save(
+        &out_dir,
+        "stage4_refined.svg",
+        &mesh1.to_svg(Some(part.assignment()), 640.0),
+    );
     println!(
         "after refinement: cut {cut_before} -> {cut_after} (moved {} in {} iteration(s))",
         r.total_moved,

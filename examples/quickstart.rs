@@ -24,7 +24,11 @@ fn main() {
     let domain = Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 1.5));
     let mut builder = MeshBuilder::generate(domain, 600, 42);
     let g0 = builder.graph();
-    println!("initial mesh: {} nodes, {} edges", g0.num_vertices(), g0.num_edges());
+    println!(
+        "initial mesh: {} nodes, {} edges",
+        g0.num_vertices(),
+        g0.num_edges()
+    );
 
     // 2. Partition it from scratch with RSB (the expensive baseline).
     let t = Instant::now();
@@ -43,7 +47,13 @@ fn main() {
         g0.clone(),
         g1.clone(),
         (0..g1.num_vertices() as u32)
-            .map(|v| if (v as usize) < g0.num_vertices() { v } else { igp::graph::INVALID_NODE })
+            .map(|v| {
+                if (v as usize) < g0.num_vertices() {
+                    v
+                } else {
+                    igp::graph::INVALID_NODE
+                }
+            })
             .collect(),
     );
     println!(

@@ -43,9 +43,10 @@ fn main() {
             "\n=== +{extra} vertices, all near partition 0 (overload {:.0}%) ===",
             100.0 * extra as f64 / 144.0
         );
-        for (name, policy) in
-            [("strict caps (paper default)", CapPolicy::Strict), ("relaxed caps", CapPolicy::Relaxed)]
-        {
+        for (name, policy) in [
+            ("strict caps (paper default)", CapPolicy::Strict),
+            ("relaxed caps", CapPolicy::Relaxed),
+        ] {
             let mut cfg = IgpConfig::new(16);
             cfg.cap_policy = policy;
             let igp = IncrementalPartitioner::igpr(cfg);

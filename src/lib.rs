@@ -1,8 +1,7 @@
 //! # igp — Parallel Incremental Graph Partitioning Using Linear Programming
 //!
 //! Umbrella crate re-exporting the full reproduction of Ou & Ranka
-//! (Supercomputing '94). See `README.md` for a tour and `DESIGN.md` for
-//! the system inventory.
+//! (Supercomputing '94). See `README.md` for a tour of the workspace.
 //!
 //! * [`graph`] — CSR/dynamic graphs, incremental deltas, partitions, cut
 //!   metrics (`igp-graph`).

@@ -19,11 +19,8 @@ fn isolated_partitions_signal_from_scratch() {
         edges.push((8 + i, 8 + (i + 1) % 8)); // island B
     }
     let g = CsrGraph::from_edges(16, &edges);
-    let old = Partitioning::from_assignment(
-        &g,
-        2,
-        (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect(),
-    );
+    let old =
+        Partitioning::from_assignment(&g, 2, (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect());
     // Grow island A only → partition 0 overloaded, but nothing can move.
     let delta = GraphDelta {
         add_vertices: vec![1; 6],
@@ -31,9 +28,11 @@ fn isolated_partitions_signal_from_scratch() {
         ..Default::default()
     };
     let inc = delta.apply(&g);
-    let (part, report) =
-        IncrementalPartitioner::igp(IgpConfig::new(2)).repartition(&inc, &old);
-    assert!(!report.balance.balanced, "balance is impossible across components");
+    let (part, report) = IncrementalPartitioner::igp(IgpConfig::new(2)).repartition(&inc, &old);
+    assert!(
+        !report.balance.balanced,
+        "balance is impossible across components"
+    );
     // Nothing lost: all vertices still assigned.
     assert_eq!(part.counts().iter().sum::<u32>(), 22);
 }
@@ -48,7 +47,10 @@ fn single_partition_trivial() {
     let (part, report) = IncrementalPartitioner::igpr(IgpConfig::new(1)).repartition(&inc, &old);
     assert!(report.balance.balanced);
     assert_eq!(part.count(0), 30);
-    assert_eq!(CutMetrics::compute(inc.new_graph(), &part).total_cut_edges, 0);
+    assert_eq!(
+        CutMetrics::compute(inc.new_graph(), &part).total_cut_edges,
+        0
+    );
 }
 
 /// More partitions than new vertices: balance still lands within ±1.
@@ -65,11 +67,12 @@ fn many_parts_tiny_increment() {
     let old = Partitioning::from_assignment(&g, 16, assign);
     let delta = generators::localized_growth_delta(&g, 0, 3, 9);
     let inc = delta.apply(&g);
-    let (part, report) =
-        IncrementalPartitioner::igp(IgpConfig::new(16)).repartition(&inc, &old);
+    let (part, report) = IncrementalPartitioner::igp(IgpConfig::new(16)).repartition(&inc, &old);
     assert!(report.balance.balanced);
-    let (min, max) =
-        (part.counts().iter().min().unwrap(), part.counts().iter().max().unwrap());
+    let (min, max) = (
+        part.counts().iter().min().unwrap(),
+        part.counts().iter().max().unwrap(),
+    );
     assert!(max - min <= 1, "{:?}", part.counts());
 }
 
@@ -107,10 +110,12 @@ fn edge_only_increment() {
         ..Default::default()
     };
     let inc = delta.apply(&g);
-    let (part, report) =
-        IncrementalPartitioner::igpr(IgpConfig::new(3)).repartition(&inc, &old);
+    let (part, report) = IncrementalPartitioner::igpr(IgpConfig::new(3)).repartition(&inc, &old);
     assert!(report.balance.balanced);
-    assert_eq!(report.balance.total_moved, 0, "counts unchanged → no balancing moves");
+    assert_eq!(
+        report.balance.total_moved, 0,
+        "counts unchanged → no balancing moves"
+    );
     assert_eq!(part.counts(), &[4, 4, 4]);
 }
 
@@ -134,9 +139,15 @@ fn overload_bigger_than_partition() {
     cfg.cap_policy = CapPolicy::Strict;
     cfg.max_stages = 12;
     let (part, report) = IncrementalPartitioner::igp(cfg).repartition(&inc, &old);
-    assert!(report.balance.balanced, "stages used: {}", report.num_stages());
-    let (min, max) =
-        (part.counts().iter().min().unwrap(), part.counts().iter().max().unwrap());
+    assert!(
+        report.balance.balanced,
+        "stages used: {}",
+        report.num_stages()
+    );
+    let (min, max) = (
+        part.counts().iter().min().unwrap(),
+        part.counts().iter().max().unwrap(),
+    );
     assert!(max - min <= 1, "{:?}", part.counts());
     part.validate(inc.new_graph()).unwrap();
 }
@@ -160,17 +171,21 @@ fn star_graph_partitioning() {
     };
     let inc = delta.apply(&g);
     // Strict caps: structurally infeasible, reported honestly.
-    let (part_s, rep_s) =
-        IncrementalPartitioner::igpr(IgpConfig::new(3)).repartition(&inc, &old);
-    assert!(!rep_s.balance.balanced, "star λ-structure cannot balance under strict caps");
+    let (part_s, rep_s) = IncrementalPartitioner::igpr(IgpConfig::new(3)).repartition(&inc, &old);
+    assert!(
+        !rep_s.balance.balanced,
+        "star λ-structure cannot balance under strict caps"
+    );
     assert_eq!(part_s.counts().iter().sum::<u32>(), 25);
     // Relaxed caps: balances fine.
     let mut cfg = IgpConfig::new(3);
     cfg.cap_policy = CapPolicy::Relaxed;
     let (part_r, rep_r) = IncrementalPartitioner::igpr(cfg).repartition(&inc, &old);
     assert!(rep_r.balance.balanced);
-    let (min, max) =
-        (part_r.counts().iter().min().unwrap(), part_r.counts().iter().max().unwrap());
+    let (min, max) = (
+        part_r.counts().iter().min().unwrap(),
+        part_r.counts().iter().max().unwrap(),
+    );
     assert!(max - min <= 1, "{:?}", part_r.counts());
 }
 
@@ -186,7 +201,14 @@ fn weighted_edges_respected_by_refinement() {
     // the swap → cut weight 2.
     let g = CsrGraph::from_weighted_edges(
         6,
-        &[(0, 1, 1), (1, 2, 1), (2, 3, 10), (3, 4, 1), (4, 5, 1), (5, 0, 5)],
+        &[
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 3, 10),
+            (3, 4, 1),
+            (4, 5, 1),
+            (5, 0, 5),
+        ],
     );
     let old = Partitioning::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]);
     let inc = GraphDelta::default().apply(&g);

@@ -25,7 +25,11 @@ fn full_pipeline_on_mesh_sequence() {
     let igpr = IncrementalPartitioner::igpr(IgpConfig::new(p));
     for step in &seq.steps {
         let (new_part, report) = igpr.repartition(&step.inc, &part);
-        assert!(report.balance.balanced, "step {} did not balance", step.label);
+        assert!(
+            report.balance.balanced,
+            "step {} did not balance",
+            step.label
+        );
         let g = step.inc.new_graph();
         new_part.validate(g).unwrap();
         // Quality stays within 2x of from-scratch RSB on this tiny mesh.
@@ -51,8 +55,8 @@ fn sequential_and_parallel_agree_on_mesh() {
     let inc = &seq.steps[0].inc;
     let (seq_part, seq_rep) = IncrementalPartitioner::igp(IgpConfig::new(p)).repartition(inc, &old);
     for workers in [1, 2, 3] {
-        let (par_part, rep) = ParallelPartitioner::igp(IgpConfig::new(p), workers)
-            .repartition(inc, &old);
+        let (par_part, rep) =
+            ParallelPartitioner::igp(IgpConfig::new(p), workers).repartition(inc, &old);
         assert!(rep.balanced, "workers {workers}");
         assert_eq!(par_part.counts(), seq_part.counts(), "workers {workers}");
         assert_eq!(
@@ -144,7 +148,10 @@ fn multilevel_agrees_with_flat_on_mesh() {
     let old = rsb(&seq.base, p);
     let inc = &seq.steps[0].inc;
     let cfg = IgpConfig::new(p);
-    let ml = MultilevelConfig { coarsen_to: 40, max_levels: 3 };
+    let ml = MultilevelConfig {
+        coarsen_to: 40,
+        max_levels: 3,
+    };
     let (part, rep) = multilevel_repartition(inc, &old, &cfg, &ml);
     assert!(rep.level_sizes.len() >= 2);
     let counts = part.counts();
@@ -157,8 +164,7 @@ fn rsb_vs_rcb_on_mesh() {
     // RCB (geometric) and RSB (spectral) both balance; RSB usually cuts
     // fewer edges on irregular meshes.
     let seq = tiny_sequence(8);
-    let coords: Vec<(f64, f64)> =
-        seq.base_mesh.points.iter().map(|p| (p.x, p.y)).collect();
+    let coords: Vec<(f64, f64)> = seq.base_mesh.points.iter().map(|p| (p.x, p.y)).collect();
     let p = 4;
     let spectral = rsb(&seq.base, p);
     let geometric = igp::spectral::recursive_coordinate_bisection(&seq.base, &coords, p);
@@ -178,8 +184,8 @@ fn report_lp_dominates_work_share() {
     let seq = tiny_sequence(9);
     let p = 8;
     let old = rsb(&seq.base, p);
-    let (_, rep) = IncrementalPartitioner::igpr(IgpConfig::new(p))
-        .repartition(&seq.steps[0].inc, &old);
+    let (_, rep) =
+        IncrementalPartitioner::igpr(IgpConfig::new(p)).repartition(&seq.steps[0].inc, &old);
     assert!(
         rep.lp_work_share() > 0.3,
         "LP share {:.2} unexpectedly small",
@@ -200,6 +206,10 @@ fn empty_increment_stability() {
     let (part, rep) = IncrementalPartitioner::igp(IgpConfig::new(p)).repartition(&inc, &old);
     // RSB output is balanced within ±1 already; IGP may shuffle at most a
     // remainder vertex or two, never more.
-    assert!(rep.balance.total_moved <= 2, "moved {}", rep.balance.total_moved);
+    assert!(
+        rep.balance.total_moved <= 2,
+        "moved {}",
+        rep.balance.total_moved
+    );
     assert!(part.count_imbalance() <= old.count_imbalance() + 1e-9);
 }

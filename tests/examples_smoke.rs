@@ -1,0 +1,44 @@
+//! Smoke coverage for the `examples/`: each must compile and run to
+//! successful completion. (The quickstart in `src/lib.rs` is further
+//! covered as a doctest, so its `count_imbalance() < 1.02` claim is
+//! asserted on every `cargo test` run.)
+//!
+//! One test drives all examples sequentially: concurrent `cargo run`
+//! invocations would serialize on the build lock anyway.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "adaptive_refinement",
+    "moving_window",
+    "parallel_speedup",
+    "partition_viz",
+    "quickstart",
+    "severe_imbalance",
+];
+
+#[test]
+fn examples_run_to_completion() {
+    let cargo = env!("CARGO");
+    // Build them all up front so per-example failures are run failures,
+    // not compile failures.
+    let build = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(build.success(), "cargo build --examples failed");
+
+    for example in EXAMPLES {
+        let out = Command::new(cargo)
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example {example}: {e}"));
+        assert!(
+            out.status.success(),
+            "example `{example}` exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Golden-file coverage for `igp-graph::io`'s METIS-format reader and
+//! writer: byte-exact serialization against committed golden files,
+//! write → read → identical-CSR round-trips (fixed and randomized), and
+//! malformed-input error cases.
+//!
+//! Regenerate the goldens after a deliberate format change with
+//! `cargo test --test io_golden -- --ignored regen_golden_files`.
+
+mod common;
+
+use igp::graph::io::{read_metis, read_partition, write_metis, write_partition, ParseError};
+use igp::graph::{generators, CsrGraph};
+use std::path::Path;
+
+const GOLDEN_DIR: &str = "tests/golden";
+
+/// The fixed fixtures: `(file stem, graph)`. One unweighted irregular
+/// graph, one grid, one fully weighted graph — covering all three `fmt`
+/// header variants the writer emits.
+fn golden_fixtures() -> Vec<(&'static str, CsrGraph)> {
+    let cycle_plus_chord =
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+    let grid = generators::grid(4, 5);
+    let mut weighted =
+        CsrGraph::from_weighted_edges(5, &[(0, 1, 3), (1, 2, 1), (2, 3, 9), (3, 4, 2), (4, 0, 1)]);
+    weighted.set_vertex_weights(vec![2, 1, 1, 5, 1]);
+    vec![
+        ("cycle_plus_chord", cycle_plus_chord),
+        ("grid_4x5", grid),
+        ("weighted_ring", weighted),
+    ]
+}
+
+fn golden_path(stem: &str) -> std::path::PathBuf {
+    Path::new(GOLDEN_DIR).join(format!("{stem}.graph"))
+}
+
+#[test]
+fn write_matches_golden_bytes() {
+    for (stem, g) in golden_fixtures() {
+        let expect = std::fs::read_to_string(golden_path(stem))
+            .unwrap_or_else(|e| panic!("missing golden {stem}: {e} (run the regen test)"));
+        assert_eq!(
+            write_metis(&g),
+            expect,
+            "serialization of {stem} drifted from its golden file"
+        );
+    }
+}
+
+#[test]
+fn goldens_read_back_to_identical_csr() {
+    for (stem, g) in golden_fixtures() {
+        let text = std::fs::read_to_string(golden_path(stem)).unwrap();
+        let back = read_metis(&text).unwrap_or_else(|e| panic!("golden {stem} unreadable: {e}"));
+        assert_eq!(back, g, "golden {stem} did not round-trip");
+    }
+}
+
+#[test]
+fn randomized_roundtrips() {
+    for seed in 0..25u64 {
+        let n = 2 + (seed as usize * 7) % 40;
+        let g = common::random_connected_graph(n, n, seed);
+        let text = write_metis(&g);
+        let back = read_metis(&text).unwrap();
+        assert_eq!(g, back, "round-trip failed for seed {seed}");
+        // Serialization is a pure function of the graph.
+        assert_eq!(text, write_metis(&back));
+    }
+}
+
+#[test]
+fn partition_file_roundtrip() {
+    let g = generators::grid(6, 6);
+    let part = common::bfs_slab_partitioning(&g, 4);
+    let text = write_partition(&part);
+    let back = read_partition(&text, &g, 4).unwrap();
+    assert_eq!(back.assignment(), part.assignment());
+}
+
+#[test]
+fn malformed_empty_input() {
+    assert!(matches!(read_metis(""), Err(ParseError::BadHeader(_))));
+    assert!(matches!(
+        read_metis("% only a comment\n"),
+        Err(ParseError::BadHeader(_))
+    ));
+}
+
+#[test]
+fn malformed_header() {
+    // Too few tokens.
+    assert!(matches!(read_metis("7\n"), Err(ParseError::BadHeader(_))));
+    // Non-numeric counts.
+    assert!(matches!(
+        read_metis("x 3\n1\n2\n"),
+        Err(ParseError::BadHeader(_))
+    ));
+    assert!(matches!(
+        read_metis("3 y\n2\n1\n\n"),
+        Err(ParseError::BadHeader(_))
+    ));
+    // Vertex sizes are unsupported.
+    assert!(matches!(
+        read_metis("2 1 100\n2\n1\n"),
+        Err(ParseError::BadHeader(_))
+    ));
+    // Multi-constraint vertex weights are unsupported.
+    assert!(matches!(
+        read_metis("2 1 011 2\n1 2 1\n1 1 1\n"),
+        Err(ParseError::BadHeader(_))
+    ));
+}
+
+#[test]
+fn malformed_vertex_lines() {
+    // Garbage neighbor token.
+    let err = read_metis("3 2\n2\n1 abc\n\n").unwrap_err();
+    assert!(matches!(err, ParseError::BadLine { line: 3, .. }), "{err}");
+    // Neighbor id out of range (vertices are 1-based; 0 and > n invalid).
+    assert!(matches!(
+        read_metis("3 2\n2\n1 0\n\n"),
+        Err(ParseError::BadLine { .. })
+    ));
+    assert!(matches!(
+        read_metis("3 2\n2\n1 4\n\n"),
+        Err(ParseError::BadLine { .. })
+    ));
+    // Edge-weighted graph with a missing weight.
+    assert!(matches!(
+        read_metis("2 1 001\n2 5\n1\n"),
+        Err(ParseError::BadLine { .. })
+    ));
+    // Vertex-weighted graph with a missing weight (empty line short-reads
+    // as a missing vertex line instead).
+    assert!(matches!(
+        read_metis("2 1 010\n\n4 1\n"),
+        Err(ParseError::BadLine { .. })
+    ));
+}
+
+#[test]
+fn inconsistent_counts() {
+    // Header promises 3 vertices, 2 lines given.
+    assert!(matches!(
+        read_metis("3 1\n2\n1\n"),
+        Err(ParseError::Inconsistent(_))
+    ));
+    // Header promises 2 edges, only 1 present.
+    assert!(matches!(
+        read_metis("3 2\n2\n1\n\n"),
+        Err(ParseError::Inconsistent(_))
+    ));
+    // Header promises 0 edges, 1 present.
+    assert!(matches!(
+        read_metis("2 0\n2\n1\n"),
+        Err(ParseError::Inconsistent(_))
+    ));
+}
+
+#[test]
+fn malformed_partition_files() {
+    let g = generators::grid(2, 2);
+    // Bad token.
+    assert!(matches!(
+        read_partition("0\n1\nx\n0\n", &g, 2),
+        Err(ParseError::BadLine { .. })
+    ));
+    // Partition id out of range.
+    assert!(matches!(
+        read_partition("0\n1\n2\n0\n", &g, 2),
+        Err(ParseError::BadLine { .. })
+    ));
+    // Wrong entry count.
+    assert!(matches!(
+        read_partition("0\n1\n0\n", &g, 2),
+        Err(ParseError::Inconsistent(_))
+    ));
+}
+
+/// Rewrites the golden files from the current writer. Run explicitly
+/// after a *deliberate* format change, then review the diff.
+#[test]
+#[ignore]
+fn regen_golden_files() {
+    std::fs::create_dir_all(GOLDEN_DIR).unwrap();
+    for (stem, g) in golden_fixtures() {
+        std::fs::write(golden_path(stem), write_metis(&g)).unwrap();
+    }
+}

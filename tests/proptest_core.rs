@@ -1,8 +1,10 @@
 //! Property tests on the incremental partitioner itself: the DESIGN.md §7
 //! invariants under randomized graphs, partitions and increments.
 
+mod common;
+
 use igp::graph::metrics::CutMetrics;
-use igp::graph::{generators, CsrGraph, NodeId, PartId, Partitioning};
+use igp::graph::{generators, CsrGraph, PartId, Partitioning};
 use igp::layer::layer_partitions;
 use igp::{CapPolicy, IgpConfig, IncrementalPartitioner};
 use proptest::prelude::*;
@@ -11,40 +13,14 @@ use proptest::prelude::*;
 /// starts roughly (not exactly) balanced.
 fn scenario_strategy() -> impl Strategy<Value = (CsrGraph, Partitioning, u64)> {
     (12usize..60, 2usize..5, any::<u64>()).prop_map(|(n, parts, seed)| {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-        for v in 1..n {
-            let u = next() % v;
-            edges.push((u as NodeId, v as NodeId));
-        }
-        for _ in 0..2 * n {
-            let a = next() % n;
-            let b = next() % n;
-            if a != b {
-                let e = (a.min(b) as NodeId, a.max(b) as NodeId);
-                if !edges.contains(&e) {
-                    edges.push(e);
-                }
-            }
-        }
-        let g = CsrGraph::from_edges(n, &edges);
-        // Slab partitioning by BFS order from vertex 0.
-        let order = igp::graph::traversal::bfs_order(&g, 0);
-        let mut assign = vec![0 as PartId; n];
-        for (rank, &v) in order.iter().enumerate() {
-            assign[v as usize] = ((rank * parts) / n) as PartId;
-        }
-        let part = Partitioning::from_assignment(&g, parts, assign);
+        let g = common::random_connected_graph(n, 2 * n, seed);
+        let part = common::bfs_slab_partitioning(&g, parts);
         (g, part, seed)
     })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(common::tier1_config(48))]
 
     /// After IGP: every vertex assigned, totals preserved, counts within
     /// one of the averages, and (strict caps) at most slight deformation.

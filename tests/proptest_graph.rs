@@ -1,42 +1,20 @@
 //! Property tests on the graph substrate: CSR invariants, delta
 //! apply/diff inversion, BFS-owner verification, metric identities.
 
+mod common;
+
 use igp::graph::metrics::CutMetrics;
 use igp::graph::traversal::{nearest_owner_bfs, verify_nearest_owner};
 use igp::graph::{CsrGraph, NodeId, Partitioning};
 use proptest::prelude::*;
 
-/// Random simple undirected graph as a deduplicated edge list.
+/// Random simple undirected graph: spanning tree + `n` random chords.
 fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
-    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-        // A random spanning tree keeps most instances connected…
-        for v in 1..n {
-            let u = next() % v;
-            edges.push((u as NodeId, v as NodeId));
-        }
-        // …plus random extra edges.
-        for _ in 0..n {
-            let a = next() % n;
-            let b = next() % n;
-            if a != b {
-                let e = (a.min(b) as NodeId, a.max(b) as NodeId);
-                if !edges.contains(&e) {
-                    edges.push(e);
-                }
-            }
-        }
-        CsrGraph::from_edges(n, &edges)
-    })
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| common::random_connected_graph(n, n, seed))
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(common::tier1_config(128))]
 
     #[test]
     fn csr_structural_invariants(g in graph_strategy()) {
@@ -97,11 +75,10 @@ proptest! {
     fn moves_keep_partition_consistent(g in graph_strategy(), seed in any::<u64>()) {
         let n = g.num_vertices();
         let mut p = Partitioning::round_robin(&g, 3);
-        let mut s = seed;
+        let mut rng = common::Lcg::new(seed);
         for _ in 0..10 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let v = ((s >> 33) as usize % n) as NodeId;
-            let to = ((s >> 11) % 3) as u32;
+            let v = rng.below(n) as NodeId;
+            let to = rng.below(3) as u32;
             p.move_vertex(&g, v, to);
         }
         p.validate(&g).unwrap();

@@ -1,42 +1,15 @@
 //! Property tests: the dense simplex against the combinatorial
 //! network-flow oracles on randomized instances of both paper LPs.
 
+mod common;
+
 use igp::lp::{flow, solve, LpModel};
 use proptest::prelude::*;
 
 /// Random transshipment instance: `p` partitions on a ring plus random
 /// chords, random caps, random balanced surplus.
-fn transshipment_strategy(
-) -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>, Vec<i64>)> {
-    (3usize..8, any::<u64>()).prop_map(|(p, seed)| {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
-        let mut arcs = Vec::new();
-        for i in 0..p {
-            arcs.push((i, (i + 1) % p, (next() % 12 + 1) as i64));
-            arcs.push(((i + 1) % p, i, (next() % 12 + 1) as i64));
-        }
-        for _ in 0..p {
-            let a = next() % p;
-            let b = next() % p;
-            if a != b && !arcs.iter().any(|&(x, y, _)| x == a && y == b) {
-                arcs.push((a, b, (next() % 12 + 1) as i64));
-            }
-        }
-        let mut surplus = vec![0i64; p];
-        for _ in 0..2 * p {
-            let a = next() % p;
-            let b = next() % p;
-            if a != b {
-                surplus[a] += 1;
-                surplus[b] -= 1;
-            }
-        }
-        (p, arcs, surplus)
-    })
+fn transshipment_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>, Vec<i64>)> {
+    (3usize..8, any::<u64>()).prop_map(|(p, seed)| common::random_transshipment(p, seed))
 }
 
 fn balance_lp(p: usize, arcs: &[(usize, usize, i64)], surplus: &[i64]) -> LpModel {
@@ -60,7 +33,7 @@ fn balance_lp(p: usize, arcs: &[(usize, usize, i64)], surplus: &[i64]) -> LpMode
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(common::tier1_config(64))]
 
     /// Simplex and min-cost-flow agree on feasibility AND optimal value of
     /// the balance LP; simplex solutions are feasible and integral.

@@ -1,23 +1,18 @@
 //! Property tests on the mesh substrate: Delaunay validity on random
 //! point sets, refinement/derefinement invariants, smoothing stability.
 
+mod common;
+
 use igp::mesh::domain::Rect;
 use igp::mesh::{Delaunay, Disc, MeshBuilder, Point};
 use proptest::prelude::*;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
-    (6usize..60, any::<u64>()).prop_map(|(n, seed)| {
-        let mut s = seed | 1;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 11) as f64) / ((1u64 << 53) as f64)
-        };
-        (0..n).map(|_| Point::new(next(), next())).collect()
-    })
+    (6usize..60, any::<u64>()).prop_map(|(n, seed)| common::random_unit_points(n, seed))
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(common::tier1_config(48))]
 
     /// Empty-circumcircle property and adjacency symmetry hold for random
     /// insertion sets; triangle count obeys Euler's bound.

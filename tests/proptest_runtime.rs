@@ -2,11 +2,13 @@
 //! sequential definitions for every rank count and value assignment, and
 //! simulated clocks must be deterministic.
 
+mod common;
+
 use igp::runtime::{CostModel, Machine};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(common::tier1_config(32))]
 
     #[test]
     fn allreduce_sum_correct(p in 1usize..9, vals in prop::collection::vec(0u64..1000, 9)) {

@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion` — runs each registered benchmark a
+//! configurable number of samples, and prints min/median/mean wall time
+//! per benchmark. No statistical analysis, outlier rejection or HTML
+//! reports; the point is that `cargo bench` compiles and produces
+//! comparable one-line numbers in this offline environment.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_iters: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream defaults to 100 samples with time-based warm-up;
+        // fixed small counts keep `cargo bench` minutes-scale on the
+        // heavier partitioner benches.
+        Criterion {
+            sample_size: 10,
+            warm_up_iters: 1,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, self.warm_up_iters, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_iters: 1,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_iters: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, self.warm_up_iters, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one sample of `f`. The closure's output is `black_box`ed so
+    /// the measured work is not optimized away.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, warm_up_iters: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut warm = Bencher {
+        samples: Vec::new(),
+    };
+    for _ in 0..warm_up_iters {
+        f(&mut warm);
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples: bench closure never called iter)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{id:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        b.samples.len()
+    );
+}
+
+/// `criterion_group!(name, target…)` — a function running every target
+/// against a default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group…)` — the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

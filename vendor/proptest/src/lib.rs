@@ -1,0 +1,454 @@
+//! Offline stand-in for `proptest` — deterministic property testing with
+//! the API surface this workspace uses.
+//!
+//! Differences from upstream, by design (see `vendor/README.md`):
+//!
+//! * **Deterministic seeding.** Case seeds derive from a stable FNV hash
+//!   of `(source file, test name, case index)` — every run, machine and
+//!   CI job executes the identical case sequence. Set the
+//!   `PROPTEST_BASE_SEED` env var (decimal or `0x…`) to explore a
+//!   different sequence locally.
+//! * **No shrinking.** On failure the offending seed is reported and
+//!   persisted; `max_shrink_iters` is accepted for config compatibility
+//!   but inert. With deterministic generation the seed alone reproduces
+//!   the exact inputs.
+//! * **Failure persistence** writes `<test name> <seed-hex>` lines to
+//!   `<failure_persistence>/<source file stem>.txt`; persisted seeds are
+//!   replayed *before* the regular cases on every subsequent run, so a
+//!   once-seen regression stays covered until the line is removed.
+
+use rand::{RngCore, SeedableRng};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy};
+
+/// Modules re-exported under the `prop::` prefix, as upstream does.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// The RNG handed to strategies. A thin wrapper over the workspace
+/// `rand` stub so strategies and user code share one generator type.
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(rand::StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The generated input was rejected (not counted as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Field names match upstream where the concept
+/// exists; `failure_persistence` is a plain directory path here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this stub does not shrink.
+    pub max_shrink_iters: u32,
+    /// Directory receiving `<file stem>.txt` regression-seed files, or
+    /// `None` to disable persistence.
+    pub failure_persistence: Option<PathBuf>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            failure_persistence: Some(PathBuf::from("tests/regressions")),
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn base_seed(file: &str, name: &str) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_BASE_SEED") {
+        let v = v.trim();
+        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse().ok()
+        };
+        if let Some(s) = parsed {
+            return s;
+        }
+        eprintln!("[proptest-stub] ignoring unparsable PROPTEST_BASE_SEED={v:?}");
+    }
+    fnv1a(name.as_bytes(), fnv1a(file.as_bytes(), FNV_OFFSET))
+}
+
+fn regression_path(dir: &Path, file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    dir.join(format!("{stem}.txt"))
+}
+
+fn load_regression_seeds(dir: &Path, file: &str, name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(dir, file)) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(name) {
+            if let Some(seed) = parts
+                .next()
+                .and_then(|s| s.strip_prefix("0x"))
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+            {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
+fn persist_seed(dir: &Path, file: &str, name: &str, seed: u64) {
+    if load_regression_seeds(dir, file, name).contains(&seed) {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[proptest-stub] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = regression_path(dir, file);
+    let res = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{name} {seed:#018x}"));
+    match res {
+        Ok(()) => eprintln!(
+            "[proptest-stub] persisted failing seed to {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("[proptest-stub] cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Drive one property: replay persisted regression seeds, then run
+/// `config.cases` fresh cases. Panics (failing the enclosing `#[test]`)
+/// on the first failing case, after persisting its seed.
+pub fn run_proptest<F>(config: &ProptestConfig, file: &'static str, name: &'static str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let persist_dir = config.failure_persistence.as_deref();
+    let mut rejected = 0u64;
+
+    let mut run_case = |seed: u64, label: &str| {
+        // Panics inside the property (e.g. `unwrap`/`assert!` helpers, as
+        // opposed to `prop_assert!`) must also persist the seed before the
+        // test fails, so the regression replays on the next run.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = TestRng::from_seed(seed);
+            body(&mut rng)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => rejected += 1,
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                if let Some(dir) = persist_dir {
+                    persist_seed(dir, file, name, seed);
+                }
+                panic!(
+                    "[proptest-stub] property `{name}` falsified ({label}, seed {seed:#018x}):\n{reason}\n\
+                     (re-run deterministically reproduces this; the seed was persisted for replay)"
+                );
+            }
+            Err(payload) => {
+                if let Some(dir) = persist_dir {
+                    persist_seed(dir, file, name, seed);
+                }
+                eprintln!(
+                    "[proptest-stub] property `{name}` panicked ({label}, seed {seed:#018x}); \
+                     the seed was persisted for replay"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    };
+
+    if let Some(dir) = persist_dir {
+        for seed in load_regression_seeds(dir, file, name) {
+            run_case(seed, "persisted regression");
+        }
+    }
+
+    let base = base_seed(file, name);
+    for case in 0..config.cases as u64 {
+        // SplitMix-style spreading decorrelates consecutive case seeds.
+        let mut seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        seed ^= seed >> 29;
+        run_case(seed, &format!("case {case}/{}", config.cases));
+    }
+
+    if rejected > config.cases as u64 / 2 {
+        eprintln!("[proptest-stub] warning: `{name}` rejected {rejected} inputs");
+    }
+}
+
+/// `proptest! { … }` — expands each `fn name(pat in strategy, …) { … }`
+/// item into a `#[test]` driving [`run_proptest`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[doc = $doc:expr])*
+     #[test]
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)+);
+            $crate::run_proptest(&__config, file!(), stringify!($name), |__rng| {
+                let ($($pat,)+) =
+                    $crate::strategy::StrategyTuple::generate_tuple(&__strategies, __rng);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, …)` — returns a
+/// [`TestCaseError::Fail`] from the enclosing property on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`\n{}",
+            __l, format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyTuple;
+
+    fn no_persist(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            failure_persistence: None,
+            ..ProptestConfig::default()
+        }
+    }
+
+    #[test]
+    fn case_sequence_is_deterministic() {
+        let collect = || {
+            let mut seen = Vec::new();
+            run_proptest(&no_persist(16), "f.rs", "t", |rng| {
+                seen.push(rng.next_u64());
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+        assert_eq!(collect().len(), 16);
+    }
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        run_proptest(&no_persist(64), "f.rs", "domains", |rng| {
+            let (n, x, v) = (
+                3usize..8,
+                any::<u64>(),
+                collection::vec(0u32..10, 1..5usize),
+            )
+                .generate_tuple(rng);
+            assert!((3..8).contains(&n));
+            let _ = x;
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let doubled = (1usize..10).prop_map(|v| v * 2);
+        run_proptest(&no_persist(32), "f.rs", "map", |rng| {
+            let even = doubled.generate(rng);
+            assert!(even % 2 == 0 && (2..20).contains(&even));
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_seed() {
+        run_proptest(&no_persist(8), "f.rs", "fails", |rng| {
+            let v = rng.next_u64();
+            if v % 2 == 0 || v % 2 == 1 {
+                return Err(TestCaseError::fail("always"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn persistence_roundtrip_and_replay() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        persist_seed(&dir, "tests/sample.rs", "prop_x", 0xDEAD_BEEF);
+        persist_seed(&dir, "tests/sample.rs", "prop_x", 0xDEAD_BEEF); // dedup
+        persist_seed(&dir, "tests/sample.rs", "prop_y", 0x1234);
+        assert_eq!(
+            load_regression_seeds(&dir, "tests/sample.rs", "prop_x"),
+            vec![0xDEAD_BEEF]
+        );
+        assert_eq!(
+            load_regression_seeds(&dir, "tests/sample.rs", "prop_y"),
+            vec![0x1234]
+        );
+        // Replayed seeds run before fresh cases.
+        let cfg = ProptestConfig {
+            cases: 1,
+            failure_persistence: Some(dir.clone()),
+            ..ProptestConfig::default()
+        };
+        let mut first_seed = None;
+        run_proptest(&cfg, "tests/sample.rs", "prop_x", |rng| {
+            if first_seed.is_none() {
+                first_seed = Some(rng.next_u64());
+            }
+            Ok(())
+        });
+        let expect = TestRng::from_seed(0xDEAD_BEEF).next_u64();
+        assert_eq!(first_seed, Some(expect));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for `rayon` — indexed data parallelism over slices
+//! with the `par_iter().enumerate().map(..).collect()` shape this
+//! workspace uses. Work is split into contiguous chunks across
+//! `std::thread::available_parallelism()` scoped OS threads, and
+//! `collect::<Vec<_>>()` preserves input order, matching rayon's
+//! indexed-iterator semantics.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// An indexed parallel pipeline: every stage can produce item `i`
+/// independently, so execution chunks the index space across threads.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce item `i`. Must be safe to call concurrently for distinct
+    /// indices (stages hold only `Sync` state).
+    fn get(&self, i: usize) -> Self::Item;
+
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.inner.get(i))
+    }
+}
+
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, O, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, i: usize) -> O {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Vec<T> {
+        let n = it.len();
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(|i| it.get(i)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let it = &it;
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || (start..end).map(|i| it.get(i)).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-stub worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in &mut parts {
+            out.append(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_align() {
+        let v = vec!["a", "b", "c", "d", "e"];
+        let out: Vec<(usize, usize)> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.len()))
+            .collect();
+        assert_eq!(out, vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
