@@ -1,0 +1,119 @@
+//! Wall-clock comparison of the execution substrates on the E3 speedup
+//! workload: the same SPMD repartitioning on [`Backend::SimCm5`] (message
+//! passing + cost simulation overhead) vs [`Backend::SharedMem`] (slot
+//! collectives) at 1/2/4/8 workers.
+//!
+//! Custom harness (not criterion): besides printing a table it emits a
+//! machine-readable `BENCH_backend.json` summary in the working
+//! directory, so CI or the next session can diff backend performance.
+//! On a host with ≥ 4 cores the shared-mem row should fall monotonically
+//! from 1 → 4 workers; on smaller hosts the curve flattens at the core
+//! count (recorded in the JSON as `host_cores`).
+
+use igp_bench::experiments::Fidelity;
+use igp_core::parallel::ParallelPartitioner;
+use igp_core::IgpConfig;
+use igp_mesh::sequence::paper_sequence_a;
+use igp_runtime::{Backend, CostModel};
+use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 5;
+
+struct Point {
+    backend: Backend,
+    workers: usize,
+    min_s: f64,
+    median_s: f64,
+}
+
+fn main() {
+    let parts = 32;
+    eprintln!("building workload (mesh sequence A, P = {parts}) ...");
+    let seq = paper_sequence_a(42);
+    let old = recursive_spectral_bisection(
+        &seq.base,
+        parts,
+        RsbOptions {
+            fiedler: Fidelity::bench().fiedler,
+        },
+    );
+    let inc = &seq.steps[0].inc;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut points = Vec::new();
+    println!(
+        "{:>12} {:>8} {:>12} {:>12}",
+        "backend", "workers", "min-wall", "median-wall"
+    );
+    for backend in Backend::ALL {
+        for &w in &WORKERS {
+            let cfg = IgpConfig::new(parts).with_backend(backend);
+            let pp = ParallelPartitioner::new(cfg, w, false, CostModel::cm5());
+            // Warm-up, then timed samples.
+            black_box(pp.repartition(black_box(inc), black_box(&old)));
+            let mut samples: Vec<f64> = (0..SAMPLES)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(pp.repartition(black_box(inc), black_box(&old)));
+                    t.elapsed().as_secs_f64()
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p = Point {
+                backend,
+                workers: w,
+                min_s: samples[0],
+                median_s: samples[samples.len() / 2],
+            };
+            println!(
+                "{:>12} {:>8} {:>11.4}s {:>11.4}s",
+                p.backend.to_string(),
+                p.workers,
+                p.min_s,
+                p.median_s
+            );
+            points.push(p);
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"workload\": \"paper_sequence_a step 0, P=32, IGP\",\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"workers\": {}, \"min_wall_s\": {:.6}, \"median_wall_s\": {:.6}}}{}\n",
+            p.backend,
+            p.workers,
+            p.min_s,
+            p.median_s,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_backend.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    let shm: Vec<&Point> = points
+        .iter()
+        .filter(|p| p.backend == Backend::SharedMem)
+        .collect();
+    let span = WORKERS.iter().filter(|&&w| w <= cores).count();
+    let monotone = shm.windows(2).take(span.saturating_sub(1)).all(|w| {
+        w[1].min_s <= w[0].min_s * 1.05 // 5% noise tolerance
+    });
+    println!(
+        "shared-mem scaling up to the core count ({} cores): {}",
+        cores,
+        if monotone { "monotone" } else { "NOT monotone" }
+    );
+}

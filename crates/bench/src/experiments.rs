@@ -6,7 +6,7 @@ use igp_core::{IgpConfig, IncrementalPartitioner};
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{CsrGraph, IncrementalGraph, Partitioning};
 use igp_mesh::sequence::MeshSequence;
-use igp_runtime::CostModel;
+use igp_runtime::{Backend, CostModel};
 use igp_spectral::{recursive_spectral_bisection, FiedlerOptions, RsbOptions};
 use std::time::Instant;
 
@@ -218,15 +218,17 @@ pub fn model_time(
 pub struct SpeedupPoint {
     /// Worker count.
     pub workers: usize,
-    /// Simulated CM-5 time.
+    /// Makespan: simulated CM-5 time under [`Backend::SimCm5`], measured
+    /// wall seconds under [`Backend::SharedMem`].
     pub model_time: f64,
-    /// Simulated speedup vs 1 worker.
+    /// Speedup vs 1 worker (same unit as `model_time`).
     pub model_speedup: f64,
     /// Real wall time of the threaded run on this host.
     pub wall_time: f64,
 }
 
-/// Sweep worker counts on one incremental step (experiment E3).
+/// Sweep worker counts on one incremental step (experiment E3) under the
+/// simulated-CM-5 backend.
 pub fn run_speedup_experiment(
     inc: &IncrementalGraph,
     old: &Partitioning,
@@ -234,10 +236,25 @@ pub fn run_speedup_experiment(
     worker_counts: &[usize],
     refine: bool,
 ) -> Vec<SpeedupPoint> {
+    run_speedup_experiment_on(inc, old, p, worker_counts, refine, Backend::SimCm5)
+}
+
+/// [`run_speedup_experiment`] on an explicit [`Backend`]. Under
+/// [`Backend::SharedMem`] the curve is real wall time — bounded by this
+/// host's core count rather than the CM-5 cost model.
+pub fn run_speedup_experiment_on(
+    inc: &IncrementalGraph,
+    old: &Partitioning,
+    p: usize,
+    worker_counts: &[usize],
+    refine: bool,
+    backend: Backend,
+) -> Vec<SpeedupPoint> {
     let mut out = Vec::new();
     let mut base = None;
     for &w in worker_counts {
-        let pp = ParallelPartitioner::new(IgpConfig::new(p), w, refine, CostModel::cm5());
+        let cfg = IgpConfig::new(p).with_backend(backend);
+        let pp = ParallelPartitioner::new(cfg, w, refine, CostModel::cm5());
         let (_, rep) = pp.repartition(inc, old);
         let t = rep.sim.makespan;
         let b = *base.get_or_insert(t);

@@ -96,12 +96,27 @@ pub fn full_table(
 
 /// Render the speedup sweep (experiment E3).
 pub fn speedup_table(label: &str, points: &[SpeedupPoint]) -> String {
+    speedup_table_for(label, points, igp_runtime::Backend::SimCm5)
+}
+
+/// [`speedup_table`] with the time column labelled for the backend that
+/// produced the points: simulated `model-time` under `SimCm5`, measured
+/// `rank-time` (slowest rank's wall clock) under `SharedMem`.
+pub fn speedup_table_for(
+    label: &str,
+    points: &[SpeedupPoint],
+    backend: igp_runtime::Backend,
+) -> String {
+    let time_col = match backend {
+        igp_runtime::Backend::SimCm5 => "model-time",
+        igp_runtime::Backend::SharedMem => "rank-time",
+    };
     let mut s = String::new();
     let _ = writeln!(s, "Speedup sweep — {label}");
     let _ = writeln!(
         s,
         "{:>8} {:>12} {:>10} {:>12}",
-        "workers", "model-time", "speedup", "wall-time"
+        "workers", time_col, "speedup", "wall-time"
     );
     for p in points {
         let _ = writeln!(

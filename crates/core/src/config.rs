@@ -1,6 +1,7 @@
 //! Configuration for the incremental partitioner.
 
 use igp_lp::SimplexOptions;
+use igp_runtime::Backend;
 
 /// How the load-balancing LP treats the `l_ij ≤ λ_ij` movement caps
 /// (paper §2.3: "One approach is to relax the constraint in (11) and not
@@ -87,6 +88,10 @@ pub struct IgpConfig {
     pub simplex: SimplexOptions,
     /// LP engine selection.
     pub solver: BalanceSolver,
+    /// Execution substrate for the parallel driver
+    /// ([`crate::ParallelPartitioner`]): the simulated CM-5 machine or
+    /// the shared-memory backend. Ignored by the sequential driver.
+    pub backend: Backend,
 }
 
 impl IgpConfig {
@@ -101,7 +106,14 @@ impl IgpConfig {
             refine: RefineConfig::default(),
             simplex: SimplexOptions::default(),
             solver: BalanceSolver::DenseSimplex,
+            backend: Backend::SimCm5,
         }
+    }
+
+    /// Builder-style substrate selection for the parallel driver.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -116,6 +128,14 @@ mod tests {
         assert_eq!(c.cap_policy, CapPolicy::Strict);
         assert!(c.max_stages >= 1);
         assert!(c.refine.max_iters >= 1);
+        assert_eq!(c.backend, Backend::SimCm5);
+    }
+
+    #[test]
+    fn backend_builder() {
+        let c = IgpConfig::new(4).with_backend(Backend::SharedMem);
+        assert_eq!(c.backend, Backend::SharedMem);
+        assert_eq!(c.num_parts, 4);
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! Drivers:
 //! * [`IncrementalPartitioner`] — sequential IGP / IGPR.
 //! * [`parallel::ParallelPartitioner`] — the same algorithm as an SPMD
-//!   program over `igp-runtime`, including a **distributed dense simplex**
-//!   (columns partitioned across ranks), reproducing the paper's "all the
-//!   steps used by our method are inherently parallel" claim with
-//!   simulated CM-5 timings.
+//!   program written against `igp-runtime`'s [`Executor`](igp_runtime::Executor)
+//!   abstraction, including a **distributed dense simplex** (columns
+//!   partitioned across ranks), reproducing the paper's "all the steps
+//!   used by our method are inherently parallel" claim. The substrate is
+//!   selected by [`IgpConfig::backend`]: [`Backend::SimCm5`] for
+//!   simulated CM-5 timings (figure reproduction) or
+//!   [`Backend::SharedMem`] for real wall-clock execution.
 //! * [`multilevel`] — the paper's future-work extension ("another option
 //!   is to use a multilevel approach"): heavy-edge-matching coarsening
 //!   with IGP applied on the coarse graph.
@@ -41,6 +44,7 @@ pub mod report;
 pub mod session;
 
 pub use config::{BalanceSolver, CapPolicy, IgpConfig, RefineConfig, RefineEngine};
+pub use igp_runtime::Backend;
 pub use parallel::ParallelPartitioner;
 pub use partitioner::IncrementalPartitioner;
 pub use report::IgpReport;

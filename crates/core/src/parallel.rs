@@ -14,13 +14,25 @@
 //!   ([`crate::psimplex`]), columns strided across ranks — the paper's
 //!   main parallelization claim;
 //! * every compute step charges work units and every exchange pays
-//!   `α + β·words`, so the run yields simulated CM-5 phase timings.
+//!   `α + β·words`, so a [`Backend::SimCm5`] run yields simulated CM-5
+//!   phase timings.
 //!
-//! Shared-memory reality vs. simulated distribution: graph and replicated
-//! state live behind `&` references (threads on one host), but *charged*
-//! work follows the ownership split and all replication traffic goes
-//! through real messages, so the simulated clock reflects the distributed
-//! algorithm (DESIGN.md §4, substitution 1).
+//! The driver is written against [`igp_runtime::Executor`], so the same
+//! rank program runs on either substrate selected by
+//! [`IgpConfig::backend`]:
+//!
+//! * [`Backend::SimCm5`] — message passing plus the charged cost model.
+//!   Graph and replicated state live behind `&` references (threads on
+//!   one host), but *charged* work follows the ownership split and all
+//!   replication traffic goes through real messages, so the simulated
+//!   clock reflects the distributed algorithm (DESIGN.md §4,
+//!   substitution 1).
+//! * [`Backend::SharedMem`] — the collectives are direct slot reductions
+//!   and the phase loops run data-parallel over the per-rank ownership
+//!   chunks; `PhaseSim`/`SimReport` then carry measured wall-clock
+//!   seconds. Collective results are rank-order deterministic, so both
+//!   backends produce **bit-identical** partitions and pivot counts
+//!   (pinned by `tests/backend_equiv.rs`; DESIGN.md §6).
 
 use crate::balance::{adjacency_pairs, integer_targets, scale_surplus};
 use crate::config::{CapPolicy, IgpConfig};
@@ -28,7 +40,7 @@ use crate::layer::layer_one;
 use crate::psimplex::parallel_simplex;
 use igp_graph::{CsrGraph, IncrementalGraph, NodeId, PartId, Partitioning, INVALID_NODE, NO_PART};
 use igp_lp::{LpError, LpModel};
-use igp_runtime::{CostModel, Ctx, Machine, SimReport};
+use igp_runtime::{Backend, CostModel, Executor, SimReport, SpmdJob};
 
 /// Simulated seconds spent in each phase (makespan over ranks).
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,9 +56,12 @@ pub struct PhaseSim {
 /// Report from a parallel repartitioning run.
 #[derive(Clone, Debug)]
 pub struct ParallelRunReport {
-    /// Machine-level statistics (makespan = simulated `Time-p`).
+    /// The substrate that executed the run.
+    pub backend: Backend,
+    /// Machine-level statistics (makespan = simulated `Time-p` on
+    /// [`Backend::SimCm5`], measured seconds on [`Backend::SharedMem`]).
     pub sim: SimReport,
-    /// Per-phase simulated times.
+    /// Per-phase times (same unit convention as `sim`).
     pub phases: PhaseSim,
     /// Vertices moved by balancing + refinement.
     pub total_moved: u64,
@@ -54,6 +69,10 @@ pub struct ParallelRunReport {
     pub stages: usize,
     /// Whether balance targets were met.
     pub balanced: bool,
+    /// Total simplex pivots across every collective LP solve — identical
+    /// on every backend (and to the sequential driver when the scenario
+    /// exercises no tie-break divergence).
+    pub total_pivots: u64,
 }
 
 /// SPMD-parallel IGP/IGPR driver.
@@ -76,9 +95,17 @@ impl ParallelPartitioner {
         Self::new(cfg, workers, true, CostModel::cm5())
     }
 
-    /// Full constructor.
+    /// Full constructor. The execution substrate comes from
+    /// [`IgpConfig::backend`].
     pub fn new(cfg: IgpConfig, workers: usize, refine: bool, cost: CostModel) -> Self {
-        assert!(workers >= 1);
+        assert!(
+            workers >= 1,
+            "ParallelPartitioner: workers must be >= 1 (got {workers})"
+        );
+        assert!(
+            cfg.num_parts >= 1,
+            "ParallelPartitioner: num_parts must be >= 1"
+        );
         ParallelPartitioner {
             cfg,
             with_refinement: refine,
@@ -90,6 +117,17 @@ impl ParallelPartitioner {
     /// Number of ranks.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The execution substrate this partitioner will launch on.
+    pub fn backend(&self) -> Backend {
+        self.cfg.backend
+    }
+
+    /// Same partitioner, different substrate.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.cfg.backend = backend;
+        self
     }
 
     /// Repartition; result is identical in quality structure to the
@@ -104,11 +142,13 @@ impl ParallelPartitioner {
             self.cfg.num_parts,
             "partition count mismatch"
         );
-        let machine = Machine::new(self.workers, self.cost);
-        let cfg = &self.cfg;
-        let with_refinement = self.with_refinement;
-        let (mut outs, sim) =
-            machine.run(move |ctx| run_rank(ctx, inc, old_part, cfg, with_refinement));
+        let job = RepartitionJob {
+            inc,
+            old_part,
+            cfg: &self.cfg,
+            with_refinement: self.with_refinement,
+        };
+        let (mut outs, sim) = self.cfg.backend.launch(self.workers, self.cost, &job);
         // All ranks compute identical state; take rank 0's copy.
         let r0 = outs.swap_remove(0);
         let part = Partitioning::from_assignment(inc.new_graph(), self.cfg.num_parts, r0.assign);
@@ -121,13 +161,37 @@ impl ParallelPartitioner {
             refine: outs.iter().map(|o| o.t_refine).fold(r0.t_refine, f64::max),
         };
         let report = ParallelRunReport {
+            backend: self.cfg.backend,
             sim,
             phases,
             total_moved: r0.moved,
             stages: r0.stages,
             balanced: r0.balanced,
+            total_pivots: r0.lp_pivots,
         };
         (part, report)
+    }
+}
+
+/// The SPMD rank program, packaged for [`Backend::launch`].
+struct RepartitionJob<'a> {
+    inc: &'a IncrementalGraph,
+    old_part: &'a Partitioning,
+    cfg: &'a IgpConfig,
+    with_refinement: bool,
+}
+
+impl SpmdJob for RepartitionJob<'_> {
+    type Out = RankOut;
+
+    fn run<E: Executor>(&self, exec: &mut E) -> RankOut {
+        run_rank(
+            exec,
+            self.inc,
+            self.old_part,
+            self.cfg,
+            self.with_refinement,
+        )
     }
 }
 
@@ -139,10 +203,11 @@ struct RankOut {
     moved: u64,
     stages: usize,
     balanced: bool,
+    lp_pivots: u64,
 }
 
-fn run_rank(
-    ctx: &mut Ctx,
+fn run_rank<E: Executor>(
+    ctx: &mut E,
     inc: &IncrementalGraph,
     old_part: &Partitioning,
     cfg: &IgpConfig,
@@ -230,7 +295,7 @@ fn run_rank(
         } else {
             Vec::new()
         };
-        let decided = ctx.broadcast_w(0, if me == 0 { Some(decided) } else { None }, 8);
+        let decided = ctx.broadcast(0, if me == 0 { Some(decided) } else { None }, 8);
         for (v, q) in decided {
             assign[v as usize] = q;
         }
@@ -244,6 +309,7 @@ fn run_rank(
     let mut moved_total = 0u64;
     let mut stages = 0usize;
     let mut balanced = false;
+    let mut lp_pivots = 0u64;
 
     for _stage in 0..cfg.max_stages {
         let surplus: Vec<i64> = (0..p)
@@ -333,6 +399,7 @@ fn run_rank(
             ctx.charge(pairs.len() as u64);
             match parallel_simplex(ctx, &model, cfg.simplex) {
                 Ok(sol) => {
+                    lp_pivots += sol.stats.total_iters() as u64;
                     // Apply moves on the replicated partitioning: drain
                     // buckets boundary-first, gain-ordered within a level
                     // (identical to sequential).
@@ -497,6 +564,7 @@ fn run_rank(
                 }
                 let sol = parallel_simplex(ctx, &model, cfg.simplex)
                     .expect("circulation LP always feasible");
+                lp_pivots += sol.stats.total_iters() as u64;
                 let planned: f64 = sol.x.iter().sum();
                 if planned.round() as i64 == 0 {
                     break 'attempts;
@@ -544,13 +612,14 @@ fn run_rank(
         moved: moved_total,
         stages,
         balanced,
+        lp_pivots,
     }
 }
 
 /// Distributed cut count: each rank sums boundary cost over its owned
 /// partitions; `Σ_q C(q) = 2·cut`.
-fn parallel_cut(
-    ctx: &mut Ctx,
+fn parallel_cut<E: Executor>(
+    ctx: &mut E,
     g: &CsrGraph,
     part: &Partitioning,
     owns: impl Fn(PartId) -> bool,

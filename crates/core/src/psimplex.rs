@@ -15,7 +15,7 @@
 //! this twin is the *cost structure* under the CM-5 model.
 
 use igp_lp::{Cmp, LpError, LpModel, Sense, SimplexOptions, SimplexStats};
-use igp_runtime::Ctx;
+use igp_runtime::Executor;
 
 /// Outcome of a collective solve (identical on every rank).
 #[derive(Clone, Debug)]
@@ -48,8 +48,12 @@ struct DistTableau {
 }
 
 /// Solve `model` collectively; all ranks receive the same result.
-pub fn parallel_simplex(
-    ctx: &mut Ctx,
+///
+/// Generic over the [`Executor`] substrate: the pivot sequence depends
+/// only on rank-order-deterministic collectives, so every backend (and
+/// the sequential twin in `igp-lp`) performs the identical pivots.
+pub fn parallel_simplex<E: Executor>(
+    ctx: &mut E,
     model: &LpModel,
     opts: SimplexOptions,
 ) -> Result<ParallelLpSolution, LpError> {
@@ -109,7 +113,7 @@ pub fn parallel_simplex(
 }
 
 /// Standard-form assembly, column-wise, strided by rank.
-fn build(ctx: &mut Ctx, model: &LpModel, eps: f64) -> DistTableau {
+fn build<E: Executor>(ctx: &mut E, model: &LpModel, eps: f64) -> DistTableau {
     let n = model.num_vars();
     struct Row {
         coeffs: Vec<(usize, f64)>,
@@ -213,7 +217,7 @@ fn build(ctx: &mut Ctx, model: &LpModel, eps: f64) -> DistTableau {
 }
 
 /// Recompute local reduced costs for the current cost vector.
-fn price_out(ctx: &mut Ctx, t: &mut DistTableau) {
+fn price_out<E: Executor>(ctx: &mut E, t: &mut DistTableau) {
     let m = t.rhs.len();
     for (k, (j, col)) in t.cols.iter().enumerate() {
         let mut r = t.cost[*j];
@@ -231,8 +235,8 @@ fn price_out(ctx: &mut Ctx, t: &mut DistTableau) {
 }
 
 /// The simplex loop; returns the pivot count.
-fn run_loop(
-    ctx: &mut Ctx,
+fn run_loop<E: Executor>(
+    ctx: &mut E,
     t: &mut DistTableau,
     opts: &SimplexOptions,
     phase1: bool,
@@ -278,8 +282,8 @@ fn run_loop(
 /// Broadcast column `e` from its owner, run the replicated ratio test (or
 /// use `forced_row`), and rank-1-update local state. Errors with
 /// `Unbounded` when no ratio-test row exists.
-fn pivot_on_column(
-    ctx: &mut Ctx,
+fn pivot_on_column<E: Executor>(
+    ctx: &mut E,
     t: &mut DistTableau,
     e: usize,
     forced_row: Option<usize>,
@@ -294,7 +298,7 @@ fn pivot_on_column(
     } else {
         None
     };
-    let (col_e, red_e) = ctx.broadcast_w(owner, payload, m as u64 + 1);
+    let (col_e, red_e) = ctx.broadcast(owner, payload, m as u64 + 1);
 
     // Ratio test (replicated, deterministic).
     let r = match forced_row {
@@ -370,7 +374,7 @@ fn pivot_on_column(
 }
 
 /// Drive basic artificials out of the basis; deactivate redundant rows.
-fn expel_artificials(ctx: &mut Ctx, t: &mut DistTableau) {
+fn expel_artificials<E: Executor>(ctx: &mut E, t: &mut DistTableau) {
     let art_lo = t.ncols - t.n_art;
     for r in 0..t.rhs.len() {
         if !t.active[r] || t.basis[r] < art_lo {
@@ -482,6 +486,24 @@ mod tests {
         );
         m.add_eq(vec![(8, 1.0), (9, 1.0), (2, -1.0), (7, -1.0)], -8.0);
         check_matches_sequential(&m, 4);
+    }
+
+    #[test]
+    fn shared_mem_pivot_sequence_matches_simulator() {
+        use igp_runtime::SharedMachine;
+        let m = sample_lp();
+        for w in [1usize, 2, 3, 5] {
+            let (sim, _) = Machine::new(w, CostModel::cm5())
+                .run(|ctx| parallel_simplex(ctx, &m, SimplexOptions::default()).unwrap());
+            let (shm, _) = SharedMachine::new(w)
+                .run(|ctx| parallel_simplex(ctx, &m, SimplexOptions::default()).unwrap());
+            for (a, b) in sim.iter().zip(&shm) {
+                assert_eq!(a.x, b.x, "w={w}");
+                assert_eq!(a.objective, b.objective, "w={w}");
+                assert_eq!(a.stats.phase1_iters, b.stats.phase1_iters, "w={w}");
+                assert_eq!(a.stats.phase2_iters, b.stats.phase2_iters, "w={w}");
+            }
+        }
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! balancing becomes infeasible.
 
 use crate::config::IgpConfig;
+use crate::parallel::ParallelPartitioner;
 use crate::partitioner::IncrementalPartitioner;
-use crate::report::IgpReport;
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{CsrGraph, GraphDelta, IncrementalGraph, Partitioning};
+use igp_runtime::CostModel;
 
 /// Summary of one session step.
 #[derive(Clone, Debug)]
@@ -33,6 +34,40 @@ pub struct StepSummary {
     /// False if capped balancing gave up (the paper's "it would be better
     /// to start partitioning from scratch" condition).
     pub balanced: bool,
+}
+
+/// The repartitioning engine behind a session: the sequential driver or
+/// the SPMD driver on whichever [`igp_runtime::Backend`] the config
+/// selects.
+enum Driver {
+    Sequential(IncrementalPartitioner),
+    Parallel(ParallelPartitioner),
+}
+
+impl Driver {
+    /// Repartition, reduced to the summary triple the session tracks:
+    /// `(moved, stages, balanced)`.
+    fn repartition(
+        &self,
+        inc: &IncrementalGraph,
+        old: &Partitioning,
+    ) -> (Partitioning, u64, usize, bool) {
+        match self {
+            Driver::Sequential(p) => {
+                let (part, report) = p.repartition(inc, old);
+                (
+                    part,
+                    report.total_moved(),
+                    report.num_stages(),
+                    report.balance.balanced,
+                )
+            }
+            Driver::Parallel(p) => {
+                let (part, report) = p.repartition(inc, old);
+                (part, report.total_moved, report.stages, report.balanced)
+            }
+        }
+    }
 }
 
 /// A stateful incremental-repartitioning session.
@@ -57,7 +92,7 @@ pub struct StepSummary {
 pub struct IgpSession {
     graph: CsrGraph,
     part: Partitioning,
-    partitioner: IncrementalPartitioner,
+    driver: Driver,
     history: Vec<StepSummary>,
     needs_scratch: bool,
 }
@@ -76,7 +111,30 @@ impl IgpSession {
         IgpSession {
             graph,
             part,
-            partitioner,
+            driver: Driver::Sequential(partitioner),
+            history: Vec::new(),
+            needs_scratch: false,
+        }
+    }
+
+    /// Start a session whose repartitioning runs the SPMD driver on
+    /// `workers` ranks over the substrate selected by `cfg.backend`
+    /// ([`igp_runtime::Backend::SimCm5`] or
+    /// [`igp_runtime::Backend::SharedMem`]).
+    pub fn new_parallel(
+        graph: CsrGraph,
+        part: Partitioning,
+        cfg: IgpConfig,
+        refined: bool,
+        workers: usize,
+    ) -> Self {
+        assert_eq!(graph.num_vertices(), part.num_vertices());
+        assert_eq!(part.num_parts(), cfg.num_parts);
+        let partitioner = ParallelPartitioner::new(cfg, workers, refined, CostModel::cm5());
+        IgpSession {
+            graph,
+            part,
+            driver: Driver::Parallel(partitioner),
             history: Vec::new(),
             needs_scratch: false,
         }
@@ -118,8 +176,8 @@ impl IgpSession {
             self.graph.num_vertices(),
             "increment does not start from the session's current graph"
         );
-        let (new_part, report) = self.partitioner.repartition(&inc, &self.part);
-        let summary = self.summarize(&inc, &new_part, &report);
+        let (new_part, moved, stages, balanced) = self.driver.repartition(&inc, &self.part);
+        let summary = self.summarize(&inc, &new_part, moved, stages, balanced);
         self.graph = inc.new_graph().clone();
         self.part = new_part;
         self.needs_scratch |= !summary.balanced;
@@ -139,7 +197,9 @@ impl IgpSession {
         &self,
         inc: &IncrementalGraph,
         part: &Partitioning,
-        report: &IgpReport,
+        moved: u64,
+        stages: usize,
+        balanced: bool,
     ) -> StepSummary {
         let m = CutMetrics::compute(inc.new_graph(), part);
         StepSummary {
@@ -147,9 +207,9 @@ impl IgpSession {
             num_vertices: inc.new_graph().num_vertices(),
             cut: m.total_cut_edges,
             imbalance: m.count_imbalance,
-            moved: report.total_moved(),
-            stages: report.num_stages(),
-            balanced: report.balance.balanced,
+            moved,
+            stages,
+            balanced,
         }
     }
 
@@ -216,6 +276,26 @@ mod tests {
         let fresh = Partitioning::round_robin(s.graph(), 2);
         s.reset_partitioning(fresh);
         assert!(!s.needs_scratch());
+    }
+
+    #[test]
+    fn parallel_session_on_both_backends() {
+        use igp_runtime::Backend;
+        for backend in Backend::ALL {
+            let g = generators::grid(8, 8);
+            let assign: Vec<PartId> = (0..64).map(|v| ((v % 8) / 2) as PartId).collect();
+            let part = Partitioning::from_assignment(&g, 4, assign);
+            let cfg = IgpConfig::new(4).with_backend(backend);
+            let mut s = IgpSession::new_parallel(g, part, cfg, true, 3);
+            for step in 0..3 {
+                let delta = generators::localized_growth_delta(s.graph(), 0, 8, step);
+                let sum = s.apply_delta(&delta);
+                assert!(sum.balanced, "{backend} step {step}");
+                assert!(sum.imbalance < 1.05, "{backend}");
+            }
+            assert_eq!(s.graph().num_vertices(), 64 + 24, "{backend}");
+            s.partitioning().validate(s.graph()).unwrap();
+        }
     }
 
     #[test]

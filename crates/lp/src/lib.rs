@@ -2,7 +2,7 @@
 //!
 //! Ou & Ranka solve both the load-balancing step and the refinement step of
 //! their incremental partitioner as linear programs, "using a dense version
-//! of [the] simplex algorithm" (§2.3, footnote 1). This crate provides:
+//! of \[the\] simplex algorithm" (§2.3, footnote 1). This crate provides:
 //!
 //! * [`LpModel`] — a small builder for LPs with non-negative variables,
 //!   optional upper bounds, and `≤ / = / ≥` constraints.

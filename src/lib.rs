@@ -8,10 +8,12 @@
 //! * [`mesh`] — DIME-like adaptive triangular meshes (`igp-mesh`).
 //! * [`lp`] — dense two-phase simplex + network-flow oracles (`igp-lp`).
 //! * [`spectral`] — recursive spectral bisection baseline (`igp-spectral`).
-//! * [`runtime`] — SPMD thread machine with CM-5 cost model
+//! * [`runtime`] — the `Executor` SPMD abstraction with two backends:
+//!   the simulated-CM-5 machine and the shared-memory machine
 //!   (`igp-runtime`).
 //! * `core` — the four-phase incremental partitioner, sequential and
-//!   parallel (`igp-core`), re-exported at the top level.
+//!   parallel over either backend (`igp-core`), re-exported at the top
+//!   level.
 //!
 //! ## Quickstart
 //!

@@ -9,6 +9,43 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParallelIterator};
 }
 
+/// The one chunked execution driver behind every consuming adapter
+/// (`collect`, `for_each`): split `0..n` into at most
+/// `available_parallelism()` contiguous chunks and run `body` once per
+/// chunk on a scoped thread. One spawn per *chunk*, never per item, so
+/// cheap per-item closures don't pay per-spawn overhead. Per-chunk
+/// outputs come back in index order.
+fn run_chunked<R, F>(n: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    if workers <= 1 || n <= 1 {
+        return vec![body(0..n)];
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || body(start..end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-stub worker panicked"))
+            .collect()
+    })
+}
+
 /// An indexed parallel pipeline: every stage can produce item `i`
 /// independently, so execution chunks the index space across threads.
 pub trait ParallelIterator: Sized + Sync {
@@ -38,6 +75,21 @@ pub trait ParallelIterator: Sized + Sync {
 
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_par_iter(self)
+    }
+
+    /// Consume the pipeline for side effects, chunked across worker
+    /// threads like `collect` (matching rayon's indexed semantics: `f`
+    /// runs exactly once per index, concurrency only across chunks).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let it = &self;
+        run_chunked(it.len(), |range| {
+            for i in range {
+                f(it.get(i));
+            }
+        });
     }
 }
 
@@ -121,27 +173,9 @@ pub trait FromParallelIterator<T: Send> {
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Vec<T> {
         let n = it.len();
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |p| p.get())
-            .min(n.max(1));
-        if workers <= 1 || n <= 1 {
-            return (0..n).map(|i| it.get(i)).collect();
-        }
-        let chunk = n.div_ceil(workers);
-        let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
-            let it = &it;
-            let handles: Vec<_> = (0..n)
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(n);
-                    scope.spawn(move || (start..end).map(|i| it.get(i)).collect::<Vec<T>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon-stub worker panicked"))
-                .collect()
-        });
+        let it = &it;
+        let mut parts: Vec<Vec<T>> =
+            run_chunked(n, |range| range.map(|i| it.get(i)).collect::<Vec<T>>());
         let mut out = Vec::with_capacity(n);
         for p in &mut parts {
             out.append(p);
@@ -170,6 +204,35 @@ mod tests {
             .map(|(i, s)| (i, s.len()))
             .collect();
         assert_eq!(out, vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn for_each_visits_every_index_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let v: Vec<usize> = (0..10_000).collect();
+        let hits: Vec<AtomicUsize> = (0..v.len()).map(|_| AtomicUsize::new(0)).collect();
+        v.par_iter().enumerate().for_each(|(i, &x)| {
+            assert_eq!(i, x, "index/item alignment through chunking");
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunked_collect_order_pinned_at_chunk_boundaries() {
+        // Sizes straddling chunk boundaries for any worker count: output
+        // order must stay exactly the input order.
+        for n in [0usize, 1, 2, 3, 7, 63, 64, 65, 1001] {
+            let v: Vec<usize> = (0..n).collect();
+            let out: Vec<usize> = v.par_iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, (0..n).map(|x| x * 3 + 1).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn for_each_empty_is_noop() {
+        let empty: Vec<u32> = Vec::new();
+        empty.par_iter().for_each(|_| panic!("must not run"));
     }
 
     #[test]
