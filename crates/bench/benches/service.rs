@@ -1,0 +1,139 @@
+//! Throughput of the serving layer: concurrent clients streaming churn
+//! deltas into `igp-serve` over real TCP, under each repartition
+//! policy.
+//!
+//! Custom harness (not criterion): besides the table it emits a
+//! machine-readable `BENCH_service.json` in the working directory (CI
+//! uploads it as an artifact), recording deltas/second end to end —
+//! wire parsing, registry locking, coalescing and the policy-gated
+//! repartitions included. The `every:1` row pays one repartition per
+//! delta (the paper's loop); `cost` shows what policy-driven batching
+//! buys at the same traffic.
+
+use igp_graph::generators;
+use igp_service::client::{DeltaAck, IgpClient};
+use igp_service::server::{serve, ServeOptions};
+use igp_service::session::{InitPartition, SessionConfig};
+use std::time::Instant;
+
+const CLIENTS: [usize; 3] = [1, 2, 4];
+const DELTAS_PER_CLIENT: usize = 25;
+const PARTS: usize = 4;
+
+struct Point {
+    policy: &'static str,
+    clients: usize,
+    wall_s: f64,
+    deltas_per_s: f64,
+    steps: usize,
+}
+
+fn run_one(addr: std::net::SocketAddr, policy: &'static str, clients: usize) -> Point {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut cli = IgpClient::connect(addr).expect("connect");
+                let sid = format!("bench-{policy}-{clients}-{c}");
+                let base = generators::grid(10, 10);
+                let mut cfg = SessionConfig::new(PARTS);
+                cfg.policy = policy.parse().expect("policy spec");
+                cfg.init = InitPartition::RoundRobin;
+                cli.open(&sid, &base, &cfg).expect("open");
+                let mut mirror = base;
+                let mut steps = 0usize;
+                for k in 0..DELTAS_PER_CLIENT {
+                    let d =
+                        generators::random_churn_delta(&mirror, 3, 1, (c as u64) << 32 | k as u64);
+                    mirror = d.apply(&mirror).new_graph().clone();
+                    match cli.delta(&sid, &d).expect("delta") {
+                        DeltaAck::Stepped(_) => steps += 1,
+                        DeltaAck::Queued { .. } => {}
+                    }
+                }
+                if cli.flush(&sid).expect("flush").is_some() {
+                    steps += 1;
+                }
+                cli.close(&sid).expect("close");
+                steps
+            })
+        })
+        .collect();
+    let steps: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let total = clients * DELTAS_PER_CLIENT;
+    Point {
+        policy,
+        clients,
+        wall_s,
+        deltas_per_s: total as f64 / wall_s,
+        steps,
+    }
+}
+
+fn main() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let addr = server.addr();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>8}",
+        "policy", "clients", "wall", "deltas/s", "steps"
+    );
+    let mut points = Vec::new();
+    for policy in ["every:1", "every:5", "cost"] {
+        for &clients in &CLIENTS {
+            let p = run_one(addr, policy, clients);
+            println!(
+                "{:>10} {:>8} {:>9.3}s {:>12.1} {:>8}",
+                p.policy, p.clients, p.wall_s, p.deltas_per_s, p.steps
+            );
+            points.push(p);
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": \"10x10 grid churn, {DELTAS_PER_CLIENT} deltas/client, P={PARTS}, IGPR\",\n"
+    ));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"clients\": {}, \"wall_s\": {:.6}, \
+             \"deltas_per_s\": {:.1}, \"steps\": {}}}{}\n",
+            p.policy,
+            p.clients,
+            p.wall_s,
+            p.deltas_per_s,
+            p.steps,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_service.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    // Batching sanity: policy-gated batching must not repartition more
+    // often than the per-delta loop at identical traffic.
+    for &clients in &CLIENTS {
+        let per_delta = points
+            .iter()
+            .find(|p| p.policy == "every:1" && p.clients == clients)
+            .unwrap();
+        let batched = points
+            .iter()
+            .find(|p| p.policy == "cost" && p.clients == clients)
+            .unwrap();
+        assert!(
+            batched.steps <= per_delta.steps,
+            "cost policy repartitioned more often than every:1"
+        );
+    }
+    println!("batching sanity: cost ≤ every:1 repartitions at equal traffic — OK");
+}

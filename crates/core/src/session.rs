@@ -12,9 +12,21 @@
 use crate::config::IgpConfig;
 use crate::parallel::ParallelPartitioner;
 use crate::partitioner::IncrementalPartitioner;
+use igp_graph::coalesce::{CoalesceError, DeltaCoalescer};
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{CsrGraph, GraphDelta, IncrementalGraph, Partitioning};
 use igp_runtime::CostModel;
+
+// The serving layer hands sessions across threads (one registry shard
+// can be locked from any connection handler); keep every driver
+// configuration `Send` by construction.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<IgpSession>();
+    assert_send::<StepSummary>();
+    assert_send::<IncrementalPartitioner>();
+    assert_send::<ParallelPartitioner>();
+};
 
 /// Summary of one session step.
 #[derive(Clone, Debug)]
@@ -95,6 +107,9 @@ pub struct IgpSession {
     driver: Driver,
     history: Vec<StepSummary>,
     needs_scratch: bool,
+    /// Deltas queued via [`IgpSession::queue_delta`], folded but not yet
+    /// applied; `None` when nothing is pending.
+    pending: Option<DeltaCoalescer>,
 }
 
 impl IgpSession {
@@ -114,6 +129,7 @@ impl IgpSession {
             driver: Driver::Sequential(partitioner),
             history: Vec::new(),
             needs_scratch: false,
+            pending: None,
         }
     }
 
@@ -137,6 +153,7 @@ impl IgpSession {
             driver: Driver::Parallel(partitioner),
             history: Vec::new(),
             needs_scratch: false,
+            pending: None,
         }
     }
 
@@ -168,9 +185,89 @@ impl IgpSession {
         self.apply_increment(inc)
     }
 
+    /// Queue a delta without repartitioning yet.
+    ///
+    /// The delta addresses the *virtual* current graph — the session
+    /// graph with every already-queued delta applied (so a stream of
+    /// deltas can be queued exactly as it would be applied one by one).
+    /// Queued deltas are folded incrementally by a
+    /// [`DeltaCoalescer`]; [`IgpSession::flush`] pays a single apply +
+    /// repartition for the whole batch. On error nothing is queued.
+    /// Returns the number of deltas now pending.
+    ///
+    /// Fully validated at the boundary: structural errors *and*
+    /// base-edge existence mismatches (removing an absent edge, adding
+    /// a present one) come back as typed [`CoalesceError`]s — a queued
+    /// delta can no longer panic later inside the flush.
+    pub fn queue_delta(&mut self, delta: &GraphDelta) -> Result<usize, CoalesceError> {
+        let co = self
+            .pending
+            .get_or_insert_with(|| DeltaCoalescer::new(self.graph.num_vertices()));
+        match co.push_verified(delta, &self.graph) {
+            Ok(()) => Ok(co.len()),
+            Err(e) => {
+                // Don't let a failed first push pin an empty coalescer
+                // to today's graph size: direct applies may change the
+                // graph before the next queue attempt, and a stale
+                // `n_base` would then panic instead of erroring.
+                if co.is_empty() {
+                    self.pending = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of deltas queued and not yet flushed.
+    pub fn pending_deltas(&self) -> usize {
+        self.pending.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// The pending coalescer, if any deltas are queued (repartition
+    /// policies read its [`DeltaCoalescer::dirt`]).
+    pub fn pending(&self) -> Option<&DeltaCoalescer> {
+        self.pending.as_ref()
+    }
+
+    /// Apply every queued delta as **one** coalesced increment and
+    /// repartition once.
+    ///
+    /// Returns `None` when nothing is pending or the queue cancelled out
+    /// to a no-op (e.g. adds exactly undone by removes); in both cases
+    /// the queue is cleared and no step is recorded.
+    pub fn flush(&mut self) -> Option<StepSummary> {
+        let co = self.pending.take()?;
+        let net = co.net();
+        if net.is_empty() {
+            return None;
+        }
+        Some(self.apply_delta(&net))
+    }
+
+    /// Queue `deltas` (each addressing the graph produced by its
+    /// predecessors) and flush them as one step. On error the already
+    /// queued prefix stays pending and nothing is applied.
+    pub fn apply_deltas(
+        &mut self,
+        deltas: &[GraphDelta],
+    ) -> Result<Option<StepSummary>, CoalesceError> {
+        for d in deltas {
+            self.queue_delta(d)?;
+        }
+        Ok(self.flush())
+    }
+
     /// Apply a pre-built incremental graph (its `old` side must match the
     /// session's current graph) and repartition.
+    ///
+    /// Panics if deltas are queued (they address a virtual graph ahead
+    /// of `inc.old()`): flush or drop the queue first.
     pub fn apply_increment(&mut self, inc: IncrementalGraph) -> StepSummary {
+        assert_eq!(
+            self.pending_deltas(),
+            0,
+            "apply_increment with queued deltas pending; flush() first"
+        );
         assert_eq!(
             inc.old().num_vertices(),
             self.graph.num_vertices(),
@@ -296,6 +393,111 @@ mod tests {
             assert_eq!(s.graph().num_vertices(), 64 + 24, "{backend}");
             s.partitioning().validate(s.graph()).unwrap();
         }
+    }
+
+    #[test]
+    fn batched_flush_matches_sequential_graph_evolution() {
+        let mut s = start();
+        // Ground-truth graph evolution: apply the stream delta by delta.
+        let mut expect = s.graph().clone();
+        let mut deltas = Vec::new();
+        for step in 0..4 {
+            let d = generators::localized_growth_delta(&expect, 0, 6, step);
+            expect = d.apply(&expect).new_graph().clone();
+            deltas.push(d);
+        }
+        // Queue the same stream; nothing applies until flush.
+        for d in &deltas {
+            s.queue_delta(d).unwrap();
+        }
+        assert_eq!(s.pending_deltas(), 4);
+        assert_eq!(s.graph().num_vertices(), 64);
+        assert!(s.history().is_empty());
+        let sum = s.flush().expect("non-empty batch must step");
+        assert_eq!(s.pending_deltas(), 0);
+        assert_eq!(s.graph(), &expect);
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(sum.num_vertices, 64 + 24);
+        s.partitioning().validate(s.graph()).unwrap();
+        // Flushing an empty queue is a no-op.
+        assert!(s.flush().is_none());
+    }
+
+    #[test]
+    fn cancelling_batch_flushes_to_nothing() {
+        let mut s = start();
+        s.queue_delta(&GraphDelta {
+            add_vertices: vec![1],
+            add_edges: vec![(0, 64, 1)],
+            ..Default::default()
+        })
+        .unwrap();
+        s.queue_delta(&GraphDelta {
+            remove_vertices: vec![64],
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(s.pending_deltas(), 2);
+        assert!(s.flush().is_none(), "cancelled batch must not step");
+        assert!(s.history().is_empty());
+        assert_eq!(s.graph().num_vertices(), 64);
+    }
+
+    #[test]
+    fn apply_deltas_convenience_and_error_keeps_prefix() {
+        let mut s = start();
+        let d1 = generators::localized_growth_delta(s.graph(), 0, 4, 1);
+        let bad = GraphDelta {
+            remove_vertices: vec![9999],
+            ..Default::default()
+        };
+        let err = s.apply_deltas(&[d1.clone(), bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            igp_graph::CoalesceError::Invalid { index: 1, .. }
+        ));
+        // The valid prefix is still queued; a later flush applies it.
+        assert_eq!(s.pending_deltas(), 1);
+        assert!(s.flush().is_some());
+        assert_eq!(s.graph().num_vertices(), 68);
+        // And the happy path steps once for the whole batch.
+        let d2 = generators::localized_growth_delta(s.graph(), 0, 4, 2);
+        let sum = s.apply_deltas(std::slice::from_ref(&d2)).unwrap().unwrap();
+        assert!(sum.balanced);
+        assert_eq!(s.history().len(), 2);
+    }
+
+    /// Regression: a rejected queue_delta must not pin an empty
+    /// coalescer to the pre-rejection graph size — after a direct
+    /// apply_delta grows the graph, queueing must work again (it used
+    /// to panic on the stale `n_base`).
+    #[test]
+    fn rejected_queue_does_not_pin_stale_coalescer() {
+        let mut s = start();
+        let bad = GraphDelta {
+            remove_vertices: vec![9999],
+            ..Default::default()
+        };
+        assert!(s.queue_delta(&bad).is_err());
+        assert_eq!(s.pending_deltas(), 0);
+        // Direct apply changes the graph size (64 → 68)…
+        let d = generators::localized_growth_delta(s.graph(), 0, 4, 0);
+        s.apply_delta(&d);
+        // …and queueing against the new size still works.
+        let d2 = generators::localized_growth_delta(s.graph(), 0, 4, 1);
+        assert_eq!(s.queue_delta(&d2).unwrap(), 1);
+        assert!(s.flush().is_some());
+        assert_eq!(s.graph().num_vertices(), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "queued deltas pending")]
+    fn apply_increment_rejected_while_queue_pending() {
+        let mut s = start();
+        let d = generators::localized_growth_delta(s.graph(), 0, 4, 0);
+        s.queue_delta(&d).unwrap();
+        let inc = GraphDelta::default().apply(s.graph());
+        s.apply_increment(inc);
     }
 
     #[test]

@@ -1,0 +1,782 @@
+//! Coalescing queued [`GraphDelta`]s into one canonical edit list.
+//!
+//! The serving layer (`igp-service`) accumulates many small deltas
+//! between repartitions; paying one [`GraphDelta::apply`] + repartition
+//! per *batch* instead of per *delta* is what makes policy-driven
+//! triggering worthwhile. [`DeltaCoalescer`] folds a sequence
+//! `d₁, …, dₖ` — where each `dᵢ` addresses the graph produced by
+//! applying `d₁…dᵢ₋₁` — into a single delta in the id space of the
+//! *base* graph, such that
+//!
+//! ```text
+//! coalesce(d₁…dₖ).apply(G) ≡ dₖ.apply(…d₁.apply(G)…)
+//! ```
+//!
+//! with equality of both the resulting [`crate::CsrGraph`] and the
+//! composed vertex-identity map (DESIGN.md §8.3 gives the argument;
+//! `tests/proptest_coalesce.rs` checks it on random churn sequences).
+//!
+//! The algebra, per undirected edge (a *slot* is a vertex of the base
+//! graph or a vertex added anywhere in the sequence):
+//!
+//! * **add-then-remove cancellation** — an edge added and later removed
+//!   (or a vertex added and later removed, together with every edge it
+//!   ever touched) leaves no trace in the output;
+//! * **duplicate-edge folding** — any number of add/remove events on one
+//!   slot pair folds to at most one `remove_edges` entry (the base edge
+//!   dies) plus at most one `add_edges` entry (the last added weight
+//!   wins);
+//! * **id-space renumbering** — every delta is expressed in the id space
+//!   of its own predecessor graph; the coalescer rewrites all ids into
+//!   the base id space (survivors and removals as base ids, additions as
+//!   `n_base + rank` among surviving additions, in creation order).
+
+use crate::delta::{DeltaError, GraphDelta};
+use crate::{NodeId, Weight};
+use std::collections::BTreeMap;
+
+/// Sequence-level error from [`DeltaCoalescer::push`]: the delta at
+/// `index` (0-based position in the pushed sequence) is inconsistent
+/// with the graph state produced by its predecessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoalesceError {
+    /// The delta is malformed on its own terms (id ranges, duplicates,
+    /// ordering) — see [`DeltaError`].
+    Invalid { index: usize, source: DeltaError },
+    /// The delta adds an edge that the coalesced state already contains
+    /// (added earlier in the sequence and not removed since). Sequential
+    /// application would build a multigraph and panic in the CSR
+    /// builder.
+    AddOfExistingEdge { index: usize, u: NodeId, v: NodeId },
+    /// The delta removes an edge that the sequence itself created *and*
+    /// already removed, or that demonstrably never existed (an endpoint
+    /// was added by the sequence with no surviving add of this edge).
+    RemoveOfMissingEdge { index: usize, u: NodeId, v: NodeId },
+}
+
+impl std::fmt::Display for CoalesceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoalesceError::Invalid { index, source } => {
+                write!(f, "delta #{index}: {source}")
+            }
+            CoalesceError::AddOfExistingEdge { index, u, v } => {
+                write!(f, "delta #{index}: edge {{{u},{v}}} already exists")
+            }
+            CoalesceError::RemoveOfMissingEdge { index, u, v } => {
+                write!(f, "delta #{index}: edge {{{u},{v}}} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoalesceError {}
+
+/// Net size of the pending coalesced edit (for repartition policies).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirtStats {
+    /// Deltas pushed since the coalescer was (re)created.
+    pub deltas: usize,
+    /// Net added vertices (additions that survived).
+    pub added_vertices: usize,
+    /// Net removed base vertices.
+    pub removed_vertices: usize,
+    /// Net added edges.
+    pub added_edges: usize,
+    /// Net removed base edges.
+    pub removed_edges: usize,
+    /// Total weight of the net added vertices.
+    pub added_weight: Weight,
+    /// Distinct vertices of the *current* virtual graph touched by the
+    /// net edit (endpoints of edited edges + surviving additions),
+    /// plus removed base vertices.
+    pub touched_vertices: usize,
+}
+
+/// Per-slot-pair edge state. Absent from the map = untouched by the
+/// sequence (add-then-remove cancellation deletes the entry again).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EdgeState {
+    /// Added by the sequence (pair absent from the base graph).
+    Added(Weight),
+    /// Base edge removed by the sequence.
+    RemovedBase,
+    /// Base edge removed, then a new edge added on the same pair.
+    Readded(Weight),
+}
+
+/// Incrementally folds a sequence of [`GraphDelta`]s into one.
+///
+/// Internally every vertex is a *slot*: base vertices are slots
+/// `0..n_base`, each vertex added by the sequence gets the next slot id
+/// in creation order (slots of removed additions are never reused).
+/// The virtual current graph is the list of live slots in ascending
+/// slot order — ascending because [`GraphDelta::apply`] renumbers
+/// survivors-then-additions in order, which composes to exactly this
+/// ordering (the invariant that makes one-shot renumbering agree with
+/// step-by-step renumbering; DESIGN.md §8.3).
+///
+/// ```
+/// use igp_graph::coalesce::DeltaCoalescer;
+/// use igp_graph::{generators, GraphDelta};
+///
+/// let g = generators::grid(4, 4);
+/// let mut co = DeltaCoalescer::new(g.num_vertices());
+/// // d1 adds vertex 16 hanging off 0; d2 removes it again.
+/// co.push(&GraphDelta {
+///     add_vertices: vec![1],
+///     add_edges: vec![(0, 16, 1)],
+///     ..Default::default()
+/// }).unwrap();
+/// co.push(&GraphDelta {
+///     remove_vertices: vec![16],
+///     ..Default::default()
+/// }).unwrap();
+/// assert!(co.net().is_empty()); // cancelled out
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaCoalescer {
+    n_base: usize,
+    /// Liveness per base slot.
+    alive_base: Vec<bool>,
+    /// Weight + liveness per added slot (index = slot − n_base).
+    added: Vec<(Weight, bool)>,
+    /// Live slots in current-graph id order (always ascending).
+    cur: Vec<usize>,
+    /// Edge state per slot pair (min, max). BTreeMap: deterministic
+    /// iteration order ⇒ canonical output ordering for free.
+    edges: BTreeMap<(usize, usize), EdgeState>,
+    deltas: usize,
+}
+
+impl DeltaCoalescer {
+    /// A coalescer over a base graph of `n_base` vertices.
+    pub fn new(n_base: usize) -> Self {
+        DeltaCoalescer {
+            n_base,
+            alive_base: vec![true; n_base],
+            added: Vec::new(),
+            cur: (0..n_base).collect(),
+            edges: BTreeMap::new(),
+            deltas: 0,
+        }
+    }
+
+    /// Number of deltas folded in so far.
+    pub fn len(&self) -> usize {
+        self.deltas
+    }
+
+    /// True if no delta has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.deltas == 0
+    }
+
+    /// Vertices of the virtual current graph (base after all pushed
+    /// deltas). The next pushed delta must address this id space.
+    pub fn n_current(&self) -> usize {
+        self.cur.len()
+    }
+
+    /// Base-graph vertex count this coalescer started from.
+    pub fn n_base(&self) -> usize {
+        self.n_base
+    }
+
+    fn slot_alive(&self, slot: usize) -> bool {
+        if slot < self.n_base {
+            self.alive_base[slot]
+        } else {
+            self.added[slot - self.n_base].1
+        }
+    }
+
+    /// Fold one more delta (addressed to the current virtual graph) into
+    /// the pending edit. On error the coalescer is unchanged.
+    ///
+    /// Base-edge references the sequence itself has not touched are
+    /// *trusted* (removing an edge the base graph lacks, or re-adding
+    /// one it has, surfaces later as a panic in [`GraphDelta::apply`]);
+    /// use [`DeltaCoalescer::push_verified`] when the base graph is at
+    /// hand to turn those into typed errors at push time.
+    pub fn push(&mut self, delta: &GraphDelta) -> Result<(), CoalesceError> {
+        self.push_inner(delta, None)
+    }
+
+    /// Like [`DeltaCoalescer::push`], but additionally checks every
+    /// first-touch base-edge reference against `base` (the graph this
+    /// coalescer was created for): removing an edge `base` does not
+    /// have, or adding one it already has, fails with the corresponding
+    /// [`CoalesceError`] instead of panicking at apply time. This is
+    /// the full boundary check the service layer relies on.
+    pub fn push_verified(
+        &mut self,
+        delta: &GraphDelta,
+        base: &crate::CsrGraph,
+    ) -> Result<(), CoalesceError> {
+        assert_eq!(
+            base.num_vertices(),
+            self.n_base,
+            "base graph does not match the coalescer's base size"
+        );
+        self.push_inner(delta, Some(base))
+    }
+
+    fn push_inner(
+        &mut self,
+        delta: &GraphDelta,
+        base: Option<&crate::CsrGraph>,
+    ) -> Result<(), CoalesceError> {
+        let index = self.deltas;
+        delta
+            .validate(self.cur.len())
+            .map_err(|source| CoalesceError::Invalid { index, source })?;
+
+        // Pre-scan the edge edits against current state so failure keeps
+        // the coalescer intact. `remove_edges` precede `add_edges` in
+        // apply-order (a delta may remove a base edge and re-add the
+        // pair), so removals are checked against the pre-delta map and
+        // adds against the map after this delta's removals.
+        let n_cur = self.cur.len();
+        let slot_of = |id: NodeId| -> usize {
+            let id = id as usize;
+            if id < n_cur {
+                self.cur[id]
+            } else {
+                // Extended id: the (id − n_cur)-th vertex added by this
+                // delta gets the next slot in creation order.
+                self.n_base + self.added.len() + (id - n_cur)
+            }
+        };
+        let key = |u: NodeId, v: NodeId| -> (usize, usize) {
+            let (a, b) = (slot_of(u), slot_of(v));
+            if a < b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        // (pair, new state or None = delete entry)
+        let mut staged: Vec<((usize, usize), Option<EdgeState>)> = Vec::new();
+        let staged_state = |staged: &[((usize, usize), Option<EdgeState>)],
+                            k: (usize, usize)|
+         -> Option<Option<EdgeState>> {
+            staged
+                .iter()
+                .rev()
+                .find(|(sk, _)| *sk == k)
+                .map(|&(_, st)| st)
+        };
+        for &(u, v) in &delta.remove_edges {
+            let k = key(u, v);
+            let state = staged_state(&staged, k).unwrap_or_else(|| self.edges.get(&k).copied());
+            let next = match state {
+                // Untouched: must be a base edge (validate bounds the
+                // ids to the base-or-survivor range; that both slots are
+                // base slots is checked below).
+                None => {
+                    if k.1 >= self.n_base {
+                        // An endpoint was created by the sequence and no
+                        // add of this edge survives: nothing to remove.
+                        return Err(CoalesceError::RemoveOfMissingEdge { index, u, v });
+                    }
+                    // Both endpoints are base slots and the pair is
+                    // untouched, so its presence in the virtual graph
+                    // equals its presence in the base graph.
+                    if let Some(g) = base {
+                        if !g.has_edge(k.0 as NodeId, k.1 as NodeId) {
+                            return Err(CoalesceError::RemoveOfMissingEdge { index, u, v });
+                        }
+                    }
+                    Some(EdgeState::RemovedBase)
+                }
+                Some(EdgeState::Added(_)) => None, // add-then-remove cancels
+                Some(EdgeState::Readded(_)) => Some(EdgeState::RemovedBase),
+                Some(EdgeState::RemovedBase) => {
+                    return Err(CoalesceError::RemoveOfMissingEdge { index, u, v })
+                }
+            };
+            staged.push((k, next));
+        }
+        for &(u, v, w) in &delta.add_edges {
+            let k = key(u, v);
+            let state = staged_state(&staged, k).unwrap_or_else(|| self.edges.get(&k).copied());
+            let next = match state {
+                None => {
+                    if let Some(g) = base {
+                        if k.1 < self.n_base && g.has_edge(k.0 as NodeId, k.1 as NodeId) {
+                            return Err(CoalesceError::AddOfExistingEdge { index, u, v });
+                        }
+                    }
+                    Some(EdgeState::Added(w))
+                }
+                Some(EdgeState::RemovedBase) => Some(EdgeState::Readded(w)),
+                Some(EdgeState::Added(_)) | Some(EdgeState::Readded(_)) => {
+                    return Err(CoalesceError::AddOfExistingEdge { index, u, v })
+                }
+            };
+            staged.push((k, next));
+        }
+
+        // Commit: new slots, vertex removals (erasing every edge record
+        // incident to a dying slot — its base edges vanish implicitly,
+        // its pending additions die with it), then the staged edge edits.
+        for &w in &delta.add_vertices {
+            self.added.push((w, true));
+        }
+        let dead: Vec<usize> = delta
+            .remove_vertices
+            .iter()
+            .map(|&v| self.cur[v as usize])
+            .collect();
+        for &s in &dead {
+            if s < self.n_base {
+                self.alive_base[s] = false;
+            } else {
+                self.added[s - self.n_base].1 = false;
+            }
+        }
+        if !dead.is_empty() {
+            self.edges
+                .retain(|&(a, b), _| !dead.contains(&a) && !dead.contains(&b));
+            // Staged edits cannot touch dying slots (validate rejects
+            // edges naming removed vertices), so they commit unfiltered.
+        }
+        for (k, st) in staged {
+            match st {
+                Some(s) => {
+                    self.edges.insert(k, s);
+                }
+                None => {
+                    self.edges.remove(&k);
+                }
+            }
+        }
+        let first_new = self.n_base + self.added.len() - delta.add_vertices.len();
+        if !dead.is_empty() {
+            // Only removals change existing ids; the common growth-only
+            // push stays O(|delta|), not O(n).
+            let mut cur = std::mem::take(&mut self.cur);
+            cur.retain(|&s| self.slot_alive(s));
+            self.cur = cur;
+        }
+        self.cur.extend(first_new..self.n_base + self.added.len());
+        self.deltas += 1;
+        Ok(())
+    }
+
+    /// The canonical coalesced edit list, in base-graph id space.
+    ///
+    /// Canonical form: `remove_vertices` ascending; `add_vertices` in
+    /// creation order of the surviving additions (their extended ids are
+    /// `n_base + rank`); `add_edges`/`remove_edges` sorted ascending
+    /// with `u < v`, at most one entry per pair.
+    pub fn net(&self) -> GraphDelta {
+        // Extended id per surviving added slot: n_base + rank.
+        let mut ext_of_added = vec![NodeId::MAX; self.added.len()];
+        let mut add_vertices = Vec::new();
+        for (i, &(w, alive)) in self.added.iter().enumerate() {
+            if alive {
+                ext_of_added[i] = (self.n_base + add_vertices.len()) as NodeId;
+                add_vertices.push(w);
+            }
+        }
+        let ext_of_slot = |s: usize| -> NodeId {
+            if s < self.n_base {
+                s as NodeId
+            } else {
+                ext_of_added[s - self.n_base]
+            }
+        };
+        let remove_vertices: Vec<NodeId> = (0..self.n_base)
+            .filter(|&v| !self.alive_base[v])
+            .map(|v| v as NodeId)
+            .collect();
+        let mut add_edges = Vec::new();
+        let mut remove_edges = Vec::new();
+        for (&(a, b), &state) in &self.edges {
+            debug_assert!(self.slot_alive(a) && self.slot_alive(b));
+            match state {
+                EdgeState::Added(w) => {
+                    let (u, v) = (ext_of_slot(a), ext_of_slot(b));
+                    add_edges.push(if u < v { (u, v, w) } else { (v, u, w) });
+                }
+                EdgeState::RemovedBase => {
+                    debug_assert!(b < self.n_base, "base removal on added slot");
+                    remove_edges.push((a as NodeId, b as NodeId));
+                }
+                EdgeState::Readded(w) => {
+                    debug_assert!(b < self.n_base);
+                    remove_edges.push((a as NodeId, b as NodeId));
+                    add_edges.push((a as NodeId, b as NodeId, w));
+                }
+            }
+        }
+        add_edges.sort_unstable();
+        remove_edges.sort_unstable();
+        GraphDelta {
+            add_vertices,
+            remove_vertices,
+            add_edges,
+            remove_edges,
+        }
+    }
+
+    /// Net edit-size statistics for repartition policies.
+    pub fn dirt(&self) -> DirtStats {
+        let mut s = DirtStats {
+            deltas: self.deltas,
+            ..Default::default()
+        };
+        let mut touched: Vec<usize> = Vec::new();
+        for (i, &(w, alive)) in self.added.iter().enumerate() {
+            if alive {
+                s.added_vertices += 1;
+                s.added_weight += w;
+                touched.push(self.n_base + i);
+            }
+        }
+        for (v, &alive) in self.alive_base.iter().enumerate() {
+            if !alive {
+                s.removed_vertices += 1;
+                touched.push(v);
+            }
+        }
+        for (&(a, b), &state) in &self.edges {
+            match state {
+                EdgeState::Added(_) => s.added_edges += 1,
+                EdgeState::RemovedBase => s.removed_edges += 1,
+                EdgeState::Readded(_) => {
+                    s.added_edges += 1;
+                    s.removed_edges += 1;
+                }
+            }
+            touched.push(a);
+            touched.push(b);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        s.touched_vertices = touched.len();
+        s
+    }
+}
+
+/// One-shot convenience: fold `deltas` (each addressed to the graph its
+/// predecessors produce, starting from `n_base` vertices) into a single
+/// canonical delta.
+pub fn coalesce(n_base: usize, deltas: &[GraphDelta]) -> Result<GraphDelta, CoalesceError> {
+    let mut co = DeltaCoalescer::new(n_base);
+    for d in deltas {
+        co.push(d)?;
+    }
+    Ok(co.net())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::CsrGraph;
+
+    fn path5() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    /// Sequential ground truth: fold `apply` and return the final graph.
+    fn fold(base: &CsrGraph, deltas: &[GraphDelta]) -> CsrGraph {
+        let mut g = base.clone();
+        for d in deltas {
+            g = d.apply(&g).new_graph().clone();
+        }
+        g
+    }
+
+    #[test]
+    fn single_delta_is_identity_fold() {
+        let d = GraphDelta {
+            add_vertices: vec![2],
+            remove_vertices: vec![0],
+            add_edges: vec![(1, 5, 1)],
+            remove_edges: vec![(2, 3)],
+        };
+        let net = coalesce(5, std::slice::from_ref(&d)).unwrap();
+        assert_eq!(net, d);
+    }
+
+    #[test]
+    fn add_then_remove_edge_cancels() {
+        let d1 = GraphDelta {
+            add_edges: vec![(0, 2, 1)],
+            ..Default::default()
+        };
+        let d2 = GraphDelta {
+            remove_edges: vec![(0, 2)],
+            ..Default::default()
+        };
+        let net = coalesce(5, &[d1, d2]).unwrap();
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn add_then_remove_vertex_cancels_with_edges() {
+        let d1 = GraphDelta {
+            add_vertices: vec![3, 4],
+            add_edges: vec![(0, 5, 1), (5, 6, 2), (1, 6, 1)],
+            ..Default::default()
+        };
+        // The two additions got ids 5, 6; remove the first (id 5).
+        let d2 = GraphDelta {
+            remove_vertices: vec![5],
+            ..Default::default()
+        };
+        let net = coalesce(5, &[d1.clone(), d2.clone()]).unwrap();
+        // Vertex 6 survives, renumbered to extended id 5; only its edge
+        // to old vertex 1 remains.
+        assert_eq!(net.add_vertices, vec![4]);
+        assert_eq!(net.add_edges, vec![(1, 5, 1)]);
+        assert!(net.remove_vertices.is_empty() && net.remove_edges.is_empty());
+        let base = path5();
+        assert_eq!(net.apply(&base).new_graph(), &fold(&base, &[d1, d2]));
+    }
+
+    #[test]
+    fn remove_then_readd_folds_to_weight_update() {
+        let d1 = GraphDelta {
+            remove_edges: vec![(1, 2)],
+            ..Default::default()
+        };
+        let d2 = GraphDelta {
+            add_edges: vec![(1, 2, 9)],
+            ..Default::default()
+        };
+        let net = coalesce(5, &[d1, d2]).unwrap();
+        assert_eq!(net.remove_edges, vec![(1, 2)]);
+        assert_eq!(net.add_edges, vec![(1, 2, 9)]);
+        let base = path5();
+        let g = net.apply(&base).new_graph().clone();
+        assert_eq!(g.edge_weight(1, 2), Some(9));
+    }
+
+    #[test]
+    fn renumbering_across_removal() {
+        // d1 removes vertex 1 → survivors renumber to 0,1,2,3
+        // (old 0,2,3,4); d2 then removes *new* id 1 (= old 2) and adds a
+        // vertex attached to new id 2 (= old 3).
+        let d1 = GraphDelta {
+            remove_vertices: vec![1],
+            ..Default::default()
+        };
+        let d2 = GraphDelta {
+            add_vertices: vec![6],
+            remove_vertices: vec![1],
+            add_edges: vec![(2, 4, 5)],
+            ..Default::default()
+        };
+        let net = coalesce(5, &[d1.clone(), d2.clone()]).unwrap();
+        assert_eq!(net.remove_vertices, vec![1, 2]);
+        assert_eq!(net.add_vertices, vec![6]);
+        assert_eq!(net.add_edges, vec![(3, 5, 5)]); // old 3, ext id 5
+        let base = path5();
+        assert_eq!(net.apply(&base).new_graph(), &fold(&base, &[d1, d2]));
+    }
+
+    #[test]
+    fn growth_sequence_equivalence() {
+        let base = generators::grid(6, 6);
+        let mut g = base.clone();
+        let mut deltas = Vec::new();
+        for step in 0..5 {
+            let d = generators::localized_growth_delta(&g, 0, 4, step);
+            g = d.apply(&g).new_graph().clone();
+            deltas.push(d);
+        }
+        let net = coalesce(base.num_vertices(), &deltas).unwrap();
+        assert_eq!(net.apply(&base).new_graph(), &g);
+        // Canonical: re-coalescing the net is a fixed point.
+        let again = coalesce(base.num_vertices(), std::slice::from_ref(&net)).unwrap();
+        assert_eq!(again, net);
+    }
+
+    #[test]
+    fn sequence_errors_detected_and_state_kept() {
+        let mut co = DeltaCoalescer::new(5);
+        co.push(&GraphDelta {
+            add_edges: vec![(0, 3, 1)],
+            ..Default::default()
+        })
+        .unwrap();
+        // Adding the same edge again is invalid…
+        let err = co
+            .push(&GraphDelta {
+                add_edges: vec![(3, 0, 1)],
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoalesceError::AddOfExistingEdge {
+                index: 1,
+                u: 3,
+                v: 0
+            }
+        );
+        // …and the failed push left the coalescer usable.
+        assert_eq!(co.len(), 1);
+        assert_eq!(co.net().add_edges, vec![(0, 3, 1)]);
+        // Removing the added edge cancels it; the pair is untouched
+        // again, so the next removal registers as a (trusted) base-edge
+        // removal, and removing the same base edge once more is a
+        // detectable double removal.
+        co.push(&GraphDelta {
+            remove_edges: vec![(0, 3)],
+            ..Default::default()
+        })
+        .unwrap(); // cancellation
+        co.push(&GraphDelta {
+            remove_edges: vec![(0, 3)],
+            ..Default::default()
+        })
+        .unwrap(); // base removal (existence is the caller's contract)
+        let err = co
+            .push(&GraphDelta {
+                remove_edges: vec![(0, 3)],
+                ..Default::default()
+            })
+            .unwrap_err();
+        // index = position in the *accepted* sequence (the failed add
+        // above did not consume a slot).
+        assert_eq!(
+            err,
+            CoalesceError::RemoveOfMissingEdge {
+                index: 3,
+                u: 0,
+                v: 3
+            }
+        );
+        // Removing an edge on a sequence-created vertex that was never
+        // added is caught immediately.
+        let mut co2 = DeltaCoalescer::new(2);
+        co2.push(&GraphDelta {
+            add_vertices: vec![1],
+            ..Default::default()
+        })
+        .unwrap();
+        let err = co2
+            .push(&GraphDelta {
+                remove_edges: vec![(0, 2)],
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoalesceError::RemoveOfMissingEdge {
+                index: 1,
+                u: 0,
+                v: 2
+            }
+        );
+        // Malformed delta surfaces the typed DeltaError.
+        let err = co
+            .push(&GraphDelta {
+                remove_vertices: vec![99],
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoalesceError::Invalid { .. }));
+    }
+
+    /// Regression: wire-shaped deltas that mis-state base-edge
+    /// existence must fail at push time under `push_verified`, not
+    /// panic later in `apply` (removing {0,2} which path5 lacks;
+    /// re-adding {0,1} which it has).
+    #[test]
+    fn push_verified_checks_base_edge_existence() {
+        let base = path5();
+        let mut co = DeltaCoalescer::new(base.num_vertices());
+        let err = co
+            .push_verified(
+                &GraphDelta {
+                    remove_edges: vec![(0, 2)],
+                    ..Default::default()
+                },
+                &base,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoalesceError::RemoveOfMissingEdge {
+                index: 0,
+                u: 0,
+                v: 2
+            }
+        );
+        let err = co
+            .push_verified(
+                &GraphDelta {
+                    add_edges: vec![(0, 1, 5)],
+                    ..Default::default()
+                },
+                &base,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoalesceError::AddOfExistingEdge {
+                index: 0,
+                u: 0,
+                v: 1
+            }
+        );
+        // The coalescer survived both rejections and accepts valid
+        // edits — including the remove-then-re-add of a real base edge.
+        co.push_verified(
+            &GraphDelta {
+                remove_edges: vec![(0, 1)],
+                add_edges: vec![(0, 1, 9), (0, 2, 1)],
+                ..Default::default()
+            },
+            &base,
+        )
+        .unwrap();
+        let net = co.net();
+        assert_eq!(net.remove_edges, vec![(0, 1)]);
+        assert_eq!(net.add_edges, vec![(0, 1, 9), (0, 2, 1)]);
+        net.apply(&base).new_graph().validate().unwrap();
+    }
+
+    #[test]
+    fn dirt_stats_track_net_edit() {
+        let mut co = DeltaCoalescer::new(9);
+        co.push(&GraphDelta {
+            add_vertices: vec![2, 3],
+            add_edges: vec![(0, 9, 1), (9, 10, 1)],
+            remove_edges: vec![(0, 1)],
+            ..Default::default()
+        })
+        .unwrap();
+        co.push(&GraphDelta {
+            remove_vertices: vec![10], // the second addition dies
+            ..Default::default()
+        })
+        .unwrap();
+        let d = co.dirt();
+        assert_eq!(d.deltas, 2);
+        assert_eq!(d.added_vertices, 1);
+        assert_eq!(d.added_weight, 2);
+        assert_eq!(d.removed_vertices, 0);
+        assert_eq!(d.added_edges, 1); // (0,9) survives; (9,10) died
+        assert_eq!(d.removed_edges, 1);
+        // touched: slots 0, 1 (removed edge), 9 (survivor addition).
+        assert_eq!(d.touched_vertices, 3);
+        assert_eq!(co.n_current(), 10);
+    }
+
+    #[test]
+    fn empty_coalescer_nets_empty() {
+        let co = DeltaCoalescer::new(7);
+        assert!(co.is_empty());
+        assert!(co.net().is_empty());
+        assert_eq!(co.n_current(), 7);
+        assert_eq!(coalesce(7, &[]).unwrap(), GraphDelta::default());
+    }
+}

@@ -10,6 +10,77 @@
 use crate::csr::{CsrBuilder, CsrGraph};
 use crate::{NodeId, Weight, INVALID_NODE};
 
+/// Why a [`GraphDelta`] is malformed with respect to a graph of `n_old`
+/// vertices.
+///
+/// [`GraphDelta::validate`] reports these *before* anything is applied:
+/// the service boundary turns them into protocol errors instead of
+/// letting [`GraphDelta::apply`] panic deep inside a step. Everything
+/// checkable from `n_old` alone is covered; existence of removed edges
+/// in the concrete old graph is the one condition that still needs the
+/// graph itself (checked by `apply`, and by
+/// [`crate::coalesce::DeltaCoalescer`] for edges created inside a
+/// queued sequence).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `remove_vertices` is not strictly ascending (unsorted or
+    /// duplicated entries).
+    RemoveVerticesUnsorted,
+    /// A removed vertex id is not a vertex of the old graph.
+    RemoveVertexOutOfRange { v: NodeId, n_old: usize },
+    /// An edge endpoint is outside the id space allowed for its list
+    /// (`n_old + add_vertices.len()` for added edges, `n_old` for
+    /// removed edges, which may only name old-graph edges).
+    EdgeOutOfRange {
+        u: NodeId,
+        v: NodeId,
+        bound: usize,
+        list: &'static str,
+    },
+    /// An edge with both endpoints equal.
+    SelfLoop { v: NodeId, list: &'static str },
+    /// An added or removed edge touches a vertex named in
+    /// `remove_vertices` (incident edges of removed vertices are
+    /// implicit; naming them is ambiguous).
+    EdgeTouchesRemovedVertex {
+        u: NodeId,
+        v: NodeId,
+        list: &'static str,
+    },
+    /// The same undirected edge appears twice in `add_edges`.
+    DuplicateAddEdge { u: NodeId, v: NodeId },
+    /// The same undirected edge appears twice in `remove_edges`.
+    DuplicateRemoveEdge { u: NodeId, v: NodeId },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::RemoveVerticesUnsorted => {
+                write!(f, "remove_vertices must be strictly ascending")
+            }
+            DeltaError::RemoveVertexOutOfRange { v, n_old } => {
+                write!(f, "removed vertex {v} out of range (n_old = {n_old})")
+            }
+            DeltaError::EdgeOutOfRange { u, v, bound, list } => {
+                write!(f, "{list} edge {{{u},{v}}} out of range (bound {bound})")
+            }
+            DeltaError::SelfLoop { v, list } => write!(f, "{list} self-loop at {v}"),
+            DeltaError::EdgeTouchesRemovedVertex { u, v, list } => {
+                write!(f, "{list} edge {{{u},{v}}} touches a removed vertex")
+            }
+            DeltaError::DuplicateAddEdge { u, v } => {
+                write!(f, "edge {{{u},{v}}} added twice")
+            }
+            DeltaError::DuplicateRemoveEdge { u, v } => {
+                write!(f, "edge {{{u},{v}}} removed twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 /// An edit list transforming an old graph into a new one.
 ///
 /// Vertex addressing: survivors and removed vertices use *old* ids; the
@@ -47,6 +118,68 @@ impl GraphDelta {
             self.add_edges.len(),
             self.remove_edges.len()
         )
+    }
+
+    /// Check the delta against a graph of `n_old` vertices, returning the
+    /// first structural violation as a typed [`DeltaError`].
+    ///
+    /// Everything checkable without the concrete graph is verified:
+    /// id ranges, `remove_vertices` ordering, self-loops, duplicate edge
+    /// entries, and edges naming removed vertices. A delta that passes
+    /// can still be wrong about *edge existence* (removing an edge the
+    /// old graph does not have, or re-adding one it does); those are
+    /// caught by [`GraphDelta::apply`]'s assertions and, for queued
+    /// sequences, by [`crate::coalesce::DeltaCoalescer::push`].
+    pub fn validate(&self, n_old: usize) -> Result<(), DeltaError> {
+        if !self.remove_vertices.windows(2).all(|w| w[0] < w[1]) {
+            return Err(DeltaError::RemoveVerticesUnsorted);
+        }
+        if let Some(&v) = self.remove_vertices.last() {
+            if (v as usize) >= n_old {
+                return Err(DeltaError::RemoveVertexOutOfRange { v, n_old });
+            }
+        }
+        let removed = |v: NodeId| self.remove_vertices.binary_search(&v).is_ok();
+        let check_edge = |u: NodeId, v: NodeId, bound: usize, list: &'static str| {
+            if (u as usize) >= bound || (v as usize) >= bound {
+                return Err(DeltaError::EdgeOutOfRange { u, v, bound, list });
+            }
+            if u == v {
+                return Err(DeltaError::SelfLoop { v, list });
+            }
+            if removed(u) || removed(v) {
+                return Err(DeltaError::EdgeTouchesRemovedVertex { u, v, list });
+            }
+            Ok(())
+        };
+        let n_ext = n_old + self.add_vertices.len();
+        let mut seen: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.add_edges.len());
+        for &(u, v, _) in &self.add_edges {
+            check_edge(u, v, n_ext, "added")?;
+            seen.push(if u < v { (u, v) } else { (v, u) });
+        }
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DeltaError::DuplicateAddEdge {
+                u: w[0].0,
+                v: w[0].1,
+            });
+        }
+        seen.clear();
+        for &(u, v) in &self.remove_edges {
+            // Removed edges must name *old-graph* edges; added vertices
+            // cannot have pre-existing edges.
+            check_edge(u, v, n_old, "removed")?;
+            seen.push(if u < v { (u, v) } else { (v, u) });
+        }
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DeltaError::DuplicateRemoveEdge {
+                u: w[0].0,
+                v: w[0].1,
+            });
+        }
+        Ok(())
     }
 
     /// Apply the delta to `old`, producing the incremental-graph pair.
@@ -392,6 +525,107 @@ mod tests {
         assert_eq!(inc.added_vertices().len(), 1);
         assert_eq!(inc.old_of_new(0), 0); // slot 0
         assert_eq!(inc.old_of_new(1), 2); // slot 2 was old id 2, new id 1
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let delta = GraphDelta {
+            add_vertices: vec![7, 9],
+            remove_vertices: vec![0, 2],
+            add_edges: vec![(1, 5, 2), (5, 6, 3)],
+            remove_edges: vec![(3, 4)],
+        };
+        delta.validate(5).unwrap();
+    }
+
+    #[test]
+    fn validate_typed_errors() {
+        let n = 5;
+        let unsorted = GraphDelta {
+            remove_vertices: vec![2, 1],
+            ..Default::default()
+        };
+        assert_eq!(
+            unsorted.validate(n),
+            Err(DeltaError::RemoveVerticesUnsorted)
+        );
+        let dup_rm_v = GraphDelta {
+            remove_vertices: vec![1, 1],
+            ..Default::default()
+        };
+        assert_eq!(
+            dup_rm_v.validate(n),
+            Err(DeltaError::RemoveVerticesUnsorted)
+        );
+        let oor_v = GraphDelta {
+            remove_vertices: vec![5],
+            ..Default::default()
+        };
+        assert_eq!(
+            oor_v.validate(n),
+            Err(DeltaError::RemoveVertexOutOfRange { v: 5, n_old: 5 })
+        );
+        // Added edges may use extended ids; removed edges may not.
+        let ext_add = GraphDelta {
+            add_vertices: vec![1],
+            add_edges: vec![(0, 5, 1)],
+            ..Default::default()
+        };
+        ext_add.validate(n).unwrap();
+        let ext_rm = GraphDelta {
+            add_vertices: vec![1],
+            remove_edges: vec![(0, 5)],
+            ..Default::default()
+        };
+        assert_eq!(
+            ext_rm.validate(n),
+            Err(DeltaError::EdgeOutOfRange {
+                u: 0,
+                v: 5,
+                bound: 5,
+                list: "removed"
+            })
+        );
+        let loop_e = GraphDelta {
+            add_edges: vec![(3, 3, 1)],
+            ..Default::default()
+        };
+        assert_eq!(
+            loop_e.validate(n),
+            Err(DeltaError::SelfLoop {
+                v: 3,
+                list: "added"
+            })
+        );
+        let touches = GraphDelta {
+            remove_vertices: vec![2],
+            add_edges: vec![(2, 4, 1)],
+            ..Default::default()
+        };
+        assert_eq!(
+            touches.validate(n),
+            Err(DeltaError::EdgeTouchesRemovedVertex {
+                u: 2,
+                v: 4,
+                list: "added"
+            })
+        );
+        let dup_add = GraphDelta {
+            add_edges: vec![(1, 3, 1), (3, 1, 2)],
+            ..Default::default()
+        };
+        assert_eq!(
+            dup_add.validate(n),
+            Err(DeltaError::DuplicateAddEdge { u: 1, v: 3 })
+        );
+        let dup_rm = GraphDelta {
+            remove_edges: vec![(4, 0), (0, 4)],
+            ..Default::default()
+        };
+        assert_eq!(
+            dup_rm.validate(n),
+            Err(DeltaError::DuplicateRemoveEdge { u: 0, v: 4 })
+        );
     }
 
     #[test]

@@ -174,11 +174,20 @@ impl DynGraph {
 
     /// Freeze into a CSR snapshot.
     ///
-    /// Returns `(graph, new_of_slot)` where `new_of_slot[slot]` is the CSR
-    /// id of a live slot, or [`crate::INVALID_NODE`] for dead slots. Live
-    /// vertices are renumbered in increasing slot order, so an append-only
-    /// history keeps identical prefixes — exactly the identity model
-    /// [`crate::IncrementalGraph`] relies on.
+    /// Returns `(graph, new_of_slot)`. **Mapping direction:** the map is
+    /// indexed by *slot* and yields the *CSR id* — `new_of_slot[slot] ==
+    /// csr_id` for live slots, [`crate::INVALID_NODE`] for tombstoned or
+    /// never-created slots; it is *not* the CSR-id → slot direction (its
+    /// length is [`DynGraph::slot_count`], not
+    /// [`CsrGraph::num_vertices`]). Live vertices are renumbered
+    /// compactly in increasing **slot** order — tombstones shift every
+    /// higher slot down, so after interleaved add/delete a slot's CSR id
+    /// is its rank among live slots, regardless of creation or deletion
+    /// order. Because the order is by slot, an append-only history keeps
+    /// identical prefixes — exactly the identity model
+    /// [`crate::IncrementalGraph`] (and
+    /// [`crate::IncrementalGraph::from_snapshots`], which matches two
+    /// snapshots by shared slot) relies on.
     pub fn snapshot(&self) -> (CsrGraph, Vec<NodeId>) {
         let mut new_of_slot = vec![crate::INVALID_NODE; self.adj.len()];
         let mut next: NodeId = 0;
@@ -244,6 +253,65 @@ mod tests {
         assert_eq!(csr.edge_weight(0, 2), Some(2));
         assert_eq!(csr.vertex_weight(2), 5);
         csr.validate().unwrap();
+    }
+
+    /// Regression pin for the snapshot id-map contract under interleaved
+    /// add/delete: tombstones compact by *slot rank*, the map direction
+    /// is slot → CSR id, and two snapshots of one history pair up
+    /// correctly through `IncrementalGraph::from_snapshots`.
+    #[test]
+    fn snapshot_map_contract_after_interleaved_churn() {
+        let mut g = DynGraph::with_vertices(4); // slots 0..4
+        g.add_edge(0, 1, 1);
+        g.add_edge(2, 3, 1);
+        let (old_csr, old_map) = g.snapshot();
+
+        // Interleave: delete 1, add slot 4, delete 3, add slot 5,
+        // re-delete and re-create around the tombstones.
+        g.remove_vertex(1);
+        let s4 = g.add_vertex(7);
+        assert_eq!(s4, 4);
+        g.remove_vertex(3);
+        let s5 = g.add_vertex(9);
+        assert_eq!(s5, 5);
+        g.add_edge(0, 4, 2);
+        g.add_edge(4, 5, 3);
+        g.remove_vertex(4); // tombstone a vertex created *after* others died
+        let s6 = g.add_vertex(11);
+        assert_eq!(s6, 6);
+        g.add_edge(2, 6, 5);
+
+        let (csr, map) = g.snapshot();
+        // Live slots: 0, 2, 5, 6 → CSR ids by slot rank.
+        assert_eq!(map.len(), g.slot_count());
+        assert_eq!(
+            map,
+            vec![0, INVALID_NODE, 1, INVALID_NODE, INVALID_NODE, 2, 3]
+        );
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.vertex_weight(2), 9); // slot 5
+        assert_eq!(csr.vertex_weight(3), 11); // slot 6
+        assert_eq!(csr.edge_weight(1, 3), Some(5)); // slots 2–6
+        assert_eq!(csr.num_edges(), 1); // 0–1 died with slot 1; 0–4/4–5 with slot 4
+        csr.validate().unwrap();
+        // The inverse direction (CSR id → slot) is recovered by scanning:
+        // each live slot appears exactly once, in increasing CSR order.
+        let live: Vec<usize> = map
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != INVALID_NODE)
+            .map(|(s, _)| s)
+            .collect();
+        for (csr_id, &slot) in live.iter().enumerate() {
+            assert_eq!(map[slot], csr_id as NodeId);
+        }
+        // Pairing the two snapshots: survivors are slots 0 and 2.
+        let inc = crate::IncrementalGraph::from_snapshots(old_csr, &old_map, csr, &map);
+        assert_eq!(inc.num_survivors(), 2);
+        assert_eq!(inc.removed_vertices(), vec![1, 3]);
+        assert_eq!(inc.old_of_new(0), 0);
+        assert_eq!(inc.old_of_new(1), 2);
+        assert_eq!(inc.added_vertices(), vec![2, 3]);
     }
 
     #[test]

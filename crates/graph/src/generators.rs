@@ -163,6 +163,103 @@ pub fn localized_growth_delta(graph: &CsrGraph, center: NodeId, k: usize, seed: 
     delta
 }
 
+/// A random *churn* delta: removes up to `removes` low-impact vertices
+/// and a few existing edges, then adds `adds` new vertices attached to
+/// survivors (plus an occasional survivor–survivor chord).
+///
+/// Always valid for [`GraphDelta::apply`] against `graph`
+/// (`GraphDelta::validate` passes, removed edges exist, added edges are
+/// absent and avoid removed vertices) — the generator behind the
+/// coalescing property suite and the service end-to-end churn traffic.
+/// Unlike [`localized_growth_delta`] it exercises the full edit algebra:
+/// vertex deletion, edge deletion, and deletion/re-addition interplay.
+pub fn random_churn_delta(graph: &CsrGraph, adds: usize, removes: usize, seed: u64) -> GraphDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_old = graph.num_vertices();
+    let mut delta = GraphDelta::default();
+    // Remove vertices, never more than a quarter of the graph so the
+    // remainder stays partitionable.
+    let max_rm = removes.min(n_old / 4);
+    let mut removed = vec![false; n_old];
+    for _ in 0..max_rm {
+        let v = rng.gen_range(0..n_old);
+        if !removed[v] {
+            removed[v] = true;
+            delta.remove_vertices.push(v as NodeId);
+        }
+    }
+    delta.remove_vertices.sort_unstable();
+    // Remove a few surviving edges (skip bridges to survivors' last
+    // link: keep every survivor at degree ≥ 1 where possible).
+    let survivor_edges: Vec<(NodeId, NodeId)> = graph
+        .undirected_edges()
+        .filter(|&(u, v, _)| !removed[u as usize] && !removed[v as usize])
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let mut deg_left = vec![0usize; n_old];
+    for &(u, v) in &survivor_edges {
+        deg_left[u as usize] += 1;
+        deg_left[v as usize] += 1;
+    }
+    let edge_removes = (max_rm / 2 + adds / 4).min(survivor_edges.len() / 4);
+    let mut killed: Vec<(NodeId, NodeId)> = Vec::new();
+    for _ in 0..edge_removes {
+        let e = survivor_edges[rng.gen_range(0..survivor_edges.len())];
+        if !killed.contains(&e) && deg_left[e.0 as usize] > 1 && deg_left[e.1 as usize] > 1 {
+            deg_left[e.0 as usize] -= 1;
+            deg_left[e.1 as usize] -= 1;
+            killed.push(e);
+        }
+    }
+    killed.sort_unstable();
+    delta.remove_edges = killed.clone();
+    // Attach new vertices to random survivors / earlier additions.
+    let survivors: Vec<NodeId> = (0..n_old as NodeId)
+        .filter(|&v| !removed[v as usize])
+        .collect();
+    let mut attach_pool = survivors.clone();
+    let present = |d: &GraphDelta, a: NodeId, b: NodeId| -> bool {
+        let k = if a < b { (a, b) } else { (b, a) };
+        d.add_edges.iter().any(|&(u, v, _)| (u, v) == k)
+            || ((k.1 as usize) < n_old && graph.has_edge(k.0, k.1) && !killed.contains(&k))
+    };
+    for i in 0..adds {
+        let new_id = (n_old + i) as NodeId;
+        delta.add_vertices.push(1 + rng.gen_range(0..3usize) as u64);
+        let fan = 1 + rng.gen_range(0..2usize).min(attach_pool.len() - 1);
+        let mut linked = 0;
+        while linked < fan {
+            let h = attach_pool[rng.gen_range(0..attach_pool.len())];
+            if h != new_id && !present(&delta, h, new_id) {
+                let k = if h < new_id { (h, new_id) } else { (new_id, h) };
+                delta
+                    .add_edges
+                    .push((k.0, k.1, 1 + rng.gen_range(0..4usize) as u64));
+                linked += 1;
+            }
+        }
+        attach_pool.push(new_id);
+    }
+    // Occasionally re-link two survivors (possibly re-adding a killed
+    // edge with a fresh weight — the fold-to-weight-update case).
+    if survivors.len() >= 2 && rng.gen_range(0..3) == 0 {
+        for _ in 0..4 {
+            let a = survivors[rng.gen_range(0..survivors.len())];
+            let b = survivors[rng.gen_range(0..survivors.len())];
+            if a != b && !present(&delta, a, b) {
+                let k = if a < b { (a, b) } else { (b, a) };
+                delta
+                    .add_edges
+                    .push((k.0, k.1, 1 + rng.gen_range(0..4usize) as u64));
+                break;
+            }
+        }
+    }
+    delta.add_edges.sort_unstable();
+    debug_assert_eq!(delta.validate(n_old), Ok(()));
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +332,21 @@ mod tests {
                 dist[u as usize]
             );
         }
+    }
+
+    #[test]
+    fn churn_delta_valid_over_long_sequence() {
+        let mut cur = grid(6, 6);
+        let mut edits = 0;
+        for step in 0..10 {
+            let d = random_churn_delta(&cur, 3, 2, step);
+            d.validate(cur.num_vertices()).unwrap();
+            edits += d.add_vertices.len() + d.remove_vertices.len();
+            let inc = d.apply(&cur);
+            cur = inc.new_graph().clone();
+            cur.validate().unwrap();
+        }
+        assert!(edits > 10, "churn generator produced almost no edits");
+        assert!(cur.num_vertices() > 0);
     }
 }

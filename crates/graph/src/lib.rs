@@ -9,7 +9,9 @@
 //!   vertex/edge insertion and deletion, convertible to CSR snapshots.
 //! * [`GraphDelta`] / [`IncrementalGraph`] — the paper's incremental-graph
 //!   model `G'(V ∪ V₁ − V₂, E ∪ E₁ − E₂)` with stable vertex-identity
-//!   mappings between the old and new graphs.
+//!   mappings between the old and new graphs, typed boundary validation
+//!   ([`GraphDelta::validate`]), and a [`DeltaCoalescer`] folding queued
+//!   delta sequences into one canonical edit list.
 //! * [`Partitioning`] — a `V → P` assignment with maintained partition
 //!   weights, move operations and validation.
 //! * [`metrics`] — cutset statistics exactly as reported in the paper's
@@ -42,6 +44,7 @@
 //! assert!(inc.is_added(6));
 //! ```
 
+pub mod coalesce;
 pub mod csr;
 pub mod delta;
 pub mod dyn_graph;
@@ -52,8 +55,9 @@ pub mod metrics;
 pub mod partition;
 pub mod traversal;
 
+pub use coalesce::{coalesce, CoalesceError, DeltaCoalescer, DirtStats};
 pub use csr::{CsrBuilder, CsrGraph};
-pub use delta::{GraphDelta, IncrementalGraph};
+pub use delta::{DeltaError, GraphDelta, IncrementalGraph};
 pub use dyn_graph::DynGraph;
 pub use metrics::{CutMetrics, PartitionCosts};
 pub use partition::Partitioning;

@@ -1,0 +1,252 @@
+//! `igp-cli` — scriptable client for `igp-serve`.
+//!
+//! ```text
+//! igp-cli [--addr HOST:PORT] ping
+//! igp-cli [--addr HOST:PORT] open <sid> --parts P (--grid RxC | --metis FILE)
+//!                                 [--policy SPEC] [--workers N]
+//!                                 [--backend sim-cm5|shared-mem] [--init rsb|rr]
+//!                                 [--refined 0|1]
+//! igp-cli [--addr HOST:PORT] delta <sid> [av=…] [rv=…] [ae=…] [re=…]
+//! igp-cli [--addr HOST:PORT] flush|stat|part|close <sid>
+//! igp-cli [--addr HOST:PORT] list | shutdown
+//! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
+//!                                 [--policy SPEC] [--seed S]
+//! ```
+//!
+//! `demo` drives the full loop end to end: it opens N sessions on
+//! generated grids, streams K churn deltas each (tracking the virtual
+//! graph client-side), forces a final flush, prints per-session
+//! statistics and closes the sessions — the CI smoke test in a box.
+
+use igp_graph::{generators, io as graph_io};
+use igp_service::client::{DeltaAck, IgpClient};
+use igp_service::protocol::{parse_bool, parse_delta_fields};
+use igp_service::session::SessionConfig;
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: igp-cli [--addr HOST:PORT] \
+         <ping|open|delta|flush|stat|part|close|list|shutdown|demo> …"
+    );
+    std::process::exit(code);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("igp-cli: {msg}");
+    std::process::exit(1);
+}
+
+fn connect(addr: &str) -> IgpClient {
+    IgpClient::connect(addr).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")))
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        usage(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = take_value(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7421".into());
+    if args.is_empty() {
+        usage(2);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "ping" => {
+            connect(&addr).ping().unwrap_or_else(|e| fail(e));
+            println!("PONG");
+        }
+        "open" => cmd_open(&addr, args),
+        "delta" => {
+            if args.is_empty() {
+                usage(2);
+            }
+            let sid = args.remove(0);
+            let fields: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+            let delta = parse_delta_fields(&fields).unwrap_or_else(|e| fail(e));
+            match connect(&addr)
+                .delta(&sid, &delta)
+                .unwrap_or_else(|e| fail(e))
+            {
+                DeltaAck::Queued { pending } => println!("queued pending={pending}"),
+                DeltaAck::Stepped(s) => println!(
+                    "step={} coalesced={} n={} cut={} imbalance={:.4} moved={}",
+                    s.step, s.coalesced, s.n, s.cut, s.imbalance, s.moved
+                ),
+            }
+        }
+        "flush" | "stat" | "part" | "close" => {
+            if args.len() != 1 {
+                usage(2);
+            }
+            let sid = &args[0];
+            let mut cli = connect(&addr);
+            match cmd.as_str() {
+                "flush" => match cli.flush(sid).unwrap_or_else(|e| fail(e)) {
+                    Some(s) => println!(
+                        "step={} coalesced={} n={} cut={} imbalance={:.4} moved={}",
+                        s.step, s.coalesced, s.n, s.cut, s.imbalance, s.moved
+                    ),
+                    None => println!("noop"),
+                },
+                "stat" => {
+                    let s = cli.stat(sid).unwrap_or_else(|e| fail(e));
+                    println!(
+                        "n={} m={} cut={} imbalance={:.4} pending={} steps={} moved={} scratch={}",
+                        s.n, s.m, s.cut, s.imbalance, s.pending, s.steps, s.moved, s.scratch
+                    );
+                }
+                "part" => {
+                    let assign = cli.partition(sid).unwrap_or_else(|e| fail(e));
+                    let strs: Vec<String> = assign.iter().map(|p| p.to_string()).collect();
+                    println!("{}", strs.join(" "));
+                }
+                "close" => {
+                    cli.close(sid).unwrap_or_else(|e| fail(e));
+                    println!("closed {sid}");
+                }
+                _ => unreachable!(),
+            }
+        }
+        "list" => {
+            for sid in connect(&addr).list().unwrap_or_else(|e| fail(e)) {
+                println!("{sid}");
+            }
+        }
+        "shutdown" => {
+            connect(&addr).shutdown().unwrap_or_else(|e| fail(e));
+            println!("server shut down");
+        }
+        "demo" => cmd_demo(&addr, args),
+        _ => usage(2),
+    }
+}
+
+fn cmd_open(addr: &str, mut args: Vec<String>) {
+    if args.is_empty() {
+        usage(2);
+    }
+    let sid = args.remove(0);
+    let parts: usize = take_value(&mut args, "--parts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(2));
+    if parts == 0 {
+        fail("--parts must be ≥ 1");
+    }
+    let mut cfg = SessionConfig::new(parts);
+    if let Some(p) = take_value(&mut args, "--policy") {
+        cfg.policy = p.parse().unwrap_or_else(|e| fail(e));
+    }
+    if let Some(w) = take_value(&mut args, "--workers") {
+        cfg.workers = w
+            .parse()
+            .unwrap_or_else(|e| fail(format!("--workers: {e}")));
+    }
+    if let Some(b) = take_value(&mut args, "--backend") {
+        cfg.backend = b
+            .parse()
+            .unwrap_or_else(|_| fail(format!("bad --backend `{b}`")));
+    }
+    if let Some(i) = take_value(&mut args, "--init") {
+        cfg.init = i.parse().unwrap_or_else(|e| fail(e));
+    }
+    if let Some(r) = take_value(&mut args, "--refined") {
+        cfg.refined = parse_bool(&r).unwrap_or_else(|e| fail(format!("--refined: {e}")));
+    }
+    let grid = take_value(&mut args, "--grid");
+    let metis = take_value(&mut args, "--metis");
+    if !args.is_empty() {
+        usage(2);
+    }
+    let graph = match (grid, metis) {
+        (Some(spec), None) => {
+            let (r, c) = spec
+                .split_once('x')
+                .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)))
+                .unwrap_or_else(|| fail(format!("bad --grid `{spec}` (want RxC)")));
+            generators::grid(r, c)
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(format!("read {path}: {e}")));
+            graph_io::read_metis(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+        }
+        _ => fail("open needs exactly one of --grid RxC | --metis FILE"),
+    };
+    let ack = connect(addr)
+        .open(&sid, &graph, &cfg)
+        .unwrap_or_else(|e| fail(e));
+    println!(
+        "open {sid}: n={} m={} cut={} imbalance={:.4}",
+        ack.n, ack.m, ack.cut, ack.imbalance
+    );
+}
+
+fn cmd_demo(addr: &str, mut args: Vec<String>) {
+    let sessions: usize = take_value(&mut args, "--sessions")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| fail(format!("--sessions: {e}")))
+        })
+        .unwrap_or(2);
+    let deltas: usize = take_value(&mut args, "--deltas")
+        .map(|v| v.parse().unwrap_or_else(|e| fail(format!("--deltas: {e}"))))
+        .unwrap_or(12);
+    let parts: usize = take_value(&mut args, "--parts")
+        .map(|v| v.parse().unwrap_or_else(|e| fail(format!("--parts: {e}"))))
+        .unwrap_or(4);
+    let seed: u64 = take_value(&mut args, "--seed")
+        .map(|v| v.parse().unwrap_or_else(|e| fail(format!("--seed: {e}"))))
+        .unwrap_or(42);
+    let policy = take_value(&mut args, "--policy").unwrap_or_else(|| "cost".into());
+    if !args.is_empty() {
+        usage(2);
+    }
+    let mut cfg = SessionConfig::new(parts);
+    cfg.policy = policy.parse().unwrap_or_else(|e| fail(e));
+    let mut cli = connect(addr);
+    for s in 0..sessions {
+        let sid = format!("demo-{s}");
+        let base = generators::grid(8 + s, 8);
+        let ack = cli.open(&sid, &base, &cfg).unwrap_or_else(|e| fail(e));
+        println!("[{sid}] open n={} cut={}", ack.n, ack.cut);
+        let mut mirror = base;
+        let mut steps = 0usize;
+        for k in 0..deltas {
+            let d =
+                generators::random_churn_delta(&mirror, 3, 1, seed ^ (s as u64) << 32 ^ k as u64);
+            mirror = d.apply(&mirror).new_graph().clone();
+            match cli.delta(&sid, &d).unwrap_or_else(|e| fail(e)) {
+                DeltaAck::Queued { .. } => {}
+                DeltaAck::Stepped(st) => {
+                    steps += 1;
+                    println!(
+                        "[{sid}] step {} coalesced={} n={} cut={} imbalance={:.4}",
+                        st.step, st.coalesced, st.n, st.cut, st.imbalance
+                    );
+                }
+            }
+        }
+        if let Some(st) = cli.flush(&sid).unwrap_or_else(|e| fail(e)) {
+            steps += 1;
+            println!(
+                "[{sid}] final flush: step {} coalesced={} n={}",
+                st.step, st.coalesced, st.n
+            );
+        }
+        let stat = cli.stat(&sid).unwrap_or_else(|e| fail(e));
+        assert_eq!(stat.n, mirror.num_vertices(), "graph diverged from mirror");
+        println!(
+            "[{sid}] done: {deltas} deltas → {steps} repartitions, n={} cut={} imbalance={:.4}",
+            stat.n, stat.cut, stat.imbalance
+        );
+        cli.close(&sid).unwrap_or_else(|e| fail(e));
+    }
+    println!("demo OK: {sessions} sessions × {deltas} deltas");
+}

@@ -1,0 +1,48 @@
+//! `igp-serve` — the partitioning daemon.
+//!
+//! ```text
+//! igp-serve [--addr HOST:PORT] [--shards N]
+//! ```
+//!
+//! Prints `igp-serve listening on <addr>` once the socket is bound
+//! (scripts wait for that line), then serves until a client sends
+//! `SHUTDOWN`.
+
+use igp_service::server::{serve, ServeOptions};
+use std::io::Write;
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: igp-serve [--addr HOST:PORT] [--shards N]");
+    std::process::exit(code);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut opts = ServeOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(2),
+            },
+            "--shards" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.shards = n,
+                _ => usage(2),
+            },
+            "--help" | "-h" => usage(0),
+            _ => usage(2),
+        }
+    }
+    let handle = match serve(&addr, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("igp-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("igp-serve listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("igp-serve: shut down cleanly");
+}

@@ -1,0 +1,320 @@
+//! Client side of the line protocol: typed requests/acks over a
+//! [`TcpStream`], used by `igp-cli`, the end-to-end tests and the
+//! throughput bench.
+
+use crate::protocol::{
+    check_wire_representable, encode_delta_fields, encode_open_opts, kv_get, parse_kv,
+};
+use crate::session::SessionConfig;
+use igp_graph::{io as graph_io, CsrGraph, GraphDelta, PartId};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, server-reported, or malformed reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport error.
+    Io(io::Error),
+    /// The server answered `ERR <kind> <detail>`.
+    Server {
+        /// Error kind token (e.g. `unknown-session`, `delta`).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The reply did not match the protocol.
+    Proto(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server { kind, detail } => write!(f, "server: {kind}: {detail}"),
+            ClientError::Proto(m) => write!(f, "bad reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One repartition step as reported on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepInfo {
+    pub step: usize,
+    pub coalesced: usize,
+    pub n: usize,
+    pub cut: u64,
+    pub imbalance: f64,
+    pub moved: u64,
+    pub stages: usize,
+    pub balanced: bool,
+    pub scratch: bool,
+}
+
+/// Ack for a `DELTA` request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaAck {
+    /// Queued; the policy did not fire (`pending` deltas waiting).
+    Queued { pending: usize },
+    /// The policy fired and the batch was applied.
+    Stepped(StepInfo),
+}
+
+/// Ack for an `OPEN` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenAck {
+    pub n: usize,
+    pub m: usize,
+    pub cut: u64,
+    pub imbalance: f64,
+}
+
+/// Session statistics from `STAT`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatInfo {
+    pub n: usize,
+    pub m: usize,
+    pub cut: u64,
+    pub imbalance: f64,
+    pub pending: usize,
+    pub steps: usize,
+    pub moved: u64,
+    pub scratch: bool,
+}
+
+/// A connected protocol client.
+pub struct IgpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl IgpClient {
+    /// Connect to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(IgpClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Proto("connection closed".into()));
+        }
+        Ok(line.trim().to_string())
+    }
+
+    /// Send one request line and return the reply tokens after checking
+    /// the `OK <tag>` prefix (or propagating an `ERR`).
+    fn roundtrip_ok(&mut self, line: &str, tag: &str) -> Result<Vec<String>, ClientError> {
+        self.send(line)?;
+        let reply = self.recv()?;
+        let tokens: Vec<&str> = reply.split_ascii_whitespace().collect();
+        match tokens.as_slice() {
+            ["ERR", kind, detail @ ..] => Err(ClientError::Server {
+                kind: kind.to_string(),
+                detail: detail.join(" "),
+            }),
+            ["OK", t, rest @ ..] if *t == tag => Ok(rest.iter().map(|s| s.to_string()).collect()),
+            _ => Err(ClientError::Proto(format!(
+                "expected `OK {tag}`, got `{reply}`"
+            ))),
+        }
+    }
+
+    /// `PING` → `PONG`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        match self.recv()?.as_str() {
+            "PONG" => Ok(()),
+            other => Err(ClientError::Proto(format!("expected PONG, got `{other}`"))),
+        }
+    }
+
+    /// Open a session: uploads `graph` in METIS format.
+    ///
+    /// Fails without sending anything if `cfg` cannot be expressed
+    /// exactly by the wire grammar (e.g. custom cost-model constants) —
+    /// otherwise the daemon's session would silently diverge from an
+    /// in-process replay of the same config.
+    pub fn open(
+        &mut self,
+        sid: &str,
+        graph: &CsrGraph,
+        cfg: &SessionConfig,
+    ) -> Result<OpenAck, ClientError> {
+        check_wire_representable(cfg).map_err(ClientError::Proto)?;
+        let mut block = format!("OPEN {sid} {}\n", encode_open_opts(cfg));
+        block.push_str(&graph_io::write_metis(graph));
+        if !block.ends_with('\n') {
+            block.push('\n');
+        }
+        block.push_str("END");
+        let rest = self.roundtrip_ok(&block, "open")?;
+        let kv = parse_kv(&to_strs(&rest)).map_err(ClientError::Proto)?;
+        Ok(OpenAck {
+            n: field(&kv, "n")?,
+            m: field(&kv, "m")?,
+            cut: field(&kv, "cut")?,
+            imbalance: field(&kv, "imbalance")?,
+        })
+    }
+
+    /// Stream one delta into a session.
+    pub fn delta(&mut self, sid: &str, delta: &GraphDelta) -> Result<DeltaAck, ClientError> {
+        let fields = encode_delta_fields(delta);
+        let line = if fields.is_empty() {
+            format!("DELTA {sid}")
+        } else {
+            format!("DELTA {sid} {fields}")
+        };
+        self.send(&line)?;
+        let reply = self.recv()?;
+        let tokens: Vec<&str> = reply.split_ascii_whitespace().collect();
+        match tokens.as_slice() {
+            ["ERR", kind, detail @ ..] => Err(ClientError::Server {
+                kind: kind.to_string(),
+                detail: detail.join(" "),
+            }),
+            ["OK", "queued", rest @ ..] => {
+                let kv = parse_kv(rest).map_err(ClientError::Proto)?;
+                Ok(DeltaAck::Queued {
+                    pending: field(&kv, "pending")?,
+                })
+            }
+            ["OK", "step", rest @ ..] => Ok(DeltaAck::Stepped(parse_step(rest)?)),
+            _ => Err(ClientError::Proto(format!("unexpected reply `{reply}`"))),
+        }
+    }
+
+    /// Force a repartition; `None` if nothing was pending.
+    pub fn flush(&mut self, sid: &str) -> Result<Option<StepInfo>, ClientError> {
+        self.send(&format!("FLUSH {sid}"))?;
+        let reply = self.recv()?;
+        let tokens: Vec<&str> = reply.split_ascii_whitespace().collect();
+        match tokens.as_slice() {
+            ["ERR", kind, detail @ ..] => Err(ClientError::Server {
+                kind: kind.to_string(),
+                detail: detail.join(" "),
+            }),
+            ["OK", "noop", ..] => Ok(None),
+            ["OK", "step", rest @ ..] => Ok(Some(parse_step(rest)?)),
+            _ => Err(ClientError::Proto(format!("unexpected reply `{reply}`"))),
+        }
+    }
+
+    /// Session statistics.
+    pub fn stat(&mut self, sid: &str) -> Result<StatInfo, ClientError> {
+        let rest = self.roundtrip_ok(&format!("STAT {sid}"), "stat")?;
+        let kv = parse_kv(&to_strs(&rest)).map_err(ClientError::Proto)?;
+        Ok(StatInfo {
+            n: field(&kv, "n")?,
+            m: field(&kv, "m")?,
+            cut: field(&kv, "cut")?,
+            imbalance: field(&kv, "imbalance")?,
+            pending: field(&kv, "pending")?,
+            steps: field(&kv, "steps")?,
+            moved: field(&kv, "moved")?,
+            scratch: field::<u8>(&kv, "scratch")? != 0,
+        })
+    }
+
+    /// The session's full assignment (vertex → partition).
+    pub fn partition(&mut self, sid: &str) -> Result<Vec<PartId>, ClientError> {
+        let rest = self.roundtrip_ok(&format!("PART {sid}"), "part")?;
+        // Layout: sid=<sid> n=<n> <p0> <p1> …
+        let mut iter = rest.iter();
+        let mut n: Option<usize> = None;
+        let mut assign: Vec<PartId> = Vec::new();
+        for tok in iter.by_ref() {
+            if let Some((k, v)) = tok.split_once('=') {
+                if k == "n" {
+                    n = Some(
+                        v.parse()
+                            .map_err(|e| ClientError::Proto(format!("bad n: {e}")))?,
+                    );
+                }
+            } else {
+                assign.push(
+                    tok.parse()
+                        .map_err(|e| ClientError::Proto(format!("bad part id: {e}")))?,
+                );
+            }
+        }
+        let n = n.ok_or_else(|| ClientError::Proto("missing n".into()))?;
+        if assign.len() != n {
+            return Err(ClientError::Proto(format!(
+                "expected {n} part ids, got {}",
+                assign.len()
+            )));
+        }
+        Ok(assign)
+    }
+
+    /// Close (unregister) a session.
+    pub fn close(&mut self, sid: &str) -> Result<(), ClientError> {
+        self.roundtrip_ok(&format!("CLOSE {sid}"), "closed")
+            .map(|_| ())
+    }
+
+    /// List open session ids.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        let rest = self.roundtrip_ok("LIST", "list")?;
+        Ok(rest.into_iter().filter(|t| !t.contains('=')).collect())
+    }
+
+    /// Ask the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        match self.recv()?.as_str() {
+            "OK bye" => Ok(()),
+            other => Err(ClientError::Proto(format!("expected bye, got `{other}`"))),
+        }
+    }
+}
+
+fn to_strs(v: &[String]) -> Vec<&str> {
+    v.iter().map(|s| s.as_str()).collect()
+}
+
+fn field<T: std::str::FromStr>(kv: &[(String, String)], key: &str) -> Result<T, ClientError>
+where
+    T::Err: fmt::Display,
+{
+    let raw = kv_get(kv, key).map_err(ClientError::Proto)?;
+    raw.parse()
+        .map_err(|e| ClientError::Proto(format!("bad {key}: {e}")))
+}
+
+fn parse_step(tokens: &[&str]) -> Result<StepInfo, ClientError> {
+    let kv = parse_kv(tokens).map_err(ClientError::Proto)?;
+    Ok(StepInfo {
+        step: field(&kv, "step")?,
+        coalesced: field(&kv, "coalesced")?,
+        n: field(&kv, "n")?,
+        cut: field(&kv, "cut")?,
+        imbalance: field(&kv, "imbalance")?,
+        moved: field(&kv, "moved")?,
+        stages: field(&kv, "stages")?,
+        balanced: field::<u8>(&kv, "balanced")? != 0,
+        scratch: field::<u8>(&kv, "scratch")? != 0,
+    })
+}

@@ -1,0 +1,109 @@
+//! # igp-service — the serving layer over the incremental partitioner
+//!
+//! Ou & Ranka's use case is a *live* solver loop: the mesh refines, the
+//! partition staleness grows, and repartitioning happens exactly when
+//! "the remapping \[has\] a lower cost relative to the computational cost
+//! of executing the few iterations for which the computational
+//! structure remains fixed". This crate packages that decision as a
+//! multi-tenant daemon on top of [`igp_core::session::IgpSession`]:
+//!
+//! * [`registry::SessionRegistry`] — many independent sessions keyed by
+//!   id behind a sharded lock map; safe from any connection thread;
+//! * delta **coalescing** — each session queues incoming
+//!   [`igp_graph::GraphDelta`]s into an
+//!   [`igp_graph::DeltaCoalescer`], paying one apply + repartition per
+//!   *batch* (the algebra lives in `igp-graph` beside `GraphDelta`);
+//! * [`policy::RepartitionPolicy`] — `every:k`, `dirt:θ`, or the
+//!   paper's cost trigger made explicit
+//!   ([`policy::CostTrigger`], priced with
+//!   [`igp_runtime::CostModel`]);
+//! * [`server`] / [`client`] — a line-delimited text protocol over
+//!   `TcpListener` ([`protocol`] has the grammar; DESIGN.md §8 the
+//!   semantics), a thread-per-connection daemon (`igp-serve`) and a
+//!   scriptable client (`igp-cli`).
+//!
+//! In-process quickstart (the binaries speak the same protocol):
+//!
+//! ```
+//! use igp_service::client::IgpClient;
+//! use igp_service::server::{serve, ServeOptions};
+//! use igp_service::session::{InitPartition, SessionConfig};
+//! use igp_graph::generators;
+//!
+//! let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+//! let mut cli = IgpClient::connect(server.addr()).unwrap();
+//! cli.ping().unwrap();
+//!
+//! let g = generators::grid(8, 8);
+//! let mut cfg = SessionConfig::new(4);
+//! cfg.policy = "every:2".parse().unwrap();
+//! cfg.init = InitPartition::RoundRobin;
+//! let ack = cli.open("doc", &g, &cfg).unwrap();
+//! assert_eq!(ack.n, 64);
+//!
+//! let delta = generators::localized_growth_delta(&g, 0, 5, 1);
+//! cli.delta("doc", &delta).unwrap(); // queued (policy = every:2)
+//! let step = cli.flush("doc").unwrap().expect("one delta pending");
+//! assert_eq!(step.n, 69);
+//! cli.close("doc").unwrap();
+//! cli.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod policy;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientError, DeltaAck, IgpClient, OpenAck, StatInfo, StepInfo};
+pub use policy::{CostTrigger, PolicyView, RepartitionPolicy};
+pub use registry::SessionRegistry;
+pub use server::{serve, ServeOptions, ServerHandle};
+pub use session::{Ingest, InitPartition, ServiceSession, SessionConfig};
+
+use igp_graph::CoalesceError;
+
+/// Service-level failure, reported over the wire as `ERR <kind> <detail>`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// No session with this id.
+    UnknownSession(String),
+    /// `OPEN` with an id already registered.
+    SessionExists(String),
+    /// The delta was rejected at the boundary (typed validation or
+    /// sequence-level coalescing error — never a downstream panic).
+    Delta(CoalesceError),
+    /// The uploaded graph was rejected.
+    Graph(String),
+    /// The session is unusable (e.g. its lock was poisoned by a panic
+    /// in an earlier request); close and re-open it.
+    Internal(String),
+}
+
+impl ServiceError {
+    /// Stable one-token error kind for the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownSession(_) => "unknown-session",
+            ServiceError::SessionExists(_) => "session-exists",
+            ServiceError::Delta(_) => "delta",
+            ServiceError::Graph(_) => "graph",
+            ServiceError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(sid) => write!(f, "no session `{sid}`"),
+            ServiceError::SessionExists(sid) => write!(f, "session `{sid}` already open"),
+            ServiceError::Delta(e) => write!(f, "{e}"),
+            ServiceError::Graph(m) => write!(f, "{m}"),
+            ServiceError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,414 @@
+//! The line-delimited text protocol (DESIGN.md §8.1 has the grammar).
+//!
+//! One UTF-8 line per request, one line per response. The single
+//! exception is `OPEN`, whose request line is followed by the graph in
+//! METIS format terminated by a line reading `END`. Responses begin
+//! with `OK`, `PONG` or `ERR`; fields are `key=value` tokens so both
+//! sides parse with the same helpers.
+//!
+//! ```text
+//! PING
+//! OPEN <sid> parts=<p> [policy=<spec>] [refined=0|1] [workers=<n>]
+//!      [backend=<sim-cm5|shared-mem>] [init=<rsb|rr>]
+//! DELTA <sid> [av=w,…] [rv=v,…] [ae=u:v:w,…] [re=u:v,…]
+//! FLUSH <sid>   STAT <sid>   PART <sid>   CLOSE <sid>   LIST   SHUTDOWN
+//! ```
+
+use crate::policy::RepartitionPolicy;
+use crate::session::{InitPartition, SessionConfig};
+use igp_graph::{GraphDelta, NodeId, Weight};
+
+/// A parsed request line (the `OPEN` graph block is read separately).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Ping,
+    Open { sid: String, cfg: SessionConfig },
+    Delta { sid: String, delta: GraphDelta },
+    Flush { sid: String },
+    Stat { sid: String },
+    Part { sid: String },
+    Close { sid: String },
+    List,
+    Shutdown,
+}
+
+/// Session ids are single tokens: no whitespace, printable, bounded.
+fn check_sid(sid: &str) -> Result<String, String> {
+    if sid.is_empty() || sid.len() > 128 {
+        return Err("session id must be 1..=128 characters".into());
+    }
+    if !sid
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+    {
+        return Err(format!("bad session id `{sid}` (alnum -_.: only)"));
+    }
+    Ok(sid.to_string())
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or("empty request")?;
+    let rest: Vec<&str> = tokens.collect();
+    let one_sid = |what: &str| -> Result<String, String> {
+        match rest.as_slice() {
+            [sid] => check_sid(sid),
+            _ => Err(format!("usage: {what} <sid>")),
+        }
+    };
+    match verb {
+        "PING" => {
+            if rest.is_empty() {
+                Ok(Request::Ping)
+            } else {
+                Err("usage: PING".into())
+            }
+        }
+        "OPEN" => {
+            let (sid, opts) = rest.split_first().ok_or("usage: OPEN <sid> parts=<p> …")?;
+            let sid = check_sid(sid)?;
+            let cfg = parse_open_opts(opts)?;
+            Ok(Request::Open { sid, cfg })
+        }
+        "DELTA" => {
+            let (sid, fields) = rest.split_first().ok_or("usage: DELTA <sid> [av=…] …")?;
+            let sid = check_sid(sid)?;
+            let delta = parse_delta_fields(fields)?;
+            Ok(Request::Delta { sid, delta })
+        }
+        "FLUSH" => Ok(Request::Flush {
+            sid: one_sid("FLUSH")?,
+        }),
+        "STAT" => Ok(Request::Stat {
+            sid: one_sid("STAT")?,
+        }),
+        "PART" => Ok(Request::Part {
+            sid: one_sid("PART")?,
+        }),
+        "CLOSE" => Ok(Request::Close {
+            sid: one_sid("CLOSE")?,
+        }),
+        "LIST" => {
+            if rest.is_empty() {
+                Ok(Request::List)
+            } else {
+                Err("usage: LIST".into())
+            }
+        }
+        "SHUTDOWN" => {
+            if rest.is_empty() {
+                Ok(Request::Shutdown)
+            } else {
+                Err("usage: SHUTDOWN".into())
+            }
+        }
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+/// Parse `OPEN` options (`parts=` is mandatory).
+pub fn parse_open_opts(opts: &[&str]) -> Result<SessionConfig, String> {
+    let mut parts: Option<usize> = None;
+    let mut cfg = SessionConfig::new(1);
+    for opt in opts {
+        let (key, value) = opt
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{opt}`"))?;
+        match key {
+            "parts" => {
+                let p: usize = value.parse().map_err(|e| format!("bad parts: {e}"))?;
+                if p == 0 {
+                    return Err("parts must be ≥ 1".into());
+                }
+                parts = Some(p);
+            }
+            "policy" => {
+                cfg.policy = value.parse::<RepartitionPolicy>()?;
+            }
+            "refined" => {
+                cfg.refined = parse_bool(value).map_err(|e| format!("bad refined: {e}"))?;
+            }
+            "workers" => {
+                let w: usize = value.parse().map_err(|e| format!("bad workers: {e}"))?;
+                if w > crate::session::MAX_WORKERS {
+                    return Err(format!(
+                        "workers={w} exceeds the per-session cap of {}",
+                        crate::session::MAX_WORKERS
+                    ));
+                }
+                cfg.workers = w;
+            }
+            "backend" => {
+                cfg.backend = value
+                    .parse()
+                    .map_err(|_| format!("bad backend `{value}` (sim-cm5|shared-mem)"))?;
+            }
+            "init" => {
+                cfg.init = value.parse::<InitPartition>()?;
+            }
+            other => return Err(format!("unknown OPEN option `{other}`")),
+        }
+    }
+    cfg.parts = parts.ok_or("OPEN requires parts=<p>")?;
+    Ok(cfg)
+}
+
+/// Check that a config survives the wire unchanged: encoding then
+/// parsing must reproduce it exactly. Fails for configs the grammar
+/// cannot express — e.g. a [`crate::policy::CostTrigger`] with custom
+/// [`igp_runtime::CostModel`] constants (the wire always reconstructs
+/// CM-5 constants) — so the daemon-equals-replay contract cannot be
+/// silently broken by a lossy upload.
+pub fn check_wire_representable(cfg: &SessionConfig) -> Result<(), String> {
+    let enc = encode_open_opts(cfg);
+    let tokens: Vec<&str> = enc.split_ascii_whitespace().collect();
+    let back = parse_open_opts(&tokens)?;
+    if back != *cfg {
+        return Err(
+            "session config is not wire-representable (custom CostModel constants?); \
+             the daemon would reconstruct a different config"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
+/// Encode `OPEN` options for a config (inverse of [`parse_open_opts`]).
+pub fn encode_open_opts(cfg: &SessionConfig) -> String {
+    format!(
+        "parts={} policy={} refined={} workers={} backend={} init={}",
+        cfg.parts,
+        cfg.policy,
+        u8::from(cfg.refined),
+        cfg.workers,
+        cfg.backend,
+        cfg.init
+    )
+}
+
+/// Strict protocol boolean: `0|1|true|false` only (shared with
+/// `igp-cli` so flag and wire semantics cannot drift).
+pub fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        other => Err(format!("`{other}` is not a boolean (0|1)")),
+    }
+}
+
+/// Encode a delta as `DELTA` request fields. Empty lists are omitted;
+/// an empty delta encodes to an empty string.
+pub fn encode_delta_fields(d: &GraphDelta) -> String {
+    fn join<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+        items.iter().map(f).collect::<Vec<_>>().join(",")
+    }
+    let mut fields = Vec::new();
+    if !d.add_vertices.is_empty() {
+        fields.push(format!("av={}", join(&d.add_vertices, |w| w.to_string())));
+    }
+    if !d.remove_vertices.is_empty() {
+        fields.push(format!(
+            "rv={}",
+            join(&d.remove_vertices, |v| v.to_string())
+        ));
+    }
+    if !d.add_edges.is_empty() {
+        fields.push(format!(
+            "ae={}",
+            join(&d.add_edges, |&(u, v, w)| format!("{u}:{v}:{w}"))
+        ));
+    }
+    if !d.remove_edges.is_empty() {
+        fields.push(format!(
+            "re={}",
+            join(&d.remove_edges, |&(u, v)| format!("{u}:{v}"))
+        ));
+    }
+    fields.join(" ")
+}
+
+/// Parse `DELTA` request fields (inverse of [`encode_delta_fields`]).
+pub fn parse_delta_fields(fields: &[&str]) -> Result<GraphDelta, String> {
+    let mut d = GraphDelta::default();
+    for field in fields {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{field}`"))?;
+        match key {
+            "av" => {
+                for w in value.split(',') {
+                    d.add_vertices
+                        .push(w.parse::<Weight>().map_err(|e| format!("bad av: {e}"))?);
+                }
+            }
+            "rv" => {
+                for v in value.split(',') {
+                    d.remove_vertices
+                        .push(v.parse::<NodeId>().map_err(|e| format!("bad rv: {e}"))?);
+                }
+            }
+            "ae" => {
+                for e in value.split(',') {
+                    let mut it = e.split(':');
+                    let (u, v, w) = (it.next(), it.next(), it.next());
+                    if it.next().is_some() {
+                        return Err(format!("bad ae entry `{e}`"));
+                    }
+                    match (u, v, w) {
+                        (Some(u), Some(v), Some(w)) => d.add_edges.push((
+                            u.parse().map_err(|e| format!("bad ae: {e}"))?,
+                            v.parse().map_err(|e| format!("bad ae: {e}"))?,
+                            w.parse().map_err(|e| format!("bad ae: {e}"))?,
+                        )),
+                        _ => return Err(format!("bad ae entry `{e}` (want u:v:w)")),
+                    }
+                }
+            }
+            "re" => {
+                for e in value.split(',') {
+                    match e.split_once(':') {
+                        Some((u, v)) if !v.contains(':') => d.remove_edges.push((
+                            u.parse().map_err(|e| format!("bad re: {e}"))?,
+                            v.parse().map_err(|e| format!("bad re: {e}"))?,
+                        )),
+                        _ => return Err(format!("bad re entry `{e}` (want u:v)")),
+                    }
+                }
+            }
+            other => return Err(format!("unknown DELTA field `{other}`")),
+        }
+    }
+    Ok(d)
+}
+
+/// Split a response tail of `key=value` tokens into pairs (shared by
+/// client-side parsers and tests).
+pub fn parse_kv(tokens: &[&str]) -> Result<Vec<(String, String)>, String> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| format!("expected key=value, got `{t}`"))
+        })
+        .collect()
+}
+
+/// Fetch a required field from [`parse_kv`] output.
+pub fn kv_get<'a>(kv: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+    kv.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RepartitionPolicy;
+
+    #[test]
+    fn delta_fields_roundtrip() {
+        let d = GraphDelta {
+            add_vertices: vec![1, 7],
+            remove_vertices: vec![3, 9],
+            add_edges: vec![(0, 20, 2), (20, 21, 1)],
+            remove_edges: vec![(4, 5)],
+        };
+        let enc = encode_delta_fields(&d);
+        let tokens: Vec<&str> = enc.split_ascii_whitespace().collect();
+        assert_eq!(parse_delta_fields(&tokens).unwrap(), d);
+        // Empty delta → empty encoding → empty delta.
+        assert_eq!(encode_delta_fields(&GraphDelta::default()), "");
+        assert_eq!(parse_delta_fields(&[]).unwrap(), GraphDelta::default());
+    }
+
+    #[test]
+    fn open_opts_roundtrip() {
+        let mut cfg = SessionConfig::new(8);
+        cfg.policy = RepartitionPolicy::DirtFraction(0.05);
+        cfg.refined = false;
+        cfg.workers = 3;
+        cfg.backend = igp_runtime::Backend::SharedMem;
+        cfg.init = InitPartition::RoundRobin;
+        let enc = encode_open_opts(&cfg);
+        let tokens: Vec<&str> = enc.split_ascii_whitespace().collect();
+        assert_eq!(parse_open_opts(&tokens).unwrap(), cfg);
+    }
+
+    #[test]
+    fn wire_representability_guard() {
+        use crate::policy::CostTrigger;
+        use igp_runtime::CostModel;
+
+        // Everything the grammar can express passes.
+        let mut cfg = SessionConfig::new(4);
+        cfg.policy = RepartitionPolicy::CostModelDriven(CostTrigger::default());
+        check_wire_representable(&cfg).unwrap();
+        // Custom cost-model constants cannot ride the wire: the daemon
+        // would rebuild CM-5 constants and diverge from replay.
+        cfg.policy = RepartitionPolicy::CostModelDriven(CostTrigger {
+            cost: CostModel {
+                t_work: 1.0,
+                alpha: 0.0,
+                beta: 0.0,
+            },
+            ..CostTrigger::default()
+        });
+        assert!(check_wire_representable(&cfg).is_err());
+    }
+
+    #[test]
+    fn request_lines_parse() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("LIST").unwrap(), Request::List);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        match parse_request("OPEN s1 parts=4 policy=every:2").unwrap() {
+            Request::Open { sid, cfg } => {
+                assert_eq!(sid, "s1");
+                assert_eq!(cfg.parts, 4);
+                assert_eq!(cfg.policy, RepartitionPolicy::EveryK(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request("DELTA s1 av=1 ae=0:16:1").unwrap() {
+            Request::Delta { sid, delta } => {
+                assert_eq!(sid, "s1");
+                assert_eq!(delta.add_vertices, vec![1]);
+                assert_eq!(delta.add_edges, vec![(0, 16, 1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request("FLUSH s1").unwrap(),
+            Request::Flush { sid: "s1".into() }
+        );
+        for bad in [
+            "",
+            "NOPE",
+            "OPEN",
+            "OPEN s1", // missing parts
+            "OPEN s1 parts=0",
+            "OPEN bad id parts=2",              // whitespace id → extra token
+            "OPEN s1 parts=2 workers=10000000", // above MAX_WORKERS
+            "DELTA s1 av=x",
+            "DELTA s1 ae=1:2",
+            "FLUSH",
+            "FLUSH a b",
+            "PING extra",
+            "OPEN s!/ parts=2",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn kv_helpers() {
+        let kv = parse_kv(&["a=1", "b=x"]).unwrap();
+        assert_eq!(kv_get(&kv, "a").unwrap(), "1");
+        assert_eq!(kv_get(&kv, "b").unwrap(), "x");
+        assert!(kv_get(&kv, "c").is_err());
+        assert!(parse_kv(&["noequals"]).is_err());
+    }
+}

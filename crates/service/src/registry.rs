@@ -1,0 +1,165 @@
+//! The multi-tenant session table: many independent sessions keyed by
+//! id, safe for concurrent access from every connection thread.
+//!
+//! Locking is two-level: session ids hash (FNV-1a) onto a fixed set of
+//! shards, each a `Mutex<HashMap<..>>` held only for table operations
+//! (open/lookup/close/list); the session itself sits behind its own
+//! `Arc<Mutex<..>>`, so a long repartition in one session never blocks
+//! traffic to sessions on the same shard — lookups clone the `Arc` and
+//! release the shard immediately.
+
+use crate::session::ServiceSession;
+use crate::ServiceError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered session, shared across connection threads.
+pub type SessionRef = Arc<Mutex<ServiceSession>>;
+
+/// One lock shard of the registry table.
+type Shard = Mutex<HashMap<String, SessionRef>>;
+
+/// A shared, sharded map of open sessions.
+pub struct SessionRegistry {
+    shards: Box<[Shard]>,
+}
+
+impl SessionRegistry {
+    /// A registry with `shards` lock shards (rounded up to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        SessionRegistry {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, sid: &str) -> &Shard {
+        // FNV-1a: deterministic, no per-process hasher seed, good enough
+        // dispersion for short ids.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in sid.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Register a new session under `sid`; fails if the id is taken.
+    pub fn open(&self, sid: &str, session: ServiceSession) -> Result<(), ServiceError> {
+        let mut shard = self.shard(sid).lock().unwrap();
+        if shard.contains_key(sid) {
+            return Err(ServiceError::SessionExists(sid.to_string()));
+        }
+        shard.insert(sid.to_string(), Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
+    /// Look up a session; the shard lock is released before returning,
+    /// so callers lock only the session they need.
+    pub fn get(&self, sid: &str) -> Result<SessionRef, ServiceError> {
+        self.shard(sid)
+            .lock()
+            .unwrap()
+            .get(sid)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownSession(sid.to_string()))
+    }
+
+    /// Remove a session; returns it for final inspection.
+    pub fn close(&self, sid: &str) -> Result<SessionRef, ServiceError> {
+        self.shard(sid)
+            .lock()
+            .unwrap()
+            .remove(sid)
+            .ok_or_else(|| ServiceError::UnknownSession(sid.to_string()))
+    }
+
+    /// All session ids, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True if no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use igp_graph::generators;
+    use std::sync::Arc as StdArc;
+
+    fn session() -> ServiceSession {
+        ServiceSession::open(generators::grid(4, 4), {
+            let mut c = SessionConfig::new(2);
+            c.init = crate::session::InitPartition::RoundRobin;
+            c
+        })
+    }
+
+    #[test]
+    fn open_get_close_lifecycle() {
+        let reg = SessionRegistry::new(4);
+        assert!(reg.is_empty());
+        reg.open("a", session()).unwrap();
+        reg.open("b", session()).unwrap();
+        assert!(matches!(
+            reg.open("a", session()),
+            Err(ServiceError::SessionExists(_))
+        ));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.list(), vec!["a".to_string(), "b".to_string()]);
+        reg.get("a").unwrap();
+        assert!(matches!(
+            reg.get("nope"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        reg.close("a").unwrap();
+        assert!(reg.get("a").is_err());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_from_many_threads() {
+        let reg = StdArc::new(SessionRegistry::new(4));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let sid = format!("s{t}");
+                    reg.open(&sid, session()).unwrap();
+                    for i in 0..5u64 {
+                        let entry = reg.get(&sid).unwrap();
+                        let mut s = entry.lock().unwrap();
+                        let d = generators::localized_growth_delta(s.inner().graph(), 0, 2, i);
+                        s.ingest(&d).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.len(), 8);
+        for sid in reg.list() {
+            let entry = reg.get(&sid).unwrap();
+            let s = entry.lock().unwrap();
+            assert_eq!(s.deltas_received(), 5);
+            assert_eq!(s.inner().graph().num_vertices(), 16 + 10);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The daemon: a thread-per-connection TCP server speaking the line
+//! protocol, one [`SessionRegistry`] shared by every connection.
+//!
+//! Shutdown choreography (crossbeam channel + accept-wake):
+//! a `SHUTDOWN` request (or [`ServerHandle::shutdown`]) sends on the
+//! shutdown channel; a supervisor thread receives, raises the stop
+//! flag and opens a throwaway connection to the listener so the
+//! blocking `accept` observes the flag. Connection threads poll the
+//! flag on a short read timeout, so idle clients cannot hold the
+//! server open; the accept thread joins them all before exiting.
+
+use crate::protocol::{parse_request, Request};
+use crate::registry::SessionRegistry;
+use crate::session::{Ingest, ServiceSession, SessionConfig};
+use crate::ServiceError;
+use crossbeam::channel::{self, Sender};
+use igp_core::session::StepSummary;
+use igp_graph::metrics::CutMetrics;
+use igp_graph::{io as graph_io, CsrGraph};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Registry lock shards.
+    pub shards: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { shards: 16 }
+    }
+}
+
+/// A running daemon; dropping it shuts the daemon down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shutdown_tx: Sender<()>,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server exits (i.e. until some client sends
+    /// `SHUTDOWN` or another thread calls shutdown).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting, drain connections, and join the server threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        // Raise the flag directly too, in case the supervisor already
+        // consumed its one shutdown message.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.shutdown_tx.send(());
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (port 0 picks an ephemeral port) and serve until
+/// shut down.
+pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(SessionRegistry::new(opts.shards));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (shutdown_tx, shutdown_rx) = channel::unbounded::<()>();
+
+    let supervisor = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            // Ok: a shutdown was requested. Err: every sender dropped,
+            // i.e. the server already exited — nothing to do.
+            if shutdown_rx.recv().is_ok() {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop with a throwaway connection. A
+                // wildcard bind address (0.0.0.0 / [::]) is not a valid
+                // connect target on every platform — aim at loopback on
+                // the same port instead.
+                let mut wake = addr;
+                if wake.ip().is_unspecified() {
+                    wake.set_ip(match wake.ip() {
+                        std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                        std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                    });
+                }
+                let _ = TcpStream::connect(wake);
+            }
+        })
+    };
+
+    let accept = {
+        let stop = stop.clone();
+        let tx = shutdown_tx.clone();
+        std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Reap finished connection threads so a long-lived
+                // daemon doesn't accumulate dead JoinHandles.
+                conns.retain(|h| !h.is_finished());
+                let Ok(stream) = stream else { continue };
+                let registry = registry.clone();
+                let stop = stop.clone();
+                let tx = tx.clone();
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, &registry, &stop, &tx);
+                }));
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        shutdown_tx,
+        accept: Some(accept),
+        supervisor: Some(supervisor),
+    })
+}
+
+/// Longest accepted request line. Generous for DELTA payloads, small
+/// enough that a newline-free byte stream cannot balloon the daemon.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Largest accepted `OPEN` graph upload (METIS text).
+const MAX_GRAPH_BYTES: usize = 64 << 20;
+
+/// Read one line, tolerating read timeouts (used to poll `stop`).
+/// Returns `None` on EOF, connection error, server stop, or a line
+/// exceeding [`MAX_LINE_BYTES`] (the connection cannot be resynced
+/// without its newline, so it is dropped).
+fn read_line_polling(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+    buf: &mut String,
+) -> Option<()> {
+    buf.clear();
+    loop {
+        // Bound each read by the line budget left; hitting the budget
+        // without a newline means an oversized line.
+        let remaining = MAX_LINE_BYTES.saturating_sub(buf.len() as u64);
+        if remaining == 0 {
+            return None;
+        }
+        match io::Read::take(io::Read::by_ref(reader), remaining).read_line(buf) {
+            Ok(0) => return None,
+            Ok(_) => {
+                if buf.ends_with('\n') || (buf.len() as u64) < MAX_LINE_BYTES {
+                    return Some(()); // full line (or final unterminated line at EOF)
+                }
+                return None; // budget exhausted mid-line
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial data (if any) stays appended in `buf`; keep
+                // reading unless the server is stopping.
+                if stop.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &SessionRegistry,
+    stop: &AtomicBool,
+    shutdown_tx: &Sender<()>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut out = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while read_line_polling(&mut reader, stop, &mut line).is_some() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match parse_request(trimmed) {
+            Err(e) => {
+                // A malformed OPEN is still followed by the client's
+                // graph block: drain through END so the connection stays
+                // line-synchronized for the next request.
+                if trimmed.split_ascii_whitespace().next() == Some("OPEN")
+                    && read_graph_block(&mut reader, stop).is_none()
+                {
+                    break;
+                }
+                format!("ERR proto {e}")
+            }
+            Ok(Request::Ping) => "PONG".to_string(),
+            Ok(Request::Open { sid, cfg }) => {
+                match read_graph_block(&mut reader, stop) {
+                    None => break, // connection died mid-upload
+                    Some(text) => open_session(registry, &sid, cfg, &text),
+                }
+            }
+            Ok(Request::Delta { sid, delta }) => {
+                with_session(registry, &sid, |s| match s.ingest(&delta) {
+                    Ok(Ingest::Queued { pending }) => {
+                        format!("OK queued sid={sid} pending={pending}")
+                    }
+                    Ok(Ingest::Stepped { summary, coalesced }) => {
+                        step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
+                    }
+                    Err(e) => err_line(&ServiceError::Delta(e)),
+                })
+            }
+            Ok(Request::Flush { sid }) => with_session(registry, &sid, |s| match s.flush() {
+                Some((summary, coalesced)) => {
+                    step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
+                }
+                None => format!("OK noop sid={sid}"),
+            }),
+            Ok(Request::Stat { sid }) => with_session(registry, &sid, |s| {
+                let g = s.inner().graph();
+                let m = CutMetrics::compute(g, s.inner().partitioning());
+                format!(
+                    "OK stat sid={sid} n={} m={} cut={} imbalance={:.6} pending={} \
+                     steps={} moved={} scratch={}",
+                    g.num_vertices(),
+                    g.num_edges(),
+                    m.total_cut_edges,
+                    m.count_imbalance,
+                    s.inner().pending_deltas(),
+                    s.steps(),
+                    s.inner().total_moved(),
+                    u8::from(s.inner().needs_scratch()),
+                )
+            }),
+            Ok(Request::Part { sid }) => with_session(registry, &sid, |s| {
+                let assign = s.assignment();
+                let mut out = format!("OK part sid={sid} n={}", assign.len());
+                for p in assign {
+                    out.push(' ');
+                    out.push_str(&p.to_string());
+                }
+                out
+            }),
+            Ok(Request::Close { sid }) => match registry.close(&sid) {
+                Ok(_) => format!("OK closed sid={sid}"),
+                Err(e) => err_line(&e),
+            },
+            Ok(Request::List) => {
+                let ids = registry.list();
+                let mut out = format!("OK list count={}", ids.len());
+                for id in ids {
+                    out.push(' ');
+                    out.push_str(&id);
+                }
+                out
+            }
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(out, "OK bye");
+                let _ = out.flush();
+                let _ = shutdown_tx.send(());
+                return;
+            }
+        };
+        if writeln!(out, "{reply}").and_then(|_| out.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Read the METIS graph block that follows an `OPEN` line, up to the
+/// `END` terminator.
+fn read_graph_block(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> Option<String> {
+    let mut text = String::new();
+    let mut line = String::new();
+    loop {
+        read_line_polling(reader, stop, &mut line)?;
+        if line.trim() == "END" {
+            return Some(text);
+        }
+        if text.len() + line.len() > MAX_GRAPH_BYTES {
+            return None; // oversized upload: drop the connection
+        }
+        text.push_str(&line);
+    }
+}
+
+fn open_session(
+    registry: &SessionRegistry,
+    sid: &str,
+    cfg: SessionConfig,
+    metis_text: &str,
+) -> String {
+    // Cheap existence check before paying for parsing + RSB; the
+    // post-construction `registry.open` below stays authoritative for
+    // the race where two OPENs on one sid pass this check together.
+    if registry.get(sid).is_ok() {
+        return err_line(&ServiceError::SessionExists(sid.to_string()));
+    }
+    let graph: CsrGraph = match graph_io::read_metis(metis_text) {
+        Ok(g) => g,
+        Err(e) => return err_line(&ServiceError::Graph(e.to_string())),
+    };
+    if graph.num_vertices() < cfg.parts {
+        return err_line(&ServiceError::Graph(format!(
+            "{} vertices cannot fill parts={}",
+            graph.num_vertices(),
+            cfg.parts
+        )));
+    }
+    let parts = cfg.parts;
+    let session = ServiceSession::open(graph, cfg);
+    let g = session.inner().graph();
+    let m = CutMetrics::compute(g, session.inner().partitioning());
+    let (n, num_edges) = (g.num_vertices(), g.num_edges());
+    let reply = format!(
+        "OK open sid={sid} n={n} m={num_edges} parts={parts} cut={} imbalance={:.6}",
+        m.total_cut_edges, m.count_imbalance,
+    );
+    match registry.open(sid, session) {
+        Ok(()) => reply,
+        Err(e) => err_line(&e),
+    }
+}
+
+fn with_session<F: FnOnce(&mut ServiceSession) -> String>(
+    registry: &SessionRegistry,
+    sid: &str,
+    f: F,
+) -> String {
+    match registry.get(sid) {
+        Ok(entry) => match entry.lock() {
+            Ok(mut session) => f(&mut session),
+            // A panic in an earlier request poisoned this session; keep
+            // the daemon and the connection alive and tell the client.
+            Err(_) => err_line(&ServiceError::Internal(format!(
+                "session `{sid}` poisoned by an earlier panic; CLOSE and re-OPEN it"
+            ))),
+        },
+        Err(e) => err_line(&e),
+    }
+}
+
+fn step_line(sid: &str, s: &StepSummary, coalesced: usize, scratch: bool) -> String {
+    format!(
+        "OK step sid={sid} step={} coalesced={coalesced} n={} cut={} imbalance={:.6} \
+         moved={} stages={} balanced={} scratch={}",
+        s.step,
+        s.num_vertices,
+        s.cut,
+        s.imbalance,
+        s.moved,
+        s.stages,
+        u8::from(s.balanced),
+        u8::from(scratch),
+    )
+}
+
+fn err_line(e: &ServiceError) -> String {
+    format!("ERR {} {e}", e.kind())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: shutting down a daemon bound to a wildcard address
+    /// must not hang — the accept-loop wake targets loopback, since a
+    /// connect to 0.0.0.0 is not valid on every platform.
+    #[test]
+    fn shutdown_unblocks_wildcard_bind() {
+        let mut h = serve("0.0.0.0:0", ServeOptions::default()).expect("bind");
+        assert!(h.addr().ip().is_unspecified());
+        h.shutdown(); // joins accept + supervisor; must return promptly
+    }
+}

@@ -1,0 +1,325 @@
+//! One tenant of the daemon: an [`IgpSession`] plus its repartition
+//! policy, fed by the delta queue and flushed when the policy fires.
+
+use crate::policy::{PolicyView, RepartitionPolicy};
+use igp_core::session::{IgpSession, StepSummary};
+use igp_core::IgpConfig;
+use igp_graph::{CoalesceError, CsrGraph, GraphDelta, PartId, Partitioning};
+use igp_runtime::Backend;
+use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+use std::fmt;
+use std::str::FromStr;
+
+/// How a fresh session computes its initial partitioning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InitPartition {
+    /// Recursive spectral bisection (the paper's from-scratch baseline;
+    /// deterministic — fixed Lanczos start-vector seed).
+    #[default]
+    Rsb,
+    /// Round-robin assignment (fast, low quality; useful in tests).
+    RoundRobin,
+}
+
+impl fmt::Display for InitPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InitPartition::Rsb => "rsb",
+            InitPartition::RoundRobin => "rr",
+        })
+    }
+}
+
+impl FromStr for InitPartition {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "rsb" => Ok(InitPartition::Rsb),
+            "rr" => Ok(InitPartition::RoundRobin),
+            other => Err(format!("unknown init `{other}` (rsb|rr)")),
+        }
+    }
+}
+
+/// Upper bound on per-session SPMD workers: each repartition spawns
+/// this many OS threads, so the wire must not be able to request an
+/// arbitrary count ([`crate::protocol`] rejects larger values, and
+/// [`ServiceSession::open`] asserts it for in-process callers).
+pub const MAX_WORKERS: usize = 64;
+
+/// Per-session configuration carried by the `OPEN` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionConfig {
+    /// Partition count `P`.
+    pub parts: usize,
+    /// IGPR (LP refinement) vs plain IGP.
+    pub refined: bool,
+    /// SPMD workers for the parallel driver; `0` = sequential driver,
+    /// at most [`MAX_WORKERS`].
+    pub workers: usize,
+    /// Execution substrate for the parallel driver (ignored when
+    /// `workers == 0`).
+    pub backend: Backend,
+    /// Repartition trigger.
+    pub policy: RepartitionPolicy,
+    /// Initial partitioning method.
+    pub init: InitPartition,
+}
+
+impl SessionConfig {
+    /// Defaults for `P` partitions: sequential IGPR, flush every delta.
+    pub fn new(parts: usize) -> Self {
+        SessionConfig {
+            parts,
+            refined: true,
+            workers: 0,
+            backend: Backend::SimCm5,
+            policy: RepartitionPolicy::default(),
+            init: InitPartition::default(),
+        }
+    }
+}
+
+/// Result of feeding one delta to a session.
+#[derive(Clone, Debug)]
+pub enum Ingest {
+    /// The policy held back: the delta joined the pending batch.
+    Queued {
+        /// Deltas now pending.
+        pending: usize,
+    },
+    /// The policy fired: the pending batch (this delta included) was
+    /// coalesced and applied as one repartition step.
+    Stepped {
+        /// The step's summary.
+        summary: StepSummary,
+        /// How many queued deltas the step coalesced.
+        coalesced: usize,
+    },
+}
+
+/// A registered session: the solver-loop state machine the daemon
+/// drives over the wire. Also the single-threaded **replay vehicle**:
+/// feeding the same graph, config and delta stream through
+/// [`ServiceSession::ingest`] reproduces the daemon's partitions
+/// bit-for-bit (asserted by `tests/service_e2e.rs`).
+pub struct ServiceSession {
+    session: IgpSession,
+    cfg: SessionConfig,
+    deltas_received: usize,
+    /// Total vertex weight of the current (flushed) graph, cached so
+    /// per-delta policy evaluation avoids an O(n) rescan.
+    total_weight: u64,
+}
+
+impl ServiceSession {
+    /// Open a session on `graph` (computes the initial partitioning).
+    pub fn open(graph: CsrGraph, cfg: SessionConfig) -> Self {
+        assert!(cfg.parts >= 1, "need at least one partition");
+        assert!(
+            cfg.workers <= MAX_WORKERS,
+            "workers={} exceeds MAX_WORKERS={MAX_WORKERS}",
+            cfg.workers
+        );
+        let part = match cfg.init {
+            InitPartition::Rsb => {
+                recursive_spectral_bisection(&graph, cfg.parts, RsbOptions::default())
+            }
+            InitPartition::RoundRobin => Partitioning::round_robin(&graph, cfg.parts),
+        };
+        let igp_cfg = IgpConfig::new(cfg.parts).with_backend(cfg.backend);
+        let total_weight = graph.total_vertex_weight();
+        let session = if cfg.workers == 0 {
+            IgpSession::new(graph, part, igp_cfg, cfg.refined)
+        } else {
+            IgpSession::new_parallel(graph, part, igp_cfg, cfg.refined, cfg.workers)
+        };
+        ServiceSession {
+            session,
+            cfg,
+            deltas_received: 0,
+            total_weight,
+        }
+    }
+
+    /// Queue one delta; flush if the policy fires. The delta addresses
+    /// the session's *virtual* current graph (current graph + already
+    /// queued deltas), exactly as a client streaming edits sees it.
+    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<Ingest, CoalesceError> {
+        let pending = self.session.queue_delta(delta)?;
+        self.deltas_received += 1;
+        if self.cfg.policy.should_flush(&self.policy_view()) {
+            let coalesced = pending;
+            match self.session.flush() {
+                Some(summary) => {
+                    self.total_weight = self.session.graph().total_vertex_weight();
+                    Ok(Ingest::Stepped { summary, coalesced })
+                }
+                // The batch cancelled out to a no-op: nothing pending
+                // any more, no step recorded.
+                None => Ok(Ingest::Queued { pending: 0 }),
+            }
+        } else {
+            Ok(Ingest::Queued { pending })
+        }
+    }
+
+    /// Force a repartition of whatever is pending (the protocol's
+    /// `FLUSH`). Returns `(summary, coalesced)` or `None` if there was
+    /// nothing to do.
+    pub fn flush(&mut self) -> Option<(StepSummary, usize)> {
+        let coalesced = self.session.pending_deltas();
+        let stepped = self.session.flush().map(|s| (s, coalesced));
+        if stepped.is_some() {
+            self.total_weight = self.session.graph().total_vertex_weight();
+        }
+        stepped
+    }
+
+    fn policy_view(&self) -> PolicyView {
+        PolicyView {
+            n_current: self.session.graph().num_vertices(),
+            // Cached: the graph only changes at flush, so per-delta
+            // ingest stays O(|edit|), not O(n).
+            total_weight: self.total_weight,
+            parts: self.cfg.parts,
+            dirt: self.session.pending().map(|c| c.dirt()).unwrap_or_default(),
+        }
+    }
+
+    /// The configuration the session was opened with.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The underlying solver-loop session.
+    pub fn inner(&self) -> &IgpSession {
+        &self.session
+    }
+
+    /// Current assignment (vertex → partition), in current-graph id
+    /// order.
+    pub fn assignment(&self) -> &[PartId] {
+        self.session.partitioning().assignment()
+    }
+
+    /// Deltas received over the session's lifetime.
+    pub fn deltas_received(&self) -> usize {
+        self.deltas_received
+    }
+
+    /// Repartition steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.session.history().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RepartitionPolicy;
+    use igp_graph::generators;
+
+    fn growth(g: &CsrGraph, seed: u64) -> GraphDelta {
+        generators::localized_growth_delta(g, 0, 4, seed)
+    }
+
+    #[test]
+    fn every_k_policy_batches_k_deltas_per_step() {
+        let g = generators::grid(8, 8);
+        let mut cfg = SessionConfig::new(4);
+        cfg.policy = RepartitionPolicy::EveryK(3);
+        cfg.init = InitPartition::RoundRobin;
+        let mut s = ServiceSession::open(g.clone(), cfg);
+        // Mirror the virtual graph like a client would.
+        let mut mirror = g;
+        let mut steps = 0;
+        for i in 0..6u64 {
+            let d = growth(&mirror, i);
+            mirror = d.apply(&mirror).new_graph().clone();
+            match s.ingest(&d).unwrap() {
+                Ingest::Queued { pending } => assert!(pending < 3),
+                Ingest::Stepped { coalesced, .. } => {
+                    assert_eq!(coalesced, 3);
+                    steps += 1;
+                }
+            }
+        }
+        assert_eq!(steps, 2);
+        assert_eq!(s.steps(), 2);
+        assert_eq!(s.deltas_received(), 6);
+        assert_eq!(s.inner().graph(), &mirror);
+        // Forced flush with nothing pending is a no-op.
+        assert!(s.flush().is_none());
+    }
+
+    #[test]
+    fn forced_flush_applies_partial_batch() {
+        let g = generators::grid(6, 6);
+        let mut cfg = SessionConfig::new(2);
+        cfg.policy = RepartitionPolicy::EveryK(10);
+        cfg.init = InitPartition::RoundRobin;
+        let mut s = ServiceSession::open(g.clone(), cfg);
+        let d = growth(&g, 0);
+        assert!(matches!(
+            s.ingest(&d).unwrap(),
+            Ingest::Queued { pending: 1 }
+        ));
+        let (summary, coalesced) = s.flush().expect("pending batch");
+        assert_eq!(coalesced, 1);
+        assert_eq!(summary.num_vertices, 40);
+        s.inner()
+            .partitioning()
+            .validate(s.inner().graph())
+            .unwrap();
+    }
+
+    #[test]
+    fn boundary_rejects_malformed_delta_without_state_damage() {
+        let g = generators::grid(4, 4);
+        let mut s = ServiceSession::open(g, SessionConfig::new(2));
+        let bad = GraphDelta {
+            remove_vertices: vec![999],
+            ..Default::default()
+        };
+        assert!(s.ingest(&bad).is_err());
+        assert_eq!(s.deltas_received(), 0);
+        // Session still serves valid traffic.
+        let d = growth(s.inner().graph(), 1);
+        assert!(matches!(s.ingest(&d).unwrap(), Ingest::Stepped { .. }));
+    }
+
+    /// Regression: a delta that names a non-existent base edge (or
+    /// re-adds an existing one) is rejected at ingest with a typed
+    /// error — it must never reach the flush and panic there.
+    #[test]
+    fn base_edge_lies_rejected_at_ingest_not_flush() {
+        let g = generators::grid(4, 4);
+        let mut s = ServiceSession::open(g, SessionConfig::new(2));
+        // {0,5} does not exist in a 4x4 grid (0's neighbours: 1 and 4).
+        let missing = GraphDelta {
+            remove_edges: vec![(0, 5)],
+            ..Default::default()
+        };
+        assert!(s.ingest(&missing).is_err());
+        // {0,1} already exists.
+        let duplicate = GraphDelta {
+            add_edges: vec![(0, 1, 1)],
+            ..Default::default()
+        };
+        assert!(s.ingest(&duplicate).is_err());
+        // Nothing was queued; the session still steps on valid input.
+        assert_eq!(s.inner().pending_deltas(), 0);
+        let d = generators::localized_growth_delta(s.inner().graph(), 0, 3, 1);
+        assert!(matches!(s.ingest(&d).unwrap(), Ingest::Stepped { .. }));
+    }
+
+    #[test]
+    fn rsb_init_is_deterministic() {
+        let g = generators::grid(8, 8);
+        let a = ServiceSession::open(g.clone(), SessionConfig::new(4));
+        let b = ServiceSession::open(g, SessionConfig::new(4));
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

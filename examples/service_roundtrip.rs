@@ -1,0 +1,72 @@
+//! The serving layer end to end, in one process: boot the daemon on an
+//! ephemeral port, drive two tenants over real TCP — one flushing every
+//! delta (the paper's loop), one under the cost-model trigger — and
+//! show what policy-driven batching changes.
+//!
+//! ```sh
+//! cargo run --release --example service_roundtrip
+//! ```
+
+use igp::graph::generators;
+use igp::service::client::{DeltaAck, IgpClient};
+use igp::service::server::{serve, ServeOptions};
+use igp::service::session::SessionConfig;
+
+fn main() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    println!("daemon on {}", server.addr());
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+    cli.ping().expect("ping");
+
+    let base = generators::grid(10, 10);
+    for (sid, policy) in [("eager", "every:1"), ("lazy", "cost")] {
+        let mut cfg = SessionConfig::new(4);
+        cfg.policy = policy.parse().unwrap();
+        let ack = cli.open(sid, &base, &cfg).expect("open");
+        println!(
+            "\n[{sid}] policy={policy}: opened n={} m={} cut={} imbalance={:.3}",
+            ack.n, ack.m, ack.cut, ack.imbalance
+        );
+
+        // Stream 15 growth deltas, mirroring the evolving graph
+        // client-side (queued deltas address the *virtual* graph).
+        let mut mirror = base.clone();
+        let mut repartitions = 0;
+        for k in 0..15u64 {
+            let d = generators::localized_growth_delta(&mirror, 0, 4, k);
+            mirror = d.apply(&mirror).new_graph().clone();
+            match cli.delta(sid, &d).expect("delta") {
+                DeltaAck::Queued { pending } => {
+                    println!("[{sid}] delta {k}: queued ({pending} pending)")
+                }
+                DeltaAck::Stepped(s) => {
+                    repartitions += 1;
+                    println!(
+                        "[{sid}] delta {k}: REPARTITION #{} coalesced={} n={} cut={} \
+                         imbalance={:.3} moved={}",
+                        s.step, s.coalesced, s.n, s.cut, s.imbalance, s.moved
+                    );
+                }
+            }
+        }
+        if let Some(s) = cli.flush(sid).expect("flush") {
+            repartitions += 1;
+            println!(
+                "[{sid}] final flush: coalesced={} n={} cut={} moved={}",
+                s.coalesced, s.n, s.cut, s.moved
+            );
+        }
+        let stat = cli.stat(sid).expect("stat");
+        assert_eq!(stat.n, mirror.num_vertices());
+        println!(
+            "[{sid}] 15 deltas → {repartitions} repartitions; final n={} cut={} \
+             imbalance={:.3} total-moved={}",
+            stat.n, stat.cut, stat.imbalance, stat.moved
+        );
+        cli.close(sid).expect("close");
+    }
+
+    cli.shutdown().expect("shutdown");
+    server.wait();
+    println!("\ndaemon shut down cleanly");
+}

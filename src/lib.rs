@@ -11,6 +11,9 @@
 //! * [`runtime`] — the `Executor` SPMD abstraction with two backends:
 //!   the simulated-CM-5 machine and the shared-memory machine
 //!   (`igp-runtime`).
+//! * [`service`] — the serving layer: multi-tenant session registry,
+//!   delta coalescing, policy-driven repartition triggers, and the
+//!   `igp-serve`/`igp-cli` TCP daemon pair (`igp-service`).
 //! * `core` — the four-phase incremental partitioner, sequential and
 //!   parallel over either backend (`igp-core`), re-exported at the top
 //!   level.
@@ -47,5 +50,8 @@ pub use igp_lp as lp;
 pub use igp_mesh as mesh;
 /// SPMD runtime (`igp-runtime`).
 pub use igp_runtime as runtime;
+/// Partitioning daemon: session registry, delta coalescing, repartition
+/// policies, TCP protocol (`igp-service`).
+pub use igp_service as service;
 /// Spectral bisection baseline (`igp-spectral`).
 pub use igp_spectral as spectral;

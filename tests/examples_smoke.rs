@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "parallel_speedup",
     "partition_viz",
     "quickstart",
+    "service_roundtrip",
     "severe_imbalance",
 ];
 

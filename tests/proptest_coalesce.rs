@@ -1,0 +1,156 @@
+//! Coalescing-equivalence property suite: folding a queue of deltas
+//! with `DeltaCoalescer` is indistinguishable from applying the queue
+//! delta by delta — same [`CsrGraph`] *and* the same composed
+//! vertex-identity map. Failure seeds persist to `tests/regressions/`.
+
+mod common;
+
+use igp::graph::coalesce::{coalesce, DeltaCoalescer};
+use igp::graph::{generators, CsrGraph, GraphDelta, IncrementalGraph, NodeId, INVALID_NODE};
+use proptest::prelude::*;
+
+/// A random churn history: base graph plus `k` deltas, each generated
+/// against (and valid for) the graph its predecessors produce.
+fn churn_history(n: usize, extra: usize, k: usize, seed: u64) -> (CsrGraph, Vec<GraphDelta>) {
+    let base = common::random_connected_graph(n, extra, seed);
+    let mut deltas = Vec::with_capacity(k);
+    let mut g = base.clone();
+    for i in 0..k {
+        let adds = 1 + (seed.wrapping_add(i as u64) % 4) as usize;
+        let removes = (seed.wrapping_mul(31).wrapping_add(i as u64) % 3) as usize;
+        let d = generators::random_churn_delta(&g, adds, removes, seed ^ (i as u64) << 17);
+        g = d.apply(&g).new_graph().clone();
+        deltas.push(d);
+    }
+    (base, deltas)
+}
+
+/// Apply deltas one by one, returning every per-step increment.
+fn sequential_incs(base: &CsrGraph, deltas: &[GraphDelta]) -> Vec<IncrementalGraph> {
+    let mut incs = Vec::with_capacity(deltas.len());
+    let mut g = base.clone();
+    for d in deltas {
+        let inc = d.apply(&g);
+        g = inc.new_graph().clone();
+        incs.push(inc);
+    }
+    incs
+}
+
+/// Compose the per-step identity maps: the base id of final vertex `v`,
+/// or `INVALID_NODE` if any step introduced it.
+fn composed_base_of(incs: &[IncrementalGraph], v: NodeId) -> NodeId {
+    let mut id = v;
+    for inc in incs.iter().rev() {
+        id = inc.old_of_new(id);
+        if id == INVALID_NODE {
+            return INVALID_NODE;
+        }
+    }
+    id
+}
+
+proptest! {
+    #![proptest_config(common::tier1_config(96))]
+
+    /// The headline equivalence: coalesced apply ≡ sequential fold,
+    /// for the graph and for the full identity map.
+    #[test]
+    fn coalesce_equals_sequential_application(
+        n in 6usize..36,
+        extra in 0usize..24,
+        k in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let (base, deltas) = churn_history(n, extra, k, seed);
+        let incs = sequential_incs(&base, &deltas);
+        let final_seq = incs.last().unwrap().new_graph();
+
+        let net = coalesce(base.num_vertices(), &deltas).unwrap();
+        prop_assert_eq!(net.validate(base.num_vertices()), Ok(()));
+        let inc_net = net.apply(&base);
+
+        // Identical graphs (structure, vertex weights, edge weights).
+        prop_assert_eq!(inc_net.new_graph(), final_seq);
+        // Identical composed identity maps, both directions.
+        for v in inc_net.new_graph().vertices() {
+            prop_assert_eq!(
+                inc_net.old_of_new(v),
+                composed_base_of(&incs, v),
+                "map mismatch at final vertex {}", v
+            );
+        }
+    }
+
+    /// The canonical form is a fixed point: coalescing the net delta
+    /// alone reproduces it exactly.
+    #[test]
+    fn net_delta_is_canonical_fixed_point(
+        n in 6usize..30,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (base, deltas) = churn_history(n, n / 2, k, seed);
+        let net = coalesce(base.num_vertices(), &deltas).unwrap();
+        let again = coalesce(base.num_vertices(), std::slice::from_ref(&net)).unwrap();
+        prop_assert_eq!(again, net);
+    }
+
+    /// Incremental pushes and one-shot coalescing agree, and the
+    /// virtual vertex count tracks the sequential fold.
+    #[test]
+    fn incremental_pushes_match_one_shot(
+        n in 6usize..30,
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (base, deltas) = churn_history(n, n / 3, k, seed);
+        let mut co = DeltaCoalescer::new(base.num_vertices());
+        let mut g = base.clone();
+        for d in &deltas {
+            co.push(d).unwrap();
+            g = d.apply(&g).new_graph().clone();
+            prop_assert_eq!(co.n_current(), g.num_vertices());
+        }
+        prop_assert_eq!(co.len(), deltas.len());
+        prop_assert_eq!(co.net(), coalesce(base.num_vertices(), &deltas).unwrap());
+        // Dirt statistics agree with the net delta they summarize.
+        let (net, dirt) = (co.net(), co.dirt());
+        prop_assert_eq!(dirt.added_vertices, net.add_vertices.len());
+        prop_assert_eq!(dirt.removed_vertices, net.remove_vertices.len());
+        prop_assert_eq!(dirt.added_edges, net.add_edges.len());
+        prop_assert_eq!(dirt.removed_edges, net.remove_edges.len());
+        prop_assert_eq!(
+            dirt.added_weight,
+            net.add_vertices.iter().sum::<u64>()
+        );
+    }
+
+    /// Every churn delta passes boundary validation against the graph
+    /// it targets, and validation rejects its obvious corruptions.
+    #[test]
+    fn churn_deltas_validate_and_corruptions_fail(
+        n in 6usize..30,
+        seed in any::<u64>(),
+    ) {
+        let base = common::random_connected_graph(n, n / 2, seed);
+        let d = generators::random_churn_delta(&base, 3, 2, seed);
+        prop_assert_eq!(d.validate(n), Ok(()));
+        // Out-of-range edge endpoint.
+        let mut bad = d.clone();
+        bad.add_edges.push((0, (n + bad.add_vertices.len()) as NodeId + 5, 1));
+        prop_assert!(bad.validate(n).is_err());
+        // Duplicate add.
+        if let Some(&e) = d.add_edges.first() {
+            let mut bad = d.clone();
+            bad.add_edges.push(e);
+            prop_assert!(bad.validate(n).is_err());
+        }
+        // Unsorted removals.
+        if d.remove_vertices.len() >= 2 {
+            let mut bad = d.clone();
+            bad.remove_vertices.reverse();
+            prop_assert!(bad.validate(n).is_err());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end acceptance for the serving layer: the daemon serves
+//! concurrent sessions over real TCP, each streaming deltas under a
+//! cost-model-driven repartition policy, and every session's final
+//! partition is **bit-identical** to a single-threaded replay of the
+//! same delta stream through the session machinery.
+
+mod common;
+
+use igp::graph::{generators, CsrGraph, GraphDelta, PartId};
+use igp::runtime::Backend;
+use igp::service::client::{DeltaAck, IgpClient};
+use igp::service::server::{serve, ServeOptions};
+use igp::service::session::{Ingest, InitPartition, ServiceSession, SessionConfig};
+use igp::service::RepartitionPolicy;
+
+const SESSIONS: usize = 5;
+const DELTAS: usize = 22;
+
+/// Per-session scenario: base graph + config, deterministic per index.
+fn scenario(i: usize) -> (CsrGraph, SessionConfig) {
+    let base = match i % 3 {
+        0 => generators::grid(9, 9),
+        1 => generators::grid(8, 10),
+        _ => common::random_connected_graph(70 + 10 * (i % 2), 90, 7 + i as u64),
+    };
+    let mut cfg = SessionConfig::new(4);
+    cfg.policy = "cost".parse::<RepartitionPolicy>().unwrap();
+    cfg.init = if i.is_multiple_of(2) {
+        InitPartition::Rsb
+    } else {
+        InitPartition::RoundRobin
+    };
+    // One session exercises the SPMD parallel driver over the wire.
+    if i == 2 {
+        cfg.workers = 3;
+        cfg.backend = Backend::SimCm5;
+    }
+    // One uses plain IGP instead of IGPR.
+    cfg.refined = i != 3;
+    (base, cfg)
+}
+
+/// The delta stream for one session, generated against the evolving
+/// mirror exactly as the daemon's coalescer will see it.
+fn delta_stream(base: &CsrGraph, i: usize) -> Vec<GraphDelta> {
+    let mut mirror = base.clone();
+    let mut deltas = Vec::with_capacity(DELTAS);
+    for k in 0..DELTAS {
+        let seed = (i as u64) << 40 | k as u64;
+        let d = if k % 3 == 2 {
+            generators::random_churn_delta(&mirror, 3, 2, seed)
+        } else {
+            generators::localized_growth_delta(&mirror, (k % 5) as u32, 3, seed)
+        };
+        mirror = d.apply(&mirror).new_graph().clone();
+        deltas.push(d);
+    }
+    deltas
+}
+
+/// Single-threaded ground truth: the same graph, config and stream
+/// through `ServiceSession` directly (no sockets, no threads).
+fn replay(base: CsrGraph, cfg: SessionConfig, deltas: &[GraphDelta]) -> (Vec<PartId>, usize) {
+    let mut s = ServiceSession::open(base, cfg);
+    let mut steps = 0;
+    for d in deltas {
+        if let Ingest::Stepped { .. } = s.ingest(d).expect("replay ingest") {
+            steps += 1;
+        }
+    }
+    if s.flush().is_some() {
+        steps += 1;
+    }
+    (s.assignment().to_vec(), steps)
+}
+
+#[test]
+fn concurrent_sessions_match_single_threaded_replay() {
+    let server = serve("127.0.0.1:0", ServeOptions { shards: 4 }).expect("bind");
+    let addr = server.addr();
+
+    // Drive SESSIONS concurrent clients, each with its own connection
+    // and tenant session.
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let (base, cfg) = scenario(i);
+                let deltas = delta_stream(&base, i);
+                let sid = format!("e2e-{i}");
+                let mut cli = IgpClient::connect(addr).expect("connect");
+                let ack = cli.open(&sid, &base, &cfg).expect("open");
+                assert_eq!(ack.n, base.num_vertices());
+                assert_eq!(ack.m, base.num_edges());
+                let mut wire_steps = 0;
+                let mut batched = false;
+                for d in &deltas {
+                    match cli.delta(&sid, d).expect("delta") {
+                        DeltaAck::Queued { .. } => batched = true,
+                        DeltaAck::Stepped(s) => {
+                            wire_steps += 1;
+                            assert!(s.coalesced >= 1);
+                            if s.coalesced > 1 {
+                                batched = true;
+                            }
+                        }
+                    }
+                }
+                if cli.flush(&sid).expect("flush").is_some() {
+                    wire_steps += 1;
+                }
+                let stat = cli.stat(&sid).expect("stat");
+                assert_eq!(stat.pending, 0);
+                assert_eq!(stat.steps, wire_steps);
+                let assignment = cli.partition(&sid).expect("partition");
+                assert_eq!(assignment.len(), stat.n);
+                cli.close(&sid).expect("close");
+                // The cost policy must actually have batched something
+                // (otherwise this test degenerates to every:1).
+                assert!(batched, "session {i}: cost policy never coalesced");
+                (i, base, cfg, deltas, assignment, wire_steps)
+            })
+        })
+        .collect();
+
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // After every close the registry is empty again.
+    let mut cli = IgpClient::connect(addr).expect("connect");
+    assert_eq!(cli.list().expect("list"), Vec::<String>::new());
+    cli.shutdown().expect("shutdown");
+    server.wait();
+
+    // Bit-identical replay, session by session, single-threaded.
+    for (i, base, cfg, deltas, wire_assignment, wire_steps) in results {
+        let (replay_assignment, replay_steps) = replay(base, cfg, &deltas);
+        assert_eq!(replay_steps, wire_steps, "session {i}: step count differs");
+        assert_eq!(
+            replay_assignment, wire_assignment,
+            "session {i}: partition differs from single-threaded replay"
+        );
+    }
+}
+
+/// A malformed `OPEN` line must not desynchronize the connection: the
+/// server drains the graph block through its `END` terminator, so the
+/// next request on the same connection gets its own reply (regression
+/// for the graph block being reinterpreted as request lines).
+#[test]
+fn malformed_open_drains_graph_block() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // sid contains `/` → parse error; the METIS block follows anyway,
+    // exactly as a non-validating client would send it.
+    let g = generators::grid(4, 4);
+    let mut block = String::from("OPEN bad/sid parts=2\n");
+    block.push_str(&igp::graph::io::write_metis(&g));
+    block.push_str("END\nPING\n");
+    stream.write_all(block.as_bytes()).expect("write");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR proto"), "got `{line}`");
+    // The very next reply must answer the PING — not leftover graph
+    // lines echoed back as unknown verbs.
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim(), "PONG");
+    drop(stream);
+
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
+/// Protocol-level error paths stay typed end to end: malformed deltas
+/// are rejected at the boundary without killing the session or the
+/// connection.
+#[test]
+fn boundary_errors_are_reported_not_fatal() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+
+    let base = generators::grid(6, 6);
+    let mut cfg = SessionConfig::new(2);
+    cfg.init = InitPartition::RoundRobin;
+    cli.open("s", &base, &cfg).expect("open");
+
+    // Unknown session.
+    let err = cli.stat("ghost").unwrap_err();
+    assert!(matches!(
+        err,
+        igp::service::ClientError::Server { ref kind, .. } if kind == "unknown-session"
+    ));
+    // Duplicate open.
+    let err = cli.open("s", &base, &cfg).unwrap_err();
+    assert!(matches!(
+        err,
+        igp::service::ClientError::Server { ref kind, .. } if kind == "session-exists"
+    ));
+    // Malformed delta (vertex out of range) → typed boundary rejection.
+    let bad = GraphDelta {
+        remove_vertices: vec![9999],
+        ..Default::default()
+    };
+    let err = cli.delta("s", &bad).unwrap_err();
+    assert!(matches!(
+        err,
+        igp::service::ClientError::Server { ref kind, .. } if kind == "delta"
+    ));
+    // A structurally fine delta lying about base-edge existence (edge
+    // {0,5} is not in a 6-wide grid row) — regression: this used to
+    // pass the boundary and panic at flush, poisoning the session.
+    let lying = GraphDelta {
+        remove_edges: vec![(0, 5)],
+        ..Default::default()
+    };
+    let err = cli.delta("s", &lying).unwrap_err();
+    assert!(matches!(
+        err,
+        igp::service::ClientError::Server { ref kind, .. } if kind == "delta"
+    ));
+    // The session still works afterwards.
+    let d = generators::localized_growth_delta(&base, 0, 3, 1);
+    assert!(matches!(
+        cli.delta("s", &d).expect("valid delta after rejected one"),
+        DeltaAck::Stepped(_)
+    ));
+    cli.close("s").expect("close");
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
