@@ -14,7 +14,7 @@ use crate::parallel::ParallelPartitioner;
 use crate::partitioner::IncrementalPartitioner;
 use igp_graph::coalesce::{CoalesceError, DeltaCoalescer};
 use igp_graph::metrics::CutMetrics;
-use igp_graph::{CsrGraph, GraphDelta, IncrementalGraph, Partitioning};
+use igp_graph::{CsrGraph, GraphDelta, IncrementalGraph, NodeId, Partitioning, INVALID_NODE};
 use igp_runtime::CostModel;
 
 // The serving layer hands sessions across threads (one registry shard
@@ -110,6 +110,37 @@ pub struct IgpSession {
     /// Deltas queued via [`IgpSession::queue_delta`], folded but not yet
     /// applied; `None` when nothing is pending.
     pending: Option<DeltaCoalescer>,
+    /// Birth-graph id of each current vertex ([`INVALID_NODE`] for
+    /// vertices added after the session started): the per-step
+    /// [`IncrementalGraph`] identity maps composed over the whole
+    /// session. Durability snapshots persist it, and the recovery
+    /// property suite asserts it bit-identical across crash + replay.
+    base_of_current: Vec<NodeId>,
+    /// Steps taken before this process held the session (non-zero only
+    /// after [`IgpSession::rehydrate`]); [`IgpSession::steps`] and step
+    /// indices in summaries continue across restarts.
+    prior_steps: usize,
+    /// Vertices moved by steps that predate this process.
+    prior_moved: u64,
+}
+
+/// Persisted session state consumed by [`IgpSession::rehydrate`]: what
+/// a durability snapshot stores beyond the graph + partitioning pair.
+#[derive(Clone, Debug)]
+pub struct SessionSeed {
+    /// The graph at snapshot time.
+    pub graph: CsrGraph,
+    /// The partitioning at snapshot time.
+    pub part: Partitioning,
+    /// Birth-graph id per current vertex (see
+    /// [`IgpSession::base_of_current`]).
+    pub base_of_current: Vec<NodeId>,
+    /// Steps the session had taken when the snapshot was written.
+    pub steps: usize,
+    /// Total vertices moved by those steps.
+    pub total_moved: u64,
+    /// The from-scratch flag at snapshot time.
+    pub needs_scratch: bool,
 }
 
 impl IgpSession {
@@ -123,6 +154,7 @@ impl IgpSession {
         } else {
             IncrementalPartitioner::igp(cfg)
         };
+        let base = (0..graph.num_vertices() as NodeId).collect();
         IgpSession {
             graph,
             part,
@@ -130,6 +162,9 @@ impl IgpSession {
             history: Vec::new(),
             needs_scratch: false,
             pending: None,
+            base_of_current: base,
+            prior_steps: 0,
+            prior_moved: 0,
         }
     }
 
@@ -147,6 +182,7 @@ impl IgpSession {
         assert_eq!(graph.num_vertices(), part.num_vertices());
         assert_eq!(part.num_parts(), cfg.num_parts);
         let partitioner = ParallelPartitioner::new(cfg, workers, refined, CostModel::cm5());
+        let base = (0..graph.num_vertices() as NodeId).collect();
         IgpSession {
             graph,
             part,
@@ -154,6 +190,71 @@ impl IgpSession {
             history: Vec::new(),
             needs_scratch: false,
             pending: None,
+            base_of_current: base,
+            prior_steps: 0,
+            prior_moved: 0,
+        }
+    }
+
+    /// Resume a session from persisted state (crash recovery): the
+    /// graph, partitioning, composed identity map and counters come
+    /// from a durability snapshot instead of a fresh start. `workers ==
+    /// 0` selects the sequential driver, otherwise the SPMD driver on
+    /// `cfg.backend` — the same rule the serving layer applies at open.
+    ///
+    /// The rehydrated session is observationally identical to the
+    /// never-crashed one: step indices, [`IgpSession::steps`],
+    /// [`IgpSession::total_moved`] and the from-scratch flag all
+    /// continue where the snapshot left off, and subsequent
+    /// repartitions are bit-identical because every driver is
+    /// deterministic in (graph, partitioning, config).
+    pub fn rehydrate(seed: SessionSeed, cfg: IgpConfig, refined: bool, workers: usize) -> Self {
+        assert_eq!(seed.graph.num_vertices(), seed.part.num_vertices());
+        assert_eq!(seed.part.num_parts(), cfg.num_parts);
+        assert_eq!(
+            seed.base_of_current.len(),
+            seed.graph.num_vertices(),
+            "base_of_current length mismatch"
+        );
+        let driver = if workers == 0 {
+            Driver::Sequential(if refined {
+                IncrementalPartitioner::igpr(cfg)
+            } else {
+                IncrementalPartitioner::igp(cfg)
+            })
+        } else {
+            Driver::Parallel(ParallelPartitioner::new(
+                cfg,
+                workers,
+                refined,
+                CostModel::cm5(),
+            ))
+        };
+        IgpSession {
+            graph: seed.graph,
+            part: seed.part,
+            driver,
+            history: Vec::new(),
+            needs_scratch: seed.needs_scratch,
+            pending: None,
+            base_of_current: seed.base_of_current,
+            prior_steps: seed.steps,
+            prior_moved: seed.total_moved,
+        }
+    }
+
+    /// Snapshot the persistable session state (the inverse of
+    /// [`IgpSession::rehydrate`]). Queued deltas are *not* part of the
+    /// seed — the durability layer journals them separately and replays
+    /// them through [`IgpSession::queue_delta`] after rehydration.
+    pub fn seed(&self) -> SessionSeed {
+        SessionSeed {
+            graph: self.graph.clone(),
+            part: self.part.clone(),
+            base_of_current: self.base_of_current.clone(),
+            steps: self.steps(),
+            total_moved: self.total_moved(),
+            needs_scratch: self.needs_scratch,
         }
     }
 
@@ -167,9 +268,24 @@ impl IgpSession {
         &self.part
     }
 
-    /// Per-step summaries so far.
+    /// Per-step summaries taken by *this process* (a rehydrated session
+    /// does not reconstruct pre-crash summaries; [`IgpSession::steps`]
+    /// counts across restarts).
     pub fn history(&self) -> &[StepSummary] {
         &self.history
+    }
+
+    /// Steps taken over the session's whole lifetime, including steps
+    /// that predate a [`IgpSession::rehydrate`].
+    pub fn steps(&self) -> usize {
+        self.prior_steps + self.history.len()
+    }
+
+    /// Birth-graph id of each current vertex ([`INVALID_NODE`] for
+    /// vertices added after the session started): the composition of
+    /// every step's [`IncrementalGraph`] identity map.
+    pub fn base_of_current(&self) -> &[NodeId] {
+        &self.base_of_current
     }
 
     /// True once a step failed to balance under the configured caps — the
@@ -275,6 +391,16 @@ impl IgpSession {
         );
         let (new_part, moved, stages, balanced) = self.driver.repartition(&inc, &self.part);
         let summary = self.summarize(&inc, &new_part, moved, stages, balanced);
+        // Compose the step's identity map into the birth-relative map.
+        let n_new = inc.new_graph().num_vertices();
+        let mut base = vec![INVALID_NODE; n_new];
+        for (v, slot) in base.iter_mut().enumerate() {
+            let old = inc.old_of_new(v as NodeId);
+            if old != INVALID_NODE {
+                *slot = self.base_of_current[old as usize];
+            }
+        }
+        self.base_of_current = base;
         self.graph = inc.new_graph().clone();
         self.part = new_part;
         self.needs_scratch |= !summary.balanced;
@@ -300,7 +426,7 @@ impl IgpSession {
     ) -> StepSummary {
         let m = CutMetrics::compute(inc.new_graph(), part);
         StepSummary {
-            step: self.history.len(),
+            step: self.prior_steps + self.history.len(),
             num_vertices: inc.new_graph().num_vertices(),
             cut: m.total_cut_edges,
             imbalance: m.count_imbalance,
@@ -310,10 +436,11 @@ impl IgpSession {
         }
     }
 
-    /// Total vertices moved across the whole session (the cost the paper
-    /// trades against solver time).
+    /// Total vertices moved across the whole session lifetime (the cost
+    /// the paper trades against solver time), including pre-rehydrate
+    /// steps.
     pub fn total_moved(&self) -> u64 {
-        self.history.iter().map(|s| s.moved).sum()
+        self.prior_moved + self.history.iter().map(|s| s.moved).sum::<u64>()
     }
 }
 
@@ -507,5 +634,74 @@ mod tests {
         let other = generators::grid(5, 5);
         let inc = GraphDelta::default().apply(&other);
         s.apply_increment(inc);
+    }
+
+    /// The composed identity map tracks survivors across steps: growth
+    /// keeps old ids, removals drop them, additions map to
+    /// `INVALID_NODE`.
+    #[test]
+    fn base_of_current_composes_across_steps() {
+        let mut s = start();
+        // Identity at birth.
+        assert_eq!(s.base_of_current()[..4], [0, 1, 2, 3]);
+        let d = generators::localized_growth_delta(s.graph(), 0, 4, 0);
+        s.apply_delta(&d);
+        // Pure growth: survivors keep ids, additions are INVALID.
+        for v in 0..64u32 {
+            assert_eq!(s.base_of_current()[v as usize], v);
+        }
+        for v in 64..68 {
+            assert_eq!(s.base_of_current()[v], igp_graph::INVALID_NODE);
+        }
+        // Remove a birth vertex: every later id shifts down by one and
+        // still maps to its birth id.
+        s.apply_delta(&GraphDelta {
+            remove_vertices: vec![10],
+            ..Default::default()
+        });
+        assert_eq!(s.base_of_current()[9], 9);
+        assert_eq!(s.base_of_current()[10], 11);
+        assert_eq!(s.graph().num_vertices(), 67);
+    }
+
+    /// Rehydrating from a seed is observationally identical to the
+    /// uninterrupted session: same graph, partition, identity map, step
+    /// indices and totals, before and after further steps.
+    #[test]
+    fn rehydrate_matches_uninterrupted_session() {
+        let mut full = start();
+        let mut deltas = Vec::new();
+        let mut g = full.graph().clone();
+        for step in 0..4 {
+            let d = generators::localized_growth_delta(&g, 0, 6, step);
+            g = d.apply(&g).new_graph().clone();
+            deltas.push(d);
+        }
+        for d in &deltas[..2] {
+            full.apply_delta(d);
+        }
+        // "Crash" here: persist the seed, rebuild, replay the tail.
+        let seed = full.seed();
+        assert_eq!(seed.steps, 2);
+        let mut recovered = IgpSession::rehydrate(seed, IgpConfig::new(4), true, 0);
+        for d in &deltas[2..] {
+            let a = full.apply_delta(d);
+            let b = recovered.apply_delta(d);
+            assert_eq!(a.step, b.step, "step indices must continue");
+            assert_eq!(a.cut, b.cut);
+            assert_eq!(a.moved, b.moved);
+        }
+        assert_eq!(recovered.graph(), full.graph());
+        assert_eq!(
+            recovered.partitioning().assignment(),
+            full.partitioning().assignment()
+        );
+        assert_eq!(recovered.base_of_current(), full.base_of_current());
+        assert_eq!(recovered.steps(), full.steps());
+        assert_eq!(recovered.total_moved(), full.total_moved());
+        assert_eq!(recovered.needs_scratch(), full.needs_scratch());
+        // History only holds post-rehydrate steps, but indices align.
+        assert_eq!(recovered.history().len(), 2);
+        assert_eq!(recovered.history()[0].step, 2);
     }
 }

@@ -1,4 +1,5 @@
-//! Plain-text graph and partition I/O in the METIS format.
+//! Graph, delta and partition I/O: METIS-compatible text plus compact
+//! binary codecs for the durability layer.
 //!
 //! The METIS `.graph` format is the de-facto interchange format for
 //! partitioning research (Chaco/METIS/ParMETIS/Zoltan all read it):
@@ -13,13 +14,22 @@
 //! `fmt` is a 3-digit flag string: `1xx` vertex sizes (unsupported), `x1x`
 //! vertex weights, `xx1` edge weights. Partition files are one 0-based
 //! partition id per line (the `.part.P` convention).
+//!
+//! The binary codecs ([`write_graph_bin`], [`write_delta_bin`],
+//! [`write_partition_bin`] and their readers) are little-endian,
+//! magic-tagged and versioned; `igp-store` frames them into its WAL and
+//! snapshot files (DESIGN.md §9). [`write_delta_fields`] /
+//! [`read_delta_fields`] are the one text grammar for deltas
+//! (`av=… rv=… ae=… re=…`), shared by the service wire protocol and
+//! `igp-cli`.
 
 use crate::csr::{CsrBuilder, CsrGraph};
+use crate::delta::GraphDelta;
 use crate::partition::Partitioning;
 use crate::{NodeId, PartId, Weight};
 use std::fmt::Write as _;
 
-/// Errors from the text parsers.
+/// Errors from the text and binary parsers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// Header missing or malformed.
@@ -28,6 +38,10 @@ pub enum ParseError {
     BadLine { line: usize, reason: String },
     /// Edge counts or symmetry did not match the header.
     Inconsistent(String),
+    /// A `key=value` field failed to parse (delta text grammar).
+    BadField(String),
+    /// A binary payload is truncated, mistagged or self-inconsistent.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for ParseError {
@@ -36,6 +50,8 @@ impl std::fmt::Display for ParseError {
             ParseError::BadHeader(s) => write!(f, "bad header: {s}"),
             ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
             ParseError::Inconsistent(s) => write!(f, "inconsistent graph: {s}"),
+            ParseError::BadField(s) => write!(f, "{s}"),
+            ParseError::Corrupt(s) => write!(f, "corrupt binary payload: {s}"),
         }
     }
 }
@@ -225,6 +241,341 @@ pub fn read_partition(
     Ok(Partitioning::from_assignment(graph, num_parts, assign))
 }
 
+// ---------------------------------------------------------------------
+// Binary codecs (magic-tagged, versioned, little-endian).
+// ---------------------------------------------------------------------
+
+const GRAPH_MAGIC: [u8; 4] = *b"IGPG";
+const DELTA_MAGIC: [u8; 4] = *b"IGPD";
+const PART_MAGIC: [u8; 4] = *b"IGPP";
+const BIN_VERSION: u32 = 1;
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BinReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                ParseError::Corrupt(format!(
+                    "truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                ))
+            })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ParseError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ParseError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u32` length prefix, sanity-bounded so a corrupt length cannot
+    /// trigger a huge allocation before the actual reads fail.
+    fn len(&mut self, what: &str) -> Result<usize, ParseError> {
+        let n = self.u32()? as usize;
+        let cap = self.bytes.len().saturating_sub(self.pos);
+        // Every encoded element is ≥ 1 byte, so a valid count never
+        // exceeds the remaining payload size.
+        if n > cap {
+            return Err(ParseError::Corrupt(format!(
+                "{what} count {n} exceeds remaining {cap} bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn header(&mut self, magic: [u8; 4], what: &str) -> Result<(), ParseError> {
+        if self.take(4)? != magic {
+            return Err(ParseError::Corrupt(format!("not a {what} payload")));
+        }
+        let ver = self.u32()?;
+        if ver != BIN_VERSION {
+            return Err(ParseError::Corrupt(format!(
+                "unsupported {what} version {ver}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, what: &str) -> Result<(), ParseError> {
+        if self.pos != self.bytes.len() {
+            return Err(ParseError::Corrupt(format!(
+                "{} trailing bytes after {what}",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialize a graph to the compact binary snapshot format.
+pub fn write_graph_bin(g: &CsrGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + g.num_vertices() * 8 + g.num_edges() * 16);
+    out.extend_from_slice(&GRAPH_MAGIC);
+    put_u32(&mut out, BIN_VERSION);
+    put_u32(&mut out, g.num_vertices() as u32);
+    put_u64(&mut out, g.num_edges() as u64);
+    for &w in g.vertex_weights() {
+        put_u64(&mut out, w);
+    }
+    for (u, v, w) in g.undirected_edges() {
+        put_u32(&mut out, u);
+        put_u32(&mut out, v);
+        put_u64(&mut out, w);
+    }
+    out
+}
+
+/// Parse a [`write_graph_bin`] payload.
+pub fn read_graph_bin(bytes: &[u8]) -> Result<CsrGraph, ParseError> {
+    let mut r = BinReader::new(bytes);
+    r.header(GRAPH_MAGIC, "graph")?;
+    let n = r.u32()? as usize;
+    let m = r.u64()? as usize;
+    if n.saturating_mul(8) > bytes.len() || m.saturating_mul(16) > bytes.len() {
+        return Err(ParseError::Corrupt(format!(
+            "graph header n={n} m={m} larger than payload"
+        )));
+    }
+    let mut b = CsrBuilder::with_edge_capacity(n, m);
+    for v in 0..n {
+        b.set_vertex_weight(v as NodeId, r.u64()?);
+    }
+    for _ in 0..m {
+        let (u, v) = (r.u32()?, r.u32()?);
+        let w = r.u64()?;
+        if (u as usize) >= n || (v as usize) >= n || u == v {
+            return Err(ParseError::Corrupt(format!("bad edge {{{u},{v}}} (n={n})")));
+        }
+        b.add_edge(u, v, w);
+    }
+    r.finish("graph")?;
+    let g = b.build();
+    g.validate().map_err(ParseError::Inconsistent)?;
+    Ok(g)
+}
+
+/// Serialize a delta to the compact binary WAL format.
+pub fn write_delta_bin(d: &GraphDelta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        24 + d.add_vertices.len() * 8
+            + d.remove_vertices.len() * 4
+            + d.add_edges.len() * 16
+            + d.remove_edges.len() * 8,
+    );
+    out.extend_from_slice(&DELTA_MAGIC);
+    put_u32(&mut out, BIN_VERSION);
+    put_u32(&mut out, d.add_vertices.len() as u32);
+    for &w in &d.add_vertices {
+        put_u64(&mut out, w);
+    }
+    put_u32(&mut out, d.remove_vertices.len() as u32);
+    for &v in &d.remove_vertices {
+        put_u32(&mut out, v);
+    }
+    put_u32(&mut out, d.add_edges.len() as u32);
+    for &(u, v, w) in &d.add_edges {
+        put_u32(&mut out, u);
+        put_u32(&mut out, v);
+        put_u64(&mut out, w);
+    }
+    put_u32(&mut out, d.remove_edges.len() as u32);
+    for &(u, v) in &d.remove_edges {
+        put_u32(&mut out, u);
+        put_u32(&mut out, v);
+    }
+    out
+}
+
+/// Parse a [`write_delta_bin`] payload. Structural validity against a
+/// concrete graph is *not* checked here — callers revalidate with
+/// [`GraphDelta::validate`] / the coalescer exactly as they do for
+/// wire-received deltas.
+pub fn read_delta_bin(bytes: &[u8]) -> Result<GraphDelta, ParseError> {
+    let mut r = BinReader::new(bytes);
+    r.header(DELTA_MAGIC, "delta")?;
+    let mut d = GraphDelta::default();
+    let nav = r.len("add_vertices")?;
+    for _ in 0..nav {
+        d.add_vertices.push(r.u64()?);
+    }
+    let nrv = r.len("remove_vertices")?;
+    for _ in 0..nrv {
+        d.remove_vertices.push(r.u32()?);
+    }
+    let nae = r.len("add_edges")?;
+    for _ in 0..nae {
+        let (u, v) = (r.u32()?, r.u32()?);
+        d.add_edges.push((u, v, r.u64()?));
+    }
+    let nre = r.len("remove_edges")?;
+    for _ in 0..nre {
+        let u = r.u32()?;
+        d.remove_edges.push((u, r.u32()?));
+    }
+    r.finish("delta")?;
+    Ok(d)
+}
+
+/// Serialize a partitioning to the compact binary snapshot format.
+pub fn write_partition_bin(p: &Partitioning) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + p.num_vertices() * 4);
+    out.extend_from_slice(&PART_MAGIC);
+    put_u32(&mut out, BIN_VERSION);
+    put_u32(&mut out, p.num_parts() as u32);
+    put_u32(&mut out, p.num_vertices() as u32);
+    for v in 0..p.num_vertices() {
+        put_u32(&mut out, p.part_of(v as NodeId));
+    }
+    out
+}
+
+/// Parse a [`write_partition_bin`] payload for `graph`, checking the
+/// same consistency conditions as [`read_partition`].
+pub fn read_partition_bin(bytes: &[u8], graph: &CsrGraph) -> Result<Partitioning, ParseError> {
+    let mut r = BinReader::new(bytes);
+    r.header(PART_MAGIC, "partition")?;
+    let parts = r.u32()? as usize;
+    let n = r.u32()? as usize;
+    if n != graph.num_vertices() {
+        return Err(ParseError::Inconsistent(format!(
+            "{n} partition entries for {} vertices",
+            graph.num_vertices()
+        )));
+    }
+    let mut assign: Vec<PartId> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = r.u32()?;
+        if (p as usize) >= parts {
+            return Err(ParseError::Corrupt(format!(
+                "partition {p} out of range 0..{parts}"
+            )));
+        }
+        assign.push(p);
+    }
+    r.finish("partition")?;
+    Ok(Partitioning::from_assignment(graph, parts, assign))
+}
+
+// ---------------------------------------------------------------------
+// Delta text grammar (`av=… rv=… ae=… re=…`), shared with the wire.
+// ---------------------------------------------------------------------
+
+/// Encode a delta as whitespace-separated `key=value` fields. Empty
+/// lists are omitted; an empty delta encodes to an empty string.
+pub fn write_delta_fields(d: &GraphDelta) -> String {
+    fn join<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+        items.iter().map(f).collect::<Vec<_>>().join(",")
+    }
+    let mut fields = Vec::new();
+    if !d.add_vertices.is_empty() {
+        fields.push(format!("av={}", join(&d.add_vertices, |w| w.to_string())));
+    }
+    if !d.remove_vertices.is_empty() {
+        fields.push(format!(
+            "rv={}",
+            join(&d.remove_vertices, |v| v.to_string())
+        ));
+    }
+    if !d.add_edges.is_empty() {
+        fields.push(format!(
+            "ae={}",
+            join(&d.add_edges, |&(u, v, w)| format!("{u}:{v}:{w}"))
+        ));
+    }
+    if !d.remove_edges.is_empty() {
+        fields.push(format!(
+            "re={}",
+            join(&d.remove_edges, |&(u, v)| format!("{u}:{v}"))
+        ));
+    }
+    fields.join(" ")
+}
+
+/// Parse [`write_delta_fields`] output (inverse).
+pub fn read_delta_fields(fields: &[&str]) -> Result<GraphDelta, ParseError> {
+    let bad = |msg: String| ParseError::BadField(msg);
+    let mut d = GraphDelta::default();
+    for field in fields {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| bad(format!("expected key=value, got `{field}`")))?;
+        match key {
+            "av" => {
+                for w in value.split(',') {
+                    d.add_vertices.push(
+                        w.parse::<Weight>()
+                            .map_err(|e| bad(format!("bad av: {e}")))?,
+                    );
+                }
+            }
+            "rv" => {
+                for v in value.split(',') {
+                    d.remove_vertices.push(
+                        v.parse::<NodeId>()
+                            .map_err(|e| bad(format!("bad rv: {e}")))?,
+                    );
+                }
+            }
+            "ae" => {
+                for e in value.split(',') {
+                    let mut it = e.split(':');
+                    let (u, v, w) = (it.next(), it.next(), it.next());
+                    if it.next().is_some() {
+                        return Err(bad(format!("bad ae entry `{e}`")));
+                    }
+                    match (u, v, w) {
+                        (Some(u), Some(v), Some(w)) => d.add_edges.push((
+                            u.parse().map_err(|e| bad(format!("bad ae: {e}")))?,
+                            v.parse().map_err(|e| bad(format!("bad ae: {e}")))?,
+                            w.parse().map_err(|e| bad(format!("bad ae: {e}")))?,
+                        )),
+                        _ => return Err(bad(format!("bad ae entry `{e}` (want u:v:w)"))),
+                    }
+                }
+            }
+            "re" => {
+                for e in value.split(',') {
+                    match e.split_once(':') {
+                        Some((u, v)) if !v.contains(':') => d.remove_edges.push((
+                            u.parse().map_err(|e| bad(format!("bad re: {e}")))?,
+                            v.parse().map_err(|e| bad(format!("bad re: {e}")))?,
+                        )),
+                        _ => return Err(bad(format!("bad re entry `{e}` (want u:v)"))),
+                    }
+                }
+            }
+            other => return Err(bad(format!("unknown DELTA field `{other}`"))),
+        }
+    }
+    Ok(d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +634,97 @@ mod tests {
     fn partition_out_of_range_rejected() {
         let g = generators::cycle(3);
         assert!(read_partition("0\n1\n5\n", &g, 2).is_err());
+    }
+
+    #[test]
+    fn graph_bin_roundtrip() {
+        let mut g = CsrGraph::from_weighted_edges(5, &[(0, 1, 3), (1, 2, 1), (2, 4, 9), (3, 4, 2)]);
+        g.set_vertex_weights(vec![2, 1, 1, 5, 7]);
+        let bytes = write_graph_bin(&g);
+        assert_eq!(read_graph_bin(&bytes).unwrap(), g);
+        // Empty graph survives too.
+        let empty = CsrGraph::from_edges(1, &[]);
+        assert_eq!(read_graph_bin(&write_graph_bin(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn delta_bin_roundtrip() {
+        let d = GraphDelta {
+            add_vertices: vec![1, 7],
+            remove_vertices: vec![3, 9],
+            add_edges: vec![(0, 20, 2), (20, 21, 1)],
+            remove_edges: vec![(4, 5)],
+        };
+        assert_eq!(read_delta_bin(&write_delta_bin(&d)).unwrap(), d);
+        let empty = GraphDelta::default();
+        assert_eq!(read_delta_bin(&write_delta_bin(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn partition_bin_roundtrip() {
+        let g = generators::cycle(6);
+        let p = Partitioning::from_assignment(&g, 3, vec![0, 0, 1, 1, 2, 2]);
+        let bytes = write_partition_bin(&p);
+        assert_eq!(read_partition_bin(&bytes, &g).unwrap(), p);
+    }
+
+    #[test]
+    fn bin_corruptions_are_typed_errors_not_panics() {
+        let g = generators::grid(3, 3);
+        let graph_bytes = write_graph_bin(&g);
+        let delta_bytes = write_delta_bin(&GraphDelta {
+            add_vertices: vec![1],
+            add_edges: vec![(0, 9, 1)],
+            ..Default::default()
+        });
+        let part_bytes = write_partition_bin(&Partitioning::round_robin(&g, 2));
+        for bytes in [&graph_bytes, &delta_bytes, &part_bytes] {
+            // Wrong magic.
+            let mut bad = (*bytes).clone();
+            bad[0] ^= 0xff;
+            // Truncations at every prefix length.
+            for cut in 0..bytes.len() {
+                let r1 = read_graph_bin(&bytes[..cut]);
+                let r2 = read_delta_bin(&bytes[..cut]);
+                let r3 = read_partition_bin(&bytes[..cut], &g);
+                // At most one of the three readers may accept a prefix
+                // (its own full payload); truncation must error.
+                if cut < bytes.len() {
+                    assert!(r1.is_err() && r2.is_err() && r3.is_err(), "cut={cut}");
+                }
+            }
+            assert!(read_graph_bin(&bad).is_err());
+            assert!(read_delta_bin(&bad).is_err());
+            assert!(read_partition_bin(&bad, &g).is_err());
+            // Trailing garbage.
+            let mut long = (*bytes).clone();
+            long.push(0);
+            assert!(read_graph_bin(&long).is_err());
+            assert!(read_delta_bin(&long).is_err());
+            assert!(read_partition_bin(&long, &g).is_err());
+        }
+        // A length field pointing past the payload is caught before any
+        // allocation blow-up.
+        let mut huge = write_delta_bin(&GraphDelta::default());
+        huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_delta_bin(&huge), Err(ParseError::Corrupt(_))));
+    }
+
+    #[test]
+    fn delta_fields_text_roundtrip() {
+        let d = GraphDelta {
+            add_vertices: vec![1, 7],
+            remove_vertices: vec![3, 9],
+            add_edges: vec![(0, 20, 2), (20, 21, 1)],
+            remove_edges: vec![(4, 5)],
+        };
+        let enc = write_delta_fields(&d);
+        let tokens: Vec<&str> = enc.split_ascii_whitespace().collect();
+        assert_eq!(read_delta_fields(&tokens).unwrap(), d);
+        assert_eq!(write_delta_fields(&GraphDelta::default()), "");
+        assert_eq!(read_delta_fields(&[]).unwrap(), GraphDelta::default());
+        for bad in ["av=x", "ae=1:2", "ae=1:2:3:4", "re=1", "zz=1", "noeq"] {
+            assert!(read_delta_fields(&[bad]).is_err(), "{bad}");
+        }
     }
 }

@@ -11,22 +11,31 @@
 //! igp-cli [--addr HOST:PORT] list | shutdown
 //! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
 //!                                 [--policy SPEC] [--seed S]
+//! igp-cli replay <data-dir> [sid]
 //! ```
 //!
 //! `demo` drives the full loop end to end: it opens N sessions on
 //! generated grids, streams K churn deltas each (tracking the virtual
 //! graph client-side), forces a final flush, prints per-session
 //! statistics and closes the sessions — the CI smoke test in a box.
+//!
+//! `replay` needs no server: it inspects a `--data-dir` tree offline —
+//! per session, the stored config, the latest snapshot, the WAL tail
+//! (record counts + bytes), the tail coalesced into one canonical
+//! delta, its dirt statistics, and any corruption the frame checksums
+//! caught.
 
 use igp_graph::{generators, io as graph_io};
 use igp_service::client::{DeltaAck, IgpClient};
 use igp_service::protocol::{parse_bool, parse_delta_fields};
 use igp_service::session::SessionConfig;
+use igp_store::SessionStore;
 
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: igp-cli [--addr HOST:PORT] \
-         <ping|open|delta|flush|stat|part|close|list|shutdown|demo> …"
+         <ping|open|delta|flush|stat|part|close|list|shutdown|demo> …\n\
+         \x20      igp-cli replay <data-dir> [sid]"
     );
     std::process::exit(code);
 }
@@ -97,10 +106,14 @@ fn main() {
                 },
                 "stat" => {
                     let s = cli.stat(sid).unwrap_or_else(|e| fail(e));
-                    println!(
+                    print!(
                         "n={} m={} cut={} imbalance={:.4} pending={} steps={} moved={} scratch={}",
                         s.n, s.m, s.cut, s.imbalance, s.pending, s.steps, s.moved, s.scratch
                     );
+                    if let (Some(r), Some(b), Some(q)) = (s.wal_records, s.wal_bytes, s.snap_seq) {
+                        print!(" wal_records={r} wal_bytes={b} snap_seq={q}");
+                    }
+                    println!();
                 }
                 "part" => {
                     let assign = cli.partition(sid).unwrap_or_else(|e| fail(e));
@@ -124,7 +137,82 @@ fn main() {
             println!("server shut down");
         }
         "demo" => cmd_demo(&addr, args),
+        "replay" => cmd_replay(args),
         _ => usage(2),
+    }
+}
+
+/// Offline WAL/snapshot inspector: no server, read-only.
+fn cmd_replay(mut args: Vec<String>) {
+    if args.is_empty() || args.len() > 2 {
+        usage(2);
+    }
+    let data_dir = std::path::PathBuf::from(args.remove(0));
+    let dirs: Vec<std::path::PathBuf> = if let Some(sid) = args.pop() {
+        vec![data_dir.join(sid)]
+    } else {
+        let mut dirs: Vec<_> = std::fs::read_dir(&data_dir)
+            .unwrap_or_else(|e| fail(format!("read {}: {e}", data_dir.display())))
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        if dirs.is_empty() {
+            fail(format!(
+                "no session directories under {}",
+                data_dir.display()
+            ));
+        }
+        dirs
+    };
+    let mut failed = false;
+    for dir in dirs {
+        let insp = match SessionStore::inspect(&dir) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("{}: {e}", dir.display());
+                failed = true;
+                continue;
+            }
+        };
+        let snap = &insp.snapshot;
+        println!("{}:", insp.meta.sid);
+        println!("  config   {}", insp.meta.config_line);
+        println!(
+            "  snapshot seq={} n={} m={} steps={} moved={} deltas={} scratch={} \
+             (compacted {} WAL records into its lineage)",
+            snap.seq,
+            snap.graph.num_vertices(),
+            snap.graph.num_edges(),
+            snap.steps,
+            snap.total_moved,
+            snap.deltas_received,
+            u8::from(snap.needs_scratch),
+            snap.compacted_records,
+        );
+        println!(
+            "  wal tail {} records ({} deltas, {} flushes), {} bytes",
+            insp.tail_deltas + insp.tail_flushes,
+            insp.tail_deltas,
+            insp.tail_flushes,
+            insp.tail_bytes,
+        );
+        let dirt = insp.tail_dirt;
+        println!(
+            "  coalesced tail: {} (touched={} +w{})",
+            insp.tail_net.summary(),
+            dirt.touched_vertices,
+            dirt.added_weight,
+        );
+        if let Some(c) = &insp.corruption {
+            println!("  WARNING: {c}");
+        }
+    }
+    if failed {
+        // Scripts gate on the inspector's exit status; a directory that
+        // failed to inspect must not read as success.
+        std::process::exit(1);
     }
 }
 

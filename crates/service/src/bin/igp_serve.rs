@@ -1,8 +1,15 @@
 //! `igp-serve` — the partitioning daemon.
 //!
 //! ```text
-//! igp-serve [--addr HOST:PORT] [--shards N]
+//! igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]
+//!           [--data-dir DIR] [--snapshot-policy never|every:<k>|cost[:r:m:w]]
 //! ```
+//!
+//! With `--data-dir`, every session journals its deltas to a
+//! write-ahead log and snapshots per the snapshot policy; on boot, all
+//! sessions found under the directory are recovered (latest snapshot +
+//! WAL replay) before the socket accepts — kill -9 the daemon, restart
+//! it, and `PART` answers bit-identically.
 //!
 //! Prints `igp-serve listening on <addr>` once the socket is bound
 //! (scripts wait for that line), then serves until a client sends
@@ -12,7 +19,10 @@ use igp_service::server::{serve, ServeOptions};
 use std::io::Write;
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: igp-serve [--addr HOST:PORT] [--shards N]");
+    eprintln!(
+        "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]\n\
+         \x20                [--data-dir DIR] [--snapshot-policy SPEC]"
+    );
     std::process::exit(code);
 }
 
@@ -29,6 +39,22 @@ fn main() {
             "--shards" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => opts.shards = n,
                 _ => usage(2),
+            },
+            "--queue-cap" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.queue_cap = n,
+                _ => usage(2),
+            },
+            "--data-dir" => match args.next() {
+                Some(d) => opts.data_dir = Some(d.into()),
+                None => usage(2),
+            },
+            "--snapshot-policy" => match args.next().map(|s| s.parse()) {
+                Some(Ok(p)) => opts.snapshot_policy = p,
+                Some(Err(e)) => {
+                    eprintln!("igp-serve: {e}");
+                    usage(2)
+                }
+                None => usage(2),
             },
             "--help" | "-h" => usage(0),
             _ => usage(2),

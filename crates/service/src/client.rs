@@ -77,7 +77,9 @@ pub struct OpenAck {
     pub imbalance: f64,
 }
 
-/// Session statistics from `STAT`.
+/// Session statistics from `STAT`. The `wal_*`/`snap_*` fields are
+/// reported only by sessions running in `--data-dir` (durable) mode;
+/// `None` means the session is memory-only.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatInfo {
     pub n: usize,
@@ -88,6 +90,14 @@ pub struct StatInfo {
     pub steps: usize,
     pub moved: u64,
     pub scratch: bool,
+    /// Records in the current WAL tail (durable sessions only).
+    pub wal_records: Option<u64>,
+    /// Bytes in the current WAL tail (durable sessions only).
+    pub wal_bytes: Option<u64>,
+    /// Current snapshot sequence number (durable sessions only).
+    pub snap_seq: Option<u64>,
+    /// Snapshots written by the serving process (durable sessions only).
+    pub snapshots: Option<u64>,
 }
 
 /// A connected protocol client.
@@ -234,6 +244,10 @@ impl IgpClient {
             steps: field(&kv, "steps")?,
             moved: field(&kv, "moved")?,
             scratch: field::<u8>(&kv, "scratch")? != 0,
+            wal_records: field_opt(&kv, "wal_records")?,
+            wal_bytes: field_opt(&kv, "wal_bytes")?,
+            snap_seq: field_opt(&kv, "snap_seq")?,
+            snapshots: field_opt(&kv, "snapshots")?,
         })
     }
 
@@ -302,6 +316,24 @@ where
     let raw = kv_get(kv, key).map_err(ClientError::Proto)?;
     raw.parse()
         .map_err(|e| ClientError::Proto(format!("bad {key}: {e}")))
+}
+
+/// Like [`field`], but an absent key is `None` (a present-but-garbled
+/// value is still an error).
+fn field_opt<T: std::str::FromStr>(
+    kv: &[(String, String)],
+    key: &str,
+) -> Result<Option<T>, ClientError>
+where
+    T::Err: fmt::Display,
+{
+    match kv.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, raw)) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| ClientError::Proto(format!("bad {key}: {e}"))),
+    }
 }
 
 fn parse_step(tokens: &[&str]) -> Result<StepInfo, ClientError> {

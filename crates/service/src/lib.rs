@@ -50,6 +50,7 @@
 //! ```
 
 pub mod client;
+pub mod durable;
 pub mod policy;
 pub mod protocol;
 pub mod registry;
@@ -57,6 +58,8 @@ pub mod server;
 pub mod session;
 
 pub use client::{ClientError, DeltaAck, IgpClient, OpenAck, StatInfo, StepInfo};
+pub use durable::{recover_all, recover_session, RecoveredSession};
+pub use igp_store::SnapshotPolicy;
 pub use policy::{CostTrigger, PolicyView, RepartitionPolicy};
 pub use registry::SessionRegistry;
 pub use server::{serve, ServeOptions, ServerHandle};
@@ -76,6 +79,21 @@ pub enum ServiceError {
     Delta(CoalesceError),
     /// The uploaded graph was rejected.
     Graph(String),
+    /// Admission control: the session's pending-delta queue is at its
+    /// cap; the client must `FLUSH` (or wait for the policy to fire via
+    /// some other session activity) before sending more.
+    Backpressure {
+        /// The session at capacity.
+        sid: String,
+        /// Deltas currently pending.
+        pending: usize,
+        /// The per-session cap in force.
+        cap: usize,
+    },
+    /// The durability layer failed (journal append, snapshot write or
+    /// recovery); the in-memory session survives but is no longer
+    /// durable.
+    Storage(String),
     /// The session is unusable (e.g. its lock was poisoned by a panic
     /// in an earlier request); close and re-open it.
     Internal(String),
@@ -89,6 +107,8 @@ impl ServiceError {
             ServiceError::SessionExists(_) => "session-exists",
             ServiceError::Delta(_) => "delta",
             ServiceError::Graph(_) => "graph",
+            ServiceError::Backpressure { .. } => "backpressure",
+            ServiceError::Storage(_) => "storage",
             ServiceError::Internal(_) => "internal",
         }
     }
@@ -101,6 +121,11 @@ impl std::fmt::Display for ServiceError {
             ServiceError::SessionExists(sid) => write!(f, "session `{sid}` already open"),
             ServiceError::Delta(e) => write!(f, "{e}"),
             ServiceError::Graph(m) => write!(f, "{m}"),
+            ServiceError::Backpressure { sid, pending, cap } => write!(
+                f,
+                "session `{sid}` has {pending} deltas pending (cap {cap}); FLUSH first"
+            ),
+            ServiceError::Storage(m) => write!(f, "{m}"),
             ServiceError::Internal(m) => write!(f, "{m}"),
         }
     }

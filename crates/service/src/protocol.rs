@@ -16,7 +16,7 @@
 
 use crate::policy::RepartitionPolicy;
 use crate::session::{InitPartition, SessionConfig};
-use igp_graph::{GraphDelta, NodeId, Weight};
+use igp_graph::GraphDelta;
 
 /// A parsed request line (the `OPEN` graph block is read separately).
 #[derive(Clone, Debug, PartialEq)]
@@ -198,88 +198,16 @@ pub fn parse_bool(s: &str) -> Result<bool, String> {
 }
 
 /// Encode a delta as `DELTA` request fields. Empty lists are omitted;
-/// an empty delta encodes to an empty string.
+/// an empty delta encodes to an empty string. (Delegates to
+/// [`igp_graph::io::write_delta_fields`] — the one delta text grammar,
+/// shared with the durability tooling.)
 pub fn encode_delta_fields(d: &GraphDelta) -> String {
-    fn join<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
-        items.iter().map(f).collect::<Vec<_>>().join(",")
-    }
-    let mut fields = Vec::new();
-    if !d.add_vertices.is_empty() {
-        fields.push(format!("av={}", join(&d.add_vertices, |w| w.to_string())));
-    }
-    if !d.remove_vertices.is_empty() {
-        fields.push(format!(
-            "rv={}",
-            join(&d.remove_vertices, |v| v.to_string())
-        ));
-    }
-    if !d.add_edges.is_empty() {
-        fields.push(format!(
-            "ae={}",
-            join(&d.add_edges, |&(u, v, w)| format!("{u}:{v}:{w}"))
-        ));
-    }
-    if !d.remove_edges.is_empty() {
-        fields.push(format!(
-            "re={}",
-            join(&d.remove_edges, |&(u, v)| format!("{u}:{v}"))
-        ));
-    }
-    fields.join(" ")
+    igp_graph::io::write_delta_fields(d)
 }
 
 /// Parse `DELTA` request fields (inverse of [`encode_delta_fields`]).
 pub fn parse_delta_fields(fields: &[&str]) -> Result<GraphDelta, String> {
-    let mut d = GraphDelta::default();
-    for field in fields {
-        let (key, value) = field
-            .split_once('=')
-            .ok_or_else(|| format!("expected key=value, got `{field}`"))?;
-        match key {
-            "av" => {
-                for w in value.split(',') {
-                    d.add_vertices
-                        .push(w.parse::<Weight>().map_err(|e| format!("bad av: {e}"))?);
-                }
-            }
-            "rv" => {
-                for v in value.split(',') {
-                    d.remove_vertices
-                        .push(v.parse::<NodeId>().map_err(|e| format!("bad rv: {e}"))?);
-                }
-            }
-            "ae" => {
-                for e in value.split(',') {
-                    let mut it = e.split(':');
-                    let (u, v, w) = (it.next(), it.next(), it.next());
-                    if it.next().is_some() {
-                        return Err(format!("bad ae entry `{e}`"));
-                    }
-                    match (u, v, w) {
-                        (Some(u), Some(v), Some(w)) => d.add_edges.push((
-                            u.parse().map_err(|e| format!("bad ae: {e}"))?,
-                            v.parse().map_err(|e| format!("bad ae: {e}"))?,
-                            w.parse().map_err(|e| format!("bad ae: {e}"))?,
-                        )),
-                        _ => return Err(format!("bad ae entry `{e}` (want u:v:w)")),
-                    }
-                }
-            }
-            "re" => {
-                for e in value.split(',') {
-                    match e.split_once(':') {
-                        Some((u, v)) if !v.contains(':') => d.remove_edges.push((
-                            u.parse().map_err(|e| format!("bad re: {e}"))?,
-                            v.parse().map_err(|e| format!("bad re: {e}"))?,
-                        )),
-                        _ => return Err(format!("bad re entry `{e}` (want u:v)")),
-                    }
-                }
-            }
-            other => return Err(format!("unknown DELTA field `{other}`")),
-        }
-    }
-    Ok(d)
+    igp_graph::io::read_delta_fields(fields).map_err(|e| e.to_string())
 }
 
 /// Split a response tail of `key=value` tokens into pairs (shared by

@@ -45,13 +45,30 @@ impl SessionRegistry {
     }
 
     /// Register a new session under `sid`; fails if the id is taken.
-    pub fn open(&self, sid: &str, session: ServiceSession) -> Result<(), ServiceError> {
+    /// Returns the inserted [`SessionRef`] so the caller can keep
+    /// operating on *its own* session without a by-sid re-lookup (which
+    /// could resolve someone else's session after a CLOSE/re-OPEN
+    /// race).
+    pub fn open(&self, sid: &str, session: ServiceSession) -> Result<SessionRef, ServiceError> {
         let mut shard = self.shard(sid).lock().unwrap();
         if shard.contains_key(sid) {
             return Err(ServiceError::SessionExists(sid.to_string()));
         }
-        shard.insert(sid.to_string(), Arc::new(Mutex::new(session)));
-        Ok(())
+        let entry = Arc::new(Mutex::new(session));
+        shard.insert(sid.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// Remove `sid` only if it still maps to `entry` (guards cleanup
+    /// paths against removing a session a later `OPEN` re-registered).
+    pub fn close_if_same(&self, sid: &str, entry: &SessionRef) -> bool {
+        let mut shard = self.shard(sid).lock().unwrap();
+        if shard.get(sid).is_some_and(|cur| Arc::ptr_eq(cur, entry)) {
+            shard.remove(sid);
+            true
+        } else {
+            false
+        }
     }
 
     /// Look up a session; the shard lock is released before returning,

@@ -17,24 +17,50 @@ use crossbeam::channel::{self, Sender};
 use igp_core::session::StepSummary;
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{io as graph_io, CsrGraph};
+use igp_store::SnapshotPolicy;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Registry lock shards.
     pub shards: usize,
+    /// Admission control: max queued (unflushed) deltas per session;
+    /// further `DELTA`s get a typed `ERR backpressure` until the client
+    /// flushes (or the repartition policy drains the queue).
+    pub queue_cap: usize,
+    /// Durability root. `Some(dir)`: every session journals to
+    /// `dir/<sid>/`, all sessions found under `dir` are recovered at
+    /// boot, and `CLOSE` deletes the session's directory. `None`:
+    /// memory-only (the pre-durability behaviour).
+    pub data_dir: Option<PathBuf>,
+    /// When durable sessions fold their WAL into a fresh snapshot.
+    pub snapshot_policy: SnapshotPolicy,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { shards: 16 }
+        ServeOptions {
+            shards: 16,
+            queue_cap: 1024,
+            data_dir: None,
+            snapshot_policy: SnapshotPolicy::default(),
+        }
     }
+}
+
+/// Everything a connection handler needs, shared across threads.
+struct ServerCtx {
+    registry: SessionRegistry,
+    queue_cap: usize,
+    data_dir: Option<PathBuf>,
+    snapshot_policy: SnapshotPolicy,
 }
 
 /// A running daemon; dropping it shuts the daemon down.
@@ -86,11 +112,42 @@ impl Drop for ServerHandle {
 }
 
 /// Bind `addr` (port 0 picks an ephemeral port) and serve until
-/// shut down.
+/// shut down. In `data_dir` mode, every session found on disk is
+/// recovered (snapshot + WAL replay) before the socket starts
+/// accepting, so clients never observe a half-booted daemon.
 pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let registry = Arc::new(SessionRegistry::new(opts.shards));
+    let registry = SessionRegistry::new(opts.shards);
+    if let Some(dir) = &opts.data_dir {
+        std::fs::create_dir_all(dir)?;
+        let (recovered, failures) = crate::durable::recover_all(dir, opts.snapshot_policy)?;
+        for r in recovered {
+            if let Some(w) = &r.warning {
+                eprintln!("igp-serve: [{}] recovery warning: {w}", r.sid);
+            }
+            let g = r.session.inner().graph();
+            eprintln!(
+                "igp-serve: recovered session `{}` (n={} steps={} pending={})",
+                r.sid,
+                g.num_vertices(),
+                r.session.steps(),
+                r.session.inner().pending_deltas(),
+            );
+            registry
+                .open(&r.sid, r.session)
+                .map_err(|e| io::Error::other(format!("recovered `{}` twice: {e}", r.sid)))?;
+        }
+        for f in failures {
+            eprintln!("igp-serve: session NOT recovered: {f}");
+        }
+    }
+    let ctx = Arc::new(ServerCtx {
+        registry,
+        queue_cap: opts.queue_cap.max(1),
+        data_dir: opts.data_dir.clone(),
+        snapshot_policy: opts.snapshot_policy,
+    });
     let stop = Arc::new(AtomicBool::new(false));
     let (shutdown_tx, shutdown_rx) = channel::unbounded::<()>();
 
@@ -130,11 +187,11 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
                 // daemon doesn't accumulate dead JoinHandles.
                 conns.retain(|h| !h.is_finished());
                 let Ok(stream) = stream else { continue };
-                let registry = registry.clone();
+                let ctx = ctx.clone();
                 let stop = stop.clone();
                 let tx = tx.clone();
                 conns.push(std::thread::spawn(move || {
-                    handle_connection(stream, &registry, &stop, &tx);
+                    handle_connection(stream, &ctx, &stop, &tx);
                 }));
             }
             for c in conns {
@@ -203,10 +260,11 @@ fn read_line_polling(
 
 fn handle_connection(
     stream: TcpStream,
-    registry: &SessionRegistry,
+    ctx: &ServerCtx,
     stop: &AtomicBool,
     shutdown_tx: &Sender<()>,
 ) {
+    let registry = &ctx.registry;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let _ = stream.set_nodelay(true);
     let mut out = match stream.try_clone() {
@@ -236,30 +294,44 @@ fn handle_connection(
             Ok(Request::Open { sid, cfg }) => {
                 match read_graph_block(&mut reader, stop) {
                     None => break, // connection died mid-upload
-                    Some(text) => open_session(registry, &sid, cfg, &text),
+                    Some(text) => open_session(ctx, &sid, cfg, &text),
                 }
             }
             Ok(Request::Delta { sid, delta }) => {
-                with_session(registry, &sid, |s| match s.ingest(&delta) {
-                    Ok(Ingest::Queued { pending }) => {
-                        format!("OK queued sid={sid} pending={pending}")
+                with_session(registry, &sid, |s| {
+                    // Admission control: a client outrunning its own
+                    // flushes gets a typed error, not an unbounded
+                    // queue.
+                    let pending = s.inner().pending_deltas();
+                    if pending >= ctx.queue_cap {
+                        return err_line(&ServiceError::Backpressure {
+                            sid: sid.clone(),
+                            pending,
+                            cap: ctx.queue_cap,
+                        });
                     }
-                    Ok(Ingest::Stepped { summary, coalesced }) => {
-                        step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
+                    match s.ingest(&delta) {
+                        Ok(Ingest::Queued { pending }) => {
+                            format!("OK queued sid={sid} pending={pending}")
+                        }
+                        Ok(Ingest::Stepped { summary, coalesced }) => {
+                            step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
+                        }
+                        Err(e) => err_line(&e),
                     }
-                    Err(e) => err_line(&ServiceError::Delta(e)),
                 })
             }
             Ok(Request::Flush { sid }) => with_session(registry, &sid, |s| match s.flush() {
-                Some((summary, coalesced)) => {
+                Ok(Some((summary, coalesced))) => {
                     step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
                 }
-                None => format!("OK noop sid={sid}"),
+                Ok(None) => format!("OK noop sid={sid}"),
+                Err(e) => err_line(&e),
             }),
             Ok(Request::Stat { sid }) => with_session(registry, &sid, |s| {
                 let g = s.inner().graph();
                 let m = CutMetrics::compute(g, s.inner().partitioning());
-                format!(
+                let mut line = format!(
                     "OK stat sid={sid} n={} m={} cut={} imbalance={:.6} pending={} \
                      steps={} moved={} scratch={}",
                     g.num_vertices(),
@@ -270,7 +342,17 @@ fn handle_connection(
                     s.steps(),
                     s.inner().total_moved(),
                     u8::from(s.inner().needs_scratch()),
-                )
+                );
+                if let Some(st) = s.store() {
+                    line.push_str(&format!(
+                        " wal_records={} wal_bytes={} snap_seq={} snapshots={}",
+                        st.wal_records(),
+                        st.wal_bytes(),
+                        st.seq(),
+                        st.snapshots_written(),
+                    ));
+                }
+                line
             }),
             Ok(Request::Part { sid }) => with_session(registry, &sid, |s| {
                 let assign = s.assignment();
@@ -282,7 +364,22 @@ fn handle_connection(
                 out
             }),
             Ok(Request::Close { sid }) => match registry.close(&sid) {
-                Ok(_) => format!("OK closed sid={sid}"),
+                Ok(entry) => {
+                    // A closed session must not resurrect at next boot:
+                    // detach the store (stopping further writes even if
+                    // another thread still holds the Arc) and delete
+                    // its directory.
+                    let dir = match entry.lock() {
+                        Ok(mut s) => s.detach_store().map(|st| st.dir().to_path_buf()),
+                        // Poisoned by an earlier panic: fall back to
+                        // the conventional location.
+                        Err(_) => ctx.data_dir.as_ref().map(|d| d.join(&sid)),
+                    };
+                    if let Some(dir) = dir {
+                        let _ = std::fs::remove_dir_all(dir);
+                    }
+                    format!("OK closed sid={sid}")
+                }
                 Err(e) => err_line(&e),
             },
             Ok(Request::List) => {
@@ -324,12 +421,8 @@ fn read_graph_block(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> Opt
     }
 }
 
-fn open_session(
-    registry: &SessionRegistry,
-    sid: &str,
-    cfg: SessionConfig,
-    metis_text: &str,
-) -> String {
+fn open_session(ctx: &ServerCtx, sid: &str, cfg: SessionConfig, metis_text: &str) -> String {
+    let registry = &ctx.registry;
     // Cheap existence check before paying for parsing + RSB; the
     // post-construction `registry.open` below stays authoritative for
     // the race where two OPENs on one sid pass this check together.
@@ -348,6 +441,13 @@ fn open_session(
         )));
     }
     let parts = cfg.parts;
+    // Durable configs must survive the config-line roundtrip recovery
+    // depends on; reject before any expensive work.
+    if ctx.data_dir.is_some() {
+        if let Err(e) = crate::protocol::check_wire_representable(&cfg) {
+            return err_line(&ServiceError::Storage(e));
+        }
+    }
     let session = ServiceSession::open(graph, cfg);
     let g = session.inner().graph();
     let m = CutMetrics::compute(g, session.inner().partitioning());
@@ -356,10 +456,34 @@ fn open_session(
         "OK open sid={sid} n={n} m={num_edges} parts={parts} cut={} imbalance={:.6}",
         m.total_cut_edges, m.count_imbalance,
     );
-    match registry.open(sid, session) {
-        Ok(()) => reply,
-        Err(e) => err_line(&e),
+    let entry = match registry.open(sid, session) {
+        Ok(entry) => entry,
+        Err(e) => return err_line(&e),
+    };
+    // Disk is touched only after this thread *won* the sid: a loser in
+    // a duplicate-OPEN race must never wipe the winner's directory. We
+    // operate on the exact entry we registered (not a by-sid lookup,
+    // which a concurrent CLOSE + re-OPEN could repoint at someone
+    // else's session), and the initial snapshot is taken from the
+    // session's state under its lock, so nothing in between is lost.
+    if let Some(data_dir) = &ctx.data_dir {
+        let made_durable = match entry.lock() {
+            Ok(mut s) => s
+                .make_durable(&data_dir.join(sid), sid, ctx.snapshot_policy)
+                .err(),
+            Err(_) => Some(ServiceError::Internal(format!(
+                "session `{sid}` poisoned before it became durable"
+            ))),
+        };
+        if let Some(e) = made_durable {
+            // A session the daemon cannot journal must not linger
+            // half-durable: unregister it again — but only if the table
+            // still maps the sid to *our* entry.
+            registry.close_if_same(sid, &entry);
+            return err_line(&e);
+        }
     }
+    reply
 }
 
 fn with_session<F: FnOnce(&mut ServiceSession) -> String>(

@@ -1,13 +1,19 @@
 //! One tenant of the daemon: an [`IgpSession`] plus its repartition
-//! policy, fed by the delta queue and flushed when the policy fires.
+//! policy, fed by the delta queue and flushed when the policy fires —
+//! and, in `--data-dir` mode, journaled through an
+//! [`igp_store::SessionStore`] so a crash recovers it bit-identically.
 
 use crate::policy::{PolicyView, RepartitionPolicy};
-use igp_core::session::{IgpSession, StepSummary};
+use crate::ServiceError;
+use igp_core::session::{IgpSession, SessionSeed, StepSummary};
 use igp_core::IgpConfig;
-use igp_graph::{CoalesceError, CsrGraph, GraphDelta, PartId, Partitioning};
+use igp_graph::{CsrGraph, GraphDelta, PartId, Partitioning};
 use igp_runtime::Backend;
 use igp_spectral::{recursive_spectral_bisection, RsbOptions};
+use igp_store::store::SessionState;
+use igp_store::{SessionStore, SnapshotPolicy, StoreError, StoreMeta, WalRecord};
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 
 /// How a fresh session computes its initial partitioning.
@@ -111,6 +117,24 @@ pub struct ServiceSession {
     /// Total vertex weight of the current (flushed) graph, cached so
     /// per-delta policy evaluation avoids an O(n) rescan.
     total_weight: u64,
+    /// The durability store in `--data-dir` mode; `None` for
+    /// memory-only sessions, and detached (with a one-time error to the
+    /// client) if the storage layer ever fails.
+    store: Option<SessionStore>,
+}
+
+/// Borrow the persistable state for the store (a free function so the
+/// store field can be borrowed mutably alongside it).
+fn persist_state(session: &IgpSession, deltas_received: usize) -> SessionState<'_> {
+    SessionState {
+        graph: session.graph(),
+        part: session.partitioning(),
+        base_of_current: session.base_of_current(),
+        steps: session.steps() as u64,
+        total_moved: session.total_moved(),
+        deltas_received: deltas_received as u64,
+        needs_scratch: session.needs_scratch(),
+    }
 }
 
 impl ServiceSession {
@@ -140,13 +164,107 @@ impl ServiceSession {
             cfg,
             deltas_received: 0,
             total_weight,
+            store: None,
+        }
+    }
+
+    /// Open a *durable* session: like [`ServiceSession::open`], plus a
+    /// fresh [`SessionStore`] at `dir` holding the config line, the
+    /// initial snapshot (graph + initial partitioning) and an empty
+    /// WAL. Fails if `cfg` cannot be expressed by the wire grammar —
+    /// recovery reconstructs the config from its encoded line, so a
+    /// lossy encoding would silently diverge after a restart.
+    pub fn open_durable(
+        graph: CsrGraph,
+        cfg: SessionConfig,
+        dir: &Path,
+        sid: &str,
+        snapshot_policy: SnapshotPolicy,
+    ) -> Result<Self, ServiceError> {
+        let mut s = Self::open(graph, cfg);
+        s.make_durable(dir, sid, snapshot_policy)?;
+        Ok(s)
+    }
+
+    /// Attach a fresh store to a running session: writes the config
+    /// line and a snapshot of the session's *current* state, then
+    /// journals everything from here on. (The daemon registers a
+    /// session first and makes it durable under its lock, so a
+    /// duplicate-`OPEN` loser can never touch the winner's directory.)
+    pub fn make_durable(
+        &mut self,
+        dir: &Path,
+        sid: &str,
+        snapshot_policy: SnapshotPolicy,
+    ) -> Result<(), ServiceError> {
+        if self.store.is_some() {
+            // Typed, not an assert: a panic here would poison the
+            // session's mutex for every other connection.
+            return Err(ServiceError::Storage(
+                "session is already durable".to_string(),
+            ));
+        }
+        crate::protocol::check_wire_representable(&self.cfg).map_err(ServiceError::Storage)?;
+        // The initial snapshot only captures flushed state; deltas that
+        // raced in between registration and this call (another
+        // connection hitting the sid) are folded in first so nothing
+        // escapes the journal.
+        if self.session.pending_deltas() > 0 {
+            self.flush_replay();
+        }
+        let store = SessionStore::create(
+            dir,
+            StoreMeta {
+                sid: sid.to_string(),
+                config_line: crate::protocol::encode_open_opts(&self.cfg),
+            },
+            snapshot_policy,
+            persist_state(&self.session, self.deltas_received),
+        )
+        .map_err(|e| ServiceError::Storage(e.to_string()))?;
+        self.store = Some(store);
+        Ok(())
+    }
+
+    /// Rebuild a session from a recovery seed (see [`crate::durable`]):
+    /// same driver-selection rule as [`ServiceSession::open`], but the
+    /// graph, partitioning, identity map and counters come from the
+    /// snapshot instead of a fresh initial partitioning.
+    pub(crate) fn rehydrate(cfg: SessionConfig, seed: SessionSeed, deltas_received: usize) -> Self {
+        assert!(cfg.workers <= MAX_WORKERS);
+        let igp_cfg = IgpConfig::new(cfg.parts).with_backend(cfg.backend);
+        let total_weight = seed.graph.total_vertex_weight();
+        let session = IgpSession::rehydrate(seed, igp_cfg, cfg.refined, cfg.workers);
+        ServiceSession {
+            session,
+            cfg,
+            deltas_received,
+            total_weight,
+            store: None,
         }
     }
 
     /// Queue one delta; flush if the policy fires. The delta addresses
     /// the session's *virtual* current graph (current graph + already
     /// queued deltas), exactly as a client streaming edits sees it.
-    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<Ingest, CoalesceError> {
+    ///
+    /// In durable mode the accepted delta is journaled to the WAL
+    /// before this returns (i.e. before the daemon acks), and a flushed
+    /// step may fold the log into a fresh snapshot per the store's
+    /// [`SnapshotPolicy`].
+    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<Ingest, ServiceError> {
+        let r = self.ingest_replay(delta).map_err(ServiceError::Delta)?;
+        let stepped = matches!(r, Ingest::Stepped { .. });
+        self.durable_event(Some(delta), false, stepped)?;
+        Ok(r)
+    }
+
+    /// The pure (journal-free) ingest path: exactly what recovery
+    /// replays, and what [`ServiceSession::ingest`] wraps.
+    pub(crate) fn ingest_replay(
+        &mut self,
+        delta: &GraphDelta,
+    ) -> Result<Ingest, igp_graph::CoalesceError> {
         let pending = self.session.queue_delta(delta)?;
         self.deltas_received += 1;
         if self.cfg.policy.should_flush(&self.policy_view()) {
@@ -167,14 +285,97 @@ impl ServiceSession {
 
     /// Force a repartition of whatever is pending (the protocol's
     /// `FLUSH`). Returns `(summary, coalesced)` or `None` if there was
-    /// nothing to do.
-    pub fn flush(&mut self) -> Option<(StepSummary, usize)> {
+    /// nothing to do. An explicit flush is journaled (it is an external
+    /// event replay cannot re-derive from the delta stream).
+    pub fn flush(&mut self) -> Result<Option<(StepSummary, usize)>, ServiceError> {
+        if self.session.pending_deltas() == 0 {
+            return Ok(None);
+        }
+        let stepped = self.flush_replay();
+        self.durable_event(None, true, stepped.is_some())?;
+        Ok(stepped)
+    }
+
+    /// The pure (journal-free) flush path used by recovery replay.
+    pub(crate) fn flush_replay(&mut self) -> Option<(StepSummary, usize)> {
         let coalesced = self.session.pending_deltas();
         let stepped = self.session.flush().map(|s| (s, coalesced));
         if stepped.is_some() {
             self.total_weight = self.session.graph().total_vertex_weight();
         }
         stepped
+    }
+
+    /// Replay one journaled record (recovery only — nothing is
+    /// re-journaled).
+    pub(crate) fn replay_record(&mut self, rec: &WalRecord) -> Result<(), String> {
+        match rec {
+            WalRecord::Delta(d) => self
+                .ingest_replay(d)
+                .map(|_| ())
+                .map_err(|e| format!("journaled delta rejected on replay: {e}")),
+            WalRecord::Flush => {
+                self.flush_replay();
+                Ok(())
+            }
+        }
+    }
+
+    /// Journal the event and evaluate the snapshot policy. On a storage
+    /// failure the store is detached — the session stays usable,
+    /// memory-only — and the error is surfaced once.
+    fn durable_event(
+        &mut self,
+        delta: Option<&GraphDelta>,
+        explicit_flush: bool,
+        stepped: bool,
+    ) -> Result<(), ServiceError> {
+        if self.store.is_none() {
+            return Ok(());
+        }
+        let state = persist_state(&self.session, self.deltas_received);
+        let store = self.store.as_mut().expect("checked above");
+        let result = (|| -> Result<(), StoreError> {
+            if let Some(d) = delta {
+                store.journal_delta(d)?;
+            }
+            if explicit_flush {
+                store.journal_flush()?;
+            }
+            // Snapshots only at step boundaries: the queue is empty
+            // there, so snapshot + WAL tail fully describe the session.
+            if stepped {
+                store.maybe_snapshot(state)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.store = None;
+            // NB the request itself already succeeded in memory — the
+            // `storage` kind plus this wording is the client's contract
+            // that it must NOT retry the delta (DESIGN.md §9.2).
+            return Err(ServiceError::Storage(format!(
+                "durability lost; the request WAS applied in memory (do not retry) \
+                 and the session continues memory-only: {e}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Attach a recovered store (recovery glue in [`crate::durable`]).
+    pub(crate) fn attach_store(&mut self, store: SessionStore) {
+        self.store = Some(store);
+    }
+
+    /// Detach and return the store (used at `CLOSE` so the directory
+    /// can be deleted after the session is unregistered).
+    pub fn detach_store(&mut self) -> Option<SessionStore> {
+        self.store.take()
+    }
+
+    /// The durability store, if this session is durable.
+    pub fn store(&self) -> Option<&SessionStore> {
+        self.store.as_ref()
     }
 
     fn policy_view(&self) -> PolicyView {
@@ -209,9 +410,10 @@ impl ServiceSession {
         self.deltas_received
     }
 
-    /// Repartition steps taken so far.
+    /// Repartition steps taken so far (continues across a crash +
+    /// recovery).
     pub fn steps(&self) -> usize {
-        self.session.history().len()
+        self.session.steps()
     }
 }
 
@@ -251,7 +453,7 @@ mod tests {
         assert_eq!(s.deltas_received(), 6);
         assert_eq!(s.inner().graph(), &mirror);
         // Forced flush with nothing pending is a no-op.
-        assert!(s.flush().is_none());
+        assert!(s.flush().unwrap().is_none());
     }
 
     #[test]
@@ -266,7 +468,7 @@ mod tests {
             s.ingest(&d).unwrap(),
             Ingest::Queued { pending: 1 }
         ));
-        let (summary, coalesced) = s.flush().expect("pending batch");
+        let (summary, coalesced) = s.flush().unwrap().expect("pending batch");
         assert_eq!(coalesced, 1);
         assert_eq!(summary.num_vertices, 40);
         s.inner()

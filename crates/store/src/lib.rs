@@ -1,0 +1,124 @@
+//! # igp-store — durability for the serving layer
+//!
+//! The paper's economics — incremental repartitioning beats recompute
+//! from scratch — only pay off in a long-lived service if the
+//! incremental state *survives restarts*: an `igp-serve` crash that
+//! loses every tenant's graph forces exactly the full recompute the
+//! method exists to avoid. This crate is the persistence substrate
+//! (DESIGN.md §9):
+//!
+//! * [`wal`] — a per-session **write-ahead log** of validated
+//!   [`igp_graph::GraphDelta`]s and explicit flush markers, in
+//!   length+CRC32 frames. A truncated or corrupt trailing record is
+//!   detected, reported and dropped — never a panic.
+//! * [`snapshot`] — periodic **partition+graph snapshots** carrying the
+//!   graph, the partitioning, the session's composed identity map and
+//!   its counters, plus the *lineage delta*: the WAL tail since the
+//!   previous snapshot folded into one canonical edit by
+//!   [`igp_graph::DeltaCoalescer`] (log compaction by coalescing).
+//! * [`policy`] — a [`SnapshotPolicy`] priced with
+//!   [`igp_runtime::CostModel`]: snapshot when the estimated cost of
+//!   replaying the WAL tail exceeds the cost of writing a snapshot,
+//!   mirroring the serving layer's remap-vs-stale repartition trigger.
+//! * [`store`] — [`SessionStore`]: the on-disk session directory
+//!   (`meta`, `snap-<seq>`, `wal-<seq>`), journaling, snapshot
+//!   rotation, read-only inspection and crash [`SessionStore::recover`].
+//!
+//! The recovery contract, asserted by `tests/store_recovery.rs` and the
+//! CI kill-9 end-to-end job: *loading the latest snapshot and replaying
+//! the WAL tail rehydrates a session bit-identical — graph, partition
+//! assignment and composed identity map — to the session that never
+//! crashed.* It holds because every repartition driver is
+//! deterministic in (graph, partitioning, config) and the WAL records
+//! every externally visible input (accepted deltas, explicit flushes)
+//! in order.
+
+pub mod policy;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use policy::{SnapshotPolicy, SnapshotTrigger, SnapshotView};
+pub use snapshot::SnapshotData;
+pub use store::{Inspection, Recovered, SessionState, SessionStore, StoreMeta};
+pub use wal::{WalRecord, WalTail};
+
+/// Failure in the durability layer. Storage failures never take the
+/// in-memory session down; the serving layer reports them and degrades
+/// the session to memory-only.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A file exists but its contents are not usable (bad magic,
+    /// version, checksum, or decode failure).
+    Corrupt {
+        /// File (or logical part) the corruption was found in.
+        what: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The session directory is structurally incomplete (missing meta
+    /// or no usable snapshot).
+    Missing(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::Corrupt { what, reason } => write!(f, "corrupt {what}: {reason}"),
+            StoreError::Missing(m) => write!(f, "missing: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), the checksum in WAL frames and
+/// snapshot trailers. Table-driven; the table is built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

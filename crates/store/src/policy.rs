@@ -1,0 +1,254 @@
+//! Snapshot cadence: *when* is writing a snapshot worth it?
+//!
+//! The same economic framing the serving layer uses for its repartition
+//! trigger (remap cost vs accumulated staleness, priced with
+//! [`CostModel`]) applies one level down: every WAL record widens the
+//! gap between the last snapshot and the live session, and a crash pays
+//! for that gap at recovery time — each journaled edit must be
+//! re-applied and each flush re-runs a full repartition. A snapshot
+//! erases the gap at the price of serializing the whole graph +
+//! partition. [`SnapshotPolicy::CostModelDriven`] snapshots exactly
+//! when the estimated replay cost of the tail exceeds the estimated
+//! write cost (DESIGN.md §9.3).
+
+use igp_runtime::CostModel;
+use std::fmt;
+use std::str::FromStr;
+
+/// Everything the policy may consult, maintained by the store.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SnapshotView {
+    /// Vertices of the current session graph.
+    pub n_current: usize,
+    /// WAL records appended since the last snapshot.
+    pub records_since_snap: u64,
+    /// Repartition steps taken since the last snapshot (each one is a
+    /// full remap a recovery would have to recompute).
+    pub flushes_since_snap: u64,
+    /// Total edit operations (vertices + edges added/removed) journaled
+    /// since the last snapshot.
+    pub ops_since_snap: u64,
+}
+
+/// Parameters of the cost-model-driven snapshot trigger.
+///
+/// The model, in simulated seconds:
+///
+/// * replaying the tail costs `t_work · (replay_work_per_op · ops +
+///   remap_work_per_vertex · n · flushes)` — re-applying each edit is
+///   cheap, re-running each policy-fired repartition is not
+///   (`remap_work_per_vertex` matches the serving layer's
+///   `CostTrigger` default so the two triggers price a repartition
+///   identically);
+/// * writing a snapshot costs `t_work · write_work_per_vertex · n` —
+///   serializing the graph, partition and identity map.
+///
+/// With the defaults a snapshot fires after roughly
+/// `write_work_per_vertex / remap_work_per_vertex = 5` repartitions,
+/// sooner if the edits themselves are heavy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotTrigger {
+    /// Cost constants (defaults to [`CostModel::cm5`], the same
+    /// constants the simulated backend and the repartition trigger
+    /// charge).
+    pub cost: CostModel,
+    /// Charged work units to re-apply one journaled edit operation.
+    pub replay_work_per_op: f64,
+    /// Charged work units per vertex for one repartition pass (same
+    /// default as the serving layer's cost trigger).
+    pub remap_work_per_vertex: f64,
+    /// Charged work units per vertex to write one snapshot.
+    pub write_work_per_vertex: f64,
+}
+
+impl Default for SnapshotTrigger {
+    fn default() -> Self {
+        SnapshotTrigger {
+            cost: CostModel::cm5(),
+            replay_work_per_op: 20.0,
+            remap_work_per_vertex: 40.0,
+            write_work_per_vertex: 200.0,
+        }
+    }
+}
+
+impl SnapshotTrigger {
+    /// Estimated simulated seconds recovering the current WAL tail
+    /// would cost.
+    pub fn replay_cost(&self, view: &SnapshotView) -> f64 {
+        let n = view.n_current.max(1) as f64;
+        self.cost.t_work
+            * (self.replay_work_per_op * view.ops_since_snap as f64
+                + self.remap_work_per_vertex * n * view.flushes_since_snap as f64)
+    }
+
+    /// Estimated simulated seconds one snapshot write costs.
+    pub fn write_cost(&self, view: &SnapshotView) -> f64 {
+        self.cost.t_work * self.write_work_per_vertex * view.n_current.max(1) as f64
+    }
+}
+
+/// When the store folds the WAL tail into a fresh snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SnapshotPolicy {
+    /// Never snapshot beyond the initial one: the WAL grows unbounded
+    /// (useful for tests and offline analysis).
+    Never,
+    /// Snapshot after every `k`-th WAL record.
+    EveryK(u64),
+    /// Snapshot when the estimated replay cost of the tail exceeds the
+    /// estimated snapshot-write cost.
+    CostModelDriven(SnapshotTrigger),
+}
+
+impl SnapshotPolicy {
+    /// Should the store snapshot now? Evaluated after each flushed
+    /// repartition step (snapshots are only taken at step boundaries,
+    /// where the queue is empty and the on-disk state fully describes
+    /// the session).
+    pub fn should_snapshot(&self, view: &SnapshotView) -> bool {
+        if view.records_since_snap == 0 {
+            return false;
+        }
+        match *self {
+            SnapshotPolicy::Never => false,
+            SnapshotPolicy::EveryK(k) => view.records_since_snap >= k.max(1),
+            SnapshotPolicy::CostModelDriven(t) => t.replay_cost(view) >= t.write_cost(view),
+        }
+    }
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy::CostModelDriven(SnapshotTrigger::default())
+    }
+}
+
+impl fmt::Display for SnapshotPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SnapshotPolicy::Never => write!(f, "never"),
+            SnapshotPolicy::EveryK(k) => write!(f, "every:{k}"),
+            SnapshotPolicy::CostModelDriven(t) => write!(
+                f,
+                "cost:{}:{}:{}",
+                t.replay_work_per_op, t.remap_work_per_vertex, t.write_work_per_vertex
+            ),
+        }
+    }
+}
+
+impl FromStr for SnapshotPolicy {
+    type Err = String;
+
+    /// Parse a snapshot policy spec: `never`, `every:<k>`, `cost`, or
+    /// `cost:<replay-op>:<remap-v>:<write-v>` (CM-5 cost constants).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or("");
+        let parsed = match kind {
+            "never" => SnapshotPolicy::Never,
+            "every" => {
+                let k: u64 = parts
+                    .next()
+                    .ok_or("every needs :<k>")?
+                    .parse()
+                    .map_err(|e| format!("bad every:<k>: {e}"))?;
+                if k == 0 {
+                    return Err("every:<k> must be ≥ 1".into());
+                }
+                SnapshotPolicy::EveryK(k)
+            }
+            "cost" => {
+                let mut trig = SnapshotTrigger::default();
+                for (slot, name) in [
+                    (&mut trig.replay_work_per_op, "replay-op"),
+                    (&mut trig.remap_work_per_vertex, "remap-v"),
+                    (&mut trig.write_work_per_vertex, "write-v"),
+                ] {
+                    if let Some(tok) = parts.next() {
+                        *slot = tok.parse().map_err(|e| format!("bad cost <{name}>: {e}"))?;
+                        if *slot <= 0.0 || !slot.is_finite() {
+                            return Err(format!("cost <{name}> must be positive"));
+                        }
+                    }
+                }
+                SnapshotPolicy::CostModelDriven(trig)
+            }
+            other => return Err(format!("unknown snapshot policy `{other}`")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in snapshot policy `{s}`"));
+        }
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(records: u64, flushes: u64, ops: u64, n: usize) -> SnapshotView {
+        SnapshotView {
+            n_current: n,
+            records_since_snap: records,
+            flushes_since_snap: flushes,
+            ops_since_snap: ops,
+        }
+    }
+
+    #[test]
+    fn never_and_every_k() {
+        assert!(!SnapshotPolicy::Never.should_snapshot(&view(1000, 1000, 1000, 10)));
+        let p = SnapshotPolicy::EveryK(3);
+        assert!(!p.should_snapshot(&view(2, 2, 10, 10)));
+        assert!(p.should_snapshot(&view(3, 0, 0, 10)));
+    }
+
+    #[test]
+    fn empty_tail_never_snapshots() {
+        for p in [
+            SnapshotPolicy::Never,
+            SnapshotPolicy::EveryK(1),
+            SnapshotPolicy::default(),
+        ] {
+            assert!(!p.should_snapshot(&view(0, 0, 0, 1000)));
+        }
+    }
+
+    #[test]
+    fn cost_trigger_accumulates_flushes_until_write_pays() {
+        let p = SnapshotPolicy::default();
+        // One repartition in the tail: replay (40n) < write (200n).
+        assert!(!p.should_snapshot(&view(1, 1, 10, 1000)));
+        // Five repartitions: replay (200n) ≥ write (200n).
+        assert!(p.should_snapshot(&view(5, 5, 50, 1000)));
+        // Heavy edits tip it earlier.
+        assert!(p.should_snapshot(&view(2, 2, 100_000, 100)));
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for spec in ["never", "every:8", "cost:20:40:200", "cost:1:2:3"] {
+            let p: SnapshotPolicy = spec.parse().unwrap();
+            assert_eq!(p.to_string(), spec, "{spec}");
+        }
+        assert_eq!(
+            "cost".parse::<SnapshotPolicy>().unwrap(),
+            SnapshotPolicy::default()
+        );
+        // Partial cost specs fill the remaining defaults in order.
+        match "cost:5".parse::<SnapshotPolicy>().unwrap() {
+            SnapshotPolicy::CostModelDriven(t) => {
+                assert_eq!(t.replay_work_per_op, 5.0);
+                assert_eq!(t.remap_work_per_vertex, 40.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "", "every", "every:0", "cost:0", "cost:-1", "nope", "never:1",
+        ] {
+            assert!(bad.parse::<SnapshotPolicy>().is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Snapshot files: the full persistable session state at one step
+//! boundary, plus the *lineage* of how it got there.
+//!
+//! Layout (little-endian, CRC32 trailer over everything before it):
+//!
+//! ```text
+//! magic "IGPS" · version u32 · seq u64
+//! steps u64 · total_moved u64 · deltas_received u64 · needs_scratch u8
+//! graph   : len u32 · igp_graph::io::write_graph_bin
+//! part    : len u32 · igp_graph::io::write_partition_bin
+//! basemap : count u32 · count × u32      (birth id per current vertex)
+//! lineage : len u32 · igp_graph::io::write_delta_bin
+//! compacted_records u64
+//! crc32 u32
+//! ```
+//!
+//! The **lineage delta** is the previous snapshot's WAL tail folded
+//! into one canonical edit by [`igp_graph::DeltaCoalescer`] — log
+//! compaction by coalescing: `compacted_records` journal frames are
+//! replaced by a single delta whose application to the previous
+//! snapshot's graph reproduces this one (and whose identity map links
+//! vertex ids across the two). Snapshot writes go through a temp file +
+//! rename, so a crash mid-write leaves the previous snapshot intact.
+
+use crate::{crc32, StoreError};
+use igp_graph::{io as graph_io, CsrGraph, GraphDelta, NodeId, Partitioning};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const SNAP_MAGIC: [u8; 4] = *b"IGPS";
+const SNAP_VERSION: u32 = 1;
+
+/// Everything one snapshot persists.
+#[derive(Clone, Debug)]
+pub struct SnapshotData {
+    /// Snapshot sequence number (0 = the state at `OPEN`).
+    pub seq: u64,
+    /// Session steps taken when the snapshot was written.
+    pub steps: u64,
+    /// Total vertices moved by those steps.
+    pub total_moved: u64,
+    /// Deltas accepted over the session's lifetime.
+    pub deltas_received: u64,
+    /// The from-scratch signal at snapshot time.
+    pub needs_scratch: bool,
+    /// The session graph.
+    pub graph: CsrGraph,
+    /// The session partitioning.
+    pub part: Partitioning,
+    /// Birth-graph id per current vertex (the session's composed
+    /// identity map).
+    pub base_of_current: Vec<NodeId>,
+    /// The WAL tail since the previous snapshot, coalesced into one
+    /// canonical delta (empty for snapshot 0).
+    pub lineage: GraphDelta,
+    /// How many WAL records the lineage delta compacted.
+    pub compacted_records: u64,
+}
+
+/// Serialize and atomically install a snapshot at `path` (write to
+/// `path.tmp`, fsync, rename).
+pub fn write_snapshot(path: &Path, data: &SnapshotData) -> Result<(), StoreError> {
+    let graph = graph_io::write_graph_bin(&data.graph);
+    let part = graph_io::write_partition_bin(&data.part);
+    let lineage = graph_io::write_delta_bin(&data.lineage);
+    // The block length prefixes are u32; fail the write rather than
+    // wrap silently into a snapshot the reader would call corrupt —
+    // after rotation deleted its only predecessor.
+    for (block, what) in [
+        (&graph, "graph"),
+        (&part, "partition"),
+        (&lineage, "lineage"),
+    ] {
+        if block.len() as u64 > u32::MAX as u64 {
+            return Err(StoreError::Corrupt {
+                what: path.display().to_string(),
+                reason: format!(
+                    "{what} block of {} bytes exceeds the u32 frame bound",
+                    block.len()
+                ),
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(64 + graph.len() + part.len() + lineage.len());
+    out.extend_from_slice(&SNAP_MAGIC);
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    out.extend_from_slice(&data.seq.to_le_bytes());
+    out.extend_from_slice(&data.steps.to_le_bytes());
+    out.extend_from_slice(&data.total_moved.to_le_bytes());
+    out.extend_from_slice(&data.deltas_received.to_le_bytes());
+    out.push(u8::from(data.needs_scratch));
+    for block in [&graph, &part] {
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(block);
+    }
+    out.extend_from_slice(&(data.base_of_current.len() as u32).to_le_bytes());
+    for &b in &data.base_of_current {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&(lineage.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lineage);
+    out.extend_from_slice(&data.compacted_records.to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and verify a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotData, StoreError> {
+    let corrupt = |reason: String| StoreError::Corrupt {
+        what: path.display().to_string(),
+        reason,
+    };
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 4 + 4 + 8 * 4 + 1 + 4 {
+        return Err(corrupt(format!("short file ({} bytes)", bytes.len())));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&e| e <= body.len())
+            .ok_or_else(|| StoreError::Corrupt {
+                what: path.display().to_string(),
+                reason: format!("truncated at offset {pos}"),
+            })?;
+        let s = &body[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let u32_at = |pos: &mut usize| -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+    };
+    let u64_at = |pos: &mut usize| -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+    };
+    if take(&mut pos, 4)? != SNAP_MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let ver = u32_at(&mut pos)?;
+    if ver != SNAP_VERSION {
+        return Err(corrupt(format!("unsupported version {ver}")));
+    }
+    let seq = u64_at(&mut pos)?;
+    let steps = u64_at(&mut pos)?;
+    let total_moved = u64_at(&mut pos)?;
+    let deltas_received = u64_at(&mut pos)?;
+    let needs_scratch = take(&mut pos, 1)?[0] != 0;
+    let graph_len = u32_at(&mut pos)? as usize;
+    let graph =
+        graph_io::read_graph_bin(take(&mut pos, graph_len)?).map_err(|e| corrupt(e.to_string()))?;
+    let part_len = u32_at(&mut pos)? as usize;
+    let part = graph_io::read_partition_bin(take(&mut pos, part_len)?, &graph)
+        .map_err(|e| corrupt(e.to_string()))?;
+    let map_len = u32_at(&mut pos)? as usize;
+    if map_len != graph.num_vertices() {
+        return Err(corrupt(format!(
+            "identity map has {map_len} entries for {} vertices",
+            graph.num_vertices()
+        )));
+    }
+    let mut base_of_current = Vec::with_capacity(map_len);
+    for _ in 0..map_len {
+        base_of_current.push(u32_at(&mut pos)?);
+    }
+    let lineage_len = u32_at(&mut pos)? as usize;
+    let lineage = graph_io::read_delta_bin(take(&mut pos, lineage_len)?)
+        .map_err(|e| corrupt(e.to_string()))?;
+    let compacted_records = u64_at(&mut pos)?;
+    if pos != body.len() {
+        return Err(corrupt(format!("{} trailing bytes", body.len() - pos)));
+    }
+    Ok(SnapshotData {
+        seq,
+        steps,
+        total_moved,
+        deltas_received,
+        needs_scratch,
+        graph,
+        part,
+        base_of_current,
+        lineage,
+        compacted_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igp_graph::generators;
+
+    fn sample() -> SnapshotData {
+        let graph = generators::grid(4, 4);
+        let part = Partitioning::round_robin(&graph, 2);
+        SnapshotData {
+            seq: 3,
+            steps: 7,
+            total_moved: 41,
+            deltas_received: 19,
+            needs_scratch: true,
+            base_of_current: (0..16).collect(),
+            lineage: GraphDelta {
+                add_vertices: vec![1, 1],
+                add_edges: vec![(0, 16, 1), (16, 17, 2)],
+                ..Default::default()
+            },
+            compacted_records: 6,
+            graph,
+            part,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("igp-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip.snap");
+        let data = sample();
+        write_snapshot(&path, &data).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.seq, data.seq);
+        assert_eq!(back.steps, data.steps);
+        assert_eq!(back.total_moved, data.total_moved);
+        assert_eq!(back.deltas_received, data.deltas_received);
+        assert_eq!(back.needs_scratch, data.needs_scratch);
+        assert_eq!(back.graph, data.graph);
+        assert_eq!(back.part, data.part);
+        assert_eq!(back.base_of_current, data.base_of_current);
+        assert_eq!(back.lineage, data.lineage);
+        assert_eq!(back.compacted_records, data.compacted_records);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected_by_trailer_crc() {
+        let path = tmp("corrupt.snap");
+        write_snapshot(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Truncation too.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

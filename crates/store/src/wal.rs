@@ -1,0 +1,376 @@
+//! The write-ahead log: length+CRC32-framed records, append-only.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! header : magic "IGPW" · version u32 · snapshot seq u64
+//! frame  : len u32 · crc32(payload) u32 · payload[len]
+//! payload: kind u8 · body
+//!          kind 1 = delta  (body = igp_graph::io::write_delta_bin)
+//!          kind 2 = flush  (empty body; an explicit FLUSH request)
+//! ```
+//!
+//! Policy-fired flushes are *not* journaled: they are a deterministic
+//! function of the delta stream and the session config, so replay
+//! recomputes them. Only externally caused events ride the log.
+//!
+//! **Tail hardening:** a reader stops at the first frame that is
+//! truncated, oversized or fails its checksum, reports the reason, and
+//! the recovery path truncates the file back to the last good frame
+//! before appending — a torn write costs at most the unacknowledged
+//! tail, never the session.
+
+use crate::{crc32, StoreError};
+use igp_graph::{io as graph_io, GraphDelta};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const WAL_MAGIC: [u8; 4] = *b"IGPW";
+const WAL_VERSION: u32 = 1;
+pub(crate) const HEADER_BYTES: u64 = 16;
+/// Upper bound on one frame's payload: far above any real delta, small
+/// enough that a corrupt length field cannot balloon recovery.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+const KIND_DELTA: u8 = 1;
+const KIND_FLUSH: u8 = 2;
+
+/// One journaled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A delta accepted into the session's queue.
+    Delta(GraphDelta),
+    /// An explicit (client-requested) flush of the pending queue.
+    Flush,
+}
+
+/// Frame payload for a delta record (borrowed — the hot journaling
+/// path never clones the delta).
+fn delta_payload(d: &GraphDelta) -> Vec<u8> {
+    let body = graph_io::write_delta_bin(d);
+    let mut payload = Vec::with_capacity(1 + body.len());
+    payload.push(KIND_DELTA);
+    payload.extend_from_slice(&body);
+    payload
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Delta(d) => delta_payload(d),
+            WalRecord::Flush => vec![KIND_FLUSH],
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, String> {
+        match payload.split_first() {
+            Some((&KIND_DELTA, body)) => graph_io::read_delta_bin(body)
+                .map(WalRecord::Delta)
+                .map_err(|e| e.to_string()),
+            Some((&KIND_FLUSH, [])) => Ok(WalRecord::Flush),
+            Some((&KIND_FLUSH, _)) => Err("flush record with non-empty body".into()),
+            Some((&k, _)) => Err(format!("unknown record kind {k}")),
+            None => Err("empty payload".into()),
+        }
+    }
+}
+
+/// An open WAL file positioned for appending.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL for snapshot `seq` (truncates any existing
+    /// file at `path`).
+    pub fn create(path: &Path, seq: u64) -> Result<Self, StoreError> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(HEADER_BYTES as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&seq.to_le_bytes());
+        file.write_all(&header)?;
+        file.flush()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes: HEADER_BYTES,
+            records: 0,
+        })
+    }
+
+    /// Reopen an existing WAL for appending after recovery, truncating
+    /// it to `tail.good_bytes` first (dropping any corrupt tail).
+    pub fn reopen(path: &Path, tail: &WalTail) -> Result<Self, StoreError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(tail.good_bytes)?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes: tail.good_bytes,
+            records: tail.records.len() as u64,
+        };
+        use std::io::Seek;
+        w.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(w)
+    }
+
+    /// Append one record; returns the frame size in bytes. The write is
+    /// flushed to the OS before returning (the ack ordering contract);
+    /// see DESIGN.md §9.4 for the fsync trade-off.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StoreError> {
+        self.append_payload(rec.encode())
+    }
+
+    /// Append a delta record without cloning the delta.
+    pub fn append_delta(&mut self, d: &GraphDelta) -> Result<u64, StoreError> {
+        self.append_payload(delta_payload(d))
+    }
+
+    fn append_payload(&mut self, payload: Vec<u8>) -> Result<u64, StoreError> {
+        // Refuse at write time what the reader would reject at recovery
+        // time: a frame past MAX_PAYLOAD would be journaled, acked, and
+        // then silently dropped (with every later record) as a corrupt
+        // tail — the opposite of the WAL's contract.
+        if payload.len() as u64 > MAX_PAYLOAD as u64 {
+            return Err(StoreError::Corrupt {
+                what: self.path.display().to_string(),
+                reason: format!(
+                    "record payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame bound",
+                    payload.len()
+                ),
+            });
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Bytes written so far (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records in the file.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The readable contents of a WAL file: every intact record plus a note
+/// about a dropped corrupt tail, if any.
+#[derive(Debug)]
+pub struct WalTail {
+    /// Snapshot sequence number this log extends.
+    pub seq: u64,
+    /// Intact records, in append order.
+    pub records: Vec<WalRecord>,
+    /// File offset just past each intact frame (`ends[i]` is where
+    /// record `i` ends); lets recovery truncate to any record boundary.
+    pub ends: Vec<u64>,
+    /// File offset just past the last intact frame (the truncation
+    /// point for reopening).
+    pub good_bytes: u64,
+    /// Total file size observed.
+    pub total_bytes: u64,
+    /// Why the bytes past `good_bytes` were dropped (`None` when the
+    /// whole file was intact).
+    pub corruption: Option<String>,
+}
+
+/// Read a WAL file, stopping — without panicking — at the first
+/// truncated or corrupt frame.
+pub fn read_wal(path: &Path) -> Result<WalTail, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_BYTES as usize {
+        return Err(StoreError::Corrupt {
+            what: path.display().to_string(),
+            reason: format!("short header ({} bytes)", bytes.len()),
+        });
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(StoreError::Corrupt {
+            what: path.display().to_string(),
+            reason: "bad magic".into(),
+        });
+    }
+    let ver = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if ver != WAL_VERSION {
+        return Err(StoreError::Corrupt {
+            what: path.display().to_string(),
+            reason: format!("unsupported version {ver}"),
+        });
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let mut records = Vec::new();
+    let mut ends = Vec::new();
+    let mut pos = HEADER_BYTES as usize;
+    let mut corruption = None;
+    while pos < bytes.len() {
+        let start = pos;
+        let Some(head) = bytes.get(pos..pos + 8) else {
+            corruption = Some(format!(
+                "truncated frame header at offset {start} ({} bytes)",
+                bytes.len() - start
+            ));
+            break;
+        };
+        let len = u32::from_le_bytes(head[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            corruption = Some(format!("frame at offset {start}: absurd length {len}"));
+            break;
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            corruption = Some(format!(
+                "truncated frame payload at offset {start} (want {len} bytes)"
+            ));
+            break;
+        };
+        if crc32(payload) != crc {
+            corruption = Some(format!("frame at offset {start}: checksum mismatch"));
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                corruption = Some(format!("frame at offset {start}: {e}"));
+                break;
+            }
+        }
+        pos += 8 + len as usize;
+        ends.push(pos as u64);
+    }
+    Ok(WalTail {
+        seq,
+        good_bytes: pos as u64,
+        total_bytes: bytes.len() as u64,
+        records,
+        ends,
+        corruption,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("igp-wal-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Delta(GraphDelta {
+                add_vertices: vec![2],
+                add_edges: vec![(0, 5, 1)],
+                ..Default::default()
+            }),
+            WalRecord::Flush,
+            WalRecord::Delta(GraphDelta {
+                remove_edges: vec![(1, 2)],
+                ..Default::default()
+            }),
+        ]
+    }
+
+    #[test]
+    fn append_then_read_roundtrip() {
+        let path = tmp("roundtrip.log");
+        let mut w = WalWriter::create(&path, 7).unwrap();
+        for r in &sample_records() {
+            w.append(r).unwrap();
+        }
+        assert_eq!(w.records(), 3);
+        let tail = read_wal(&path).unwrap();
+        assert_eq!(tail.seq, 7);
+        assert_eq!(tail.records, sample_records());
+        assert!(tail.corruption.is_none());
+        assert_eq!(tail.good_bytes, tail.total_bytes);
+        assert_eq!(tail.good_bytes, w.bytes());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_detected_and_dropped() {
+        let path = tmp("trunc.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for r in &sample_records() {
+            w.append(r).unwrap();
+        }
+        let full = w.bytes();
+        drop(w);
+        // Cut into the last frame (any offset inside it).
+        for cut in [full - 1, full - 5, full - 9] {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let tail = read_wal(&path).unwrap();
+            assert_eq!(tail.records.len(), 2, "cut={cut}");
+            assert!(tail.corruption.is_some(), "cut={cut}");
+            assert!(tail.good_bytes <= cut);
+        }
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_detected_by_checksum() {
+        let path = tmp("crc.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for r in &sample_records() {
+            w.append(r).unwrap();
+        }
+        let file_end = {
+            let tail = read_wal(&path).unwrap();
+            assert!(tail.corruption.is_none());
+            tail.good_bytes
+        };
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip the final payload byte of the *last* frame.
+        let idx = (file_end - 1) as usize;
+        bytes[idx] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let tail = read_wal(&path).unwrap();
+        assert_eq!(tail.records.len(), 2);
+        let reason = tail.corruption.as_deref().unwrap();
+        assert!(reason.contains("checksum"), "{reason}");
+        // Reopen truncates back to the good prefix; a fresh append works.
+        let mut w = WalWriter::reopen(&path, &tail).unwrap();
+        w.append(&WalRecord::Flush).unwrap();
+        let tail = read_wal(&path).unwrap();
+        assert_eq!(tail.records.len(), 3);
+        assert!(tail.corruption.is_none());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        let path = tmp("hdr.log");
+        fs::write(&path, b"NOPE").unwrap();
+        assert!(matches!(read_wal(&path), Err(StoreError::Corrupt { .. })));
+        fs::write(&path, b"IGPWxxxxxxxxxxxx").unwrap();
+        assert!(read_wal(&path).is_err()); // bad version
+        fs::remove_file(path).unwrap();
+    }
+}

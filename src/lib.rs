@@ -14,6 +14,9 @@
 //! * [`service`] — the serving layer: multi-tenant session registry,
 //!   delta coalescing, policy-driven repartition triggers, and the
 //!   `igp-serve`/`igp-cli` TCP daemon pair (`igp-service`).
+//! * [`store`] — durability for the serving layer: per-session delta
+//!   write-ahead log, partition+graph snapshots, crash recovery
+//!   (`igp-store`).
 //! * `core` — the four-phase incremental partitioner, sequential and
 //!   parallel over either backend (`igp-core`), re-exported at the top
 //!   level.
@@ -55,3 +58,5 @@ pub use igp_runtime as runtime;
 pub use igp_service as service;
 /// Spectral bisection baseline (`igp-spectral`).
 pub use igp_spectral as spectral;
+/// Durability: delta WAL, snapshots, crash recovery (`igp-store`).
+pub use igp_store as store;

@@ -68,7 +68,7 @@ fn replay(base: CsrGraph, cfg: SessionConfig, deltas: &[GraphDelta]) -> (Vec<Par
             steps += 1;
         }
     }
-    if s.flush().is_some() {
+    if s.flush().expect("replay flush").is_some() {
         steps += 1;
     }
     (s.assignment().to_vec(), steps)
@@ -76,7 +76,14 @@ fn replay(base: CsrGraph, cfg: SessionConfig, deltas: &[GraphDelta]) -> (Vec<Par
 
 #[test]
 fn concurrent_sessions_match_single_threaded_replay() {
-    let server = serve("127.0.0.1:0", ServeOptions { shards: 4 }).expect("bind");
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            shards: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
     let addr = server.addr();
 
     // Drive SESSIONS concurrent clients, each with its own connection

@@ -1,0 +1,279 @@
+//! Crash-recovery property suite: for any random churn scenario,
+//! killing the durable session at a random point — between requests or
+//! at a random byte offset *inside* the WAL — and recovering from disk
+//! yields a session bit-identical to the uninterrupted single-threaded
+//! replay: same graph, same partition assignment, same composed
+//! identity map, same counters. Failure seeds persist to
+//! `tests/regressions/`.
+
+mod common;
+
+use igp::graph::{generators, CsrGraph, GraphDelta};
+use igp::service::durable::recover_session;
+use igp::service::session::{InitPartition, ServiceSession, SessionConfig};
+use igp::service::{RepartitionPolicy, SnapshotPolicy};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A scratch session directory, unique per test case.
+fn scratch_dir(tag: &str, case: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("igp-recovery-{}-{tag}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(parts: usize, policy_ix: u8, refined: bool) -> SessionConfig {
+    let mut cfg = SessionConfig::new(parts);
+    cfg.init = InitPartition::RoundRobin;
+    cfg.refined = refined;
+    cfg.policy = match policy_ix % 3 {
+        0 => RepartitionPolicy::EveryK(1),
+        1 => RepartitionPolicy::EveryK(3),
+        _ => "cost".parse().unwrap(),
+    };
+    cfg
+}
+
+fn snapshot_policy(ix: u8) -> SnapshotPolicy {
+    match ix % 3 {
+        0 => SnapshotPolicy::Never,
+        1 => SnapshotPolicy::EveryK(2),
+        _ => SnapshotPolicy::default(),
+    }
+}
+
+/// The event stream one scenario feeds: deltas, with an explicit flush
+/// sprinkled in every few events (flushes are journaled as markers, so
+/// they exercise the non-delta record path).
+fn delta_stream(base: &CsrGraph, k: usize, seed: u64) -> Vec<GraphDelta> {
+    let mut mirror = base.clone();
+    let mut deltas = Vec::with_capacity(k);
+    for i in 0..k {
+        let d = if i % 3 == 2 {
+            generators::random_churn_delta(&mirror, 2, 1, seed ^ (i as u64) << 21)
+        } else {
+            generators::localized_growth_delta(&mirror, (i % 4) as u32, 3, seed ^ (i as u64) << 9)
+        };
+        mirror = d.apply(&mirror).new_graph().clone();
+        deltas.push(d);
+    }
+    deltas
+}
+
+fn feed(s: &mut ServiceSession, deltas: &[GraphDelta], flush_every: usize) {
+    for (i, d) in deltas.iter().enumerate() {
+        s.ingest(d).expect("valid generated delta");
+        if flush_every > 0 && (i + 1) % flush_every == 0 {
+            s.flush().expect("flush");
+        }
+    }
+}
+
+/// The recovery contract, field by field.
+fn assert_bit_identical(recovered: &ServiceSession, truth: &ServiceSession, ctx: &str) {
+    assert_eq!(
+        recovered.inner().graph(),
+        truth.inner().graph(),
+        "{ctx}: graph differs"
+    );
+    assert_eq!(
+        recovered.assignment(),
+        truth.assignment(),
+        "{ctx}: partition assignment differs"
+    );
+    assert_eq!(
+        recovered.inner().base_of_current(),
+        truth.inner().base_of_current(),
+        "{ctx}: composed id map differs"
+    );
+    assert_eq!(recovered.steps(), truth.steps(), "{ctx}: steps differ");
+    assert_eq!(
+        recovered.inner().pending_deltas(),
+        truth.inner().pending_deltas(),
+        "{ctx}: pending queue differs"
+    );
+    assert_eq!(
+        recovered.deltas_received(),
+        truth.deltas_received(),
+        "{ctx}: delta counter differs"
+    );
+    assert_eq!(
+        recovered.inner().total_moved(),
+        truth.inner().total_moved(),
+        "{ctx}: total moved differs"
+    );
+    assert_eq!(
+        recovered.inner().needs_scratch(),
+        truth.inner().needs_scratch(),
+        "{ctx}: scratch flag differs"
+    );
+}
+
+proptest! {
+    #![proptest_config(common::tier1_config(24))]
+
+    /// Kill the durable session after a random prefix of the stream
+    /// (mid-batch included: nothing forces the queue empty at the
+    /// crash); the recovered session must be bit-identical to a fresh
+    /// replay of that prefix, and stay bit-identical while both
+    /// continue through the rest of the stream.
+    #[test]
+    fn crash_anywhere_in_stream_recovers_bit_identical(
+        n in 5usize..9,
+        k in 1usize..9,
+        crash_at_raw in 0usize..9,
+        parts in 2usize..4,
+        // Packed small knobs (the vendored proptest caps tuple arity):
+        // repartition policy × snapshot policy × refined × flush cadence.
+        knobs in 0u32..90,
+        seed in any::<u64>(),
+    ) {
+        let policy_ix = (knobs % 3) as u8;
+        let snap_ix = ((knobs / 3) % 3) as u8;
+        let refined = (knobs / 9) % 2 == 1;
+        let flush_every = (knobs / 18) as usize % 5;
+        let crash_at = crash_at_raw.min(k);
+        let dir = scratch_dir("stream", seed ^ k as u64);
+        let base = generators::grid(n, n);
+        let cfg = config(parts, policy_ix, refined);
+        let deltas = delta_stream(&base, k, seed);
+
+        let mut durable = ServiceSession::open_durable(
+            base.clone(), cfg.clone(), &dir, "p", snapshot_policy(snap_ix),
+        ).expect("open durable");
+        let mut truth = ServiceSession::open(base, cfg);
+        feed(&mut durable, &deltas[..crash_at], flush_every);
+        feed(&mut truth, &deltas[..crash_at], flush_every);
+        // Crash: the in-memory half simply ceases to exist.
+        drop(durable);
+
+        let rec = recover_session(&dir, snapshot_policy(snap_ix)).expect("recover");
+        prop_assert_eq!(rec.sid.as_str(), "p");
+        prop_assert!(rec.warning.is_none(), "clean log must recover warning-free");
+        let mut recovered = rec.session;
+        assert_bit_identical(&recovered, &truth, "at crash point");
+
+        // Both halves keep serving the rest of the stream identically
+        // (the recovered one keeps journaling too).
+        feed(&mut recovered, &deltas[crash_at..], flush_every);
+        feed(&mut truth, &deltas[crash_at..], flush_every);
+        assert_bit_identical(&recovered, &truth, "after post-recovery traffic");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Torn write: truncate the WAL at a random *byte* offset. Recovery
+    /// must come back warning-or-not, bit-identical to replaying
+    /// exactly the records that survived in full.
+    #[test]
+    fn wal_truncated_at_random_byte_offset_recovers_prefix(
+        n in 5usize..9,
+        k in 1usize..8,
+        parts in 2usize..4,
+        cut_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let dir = scratch_dir("torn", seed ^ (k as u64) << 32);
+        let base = generators::grid(n, n);
+        // every:1 keeps all records deltas, so "records survived" maps
+        // 1:1 onto a stream prefix we can replay for ground truth.
+        let cfg = config(parts, 0, true);
+        let deltas = delta_stream(&base, k, seed);
+        let mut durable = ServiceSession::open_durable(
+            base.clone(), cfg.clone(), &dir, "t", SnapshotPolicy::Never,
+        ).expect("open durable");
+        feed(&mut durable, &deltas, 0);
+        drop(durable);
+
+        // Tear the log at a random byte offset past the header.
+        let wal = dir.join("wal-0.log");
+        let len = std::fs::metadata(&wal).expect("wal exists").len();
+        let cut = 16 + ((len - 16) as f64 * cut_frac) as u64;
+        let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let rec = recover_session(&dir, SnapshotPolicy::Never).expect("recover");
+        let survived = rec.session.deltas_received();
+        prop_assert!(survived <= k);
+        if survived < k {
+            prop_assert!(rec.warning.is_some(), "dropped records must be reported");
+        }
+        let mut truth = ServiceSession::open(base, cfg);
+        feed(&mut truth, &deltas[..survived], 0);
+        assert_bit_identical(&rec.session, &truth, "after torn-write recovery");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Regression (satellite): a corrupt trailing record — bit flip, not
+/// truncation — is detected by the frame checksum, reported, dropped,
+/// and the session recovers to the last intact record. No panic, and
+/// the reopened log accepts new traffic.
+#[test]
+fn corrupt_trailing_record_is_dropped_not_fatal() {
+    let dir = scratch_dir("corrupt-tail", 1);
+    let base = generators::grid(6, 6);
+    let cfg = config(2, 0, true);
+    let deltas = delta_stream(&base, 5, 0xC0FFEE);
+    let mut durable =
+        ServiceSession::open_durable(base.clone(), cfg.clone(), &dir, "c", SnapshotPolicy::Never)
+            .expect("open durable");
+    feed(&mut durable, &deltas, 0);
+    drop(durable);
+
+    // Flip a byte inside the last frame's payload.
+    let wal = dir.join("wal-0.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x55;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let rec = recover_session(&dir, SnapshotPolicy::Never).expect("recover");
+    let warning = rec.warning.expect("corruption must be reported");
+    assert!(warning.contains("checksum"), "{warning}");
+    assert_eq!(rec.session.deltas_received(), 4, "last record dropped");
+    let mut truth = ServiceSession::open(base, cfg);
+    feed(&mut truth, &deltas[..4], 0);
+    assert_bit_identical(&rec.session, &truth, "after corrupt-tail drop");
+
+    // The log was truncated back to the intact prefix: new traffic
+    // journals and survives another restart.
+    let mut recovered = rec.session;
+    recovered.ingest(&deltas[4]).expect("replacement delta");
+    drop(recovered);
+    let rec2 = recover_session(&dir, SnapshotPolicy::Never).expect("re-recover");
+    assert!(rec2.warning.is_none(), "{:?}", rec2.warning);
+    assert_eq!(rec2.session.deltas_received(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The SPMD parallel driver recovers too: worker threads and backend
+/// state are reconstructed from config, not persisted.
+#[test]
+fn parallel_session_recovers_bit_identical() {
+    let dir = scratch_dir("parallel", 2);
+    let base = generators::grid(8, 8);
+    let mut cfg = config(4, 1, true);
+    cfg.workers = 2;
+    let deltas = delta_stream(&base, 6, 99);
+    let mut durable = ServiceSession::open_durable(
+        base.clone(),
+        cfg.clone(),
+        &dir,
+        "w",
+        SnapshotPolicy::EveryK(3),
+    )
+    .expect("open durable");
+    let mut truth = ServiceSession::open(base, cfg);
+    feed(&mut durable, &deltas[..4], 0);
+    feed(&mut truth, &deltas[..4], 0);
+    drop(durable);
+    let rec = recover_session(&dir, SnapshotPolicy::EveryK(3)).expect("recover");
+    let mut recovered = rec.session;
+    assert_bit_identical(&recovered, &truth, "parallel at crash point");
+    feed(&mut recovered, &deltas[4..], 0);
+    feed(&mut truth, &deltas[4..], 0);
+    assert_bit_identical(&recovered, &truth, "parallel after recovery");
+    std::fs::remove_dir_all(&dir).ok();
+}
