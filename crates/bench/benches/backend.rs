@@ -10,10 +10,11 @@
 //! from 1 → 4 workers; on smaller hosts the curve flattens at the core
 //! count (recorded in the JSON as `host_cores`).
 
-use igp_bench::experiments::Fidelity;
+use igp_bench::{artifact, experiments::Fidelity};
 use igp_core::parallel::ParallelPartitioner;
 use igp_core::IgpConfig;
 use igp_mesh::sequence::paper_sequence_a;
+use igp_obs::Histogram;
 use igp_runtime::{Backend, CostModel};
 use igp_spectral::{recursive_spectral_bisection, RsbOptions};
 use std::hint::black_box;
@@ -27,6 +28,9 @@ struct Point {
     workers: usize,
     min_s: f64,
     median_s: f64,
+    /// Per-sample wall time (µs) through the shared histogram type —
+    /// the JSON's p50/p99 columns.
+    wall_us: Histogram,
 }
 
 fn main() {
@@ -54,11 +58,14 @@ fn main() {
             let pp = ParallelPartitioner::new(cfg, w, false, CostModel::cm5());
             // Warm-up, then timed samples.
             black_box(pp.repartition(black_box(inc), black_box(&old)));
+            let wall_us = Histogram::new();
             let mut samples: Vec<f64> = (0..SAMPLES)
                 .map(|_| {
                     let t = Instant::now();
                     black_box(pp.repartition(black_box(inc), black_box(&old)));
-                    t.elapsed().as_secs_f64()
+                    let d = t.elapsed();
+                    wall_us.observe_duration(d);
+                    d.as_secs_f64()
                 })
                 .collect();
             samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -67,6 +74,7 @@ fn main() {
                 workers: w,
                 min_s: samples[0],
                 median_s: samples[samples.len() / 2],
+                wall_us,
             };
             println!(
                 "{:>12} {:>8} {:>11.4}s {:>11.4}s",
@@ -79,29 +87,24 @@ fn main() {
         }
     }
 
-    // Hand-rolled JSON (no serde in the offline workspace).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"workload\": \"paper_sequence_a step 0, P=32, IGP\",\n");
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
-    json.push_str(&format!("  \"samples\": {SAMPLES},\n"));
-    json.push_str("  \"results\": [\n");
+    let mut body = String::new();
+    body.push_str("  \"workload\": \"paper_sequence_a step 0, P=32, IGP\",\n");
+    body.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    body.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"workers\": {}, \"min_wall_s\": {:.6}, \"median_wall_s\": {:.6}}}{}\n",
+        body.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"workers\": {}, \"min_wall_s\": {:.6}, \
+             \"median_wall_s\": {:.6}, {}}}{}\n",
             p.backend,
             p.workers,
             p.min_s,
             p.median_s,
+            artifact::hist_fields(&p.wall_us),
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_backend.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    body.push_str("  ]");
+    artifact::write_artifact("BENCH_backend.json", &body);
 
     let shm: Vec<&Point> = points
         .iter()

@@ -6,14 +6,20 @@
 //! machine-readable `BENCH_service.json` in the working directory (CI
 //! uploads it as an artifact), recording deltas/second end to end —
 //! wire parsing, registry locking, coalescing and the policy-gated
-//! repartitions included. The `every:1` row pays one repartition per
-//! delta (the paper's loop); `cost` shows what policy-driven batching
-//! buys at the same traffic.
+//! repartitions included — plus client-observed p50/p99 DELTA latency
+//! from the shared [`igp_obs::Histogram`], and the cost of the
+//! instrumentation itself (`obs_overhead`: the same workload with the
+//! igp-obs kill switch off vs on; the acceptance bar is < 5%). The
+//! `every:1` row pays one repartition per delta (the paper's loop);
+//! `cost` shows what policy-driven batching buys at the same traffic.
 
+use igp_bench::artifact;
 use igp_graph::generators;
+use igp_obs::Histogram;
 use igp_service::client::{DeltaAck, IgpClient};
 use igp_service::server::{serve, ServeOptions};
 use igp_service::session::{InitPartition, SessionConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 const CLIENTS: [usize; 3] = [1, 2, 4];
@@ -26,12 +32,22 @@ struct Point {
     wall_s: f64,
     deltas_per_s: f64,
     steps: usize,
+    /// Client-observed DELTA round-trip latency (µs). Empty when the
+    /// igp-obs kill switch was off during the run.
+    delta_us: Arc<Histogram>,
 }
 
-fn run_one(addr: std::net::SocketAddr, policy: &'static str, clients: usize) -> Point {
+fn run_one(
+    addr: std::net::SocketAddr,
+    policy: &'static str,
+    clients: usize,
+    deltas_per_client: usize,
+) -> Point {
+    let delta_us = Arc::new(Histogram::new());
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
+            let delta_us = delta_us.clone();
             std::thread::spawn(move || {
                 let mut cli = IgpClient::connect(addr).expect("connect");
                 let sid = format!("bench-{policy}-{clients}-{c}");
@@ -42,11 +58,11 @@ fn run_one(addr: std::net::SocketAddr, policy: &'static str, clients: usize) -> 
                 cli.open(&sid, &base, &cfg).expect("open");
                 let mut mirror = base;
                 let mut steps = 0usize;
-                for k in 0..DELTAS_PER_CLIENT {
+                for k in 0..deltas_per_client {
                     let d =
                         generators::random_churn_delta(&mirror, 3, 1, (c as u64) << 32 | k as u64);
                     mirror = d.apply(&mirror).new_graph().clone();
-                    match cli.delta(&sid, &d).expect("delta") {
+                    match delta_us.time(|| cli.delta(&sid, &d)).expect("delta") {
                         DeltaAck::Stepped(_) => steps += 1,
                         DeltaAck::Queued { .. } => {}
                     }
@@ -61,63 +77,94 @@ fn run_one(addr: std::net::SocketAddr, policy: &'static str, clients: usize) -> 
         .collect();
     let steps: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let wall_s = t0.elapsed().as_secs_f64();
-    let total = clients * DELTAS_PER_CLIENT;
+    let total = clients * deltas_per_client;
     Point {
         policy,
         clients,
         wall_s,
         deltas_per_s: total as f64 / wall_s,
         steps,
+        delta_us,
     }
 }
 
 fn main() {
     let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
     let addr = server.addr();
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
 
     println!(
-        "{:>10} {:>8} {:>10} {:>12} {:>8}",
-        "policy", "clients", "wall", "deltas/s", "steps"
+        "{:>10} {:>8} {:>10} {:>12} {:>8} {:>9} {:>9}",
+        "policy", "clients", "wall", "deltas/s", "steps", "p50(µs)", "p99(µs)"
     );
     let mut points = Vec::new();
     for policy in ["every:1", "every:5", "cost"] {
         for &clients in &CLIENTS {
-            let p = run_one(addr, policy, clients);
+            let p = run_one(addr, policy, clients, DELTAS_PER_CLIENT);
             println!(
-                "{:>10} {:>8} {:>9.3}s {:>12.1} {:>8}",
-                p.policy, p.clients, p.wall_s, p.deltas_per_s, p.steps
+                "{:>10} {:>8} {:>9.3}s {:>12.1} {:>8} {:>9} {:>9}",
+                p.policy,
+                p.clients,
+                p.wall_s,
+                p.deltas_per_s,
+                p.steps,
+                p.delta_us.quantile(0.5),
+                p.delta_us.quantile(0.99),
             );
             points.push(p);
         }
     }
 
-    // Hand-rolled JSON (no serde in the offline workspace).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!(
+    // Price the instrumentation itself: the same workload with the
+    // igp-obs kill switch off (no counters, no histograms, no clock
+    // reads in Histogram::time) vs on. Off/on runs interleave so both
+    // sides sample the same machine drift, the workload is 4× the
+    // table's (fixed per-connection costs amortize), and each side
+    // keeps its best run — residual difference is the instrumentation,
+    // not scheduler noise.
+    let overhead_policy = "every:5";
+    let overhead_clients = 2;
+    const OVERHEAD_DELTAS: usize = 100;
+    const OVERHEAD_RUNS: usize = 7;
+    let (mut off_rate, mut on_rate) = (0f64, 0f64);
+    for _ in 0..OVERHEAD_RUNS {
+        igp_obs::set_enabled(false);
+        let off = run_one(addr, overhead_policy, overhead_clients, OVERHEAD_DELTAS);
+        igp_obs::set_enabled(true);
+        let on = run_one(addr, overhead_policy, overhead_clients, OVERHEAD_DELTAS);
+        off_rate = off_rate.max(off.deltas_per_s);
+        on_rate = on_rate.max(on.deltas_per_s);
+    }
+    let obs_overhead_pct = (off_rate / on_rate - 1.0) * 100.0;
+    println!(
+        "obs overhead ({overhead_policy}, {overhead_clients} clients): \
+         off {off_rate:.1} deltas/s, on {on_rate:.1} deltas/s ({obs_overhead_pct:+.2}%)"
+    );
+
+    let mut body = String::new();
+    body.push_str(&format!(
         "  \"workload\": \"10x10 grid churn, {DELTAS_PER_CLIENT} deltas/client, P={PARTS}, IGPR\",\n"
     ));
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
-    json.push_str("  \"results\": [\n");
+    body.push_str(&format!(
+        "  \"obs_overhead\": {{\"policy\": \"{overhead_policy}\", \
+         \"clients\": {overhead_clients}, \"off_deltas_per_s\": {off_rate:.1}, \
+         \"on_deltas_per_s\": {on_rate:.1}, \"overhead_pct\": {obs_overhead_pct:.2}}},\n"
+    ));
+    body.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
+        body.push_str(&format!(
             "    {{\"policy\": \"{}\", \"clients\": {}, \"wall_s\": {:.6}, \
-             \"deltas_per_s\": {:.1}, \"steps\": {}}}{}\n",
+             \"deltas_per_s\": {:.1}, \"steps\": {}, {}}}{}\n",
             p.policy,
             p.clients,
             p.wall_s,
             p.deltas_per_s,
             p.steps,
+            artifact::hist_fields(&p.delta_us),
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
-    let path = "BENCH_service.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    body.push_str("  ]");
+    artifact::write_artifact("BENCH_service.json", &body);
 
     // Batching sanity: policy-gated batching must not repartition more
     // often than the per-delta loop at identical traffic.

@@ -48,8 +48,9 @@ fn cfg(parts: usize) -> SessionConfig {
     cfg
 }
 
-/// Raw WAL append throughput, no session attached.
-fn bench_wal_append(records: usize) -> (f64, f64, f64) {
+/// Raw WAL append throughput, no session attached. Returns
+/// `(wall_s, records_per_s, mb_per_s, per-record latency histogram)`.
+fn bench_wal_append(records: usize) -> (f64, f64, f64, igp_obs::Histogram) {
     let dir = scratch("wal");
     let base = generators::grid(32, 32);
     let part = Partitioning::round_robin(&base, 4);
@@ -69,14 +70,15 @@ fn bench_wal_append(records: usize) -> (f64, f64, f64) {
         config_line: "parts=4".into(),
     };
     let mut store = SessionStore::create(&dir, meta, SnapshotPolicy::Never, state).unwrap();
+    let append_us = igp_obs::Histogram::new();
     let t0 = Instant::now();
     for d in &deltas {
-        store.journal_delta(d).unwrap();
+        append_us.time(|| store.journal_delta(d)).unwrap();
     }
     let wall = t0.elapsed().as_secs_f64();
     let bytes = store.wal_bytes() as f64;
     std::fs::remove_dir_all(&dir).ok();
-    (wall, records as f64 / wall, bytes / wall / 1e6)
+    (wall, records as f64 / wall, bytes / wall / 1e6, append_us)
 }
 
 /// Ingest throughput with/without durability.
@@ -130,17 +132,21 @@ fn bench_recovery(k: usize, snapshots: bool) -> (f64, u64) {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    let mut json = String::new();
 
-    // 1. WAL append throughput.
+    // 1. WAL append throughput (+ per-record latency quantiles).
     const WAL_RECORDS: usize = 5000;
-    let (wall, rps, mbps) = bench_wal_append(WAL_RECORDS);
-    println!("WAL append: {WAL_RECORDS} records in {wall:.3}s → {rps:.0} rec/s, {mbps:.1} MB/s");
+    let (wall, rps, mbps, append_us) = bench_wal_append(WAL_RECORDS);
+    println!(
+        "WAL append: {WAL_RECORDS} records in {wall:.3}s → {rps:.0} rec/s, {mbps:.1} MB/s \
+         (p50 {}µs, p99 {}µs)",
+        append_us.quantile(0.5),
+        append_us.quantile(0.99),
+    );
     json.push_str(&format!(
         "  \"wal_append\": {{\"records\": {WAL_RECORDS}, \"wall_s\": {wall:.6}, \
-         \"records_per_s\": {rps:.1}, \"mb_per_s\": {mbps:.3}}},\n"
+         \"records_per_s\": {rps:.1}, \"mb_per_s\": {mbps:.3}, {}}},\n",
+        igp_bench::artifact::hist_fields(&append_us)
     ));
 
     // 2. Ingest overhead (same stream, durable vs memory-only).
@@ -192,7 +198,7 @@ fn main() {
             ));
         }
     }
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ]");
 
     // Sanity: snapshot-free recovery replays the whole log, so its
     // latency must grow with log length (the point of snapshots).
@@ -201,9 +207,5 @@ fn main() {
         "snapshot-free recovery latency not roughly monotone: {never_walls:?}"
     );
 
-    let path = "BENCH_store.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    igp_bench::artifact::write_artifact("BENCH_store.json", &json);
 }

@@ -12,6 +12,7 @@
 //! * `repro_*` binaries print the tables; Criterion benches under
 //!   `benches/` track the same kernels as regressions.
 
+pub mod artifact;
 pub mod experiments;
 pub mod tables;
 

@@ -36,6 +36,7 @@ pub mod balance;
 pub mod config;
 pub mod layer;
 pub mod multilevel;
+pub mod obs;
 pub mod parallel;
 pub mod partitioner;
 pub mod psimplex;

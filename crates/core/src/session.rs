@@ -57,29 +57,62 @@ enum Driver {
 }
 
 impl Driver {
-    /// Repartition, reduced to the summary triple the session tracks:
-    /// `(moved, stages, balanced)`.
+    /// Repartition, reduced to the summary tuple the session tracks:
+    /// `(moved, stages, balanced, pivots)`.
     fn repartition(
         &self,
         inc: &IncrementalGraph,
         old: &Partitioning,
-    ) -> (Partitioning, u64, usize, bool) {
+    ) -> (Partitioning, u64, usize, bool, u64) {
         match self {
             Driver::Sequential(p) => {
                 let (part, report) = p.repartition(inc, old);
+                let pivots = report
+                    .balance
+                    .stages
+                    .iter()
+                    .map(|s| s.lp.pivots as u64)
+                    .chain(
+                        report
+                            .refine
+                            .iter()
+                            .flat_map(|r| r.iters.iter().map(|i| i.lp.pivots as u64)),
+                    )
+                    .sum();
                 (
                     part,
                     report.total_moved(),
                     report.num_stages(),
                     report.balance.balanced,
+                    pivots,
                 )
             }
             Driver::Parallel(p) => {
                 let (part, report) = p.repartition(inc, old);
-                (part, report.total_moved, report.stages, report.balanced)
+                (
+                    part,
+                    report.total_moved,
+                    report.stages,
+                    report.balanced,
+                    report.total_pivots,
+                )
             }
         }
     }
+
+    fn obs_kind(&self) -> DriverKind {
+        match self {
+            Driver::Sequential(_) => DriverKind::Sequential,
+            Driver::Parallel(_) => DriverKind::Parallel,
+        }
+    }
+}
+
+/// Which metric series a step's timings land in.
+#[derive(Clone, Copy)]
+enum DriverKind {
+    Sequential,
+    Parallel,
 }
 
 /// A stateful incremental-repartitioning session.
@@ -357,6 +390,14 @@ impl IgpSession {
         if net.is_empty() {
             return None;
         }
+        let m = crate::obs::metrics();
+        m.coalesced_batch_deltas.observe(co.len() as u64);
+        m.coalesced_delta_ops.observe(
+            (net.add_vertices.len()
+                + net.remove_vertices.len()
+                + net.add_edges.len()
+                + net.remove_edges.len()) as u64,
+        );
         Some(self.apply_delta(&net))
     }
 
@@ -389,8 +430,28 @@ impl IgpSession {
             self.graph.num_vertices(),
             "increment does not start from the session's current graph"
         );
-        let (new_part, moved, stages, balanced) = self.driver.repartition(&inc, &self.part);
+        let m = crate::obs::metrics();
+        // Cut-before costs an extra O(n+m) pass over the old graph;
+        // only pay it when recording is on. Timing and counting never
+        // touch the repartition inputs, so results stay bit-identical.
+        if igp_obs::enabled() {
+            let before = CutMetrics::compute(inc.old(), &self.part);
+            m.edge_cut_before.set(before.total_cut_edges as i64);
+        }
+        let (rep_us, reps) = match self.driver.obs_kind() {
+            DriverKind::Sequential => (&m.repartition_us_seq, &m.repartitions_total_seq),
+            DriverKind::Parallel => (&m.repartition_us_par, &m.repartitions_total_par),
+        };
+        let (new_part, moved, stages, balanced, pivots) =
+            rep_us.time(|| self.driver.repartition(&inc, &self.part));
+        reps.inc();
+        m.pivots_total.add(pivots);
+        m.moved_vertices_total.add(moved);
+        if !balanced {
+            m.scratch_signals_total.inc();
+        }
         let summary = self.summarize(&inc, &new_part, moved, stages, balanced);
+        m.edge_cut_after.set(summary.cut as i64);
         // Compose the step's identity map into the birth-relative map.
         let n_new = inc.new_graph().num_vertices();
         let mut base = vec![INVALID_NODE; n_new];

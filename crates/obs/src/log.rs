@@ -1,0 +1,229 @@
+//! Leveled structured logging.
+//!
+//! Lines go to stderr as `LEVEL target message key=value ...`. The
+//! global max level is a single relaxed atomic load on the fast path;
+//! per-target overrides (set once at startup) let a user silence or
+//! amplify one subsystem. The [`error!`], [`warn!`], [`info!`] and
+//! [`debug!`] macros are the only intended entry points:
+//!
+//! ```
+//! igp_obs::info!(target: "serve", "listening"; addr = "127.0.0.1:7171");
+//! ```
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Log severity, ordered: `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what was asked.
+    Error = 0,
+    /// Something recoverable went wrong (e.g. WAL tail truncated).
+    Warn = 1,
+    /// Normal lifecycle events (startup, shutdown, recovery summary).
+    Info = 2,
+    /// Per-request detail; off by default.
+    Debug = 3,
+}
+
+impl Level {
+    /// Fixed-width upper-case name for line prefixes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parse a `--log-level` argument.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Global max level; `Info` by default.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set when any target override exists, so the common no-override case
+/// never touches the lock.
+static HAS_OVERRIDES: AtomicBool = AtomicBool::new(false);
+
+/// Per-target overrides, set once at startup.
+fn overrides() -> &'static Mutex<Vec<(String, Level)>> {
+    static OVERRIDES: OnceLock<Mutex<Vec<(String, Level)>>> = OnceLock::new();
+    OVERRIDES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Set the global max level (the `--log-level` switch).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current global max level.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Override the max level for one target (e.g. silence `"store"` while
+/// debugging `"serve"`). Call at startup; later calls replace earlier
+/// ones for the same target.
+pub fn set_target_level(target: &str, level: Level) {
+    let mut ov = overrides().lock().unwrap();
+    if let Some(entry) = ov.iter_mut().find(|(t, _)| t == target) {
+        entry.1 = level;
+    } else {
+        ov.push((target.to_string(), level));
+    }
+    HAS_OVERRIDES.store(true, Ordering::Release);
+}
+
+/// Would a line at `level` for `target` be emitted?
+#[inline]
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    // Fast path: global gate, one relaxed load; the override lock is
+    // only taken when an override was ever installed.
+    let global_ok = level as u8 <= MAX_LEVEL.load(Ordering::Relaxed);
+    if !HAS_OVERRIDES.load(Ordering::Acquire) {
+        return global_ok;
+    }
+    let ov = overrides().lock().unwrap();
+    match ov.iter().find(|(t, _)| t == target) {
+        Some((_, l)) => level <= *l,
+        None => global_ok,
+    }
+}
+
+/// Emit one line. Not for direct use — go through the macros, which
+/// check [`log_enabled`] before formatting.
+pub fn write_log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    // A single write_fmt keeps the line atomic across threads.
+    let _ = out.write_fmt(format_args!("{:5} {} {}\n", level.as_str(), target, args));
+}
+
+/// Log at [`Level::Error`]: `error!(target: "serve", "msg"; key = val, ...)`.
+#[macro_export]
+macro_rules! error {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::log_at!($crate::Level::Error, $target, $($rest)*)
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::log_at!($crate::Level::Warn, $target, $($rest)*)
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::log_at!($crate::Level::Info, $target, $($rest)*)
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::log_at!($crate::Level::Debug, $target, $($rest)*)
+    };
+}
+
+/// Shared body of the level macros; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! log_at {
+    ($level:expr, $target:expr, $msg:expr) => {
+        if $crate::log_enabled($level, $target) {
+            $crate::write_log($level, $target, format_args!("{}", $msg));
+        }
+    };
+    ($level:expr, $target:expr, $msg:expr; $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::log_enabled($level, $target) {
+            $crate::write_log(
+                $level,
+                $target,
+                format_args!(
+                    concat!("{}", $(concat!(" ", stringify!($key), "={}")),+),
+                    $msg, $($value),+
+                ),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests below mutate the process-global level; serialize them.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn global_gate_filters() {
+        let _g = global_lock();
+        set_max_level(Level::Warn);
+        assert!(log_enabled(Level::Error, "t_gate"));
+        assert!(log_enabled(Level::Warn, "t_gate"));
+        assert!(!log_enabled(Level::Info, "t_gate"));
+        set_max_level(Level::Info);
+        assert!(log_enabled(Level::Info, "t_gate"));
+        assert!(!log_enabled(Level::Debug, "t_gate"));
+    }
+
+    #[test]
+    fn target_override_beats_global() {
+        let _g = global_lock();
+        set_max_level(Level::Info);
+        set_target_level("t_noisy", Level::Error);
+        set_target_level("t_verbose", Level::Debug);
+        assert!(!log_enabled(Level::Info, "t_noisy"));
+        assert!(log_enabled(Level::Error, "t_noisy"));
+        assert!(log_enabled(Level::Debug, "t_verbose"));
+        // Replacing an override works.
+        set_target_level("t_noisy", Level::Debug);
+        assert!(log_enabled(Level::Debug, "t_noisy"));
+    }
+
+    #[test]
+    fn macros_compile_with_and_without_fields() {
+        let _g = global_lock();
+        set_max_level(Level::Error); // keep test output quiet
+        crate::info!(target: "t_macro", "plain message");
+        crate::warn!(target: "t_macro", "msg"; code = 7, path = "/tmp/x");
+        crate::debug!(target: "t_macro", format!("built {}", 1); n = 2);
+        crate::error!(target: "t_macro", "trailing comma"; a = 1,);
+        set_max_level(Level::Info);
+    }
+}

@@ -1,0 +1,390 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`] and the
+//! log-linear bucketed [`Histogram`] (DESIGN.md §10.3 has the bucket
+//! math).
+//!
+//! All three are plain clusters of atomics: recording is a handful of
+//! relaxed atomic operations, safe from any thread, and never blocks.
+//! Recording respects the global kill switch ([`crate::set_enabled`])
+//! so benches can measure the serving path with instrumentation
+//! compiled in but inert.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per octave as a power of two: 2^3 = 8 sub-buckets, so a
+/// bucket's width is ≤ 1/8 of its lower bound — quantile estimates
+/// carry ≤ 12.5% relative error (plus ±1 in the small exact region).
+const SUB_SHIFT: u32 = 3;
+const SUB: u64 = 1 << SUB_SHIFT;
+/// Values `< 2^SUB_SHIFT` get one bucket each (exact).
+const LINEAR_MAX: u64 = SUB;
+/// Bucket count covering the full `u64` range: the linear region plus
+/// `SUB` buckets for each of the remaining octaves.
+const NUM_BUCKETS: usize = (LINEAR_MAX + (64 - SUB_SHIFT as u64) * SUB) as usize;
+
+/// Map a value to its bucket index (monotone in the value).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    // The octave is floor(log2 v); within it, the top SUB_SHIFT bits
+    // below the leading one select the sub-bucket.
+    let exp = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (exp - SUB_SHIFT as u64)) & (SUB - 1);
+    (LINEAR_MAX + (exp - SUB_SHIFT as u64) * SUB + sub) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the quantile estimate reported
+/// for ranks landing in that bucket).
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_MAX {
+        return i;
+    }
+    let rel = i - LINEAR_MAX;
+    let exp = rel / SUB + SUB_SHIFT as u64;
+    let sub = rel % SUB;
+    let width = 1u64 << (exp - SUB_SHIFT as u64);
+    // Lower bound of the bucket, plus its width, minus one.
+    (1u64 << exp) + sub * width + (width - 1)
+}
+
+/// A log-linear bucketed histogram of `u64` samples (typically
+/// microseconds or sizes): fixed memory, lock-free recording, quantile
+/// estimates with bounded relative error, exact count/sum/max/min.
+///
+/// ```
+/// use igp_obs::Histogram;
+/// let h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=563).contains(&p50), "{p50}"); // ≤ 12.5% above 500
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the array through a Vec.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = v.into_boxed_slice().try_into().expect("length is fixed");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Time `f` and record its wall duration in microseconds. When the
+    /// kill switch is off, `f` runs without even reading the clock.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !crate::enabled() {
+            return f();
+        }
+        let t = std::time::Instant::now();
+        let r = f();
+        self.observe_duration(t.elapsed());
+        r
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.max.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`): the inclusive upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` sample, clamped
+    /// to the observed max. The estimate `e` for an exact quantile `x`
+    /// satisfies `x ≤ e ≤ x + max(1, x/8)` (the bucket containing `x`
+    /// has width ≤ 1/8 of its lower bound; DESIGN.md §10.3).
+    ///
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The standard reporting tuple: (p50, p90, p99, max).
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max(),
+        )
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+}
+
+/// A drop guard that records the span's wall duration (µs) into a
+/// histogram: `let _t = SpanTimer::start(&hist);`.
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: std::time::Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Start timing; the drop records.
+    pub fn start(hist: &'a Histogram) -> Self {
+        SpanTimer {
+            hist,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.observe_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let _g = crate::testsync::recording();
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_consistent() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket indices never decrease with the value.
+        let mut last = 0usize;
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 17, u64::MAX / 2, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b >= last || v < 4096, "v={v}");
+            if v >= 4096 {
+                last = 0; // the chained probes are not ordered with the range
+            } else {
+                last = b;
+            }
+            assert!(bucket_upper(b) >= v, "v={v} upper={}", bucket_upper(b));
+            if b > 0 {
+                assert!(bucket_upper(b - 1) < v, "v={v} b={b}");
+            }
+        }
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for v in [8u64, 100, 1_000, 1_000_000, u64::MAX / 3] {
+            let b = bucket_of(v);
+            let width = bucket_upper(b) - if b == 0 { 0 } else { bucket_upper(b - 1) + 1 } + 1;
+            assert!(width <= v / 8 + 1, "v={v} width={width}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let _g = crate::testsync::recording();
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q} est={est} exact={exact}");
+            assert!(
+                est <= exact + exact / 8 + 1,
+                "q={q} est={est} exact={exact}"
+            );
+        }
+        // Extremes clamp to observed min/max region.
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn span_timer_records_once() {
+        let _g = crate::testsync::recording();
+        let h = Histogram::new();
+        {
+            let _t = SpanTimer::start(&h);
+            std::hint::black_box(3 + 4);
+        }
+        assert_eq!(h.count(), 1);
+        let r = h.time(|| 42);
+        assert_eq!(r, 42);
+        assert_eq!(h.count(), 2);
+    }
+}

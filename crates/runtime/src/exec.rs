@@ -124,10 +124,23 @@ impl Backend {
         cost: CostModel,
         job: &J,
     ) -> (Vec<J::Out>, SimReport) {
-        match self {
+        let m = crate::obs::metrics();
+        let bm = &m.backend[self.obs_idx()];
+        bm.launches_total.inc();
+        let (outs, report) = bm.launch_us.time(|| match self {
             Backend::SimCm5 => Machine::new(workers, cost).run(|ctx| job.run(ctx)),
             Backend::SharedMem => SharedMachine::new(workers).run(|ctx| job.run(ctx)),
+        });
+        // Simulated charges sit next to the wall timings so modeled vs.
+        // observed cost can be compared from one scrape.
+        if self == Backend::SimCm5 {
+            m.sim_makespan_us
+                .observe((report.makespan * 1e6).round() as u64);
+            m.sim_messages_total.add(report.total_messages);
+            m.sim_words_total.add(report.total_words);
         }
+        m.sim_work_total.add(report.total_work);
+        (outs, report)
     }
 }
 
@@ -180,21 +193,25 @@ impl Executor for crate::Ctx {
     }
 
     fn barrier(&mut self) {
-        crate::Ctx::barrier(self)
+        let m = &crate::obs::metrics().backend[Backend::SimCm5.obs_idx()];
+        m.barrier_wait_us.time(|| crate::Ctx::barrier(self))
     }
 
     fn broadcast<M>(&mut self, root: usize, val: Option<M>, words: u64) -> M
     where
         M: Clone + Send + 'static,
     {
-        self.broadcast_w(root, val, words)
+        let m = &crate::obs::metrics().backend[Backend::SimCm5.obs_idx()];
+        m.broadcast_us.time(|| self.broadcast_w(root, val, words))
     }
 
     fn allgather<M>(&mut self, val: M, words: u64) -> Vec<M>
     where
         M: Clone + Send + 'static,
     {
-        crate::Ctx::allgather(self, val, words)
+        let m = &crate::obs::metrics().backend[Backend::SimCm5.obs_idx()];
+        m.allgather_us
+            .time(|| crate::Ctx::allgather(self, val, words))
     }
 
     fn allreduce<M, F>(&mut self, val: M, words: u64, op: F) -> M
@@ -202,14 +219,18 @@ impl Executor for crate::Ctx {
         M: Clone + Send + 'static,
         F: Fn(M, M) -> M,
     {
-        crate::Ctx::allreduce(self, val, words, op)
+        let m = &crate::obs::metrics().backend[Backend::SimCm5.obs_idx()];
+        m.allreduce_us
+            .time(|| crate::Ctx::allreduce(self, val, words, op))
     }
 
     fn exchange<M>(&mut self, outboxes: Vec<Vec<M>>, words_per_item: u64) -> Vec<Vec<M>>
     where
         M: Send + 'static,
     {
-        crate::Ctx::exchange(self, outboxes, words_per_item)
+        let m = &crate::obs::metrics().backend[Backend::SimCm5.obs_idx()];
+        m.exchange_us
+            .time(|| crate::Ctx::exchange(self, outboxes, words_per_item))
     }
 }
 

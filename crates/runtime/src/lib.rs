@@ -49,6 +49,7 @@ pub mod cost;
 pub mod ctx;
 pub mod exec;
 pub mod machine;
+pub mod obs;
 pub mod shared;
 
 pub use cost::{CostModel, SimReport};

@@ -206,29 +206,36 @@ impl Executor for SharedCtx<'_> {
     }
 
     fn barrier(&mut self) {
-        self.board.gate.wait();
+        let m = &crate::obs::metrics().backend[crate::Backend::SharedMem.obs_idx()];
+        m.barrier_wait_us.time(|| self.board.gate.wait());
     }
 
     fn broadcast<M>(&mut self, root: usize, val: Option<M>, _words: u64) -> M
     where
         M: Clone + Send + 'static,
     {
-        let me = self.rank;
-        let post = if me == root {
-            let v = val.expect("root must supply the broadcast value");
-            Some(Box::new(v) as Box<dyn Any + Send>)
-        } else {
-            None
-        };
-        self.collective(post, |_, slots| read_slot::<M>(slots, root))
+        let m = &crate::obs::metrics().backend[crate::Backend::SharedMem.obs_idx()];
+        m.broadcast_us.time(|| {
+            let me = self.rank;
+            let post = if me == root {
+                let v = val.expect("root must supply the broadcast value");
+                Some(Box::new(v) as Box<dyn Any + Send>)
+            } else {
+                None
+            };
+            self.collective(post, |_, slots| read_slot::<M>(slots, root))
+        })
     }
 
     fn allgather<M>(&mut self, val: M, _words: u64) -> Vec<M>
     where
         M: Clone + Send + 'static,
     {
-        self.collective(Some(Box::new(val)), |_, slots| {
-            (0..slots.len()).map(|r| read_slot::<M>(slots, r)).collect()
+        let m = &crate::obs::metrics().backend[crate::Backend::SharedMem.obs_idx()];
+        m.allgather_us.time(|| {
+            self.collective(Some(Box::new(val)), |_, slots| {
+                (0..slots.len()).map(|r| read_slot::<M>(slots, r)).collect()
+            })
         })
     }
 
@@ -241,12 +248,15 @@ impl Executor for SharedCtx<'_> {
         // the left operand on ties (op contract), so ties resolve to the
         // lowest rank — the same winner the simulator's binomial tree
         // produces.
-        self.collective(Some(Box::new(val)), |_, slots| {
-            let mut acc = read_slot::<M>(slots, 0);
-            for r in 1..slots.len() {
-                acc = op(acc, read_slot::<M>(slots, r));
-            }
-            acc
+        let m = &crate::obs::metrics().backend[crate::Backend::SharedMem.obs_idx()];
+        m.allreduce_us.time(|| {
+            self.collective(Some(Box::new(val)), |_, slots| {
+                let mut acc = read_slot::<M>(slots, 0);
+                for r in 1..slots.len() {
+                    acc = op(acc, read_slot::<M>(slots, r));
+                }
+                acc
+            })
         })
     }
 
@@ -258,22 +268,27 @@ impl Executor for SharedCtx<'_> {
         let me = self.rank;
         assert_eq!(outboxes.len(), p, "need one outbox per rank");
         let mine = std::mem::take(&mut outboxes[me]);
-        self.collective(Some(Box::new(outboxes)), |me, slots| {
-            let mut inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
-            inboxes[me] = mine;
-            for (s, slot) in slots.iter().enumerate() {
-                if s == me {
-                    continue;
+        let m = &crate::obs::metrics().backend[crate::Backend::SharedMem.obs_idx()];
+        m.exchange_us.time(|| {
+            self.collective(Some(Box::new(outboxes)), |me, slots| {
+                let mut inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
+                inboxes[me] = mine;
+                for (s, slot) in slots.iter().enumerate() {
+                    if s == me {
+                        continue;
+                    }
+                    let mut guard = slot.lock().unwrap();
+                    let posted = guard
+                        .as_mut()
+                        .expect("collective slot empty: SPMD schedule diverged across ranks")
+                        .downcast_mut::<Vec<Vec<M>>>()
+                        .expect(
+                            "collective slot type mismatch: SPMD schedule diverged across ranks",
+                        );
+                    inboxes[s] = std::mem::take(&mut posted[me]);
                 }
-                let mut guard = slot.lock().unwrap();
-                let posted = guard
-                    .as_mut()
-                    .expect("collective slot empty: SPMD schedule diverged across ranks")
-                    .downcast_mut::<Vec<Vec<M>>>()
-                    .expect("collective slot type mismatch: SPMD schedule diverged across ranks");
-                inboxes[s] = std::mem::take(&mut posted[me]);
-            }
-            inboxes
+                inboxes
+            })
         })
     }
 }

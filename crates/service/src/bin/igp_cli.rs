@@ -9,6 +9,7 @@
 //! igp-cli [--addr HOST:PORT] delta <sid> [av=…] [rv=…] [ae=…] [re=…]
 //! igp-cli [--addr HOST:PORT] flush|stat|part|close <sid>
 //! igp-cli [--addr HOST:PORT] list | shutdown
+//! igp-cli [--addr HOST:PORT] metrics [--watch] [--interval SECS]
 //! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
 //!                                 [--policy SPEC] [--seed S]
 //! igp-cli replay <data-dir> [sid]
@@ -30,18 +31,20 @@ use igp_service::client::{DeltaAck, IgpClient};
 use igp_service::protocol::{parse_bool, parse_delta_fields};
 use igp_service::session::SessionConfig;
 use igp_store::SessionStore;
+use std::io::Write as _;
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: igp-cli [--addr HOST:PORT] \
-         <ping|open|delta|flush|stat|part|close|list|shutdown|demo> …\n\
+        "usage: igp-cli [--addr HOST:PORT] [--log-level LEVEL] \
+         <ping|open|delta|flush|stat|part|close|list|metrics|shutdown|demo> …\n\
+         \x20      igp-cli metrics [--watch] [--interval SECS]\n\
          \x20      igp-cli replay <data-dir> [sid]"
     );
     std::process::exit(code);
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
-    eprintln!("igp-cli: {msg}");
+    igp_obs::error!(target: "cli", msg);
     std::process::exit(1);
 }
 
@@ -62,6 +65,12 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let addr = take_value(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7421".into());
+    if let Some(l) = take_value(&mut args, "--log-level") {
+        match igp_obs::Level::parse(&l) {
+            Some(l) => igp_obs::set_max_level(l),
+            None => fail(format!("bad --log-level `{l}` (error|warn|info|debug)")),
+        }
+    }
     if args.is_empty() {
         usage(2);
     }
@@ -113,6 +122,11 @@ fn main() {
                     if let (Some(r), Some(b), Some(q)) = (s.wal_records, s.wal_bytes, s.snap_seq) {
                         print!(" wal_records={r} wal_bytes={b} snap_seq={q}");
                     }
+                    if let (Some(p50), Some(p99), Some(mx)) =
+                        (s.repart_p50_us, s.repart_p99_us, s.repart_max_us)
+                    {
+                        print!(" repart_p50_us={p50} repart_p99_us={p99} repart_max_us={mx}");
+                    }
                     println!();
                 }
                 "part" => {
@@ -136,9 +150,47 @@ fn main() {
             connect(&addr).shutdown().unwrap_or_else(|e| fail(e));
             println!("server shut down");
         }
+        "metrics" => cmd_metrics(&addr, args),
         "demo" => cmd_demo(&addr, args),
         "replay" => cmd_replay(args),
         _ => usage(2),
+    }
+}
+
+/// Scrape the daemon's `METRICS` exposition; `--watch` re-scrapes on an
+/// interval (default 2s) over one connection, with a form-feed-free
+/// `---` separator between scrapes so the output stays pipeable.
+fn cmd_metrics(addr: &str, mut args: Vec<String>) {
+    let watch = args
+        .iter()
+        .position(|a| a == "--watch")
+        .map(|i| args.remove(i))
+        .is_some();
+    let interval: u64 = take_value(&mut args, "--interval")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| fail(format!("--interval: {e}")))
+        })
+        .unwrap_or(2);
+    if !args.is_empty() {
+        usage(2);
+    }
+    let mut cli = connect(addr);
+    let mut out = std::io::stdout();
+    loop {
+        let text = cli.metrics().unwrap_or_else(|e| fail(e));
+        // `--watch` is made for piping (`| head`, `| grep -m1 …`): a
+        // closed stdout ends the watch instead of panicking.
+        if write!(out, "{text}").and_then(|()| out.flush()).is_err() {
+            return;
+        }
+        if !watch {
+            return;
+        }
+        if writeln!(out, "---").is_err() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval.max(1)));
     }
 }
 
@@ -171,7 +223,7 @@ fn cmd_replay(mut args: Vec<String>) {
         let insp = match SessionStore::inspect(&dir) {
             Ok(i) => i,
             Err(e) => {
-                eprintln!("{}: {e}", dir.display());
+                igp_obs::error!(target: "cli", "inspect failed"; dir = dir.display(), error = e);
                 failed = true;
                 continue;
             }

@@ -3,6 +3,7 @@
 //! ```text
 //! igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]
 //!           [--data-dir DIR] [--snapshot-policy never|every:<k>|cost[:r:m:w]]
+//!           [--log-level error|warn|info|debug]
 //! ```
 //!
 //! With `--data-dir`, every session journals its deltas to a
@@ -21,7 +22,8 @@ use std::io::Write;
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]\n\
-         \x20                [--data-dir DIR] [--snapshot-policy SPEC]"
+         \x20                [--data-dir DIR] [--snapshot-policy SPEC]\n\
+         \x20                [--log-level error|warn|info|debug]"
     );
     std::process::exit(code);
 }
@@ -51,9 +53,13 @@ fn main() {
             "--snapshot-policy" => match args.next().map(|s| s.parse()) {
                 Some(Ok(p)) => opts.snapshot_policy = p,
                 Some(Err(e)) => {
-                    eprintln!("igp-serve: {e}");
+                    igp_obs::error!(target: "serve", "bad --snapshot-policy"; error = e);
                     usage(2)
                 }
+                None => usage(2),
+            },
+            "--log-level" => match args.next().as_deref().and_then(igp_obs::Level::parse) {
+                Some(l) => igp_obs::set_max_level(l),
                 None => usage(2),
             },
             "--help" | "-h" => usage(0),
@@ -63,12 +69,14 @@ fn main() {
     let handle = match serve(&addr, opts) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("igp-serve: cannot bind {addr}: {e}");
+            igp_obs::error!(target: "serve", "cannot bind"; addr = addr, error = e);
             std::process::exit(1);
         }
     };
     println!("igp-serve listening on {}", handle.addr());
     let _ = std::io::stdout().flush();
+    igp_obs::info!(target: "serve", "listening"; addr = handle.addr());
     handle.wait();
+    igp_obs::info!(target: "serve", "shut down cleanly");
     println!("igp-serve: shut down cleanly");
 }

@@ -98,6 +98,12 @@ pub struct StatInfo {
     pub snap_seq: Option<u64>,
     /// Snapshots written by the serving process (durable sessions only).
     pub snapshots: Option<u64>,
+    /// p50 repartition wall time in µs (absent until the first step).
+    pub repart_p50_us: Option<u64>,
+    /// p99 repartition wall time in µs (absent until the first step).
+    pub repart_p99_us: Option<u64>,
+    /// Max repartition wall time in µs (absent until the first step).
+    pub repart_max_us: Option<u64>,
 }
 
 /// A connected protocol client.
@@ -248,7 +254,46 @@ impl IgpClient {
             wal_bytes: field_opt(&kv, "wal_bytes")?,
             snap_seq: field_opt(&kv, "snap_seq")?,
             snapshots: field_opt(&kv, "snapshots")?,
+            repart_p50_us: field_opt(&kv, "repart_p50_us")?,
+            repart_p99_us: field_opt(&kv, "repart_p99_us")?,
+            repart_max_us: field_opt(&kv, "repart_max_us")?,
         })
+    }
+
+    /// `METRICS` → the daemon's Prometheus-style text exposition
+    /// (service, store, core and runtime families).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send("METRICS")?;
+        let first = self.recv()?;
+        let tokens: Vec<&str> = first.split_ascii_whitespace().collect();
+        match tokens.as_slice() {
+            ["ERR", kind, detail @ ..] => {
+                return Err(ClientError::Server {
+                    kind: kind.to_string(),
+                    detail: detail.join(" "),
+                })
+            }
+            ["OK", "metrics"] => {}
+            _ => {
+                return Err(ClientError::Proto(format!(
+                    "expected `OK metrics`, got `{first}`"
+                )))
+            }
+        }
+        // The exposition body: raw lines up to the END terminator.
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Proto(
+                    "connection closed mid-exposition".into(),
+                ));
+            }
+            if line.trim_end() == "END" {
+                return Ok(text);
+            }
+            text.push_str(&line);
+        }
     }
 
     /// The session's full assignment (vertex → partition).

@@ -51,6 +51,7 @@
 
 pub mod client;
 pub mod durable;
+pub mod obs;
 pub mod policy;
 pub mod protocol;
 pub mod registry;

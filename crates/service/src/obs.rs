@@ -1,0 +1,216 @@
+//! Service-layer metrics: per-verb request counts and latency, typed
+//! error counts, repartition triggers by policy, queue depth,
+//! backpressure rejections, active sessions and wire volume. Registered
+//! into the global igp-obs registry (naming per DESIGN.md §10.1); the
+//! daemon's `METRICS` verb renders the whole registry, so the
+//! store/core/runtime families appear beside these.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::policy::RepartitionPolicy;
+use crate::protocol::Request;
+use igp_obs::{registry, Counter, Gauge, Histogram};
+
+/// The protocol verbs, in the order [`verb_idx`] assigns; used as the
+/// `verb` label value.
+pub const VERBS: [&str; 10] = [
+    "ping", "open", "delta", "flush", "stat", "part", "close", "list", "metrics", "shutdown",
+];
+
+/// Index of a parsed request's verb into the per-verb metric arrays.
+pub fn verb_idx(req: &Request) -> usize {
+    match req {
+        Request::Ping => 0,
+        Request::Open { .. } => 1,
+        Request::Delta { .. } => 2,
+        Request::Flush { .. } => 3,
+        Request::Stat { .. } => 4,
+        Request::Part { .. } => 5,
+        Request::Close { .. } => 6,
+        Request::List => 7,
+        Request::Metrics => 8,
+        Request::Shutdown => 9,
+    }
+}
+
+/// Wire error kinds (`ERR <kind> …`): every [`crate::ServiceError`]
+/// kind plus `proto` for unparseable request lines.
+const ERROR_KINDS: [&str; 8] = [
+    "proto",
+    "unknown-session",
+    "session-exists",
+    "delta",
+    "graph",
+    "backpressure",
+    "storage",
+    "internal",
+];
+
+/// All service-layer metric handles; one instance per process.
+pub struct ServiceMetrics {
+    /// `igp_service_requests_total{verb=…}` — indexed by [`verb_idx`].
+    pub requests_total: [Arc<Counter>; VERBS.len()],
+    /// `igp_service_request_us{verb=…}` — wall time from parse to reply.
+    pub request_us: [Arc<Histogram>; VERBS.len()],
+    /// `igp_service_errors_total{kind=…}` — indexed per [`ERROR_KINDS`];
+    /// use [`ServiceMetrics::error`] for the by-kind lookup.
+    errors_total: [Arc<Counter>; ERROR_KINDS.len()],
+    /// `igp_service_repartitions_total{policy=…,trigger=…}` —
+    /// `[policy: every|dirt|cost][trigger: policy|flush]`; use
+    /// [`ServiceMetrics::repartition_counter`].
+    repartitions_total: [[Arc<Counter>; 2]; 3],
+    /// `igp_service_queue_depth` — pending deltas after the most recent
+    /// `DELTA` (whichever session it hit).
+    pub queue_depth: Arc<Gauge>,
+    /// `igp_service_backpressure_total` — `DELTA`s rejected at the
+    /// queue cap.
+    pub backpressure_total: Arc<Counter>,
+    /// `igp_service_active_sessions` — open sessions (refreshed on
+    /// `METRICS`).
+    pub active_sessions: Arc<Gauge>,
+    /// `igp_service_bytes_in_total` — request bytes read, graph uploads
+    /// included.
+    pub bytes_in_total: Arc<Counter>,
+    /// `igp_service_bytes_out_total` — reply bytes written.
+    pub bytes_out_total: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    /// The error counter for a wire kind token (`None` for tokens the
+    /// protocol never emits).
+    pub fn error(&self, kind: &str) -> Option<&Counter> {
+        ERROR_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map(|i| &*self.errors_total[i])
+    }
+
+    /// The repartition counter for a session's policy and the firing
+    /// trigger (`trigger="policy"` for policy-initiated steps,
+    /// `trigger="flush"` for explicit `FLUSH`).
+    pub fn repartition_counter(
+        &self,
+        policy: &RepartitionPolicy,
+        explicit_flush: bool,
+    ) -> &Counter {
+        let p = match policy {
+            RepartitionPolicy::EveryK(_) => 0,
+            RepartitionPolicy::DirtFraction(_) => 1,
+            RepartitionPolicy::CostModelDriven(_) => 2,
+        };
+        &self.repartitions_total[p][usize::from(explicit_flush)]
+    }
+}
+
+/// The service layer's registered metric handles.
+pub fn metrics() -> &'static ServiceMetrics {
+    static M: OnceLock<ServiceMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        let policy_names = ["every", "dirt", "cost"];
+        let trigger_names = ["policy", "flush"];
+        ServiceMetrics {
+            requests_total: std::array::from_fn(|i| {
+                r.counter(
+                    "igp_service_requests_total",
+                    "Requests handled, by protocol verb",
+                    vec![("verb", VERBS[i].to_string())],
+                )
+            }),
+            request_us: std::array::from_fn(|i| {
+                r.histogram(
+                    "igp_service_request_us",
+                    "Request wall time from parse to reply (microseconds)",
+                    vec![("verb", VERBS[i].to_string())],
+                )
+            }),
+            errors_total: std::array::from_fn(|i| {
+                r.counter(
+                    "igp_service_errors_total",
+                    "ERR replies sent, by wire error kind",
+                    vec![("kind", ERROR_KINDS[i].to_string())],
+                )
+            }),
+            repartitions_total: std::array::from_fn(|p| {
+                std::array::from_fn(|t| {
+                    r.counter(
+                        "igp_service_repartitions_total",
+                        "Repartition steps, by session policy and firing trigger",
+                        vec![
+                            ("policy", policy_names[p].to_string()),
+                            ("trigger", trigger_names[t].to_string()),
+                        ],
+                    )
+                })
+            }),
+            queue_depth: r.gauge(
+                "igp_service_queue_depth",
+                "Pending deltas after the most recent DELTA",
+                vec![],
+            ),
+            backpressure_total: r.counter(
+                "igp_service_backpressure_total",
+                "DELTA requests rejected at the per-session queue cap",
+                vec![],
+            ),
+            active_sessions: r.gauge(
+                "igp_service_active_sessions",
+                "Sessions currently open in the registry",
+                vec![],
+            ),
+            bytes_in_total: r.counter(
+                "igp_service_bytes_in_total",
+                "Request bytes read from clients (graph uploads included)",
+                vec![],
+            ),
+            bytes_out_total: r.counter(
+                "igp_service_bytes_out_total",
+                "Reply bytes written to clients",
+                vec![],
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_table_matches_request_enum() {
+        let reqs = [
+            Request::Ping,
+            Request::List,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Flush { sid: "s".into() },
+        ];
+        for req in &reqs {
+            let i = verb_idx(req);
+            assert!(i < VERBS.len());
+        }
+        assert_eq!(VERBS[verb_idx(&Request::Metrics)], "metrics");
+        assert_eq!(VERBS[verb_idx(&Request::Ping)], "ping");
+    }
+
+    #[test]
+    fn error_kind_lookup_covers_service_errors() {
+        let m = metrics();
+        for e in [
+            crate::ServiceError::UnknownSession("x".into()),
+            crate::ServiceError::SessionExists("x".into()),
+            crate::ServiceError::Graph("g".into()),
+            crate::ServiceError::Backpressure {
+                sid: "x".into(),
+                pending: 1,
+                cap: 1,
+            },
+            crate::ServiceError::Storage("s".into()),
+            crate::ServiceError::Internal("i".into()),
+        ] {
+            assert!(m.error(e.kind()).is_some(), "{}", e.kind());
+        }
+        assert!(m.error("proto").is_some());
+        assert!(m.error("not-a-kind").is_none());
+    }
+}

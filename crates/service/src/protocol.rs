@@ -12,7 +12,12 @@
 //!      [backend=<sim-cm5|shared-mem>] [init=<rsb|rr>]
 //! DELTA <sid> [av=w,…] [rv=v,…] [ae=u:v:w,…] [re=u:v,…]
 //! FLUSH <sid>   STAT <sid>   PART <sid>   CLOSE <sid>   LIST   SHUTDOWN
+//! METRICS
 //! ```
+//!
+//! `METRICS` is the other multi-line exception, on the response side:
+//! `OK metrics`, then the Prometheus-style text exposition, then a
+//! line reading `END`.
 
 use crate::policy::RepartitionPolicy;
 use crate::session::{InitPartition, SessionConfig};
@@ -29,6 +34,7 @@ pub enum Request {
     Part { sid: String },
     Close { sid: String },
     List,
+    Metrics,
     Shutdown,
 }
 
@@ -94,6 +100,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Ok(Request::List)
             } else {
                 Err("usage: LIST".into())
+            }
+        }
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Request::Metrics)
+            } else {
+                Err("usage: METRICS".into())
             }
         }
         "SHUTDOWN" => {
@@ -291,6 +304,7 @@ mod tests {
     fn request_lines_parse() {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("LIST").unwrap(), Request::List);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         match parse_request("OPEN s1 parts=4 policy=every:2").unwrap() {
             Request::Open { sid, cfg } => {
@@ -325,6 +339,7 @@ mod tests {
             "FLUSH",
             "FLUSH a b",
             "PING extra",
+            "METRICS extra",
             "OPEN s!/ parts=2",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?}");

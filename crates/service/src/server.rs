@@ -118,28 +118,35 @@ impl Drop for ServerHandle {
 pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    // Touch every layer's metric registration at boot so `METRICS`
+    // renders the full family set (zero-valued) before any traffic.
+    let _ = crate::obs::metrics();
+    let _ = igp_core::obs::metrics();
+    let _ = igp_store::obs::metrics();
+    let _ = igp_runtime::obs::metrics();
     let registry = SessionRegistry::new(opts.shards);
     if let Some(dir) = &opts.data_dir {
         std::fs::create_dir_all(dir)?;
         let (recovered, failures) = crate::durable::recover_all(dir, opts.snapshot_policy)?;
         for r in recovered {
             if let Some(w) = &r.warning {
-                eprintln!("igp-serve: [{}] recovery warning: {w}", r.sid);
+                igp_obs::warn!(target: "serve", "recovery warning"; sid = r.sid, detail = w);
             }
-            let g = r.session.inner().graph();
-            eprintln!(
-                "igp-serve: recovered session `{}` (n={} steps={} pending={})",
-                r.sid,
-                g.num_vertices(),
+            let (n, steps, pending) = (
+                r.session.inner().graph().num_vertices(),
                 r.session.steps(),
                 r.session.inner().pending_deltas(),
+            );
+            igp_obs::info!(
+                target: "serve", "recovered session";
+                sid = r.sid, n = n, steps = steps, pending = pending,
             );
             registry
                 .open(&r.sid, r.session)
                 .map_err(|e| io::Error::other(format!("recovered `{}` twice: {e}", r.sid)))?;
         }
         for f in failures {
-            eprintln!("igp-serve: session NOT recovered: {f}");
+            igp_obs::error!(target: "serve", "session NOT recovered"; detail = f);
         }
     }
     let ctx = Arc::new(ServerCtx {
@@ -273,12 +280,26 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let m = crate::obs::metrics();
     while read_line_polling(&mut reader, stop, &mut line).is_some() {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let reply = match parse_request(trimmed) {
+        m.bytes_in_total.add(line.len() as u64);
+        let parsed = parse_request(trimmed);
+        let vi = parsed.as_ref().ok().map(crate::obs::verb_idx);
+        if let Some(vi) = vi {
+            m.requests_total[vi].inc();
+            igp_obs::debug!(
+                target: "serve", "request";
+                verb = crate::obs::VERBS[vi], bytes = line.len(),
+            );
+        }
+        // Manual start/stop (not `Histogram::time`): several arms below
+        // `break`/`return` out of the match, which a closure cannot.
+        let t0 = igp_obs::enabled().then(std::time::Instant::now);
+        let reply = match parsed {
             Err(e) => {
                 // A malformed OPEN is still followed by the client's
                 // graph block: drain through END so the connection stays
@@ -294,7 +315,10 @@ fn handle_connection(
             Ok(Request::Open { sid, cfg }) => {
                 match read_graph_block(&mut reader, stop) {
                     None => break, // connection died mid-upload
-                    Some(text) => open_session(ctx, &sid, cfg, &text),
+                    Some(text) => {
+                        m.bytes_in_total.add(text.len() as u64);
+                        open_session(ctx, &sid, cfg, &text)
+                    }
                 }
             }
             Ok(Request::Delta { sid, delta }) => {
@@ -304,6 +328,7 @@ fn handle_connection(
                     // queue.
                     let pending = s.inner().pending_deltas();
                     if pending >= ctx.queue_cap {
+                        m.backpressure_total.inc();
                         return err_line(&ServiceError::Backpressure {
                             sid: sid.clone(),
                             pending,
@@ -312,9 +337,12 @@ fn handle_connection(
                     }
                     match s.ingest(&delta) {
                         Ok(Ingest::Queued { pending }) => {
+                            m.queue_depth.set(pending as i64);
                             format!("OK queued sid={sid} pending={pending}")
                         }
                         Ok(Ingest::Stepped { summary, coalesced }) => {
+                            m.queue_depth.set(0);
+                            m.repartition_counter(&s.config().policy, false).inc();
                             step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
                         }
                         Err(e) => err_line(&e),
@@ -323,6 +351,8 @@ fn handle_connection(
             }
             Ok(Request::Flush { sid }) => with_session(registry, &sid, |s| match s.flush() {
                 Ok(Some((summary, coalesced))) => {
+                    m.queue_depth.set(0);
+                    m.repartition_counter(&s.config().policy, true).inc();
                     step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
                 }
                 Ok(None) => format!("OK noop sid={sid}"),
@@ -350,6 +380,13 @@ fn handle_connection(
                         st.wal_bytes(),
                         st.seq(),
                         st.snapshots_written(),
+                    ));
+                }
+                // Per-session repartition latency (the session's private
+                // histogram — the METRICS exposition has the global one).
+                if let Some((p50, p99, max)) = s.repart_latency_us() {
+                    line.push_str(&format!(
+                        " repart_p50_us={p50} repart_p99_us={p99} repart_max_us={max}"
                     ));
                 }
                 line
@@ -391,13 +428,34 @@ fn handle_connection(
                 }
                 out
             }
+            Ok(Request::Metrics) => {
+                // Refresh the registry-derived gauge, then render the
+                // whole process registry: service, store, core and
+                // runtime families in one exposition.
+                m.active_sessions.set(registry.list().len() as i64);
+                format!("OK metrics\n{}END", igp_obs::registry().render())
+            }
             Ok(Request::Shutdown) => {
+                m.bytes_out_total.add("OK bye\n".len() as u64);
                 let _ = writeln!(out, "OK bye");
                 let _ = out.flush();
                 let _ = shutdown_tx.send(());
                 return;
             }
         };
+        if let (Some(t0), Some(vi)) = (t0, vi) {
+            m.request_us[vi].observe_duration(t0.elapsed());
+        }
+        if let Some(rest) = reply.strip_prefix("ERR ") {
+            if let Some(c) = rest
+                .split_ascii_whitespace()
+                .next()
+                .and_then(|k| m.error(k))
+            {
+                c.inc();
+            }
+        }
+        m.bytes_out_total.add(reply.len() as u64 + 1);
         if writeln!(out, "{reply}").and_then(|_| out.flush()).is_err() {
             break;
         }

@@ -121,6 +121,12 @@ pub struct ServiceSession {
     /// memory-only sessions, and detached (with a one-time error to the
     /// client) if the storage layer ever fails.
     store: Option<SessionStore>,
+    /// Wall time (µs) of this session's repartition flushes — private
+    /// (unregistered) so `STAT` can report a per-tenant latency subset
+    /// next to the global `igp_core_repartition_us` family. Timing
+    /// only: never influences the repartition result, so replay stays
+    /// bit-identical.
+    repart_us: igp_obs::Histogram,
 }
 
 /// Borrow the persistable state for the store (a free function so the
@@ -165,6 +171,7 @@ impl ServiceSession {
             deltas_received: 0,
             total_weight,
             store: None,
+            repart_us: igp_obs::Histogram::new(),
         }
     }
 
@@ -241,6 +248,7 @@ impl ServiceSession {
             deltas_received,
             total_weight,
             store: None,
+            repart_us: igp_obs::Histogram::new(),
         }
     }
 
@@ -269,7 +277,7 @@ impl ServiceSession {
         self.deltas_received += 1;
         if self.cfg.policy.should_flush(&self.policy_view()) {
             let coalesced = pending;
-            match self.session.flush() {
+            match self.repart_us.time(|| self.session.flush()) {
                 Some(summary) => {
                     self.total_weight = self.session.graph().total_vertex_weight();
                     Ok(Ingest::Stepped { summary, coalesced })
@@ -299,7 +307,10 @@ impl ServiceSession {
     /// The pure (journal-free) flush path used by recovery replay.
     pub(crate) fn flush_replay(&mut self) -> Option<(StepSummary, usize)> {
         let coalesced = self.session.pending_deltas();
-        let stepped = self.session.flush().map(|s| (s, coalesced));
+        let stepped = self
+            .repart_us
+            .time(|| self.session.flush())
+            .map(|s| (s, coalesced));
         if stepped.is_some() {
             self.total_weight = self.session.graph().total_vertex_weight();
         }
@@ -408,6 +419,20 @@ impl ServiceSession {
     /// Deltas received over the session's lifetime.
     pub fn deltas_received(&self) -> usize {
         self.deltas_received
+    }
+
+    /// `(p50, p99, max)` of this session's repartition wall time in
+    /// microseconds; `None` until the first repartition (or while the
+    /// igp-obs kill switch is off). Lifetime of this process only — a
+    /// recovered session starts a fresh histogram.
+    pub fn repart_latency_us(&self) -> Option<(u64, u64, u64)> {
+        (self.repart_us.count() > 0).then(|| {
+            (
+                self.repart_us.quantile(0.5),
+                self.repart_us.quantile(0.99),
+                self.repart_us.max(),
+            )
+        })
     }
 
     /// Repartition steps taken so far (continues across a crash +

@@ -33,6 +33,7 @@
 //! every externally visible input (accepted deltas, explicit flushes)
 //! in order.
 
+pub mod obs;
 pub mod policy;
 pub mod snapshot;
 pub mod store;

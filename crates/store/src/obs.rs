@@ -1,0 +1,74 @@
+//! Store-layer metrics: WAL append latency and volume, snapshot and
+//! recovery durations, corrupt-tail truncations. Registered into the
+//! global igp-obs registry (naming per DESIGN.md §10.1).
+
+use std::sync::{Arc, OnceLock};
+
+use igp_obs::{registry, Counter, Histogram};
+
+/// All store-layer metric handles; one instance per process.
+pub struct StoreMetrics {
+    /// `igp_store_wal_append_us` — one WAL frame write + flush.
+    pub wal_append_us: Arc<Histogram>,
+    /// `igp_store_wal_frames_total` — frames appended.
+    pub wal_frames_total: Arc<Counter>,
+    /// `igp_store_wal_bytes_total` — frame bytes written (headers incl.).
+    pub wal_bytes_total: Arc<Counter>,
+    /// `igp_store_snapshot_us` — snapshot write + WAL rotation.
+    pub snapshot_us: Arc<Histogram>,
+    /// `igp_store_snapshots_total` — snapshots written.
+    pub snapshots_total: Arc<Counter>,
+    /// `igp_store_recovery_us` — full `SessionStore::recover` duration.
+    pub recovery_us: Arc<Histogram>,
+    /// `igp_store_recoveries_total` — recovery attempts that succeeded.
+    pub recoveries_total: Arc<Counter>,
+    /// `igp_store_recovery_truncations_total` — recoveries that dropped
+    /// a corrupt/torn WAL tail.
+    pub recovery_truncations_total: Arc<Counter>,
+}
+
+/// The store layer's registered metric handles.
+pub fn metrics() -> &'static StoreMetrics {
+    static M: OnceLock<StoreMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        StoreMetrics {
+            wal_append_us: r.histogram(
+                "igp_store_wal_append_us",
+                "WAL frame append latency, write through OS flush (microseconds)",
+                vec![],
+            ),
+            wal_frames_total: r.counter(
+                "igp_store_wal_frames_total",
+                "WAL frames appended",
+                vec![],
+            ),
+            wal_bytes_total: r.counter(
+                "igp_store_wal_bytes_total",
+                "WAL bytes written, frame headers included",
+                vec![],
+            ),
+            snapshot_us: r.histogram(
+                "igp_store_snapshot_us",
+                "Snapshot write + WAL rotation duration (microseconds)",
+                vec![],
+            ),
+            snapshots_total: r.counter("igp_store_snapshots_total", "Snapshots written", vec![]),
+            recovery_us: r.histogram(
+                "igp_store_recovery_us",
+                "Crash-recovery duration: snapshot load + WAL tail replay (microseconds)",
+                vec![],
+            ),
+            recoveries_total: r.counter(
+                "igp_store_recoveries_total",
+                "Successful session recoveries",
+                vec![],
+            ),
+            recovery_truncations_total: r.counter(
+                "igp_store_recovery_truncations_total",
+                "Recoveries that truncated a corrupt or torn WAL tail",
+                vec![],
+            ),
+        }
+    })
+}

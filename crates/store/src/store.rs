@@ -304,22 +304,27 @@ impl SessionStore {
     /// its [`DeltaCoalescer::net`] — one canonical delta recorded as
     /// the snapshot's lineage.
     pub fn snapshot_now(&mut self, state: SessionState<'_>) -> Result<(), StoreError> {
-        let next = self.seq + 1;
-        let lineage = self.co.net();
-        let compacted = self.wal.records();
-        write_snapshot(
-            &snap_path(&self.dir, next),
-            &state.to_snapshot(next, lineage, compacted),
-        )?;
-        self.wal = WalWriter::create(&wal_path(&self.dir, next), next)?;
-        // Best-effort cleanup; stale files are ignored by recovery.
-        let _ = std::fs::remove_file(snap_path(&self.dir, self.seq));
-        let _ = std::fs::remove_file(wal_path(&self.dir, self.seq));
-        self.seq = next;
-        self.snapshots_written += 1;
-        self.co = DeltaCoalescer::new(state.graph.num_vertices());
-        self.ops_since_snap = 0;
-        self.steps_at_snap = state.steps;
+        let m = crate::obs::metrics();
+        m.snapshot_us.time(|| -> Result<(), StoreError> {
+            let next = self.seq + 1;
+            let lineage = self.co.net();
+            let compacted = self.wal.records();
+            write_snapshot(
+                &snap_path(&self.dir, next),
+                &state.to_snapshot(next, lineage, compacted),
+            )?;
+            self.wal = WalWriter::create(&wal_path(&self.dir, next), next)?;
+            // Best-effort cleanup; stale files are ignored by recovery.
+            let _ = std::fs::remove_file(snap_path(&self.dir, self.seq));
+            let _ = std::fs::remove_file(wal_path(&self.dir, self.seq));
+            self.seq = next;
+            self.snapshots_written += 1;
+            self.co = DeltaCoalescer::new(state.graph.num_vertices());
+            self.ops_since_snap = 0;
+            self.steps_at_snap = state.steps;
+            Ok(())
+        })?;
+        m.snapshots_total.inc();
         Ok(())
     }
 
@@ -327,6 +332,16 @@ impl SessionStore {
     /// tail, with any corrupt trailing bytes reported and truncated
     /// away so the reopened log appends cleanly.
     pub fn recover(dir: &Path, policy: SnapshotPolicy) -> Result<Recovered, StoreError> {
+        let m = crate::obs::metrics();
+        let recovered = m.recovery_us.time(|| Self::recover_inner(dir, policy))?;
+        m.recoveries_total.inc();
+        if recovered.dropped_tail.is_some() {
+            m.recovery_truncations_total.inc();
+        }
+        Ok(recovered)
+    }
+
+    fn recover_inner(dir: &Path, policy: SnapshotPolicy) -> Result<Recovered, StoreError> {
         let meta = read_meta(dir)?;
         let (snapshot, mut warnings) = latest_snapshot(dir)?;
         let wpath = wal_path(dir, snapshot.seq);

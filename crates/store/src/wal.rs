@@ -150,8 +150,14 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
+        let m = crate::obs::metrics();
+        m.wal_append_us.time(|| -> Result<(), StoreError> {
+            self.file.write_all(&frame)?;
+            self.file.flush()?;
+            Ok(())
+        })?;
+        m.wal_frames_total.inc();
+        m.wal_bytes_total.add(frame.len() as u64);
         self.bytes += frame.len() as u64;
         self.records += 1;
         Ok(frame.len() as u64)

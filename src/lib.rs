@@ -17,6 +17,8 @@
 //! * [`store`] — durability for the serving layer: per-session delta
 //!   write-ahead log, partition+graph snapshots, crash recovery
 //!   (`igp-store`).
+//! * [`obs`] — observability: lock-free metrics with a Prometheus-style
+//!   exposition, leveled structured logging, span timers (`igp-obs`).
 //! * `core` — the four-phase incremental partitioner, sequential and
 //!   parallel over either backend (`igp-core`), re-exported at the top
 //!   level.
@@ -51,6 +53,8 @@ pub use igp_graph as graph;
 pub use igp_lp as lp;
 /// Adaptive meshes (`igp-mesh`).
 pub use igp_mesh as mesh;
+/// Observability: metrics, structured logging, span timers (`igp-obs`).
+pub use igp_obs as obs;
 /// SPMD runtime (`igp-runtime`).
 pub use igp_runtime as runtime;
 /// Partitioning daemon: session registry, delta coalescing, repartition

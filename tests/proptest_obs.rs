@@ -1,0 +1,165 @@
+//! Property and concurrency tests for the igp-obs metric primitives:
+//! histogram quantile estimates must stay within the documented
+//! bucket-width error bound of the exact sorted-sample quantiles for
+//! arbitrary magnitude-spread inputs, and the lock-free counters and
+//! histograms must not lose updates under multi-threaded hammering.
+
+mod common;
+
+use igp::obs::{Counter, Gauge, Histogram};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Exact `q`-quantile of a sample set: the rank-`⌈q·n⌉` element of the
+/// sorted samples (1-based, clamped to rank ≥ 1) — the definition the
+/// histogram estimates (DESIGN.md §10.3).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(common::tier1_config(64))]
+
+    /// For any sample set spanning magnitudes from the exact linear
+    /// region (< 8) up to ~2^55, every quantile estimate `e` of the
+    /// exact quantile `x` satisfies `x ≤ e ≤ x + x/8 + 1`: never an
+    /// underestimate, and at most one bucket width (≤ 1/8 of the lower
+    /// bound, plus the ±1 integer slack) above.
+    #[test]
+    fn quantile_estimates_within_bucket_error(
+        samples in prop::collection::vec(
+            (0u64..256, 0u32..48).prop_map(|(m, s)| m << s),
+            1..400,
+        ),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        // Exact aggregates are exact, not bucketed.
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            prop_assert!(
+                est >= exact,
+                "q={q}: estimate {est} below exact {exact}"
+            );
+            prop_assert!(
+                est <= exact + exact / 8 + 1,
+                "q={q}: estimate {est} above bound for exact {exact}"
+            );
+            // The clamp to the observed max must always hold.
+            prop_assert!(est <= h.max());
+        }
+    }
+
+    /// Quantiles are monotone in `q` — a p99 can never report below a
+    /// p50 on the same data.
+    #[test]
+    fn quantiles_monotone_in_q(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let qs = [0.0, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let ests: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        prop_assert!(
+            ests.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: {ests:?}"
+        );
+    }
+}
+
+/// `HAMMER_THREADS × HAMMER_OPS` concurrent updates against one shared
+/// counter, gauge and histogram: the relaxed-atomic recording paths
+/// must not lose a single update.
+#[test]
+fn concurrent_hammer_loses_no_updates() {
+    const HAMMER_THREADS: usize = 8;
+    const HAMMER_OPS: u64 = 20_000;
+
+    let counter = Arc::new(Counter::new());
+    let gauge = Arc::new(Gauge::new());
+    let hist = Arc::new(Histogram::new());
+
+    let workers: Vec<_> = (0..HAMMER_THREADS)
+        .map(|t| {
+            let counter = Arc::clone(&counter);
+            let gauge = Arc::clone(&gauge);
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..HAMMER_OPS {
+                    counter.inc();
+                    counter.add(2);
+                    gauge.add(1);
+                    gauge.add(-1);
+                    gauge.add(3);
+                    // Spread observations across octaves so the threads
+                    // also contend on distinct bucket slots.
+                    hist.observe((t as u64 + 1) << (i % 20));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let n = (HAMMER_THREADS as u64) * HAMMER_OPS;
+    assert_eq!(counter.get(), 3 * n, "counter lost updates");
+    assert_eq!(gauge.get(), 3 * n as i64, "gauge lost updates");
+    assert_eq!(hist.count(), n, "histogram lost observations");
+    let expect_sum: u64 = (0..HAMMER_THREADS as u64)
+        .map(|t| (0..HAMMER_OPS).map(|i| (t + 1) << (i % 20)).sum::<u64>())
+        .sum();
+    assert_eq!(hist.sum(), expect_sum, "histogram sum drifted");
+    assert_eq!(hist.max(), (HAMMER_THREADS as u64) << 19);
+    assert_eq!(hist.min(), 1);
+    // Rank mass is conserved: the top quantile reaches the max bucket.
+    assert_eq!(hist.quantile(1.0), hist.max());
+}
+
+/// The registry hands out the *same* metric under concurrent
+/// registration of one (name, labels) pair, so increments from racing
+/// threads all land on one counter.
+#[test]
+fn concurrent_registration_converges_to_one_metric() {
+    const THREADS: usize = 8;
+    const OPS: u64 = 1_000;
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..OPS {
+                    igp::obs::registry()
+                        .counter(
+                            "igp_test_hammer_register_total",
+                            "registration race probe",
+                            vec![("kind", "race".into())],
+                        )
+                        .inc();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let c = igp::obs::registry().counter(
+        "igp_test_hammer_register_total",
+        "registration race probe",
+        vec![("kind", "race".into())],
+    );
+    assert_eq!(c.get(), (THREADS as u64) * OPS);
+}

@@ -183,6 +183,135 @@ fn malformed_open_drains_graph_block() {
     server.wait();
 }
 
+/// One sample line's value from a Prometheus-style exposition; `series`
+/// is the full series name including any label set.
+fn metric_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find_map(|l| {
+            let rest = l.strip_prefix(series)?;
+            rest.strip_prefix(' ')?.trim().parse::<f64>().ok()
+        })
+        .unwrap_or_else(|| panic!("series `{series}` missing from exposition:\n{text}"))
+}
+
+/// The `METRICS` verb serves a parseable exposition covering all four
+/// instrumented layers, with live values reflecting the workload just
+/// driven through the daemon, and `STAT` carries the per-session
+/// repartition-latency subset once a step has happened.
+///
+/// The registry is process-global and the test binary runs tests
+/// concurrently, so value assertions are lower bounds (≥), never
+/// equality.
+#[test]
+fn metrics_exposition_covers_all_layers() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+
+    let base = generators::grid(8, 8);
+    let mut cfg = SessionConfig::new(4);
+    cfg.init = InitPartition::RoundRobin;
+    cfg.policy = "every:2".parse::<RepartitionPolicy>().unwrap();
+    cli.open("obs", &base, &cfg).expect("open");
+    const N_DELTAS: usize = 6;
+    let mut mirror = base;
+    let mut steps = 0usize;
+    for k in 0..N_DELTAS {
+        let d = generators::random_churn_delta(&mirror, 2, 1, 91 + k as u64);
+        mirror = d.apply(&mirror).new_graph().clone();
+        if let DeltaAck::Stepped(_) = cli.delta("obs", &d).expect("delta") {
+            steps += 1;
+        }
+    }
+    if cli.flush("obs").expect("flush").is_some() {
+        steps += 1;
+    }
+    assert!(steps >= 1, "every:2 over {N_DELTAS} deltas must step");
+
+    // Per-session subset on STAT: present once a repartition ran, and
+    // internally consistent (quantiles are clamped to the max).
+    let stat = cli.stat("obs").expect("stat");
+    let p50 = stat.repart_p50_us.expect("repart_p50_us after steps");
+    let p99 = stat.repart_p99_us.expect("repart_p99_us after steps");
+    let max = stat.repart_max_us.expect("repart_max_us after steps");
+    assert!(p50 <= p99 && p99 <= max, "p50={p50} p99={p99} max={max}");
+
+    let text = cli.metrics().expect("metrics");
+
+    // Grammar: every line is a `# HELP`/`# TYPE` comment or
+    // `name[{labels}] value` with a numeric value.
+    for line in text.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("unparseable exposition line `{line}`");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric value in `{line}`"
+        );
+        assert!(
+            series.starts_with("igp_")
+                && series.matches('{').count() == series.matches('}').count(),
+            "malformed series name in `{line}`"
+        );
+    }
+
+    // Every layer's families render — the daemon touches each layer's
+    // metric struct at boot, so these exist even where still zero.
+    for family in [
+        "igp_service_requests_total",
+        "igp_service_request_us",
+        "igp_service_errors_total",
+        "igp_service_repartitions_total",
+        "igp_service_queue_depth",
+        "igp_service_backpressure_total",
+        "igp_service_active_sessions",
+        "igp_service_bytes_in_total",
+        "igp_service_bytes_out_total",
+        "igp_core_repartition_us",
+        "igp_core_repartitions_total",
+        "igp_core_pivots_total",
+        "igp_core_edge_cut_before",
+        "igp_core_edge_cut_after",
+        "igp_core_coalesced_batch_deltas",
+        "igp_store_wal_append_us",
+        "igp_store_wal_frames_total",
+        "igp_store_snapshot_us",
+        "igp_store_recovery_us",
+        "igp_store_recovery_truncations_total",
+        "igp_runtime_launches_total",
+        "igp_runtime_barrier_wait_us",
+        "igp_runtime_collective_us",
+        "igp_runtime_sim_makespan_us",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "family `{family}` missing from exposition:\n{text}"
+        );
+    }
+
+    // Live values for the workload just driven (lower bounds).
+    assert!(metric_value(&text, "igp_service_requests_total{verb=\"open\"}") >= 1.0);
+    assert!(metric_value(&text, "igp_service_requests_total{verb=\"delta\"}") >= N_DELTAS as f64);
+    assert!(metric_value(&text, "igp_service_requests_total{verb=\"metrics\"}") >= 1.0);
+    assert!(metric_value(&text, "igp_service_request_us_count{verb=\"delta\"}") >= N_DELTAS as f64);
+    assert!(metric_value(&text, "igp_service_bytes_in_total") >= 1.0);
+    assert!(metric_value(&text, "igp_service_bytes_out_total") >= 1.0);
+    // This session's sessions run the sequential driver (workers = 1).
+    let seq = "igp_core_repartitions_total{driver=\"sequential\"}";
+    assert!(metric_value(&text, seq) >= steps as f64);
+    let seq_us = "igp_core_repartition_us_count{driver=\"sequential\"}";
+    assert!(metric_value(&text, seq_us) >= steps as f64);
+    assert!(metric_value(&text, "igp_core_coalesced_batch_deltas_count") >= steps as f64);
+    // Present with a sane (non-negative) value; may legitimately be 0.
+    assert!(metric_value(&text, "igp_core_pivots_total") >= 0.0);
+
+    cli.close("obs").expect("close");
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
 /// Protocol-level error paths stay typed end to end: malformed deltas
 /// are rejected at the boundary without killing the session or the
 /// connection.
