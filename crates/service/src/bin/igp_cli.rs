@@ -8,7 +8,7 @@
 //!                                 [--refined 0|1]
 //! igp-cli [--addr HOST:PORT] delta <sid> [av=…] [rv=…] [ae=…] [re=…]
 //! igp-cli [--addr HOST:PORT] flush|stat|part|close <sid>
-//! igp-cli [--addr HOST:PORT] list | shutdown
+//! igp-cli [--addr HOST:PORT] list | shutdown | promote
 //! igp-cli [--addr HOST:PORT] metrics [--watch] [--interval SECS]
 //! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
 //!                                 [--policy SPEC] [--seed S]
@@ -19,6 +19,10 @@
 //! generated grids, streams K churn deltas each (tracking the virtual
 //! graph client-side), forces a final flush, prints per-session
 //! statistics and closes the sessions — the CI smoke test in a box.
+//!
+//! `promote` turns a read-replica follower (`igp-serve --follow`) into
+//! a writable primary — the manual half of failover; the daemon can
+//! also self-promote on heartbeat timeout (`--failover-ms`).
 //!
 //! `replay` needs no server: it inspects a `--data-dir` tree offline —
 //! per session, the stored config, the latest snapshot, the WAL tail
@@ -36,7 +40,7 @@ use std::io::Write as _;
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: igp-cli [--addr HOST:PORT] [--log-level LEVEL] \
-         <ping|open|delta|flush|stat|part|close|list|metrics|shutdown|demo> …\n\
+         <ping|open|delta|flush|stat|part|close|list|metrics|promote|shutdown|demo> …\n\
          \x20      igp-cli metrics [--watch] [--interval SECS]\n\
          \x20      igp-cli replay <data-dir> [sid]"
     );
@@ -115,6 +119,9 @@ fn main() {
                 },
                 "stat" => {
                     let s = cli.stat(sid).unwrap_or_else(|e| fail(e));
+                    if let Some(role) = &s.role {
+                        print!("role={role} ");
+                    }
                     print!(
                         "n={} m={} cut={} imbalance={:.4} pending={} steps={} moved={} scratch={}",
                         s.n, s.m, s.cut, s.imbalance, s.pending, s.steps, s.moved, s.scratch
@@ -149,6 +156,14 @@ fn main() {
         "shutdown" => {
             connect(&addr).shutdown().unwrap_or_else(|e| fail(e));
             println!("server shut down");
+        }
+        "promote" => {
+            let was_follower = connect(&addr).promote().unwrap_or_else(|e| fail(e));
+            if was_follower {
+                println!("promoted to primary");
+            } else {
+                println!("already primary");
+            }
         }
         "metrics" => cmd_metrics(&addr, args),
         "demo" => cmd_demo(&addr, args),
@@ -259,6 +274,9 @@ fn cmd_replay(mut args: Vec<String>) {
         );
         if let Some(c) = &insp.corruption {
             println!("  WARNING: {c}");
+        }
+        if let Some(n) = &insp.note {
+            println!("  note: {n}");
         }
     }
     if failed {

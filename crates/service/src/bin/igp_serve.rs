@@ -3,6 +3,7 @@
 //! ```text
 //! igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]
 //!           [--data-dir DIR] [--snapshot-policy never|every:<k>|cost[:r:m:w]]
+//!           [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]
 //!           [--log-level error|warn|info|debug]
 //! ```
 //!
@@ -11,6 +12,12 @@
 //! sessions found under the directory are recovered (latest snapshot +
 //! WAL replay) before the socket accepts — kill -9 the daemon, restart
 //! it, and `PART` answers bit-identically.
+//!
+//! With `--follow`, the daemon is a read-replica of the primary at the
+//! given address (requires `--data-dir`): it syncs every session,
+//! tails their WALs, refuses write verbs with `ERR read-only`, and
+//! becomes a primary on `PROMOTE` — or automatically once the primary
+//! has been unreachable for `--failover-ms` (off by default).
 //!
 //! Prints `igp-serve listening on <addr>` once the socket is bound
 //! (scripts wait for that line), then serves until a client sends
@@ -23,6 +30,7 @@ fn usage(code: i32) -> ! {
     eprintln!(
         "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]\n\
          \x20                [--data-dir DIR] [--snapshot-policy SPEC]\n\
+         \x20                [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]\n\
          \x20                [--log-level error|warn|info|debug]"
     );
     std::process::exit(code);
@@ -55,6 +63,30 @@ fn main() {
                 Some(Err(e)) => {
                     igp_obs::error!(target: "serve", "bad --snapshot-policy"; error = e);
                     usage(2)
+                }
+                None => usage(2),
+            },
+            "--follow" => match args.next() {
+                Some(a) => opts.follow = Some(a),
+                None => usage(2),
+            },
+            "--repl-interval-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(ms) => {
+                    let ms: u64 = ms;
+                    if ms == 0 {
+                        usage(2)
+                    }
+                    opts.repl_interval = std::time::Duration::from_millis(ms);
+                }
+                None => usage(2),
+            },
+            "--failover-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(ms) => {
+                    let ms: u64 = ms;
+                    if ms == 0 {
+                        usage(2)
+                    }
+                    opts.failover = Some(std::time::Duration::from_millis(ms));
                 }
                 None => usage(2),
             },

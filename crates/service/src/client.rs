@@ -3,13 +3,15 @@
 //! throughput bench.
 
 use crate::protocol::{
-    check_wire_representable, encode_delta_fields, encode_open_opts, kv_get, parse_kv,
+    check_wire_representable, decode_hex_into, encode_delta_fields, encode_open_opts, kv_get,
+    parse_kv,
 };
 use crate::session::SessionConfig;
 use igp_graph::{io as graph_io, CsrGraph, GraphDelta, PartId};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure: transport, server-reported, or malformed reply.
 #[derive(Debug)]
@@ -104,6 +106,43 @@ pub struct StatInfo {
     pub repart_p99_us: Option<u64>,
     /// Max repartition wall time in µs (absent until the first step).
     pub repart_max_us: Option<u64>,
+    /// The daemon's role (`primary` or `follower`); absent when talking
+    /// to a pre-replication daemon.
+    pub role: Option<String>,
+}
+
+/// A session's full durable state as shipped by `REPL SYNC`: the raw
+/// bytes of its meta, current snapshot and current WAL files. Installed
+/// verbatim on the follower and rehydrated through the crash-recovery
+/// path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplSyncInfo {
+    /// Snapshot/WAL sequence the shipped pair carries.
+    pub seq: u64,
+    /// WAL byte length at ship time — the follower's starting cursor.
+    pub wal_end: u64,
+    /// Raw `meta` file bytes.
+    pub meta: Vec<u8>,
+    /// Raw `snap-<seq>.snap` file bytes.
+    pub snapshot: Vec<u8>,
+    /// Raw `wal-<seq>.log` file bytes (header included).
+    pub wal: Vec<u8>,
+}
+
+/// A batch of raw WAL frames shipped by `REPL FRAME`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplFrameBatch {
+    /// The WAL sequence the frames extend.
+    pub seq: u64,
+    /// Byte offset the batch starts at (the requested cursor).
+    pub from: u64,
+    /// Byte offset just past the batch — the follower's next cursor.
+    pub to: u64,
+    /// Number of complete frames in `bytes`.
+    pub frames: u64,
+    /// Raw frame bytes (`to - from` of them; decode with
+    /// [`igp_store::decode_frames`]).
+    pub bytes: Vec<u8>,
 }
 
 /// A connected protocol client.
@@ -257,6 +296,7 @@ impl IgpClient {
             repart_p50_us: field_opt(&kv, "repart_p50_us")?,
             repart_p99_us: field_opt(&kv, "repart_p99_us")?,
             repart_max_us: field_opt(&kv, "repart_max_us")?,
+            role: kv.iter().find(|(k, _)| k == "role").map(|(_, v)| v.clone()),
         })
     }
 
@@ -338,6 +378,99 @@ impl IgpClient {
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
         let rest = self.roundtrip_ok("LIST", "list")?;
         Ok(rest.into_iter().filter(|t| !t.contains('=')).collect())
+    }
+
+    /// Set a read timeout on the underlying socket. The follower's
+    /// replication loop uses this so a frozen (but not dead) primary
+    /// cannot wedge it past the heartbeat window.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// `REPL SYNC` — fetch a session's full durable state for follower
+    /// bootstrap (or post-rotation resync).
+    pub fn repl_sync(&mut self, sid: &str) -> Result<ReplSyncInfo, ClientError> {
+        let rest = self.roundtrip_ok(&format!("REPL SYNC {sid}"), "replsync")?;
+        let kv = parse_kv(&to_strs(&rest)).map_err(ClientError::Proto)?;
+        let seq = field(&kv, "seq")?;
+        let wal_end = field(&kv, "wal_end")?;
+        let meta_bytes: usize = field(&kv, "meta_bytes")?;
+        let snap_bytes: usize = field(&kv, "snap_bytes")?;
+        let wal_bytes: usize = field(&kv, "wal_bytes")?;
+        let meta = self.read_hex_block(meta_bytes)?;
+        let snapshot = self.read_hex_block(snap_bytes)?;
+        let wal = self.read_hex_block(wal_bytes)?;
+        self.expect_end()?;
+        Ok(ReplSyncInfo {
+            seq,
+            wal_end,
+            meta,
+            snapshot,
+            wal,
+        })
+    }
+
+    /// `REPL FRAME` — fetch the raw WAL frames in `[offset, wal_end)`
+    /// of log `seq`. Answers `ERR repl-stale` (as
+    /// [`ClientError::Server`] with kind `repl-stale`) once the primary
+    /// has rotated past `seq`; the follower then re-syncs.
+    pub fn repl_frames(
+        &mut self,
+        sid: &str,
+        seq: u64,
+        offset: u64,
+    ) -> Result<ReplFrameBatch, ClientError> {
+        let rest = self.roundtrip_ok(&format!("REPL FRAME {sid} {seq} {offset}"), "replframes")?;
+        let kv = parse_kv(&to_strs(&rest)).map_err(ClientError::Proto)?;
+        let nbytes: usize = field(&kv, "bytes")?;
+        let batch = ReplFrameBatch {
+            seq: field(&kv, "seq")?,
+            from: field(&kv, "from")?,
+            to: field(&kv, "to")?,
+            frames: field(&kv, "frames")?,
+            bytes: self.read_hex_block(nbytes)?,
+        };
+        self.expect_end()?;
+        Ok(batch)
+    }
+
+    /// `PROMOTE` — flip a follower to primary. Returns whether the
+    /// daemon had actually been a follower (`false`: it was already
+    /// primary; the call is idempotent).
+    pub fn promote(&mut self) -> Result<bool, ClientError> {
+        let rest = self.roundtrip_ok("PROMOTE", "promoted")?;
+        let kv = parse_kv(&to_strs(&rest)).map_err(ClientError::Proto)?;
+        Ok(field::<u8>(&kv, "was_follower")? != 0)
+    }
+
+    /// Read `nbytes` of hex-encoded payload (the multi-line body of a
+    /// `REPL` reply).
+    fn read_hex_block(&mut self, nbytes: usize) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::with_capacity(nbytes);
+        while out.len() < nbytes {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Proto("connection closed mid-payload".into()));
+            }
+            decode_hex_into(&line, &mut out).map_err(ClientError::Proto)?;
+        }
+        if out.len() != nbytes {
+            return Err(ClientError::Proto(format!(
+                "payload overrun: expected {nbytes} bytes, got {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Consume the `END` line terminating a multi-line reply.
+    fn expect_end(&mut self) -> Result<(), ClientError> {
+        let line = self.recv()?;
+        if line == "END" {
+            Ok(())
+        } else {
+            Err(ClientError::Proto(format!("expected END, got `{line}`")))
+        }
     }
 
     /// Ask the daemon to shut down.

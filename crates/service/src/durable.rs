@@ -24,6 +24,12 @@
 //! partition assignment, graph, composed identity map, pending queue —
 //! to the session that never crashed (property-tested in
 //! `tests/store_recovery.rs`, kill-9-tested in CI).
+//!
+//! Replication rides the same path (DESIGN.md §11): a follower
+//! bootstraps each session by installing the primary's shipped files
+//! ([`igp_store::install_replica`]) and rehydrating through
+//! [`recover_session`] — so the equivalence argument above is also the
+//! correctness argument for `REPL SYNC`.
 
 use crate::session::ServiceSession;
 use crate::ServiceError;

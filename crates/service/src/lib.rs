@@ -20,7 +20,12 @@
 //! * [`server`] / [`client`] — a line-delimited text protocol over
 //!   `TcpListener` ([`protocol`] has the grammar; DESIGN.md §8 the
 //!   semantics), a thread-per-connection daemon (`igp-serve`) and a
-//!   scriptable client (`igp-cli`).
+//!   scriptable client (`igp-cli`);
+//! * **replication** — a follower daemon (`igp-serve --follow`) pulls
+//!   the primary's durable state and WAL frames over the same wire
+//!   protocol (`REPL SYNC` / `REPL FRAME`), serves reads from its
+//!   replica, and takes writes after `PROMOTE` or heartbeat-timeout
+//!   failover (DESIGN.md §11).
 //!
 //! In-process quickstart (the binaries speak the same protocol):
 //!
@@ -55,6 +60,7 @@ pub mod obs;
 pub mod policy;
 pub mod protocol;
 pub mod registry;
+mod repl;
 pub mod server;
 pub mod session;
 
@@ -98,6 +104,18 @@ pub enum ServiceError {
     /// The session is unusable (e.g. its lock was poisoned by a panic
     /// in an earlier request); close and re-open it.
     Internal(String),
+    /// The daemon is serving as a read-replica follower: write verbs
+    /// (`OPEN`/`DELTA`/`FLUSH`/`CLOSE`) are refused until promotion.
+    ReadOnly,
+    /// A `REPL FRAME` cursor no longer matches the primary's WAL (the
+    /// log rotated under it); the follower must full-resync via
+    /// `REPL SYNC`.
+    ReplStale {
+        /// The session whose cursor went stale.
+        sid: String,
+        /// The primary's current snapshot/WAL sequence.
+        seq: u64,
+    },
 }
 
 impl ServiceError {
@@ -111,6 +129,8 @@ impl ServiceError {
             ServiceError::Backpressure { .. } => "backpressure",
             ServiceError::Storage(_) => "storage",
             ServiceError::Internal(_) => "internal",
+            ServiceError::ReadOnly => "read-only",
+            ServiceError::ReplStale { .. } => "repl-stale",
         }
     }
 }
@@ -128,6 +148,13 @@ impl std::fmt::Display for ServiceError {
             ),
             ServiceError::Storage(m) => write!(f, "{m}"),
             ServiceError::Internal(m) => write!(f, "{m}"),
+            ServiceError::ReadOnly => {
+                write!(f, "this daemon is a read-only follower; PROMOTE it first")
+            }
+            ServiceError::ReplStale { sid, seq } => write!(
+                f,
+                "cursor for `{sid}` is stale (log rotated; now at seq {seq}); REPL SYNC required"
+            ),
         }
     }
 }

@@ -13,8 +13,20 @@ use igp_obs::{registry, Counter, Gauge, Histogram};
 
 /// The protocol verbs, in the order [`verb_idx`] assigns; used as the
 /// `verb` label value.
-pub const VERBS: [&str; 10] = [
-    "ping", "open", "delta", "flush", "stat", "part", "close", "list", "metrics", "shutdown",
+pub const VERBS: [&str; 13] = [
+    "ping",
+    "open",
+    "delta",
+    "flush",
+    "stat",
+    "part",
+    "close",
+    "list",
+    "metrics",
+    "shutdown",
+    "repl-sync",
+    "repl-frames",
+    "promote",
 ];
 
 /// Index of a parsed request's verb into the per-verb metric arrays.
@@ -30,12 +42,15 @@ pub fn verb_idx(req: &Request) -> usize {
         Request::List => 7,
         Request::Metrics => 8,
         Request::Shutdown => 9,
+        Request::ReplSync { .. } => 10,
+        Request::ReplFrames { .. } => 11,
+        Request::Promote => 12,
     }
 }
 
 /// Wire error kinds (`ERR <kind> …`): every [`crate::ServiceError`]
 /// kind plus `proto` for unparseable request lines.
-const ERROR_KINDS: [&str; 8] = [
+const ERROR_KINDS: [&str; 10] = [
     "proto",
     "unknown-session",
     "session-exists",
@@ -44,6 +59,8 @@ const ERROR_KINDS: [&str; 8] = [
     "backpressure",
     "storage",
     "internal",
+    "read-only",
+    "repl-stale",
 ];
 
 /// All service-layer metric handles; one instance per process.
@@ -73,6 +90,27 @@ pub struct ServiceMetrics {
     pub bytes_in_total: Arc<Counter>,
     /// `igp_service_bytes_out_total` — reply bytes written.
     pub bytes_out_total: Arc<Counter>,
+    /// `igp_service_repl_frames_total{dir="shipped"}` — WAL frames this
+    /// primary served to followers over `REPL FRAME`.
+    pub repl_frames_shipped_total: Arc<Counter>,
+    /// `igp_service_repl_frames_total{dir="applied"}` — WAL frames this
+    /// follower decoded and applied through the replay ingest path.
+    pub repl_frames_applied_total: Arc<Counter>,
+    /// `igp_service_repl_syncs_total{dir="shipped"}` — full `REPL SYNC`
+    /// bootstraps served by this primary.
+    pub repl_syncs_shipped_total: Arc<Counter>,
+    /// `igp_service_repl_syncs_total{dir="applied"}` — full syncs this
+    /// follower installed (bootstrap or post-rotation resync).
+    pub repl_syncs_applied_total: Arc<Counter>,
+    /// `igp_service_repl_lag_bytes` — WAL bytes the follower still had
+    /// to fetch at its most recent poll, summed over sessions.
+    pub repl_lag_bytes: Arc<Gauge>,
+    /// `igp_service_repl_apply_us` — per-frame apply latency on the
+    /// follower (decode + ingest/flush through the replay path).
+    pub repl_apply_us: Arc<Histogram>,
+    /// `igp_service_promotions_total` — follower→primary promotions
+    /// (manual `PROMOTE` or heartbeat-timeout failover).
+    pub promotions_total: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -168,6 +206,41 @@ pub fn metrics() -> &'static ServiceMetrics {
                 "Reply bytes written to clients",
                 vec![],
             ),
+            repl_frames_shipped_total: r.counter(
+                "igp_service_repl_frames_total",
+                "WAL frames crossing the replication link, by direction",
+                vec![("dir", "shipped".to_string())],
+            ),
+            repl_frames_applied_total: r.counter(
+                "igp_service_repl_frames_total",
+                "WAL frames crossing the replication link, by direction",
+                vec![("dir", "applied".to_string())],
+            ),
+            repl_syncs_shipped_total: r.counter(
+                "igp_service_repl_syncs_total",
+                "Full REPL SYNC bootstraps, by direction",
+                vec![("dir", "shipped".to_string())],
+            ),
+            repl_syncs_applied_total: r.counter(
+                "igp_service_repl_syncs_total",
+                "Full REPL SYNC bootstraps, by direction",
+                vec![("dir", "applied".to_string())],
+            ),
+            repl_lag_bytes: r.gauge(
+                "igp_service_repl_lag_bytes",
+                "WAL bytes the follower had left to fetch at its last poll",
+                vec![],
+            ),
+            repl_apply_us: r.histogram(
+                "igp_service_repl_apply_us",
+                "Per-frame apply latency on the follower (microseconds)",
+                vec![],
+            ),
+            promotions_total: r.counter(
+                "igp_service_promotions_total",
+                "Follower-to-primary promotions (manual or heartbeat failover)",
+                vec![],
+            ),
         }
     })
 }
@@ -207,6 +280,11 @@ mod tests {
             },
             crate::ServiceError::Storage("s".into()),
             crate::ServiceError::Internal("i".into()),
+            crate::ServiceError::ReadOnly,
+            crate::ServiceError::ReplStale {
+                sid: "x".into(),
+                seq: 1,
+            },
         ] {
             assert!(m.error(e.kind()).is_some(), "{}", e.kind());
         }

@@ -13,11 +13,22 @@
 //! DELTA <sid> [av=w,…] [rv=v,…] [ae=u:v:w,…] [re=u:v,…]
 //! FLUSH <sid>   STAT <sid>   PART <sid>   CLOSE <sid>   LIST   SHUTDOWN
 //! METRICS
+//! REPL SYNC <sid>
+//! REPL FRAME <sid> <seq> <offset>
+//! PROMOTE
 //! ```
 //!
 //! `METRICS` is the other multi-line exception, on the response side:
 //! `OK metrics`, then the Prometheus-style text exposition, then a
 //! line reading `END`.
+//!
+//! The two `REPL` verbs (DESIGN.md §11) also answer multi-line: a
+//! header with byte counts, hex-encoded payload lines (64 KiB of raw
+//! bytes per line), then `END`. `REPL SYNC` ships the session's meta,
+//! current snapshot and WAL files; `REPL FRAME` ships the raw WAL
+//! frames in `[offset, wal_end)` of log `<seq>`, answering
+//! `ERR repl-stale` after a rotation so the follower knows to resync.
+//! `PROMOTE` flips a follower to primary.
 
 use crate::policy::RepartitionPolicy;
 use crate::session::{InitPartition, SessionConfig};
@@ -36,6 +47,9 @@ pub enum Request {
     List,
     Metrics,
     Shutdown,
+    ReplSync { sid: String },
+    ReplFrames { sid: String, seq: u64, offset: u64 },
+    Promote,
 }
 
 /// Session ids are single tokens: no whitespace, printable, bounded.
@@ -114,6 +128,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Ok(Request::Shutdown)
             } else {
                 Err("usage: SHUTDOWN".into())
+            }
+        }
+        "REPL" => match rest.as_slice() {
+            ["SYNC", sid] => Ok(Request::ReplSync {
+                sid: check_sid(sid)?,
+            }),
+            ["FRAME", sid, seq, offset] => Ok(Request::ReplFrames {
+                sid: check_sid(sid)?,
+                seq: seq.parse().map_err(|e| format!("bad seq: {e}"))?,
+                offset: offset.parse().map_err(|e| format!("bad offset: {e}"))?,
+            }),
+            _ => Err("usage: REPL SYNC <sid> | REPL FRAME <sid> <seq> <offset>".into()),
+        },
+        "PROMOTE" => {
+            if rest.is_empty() {
+                Ok(Request::Promote)
+            } else {
+                Err("usage: PROMOTE".into())
             }
         }
         other => Err(format!("unknown verb `{other}`")),
@@ -221,6 +253,49 @@ pub fn encode_delta_fields(d: &GraphDelta) -> String {
 /// Parse `DELTA` request fields (inverse of [`encode_delta_fields`]).
 pub fn parse_delta_fields(fields: &[&str]) -> Result<GraphDelta, String> {
     igp_graph::io::read_delta_fields(fields).map_err(|e| e.to_string())
+}
+
+/// Raw bytes per hex line in multi-line `REPL` replies: 64 KiB of
+/// payload → 128 KiB lines, well under any reader's line budget.
+pub const HEX_LINE_BYTES: usize = 64 * 1024;
+
+/// Hex-encode `bytes` as newline-terminated lines of at most
+/// [`HEX_LINE_BYTES`] raw bytes each; empty input yields no lines. The
+/// receiver knows the byte count from the reply header, so the lines
+/// carry no length framing of their own.
+pub fn encode_hex_lines(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let lines = bytes.len().div_ceil(HEX_LINE_BYTES);
+    let mut out = String::with_capacity(bytes.len() * 2 + lines);
+    for chunk in bytes.chunks(HEX_LINE_BYTES) {
+        for &b in chunk {
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0xf) as usize] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode one hex line produced by [`encode_hex_lines`], appending the
+/// bytes to `out`.
+pub fn decode_hex_into(line: &str, out: &mut Vec<u8>) -> Result<(), String> {
+    fn nibble(b: u8) -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            other => Err(format!("bad hex byte 0x{other:02x}")),
+        }
+    }
+    let bytes = line.trim_end().as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(format!("odd hex line length {}", bytes.len()));
+    }
+    out.reserve(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(())
 }
 
 /// Split a response tail of `key=value` tokens into pairs (shared by
@@ -344,6 +419,60 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn repl_and_promote_lines_parse() {
+        assert_eq!(
+            parse_request("REPL SYNC s1").unwrap(),
+            Request::ReplSync { sid: "s1".into() }
+        );
+        assert_eq!(
+            parse_request("REPL FRAME s1 3 1024").unwrap(),
+            Request::ReplFrames {
+                sid: "s1".into(),
+                seq: 3,
+                offset: 1024
+            }
+        );
+        assert_eq!(parse_request("PROMOTE").unwrap(), Request::Promote);
+        for bad in [
+            "REPL",
+            "REPL SYNC",
+            "REPL SYNC a b",
+            "REPL FRAME s1 3",
+            "REPL FRAME s1 x 0",
+            "REPL FRAME s1 3 -1",
+            "REPL NOPE s1",
+            "PROMOTE now",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn hex_lines_roundtrip() {
+        for len in [
+            0usize,
+            1,
+            2,
+            255,
+            HEX_LINE_BYTES - 1,
+            HEX_LINE_BYTES,
+            HEX_LINE_BYTES + 7,
+        ] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let enc = encode_hex_lines(&bytes);
+            let mut back = Vec::new();
+            for line in enc.lines() {
+                assert!(line.len() <= 2 * HEX_LINE_BYTES);
+                decode_hex_into(line, &mut back).unwrap();
+            }
+            assert_eq!(back, bytes, "len={len}");
+        }
+        let mut out = Vec::new();
+        assert!(decode_hex_into("0g", &mut out).is_err());
+        assert!(decode_hex_into("abc", &mut out).is_err());
     }
 
     #[test]

@@ -11,13 +11,25 @@
 use crate::session::ServiceSession;
 use crate::ServiceError;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A registered session, shared across connection threads.
 pub type SessionRef = Arc<Mutex<ServiceSession>>;
 
 /// One lock shard of the registry table.
 type Shard = Mutex<HashMap<String, SessionRef>>;
+
+/// Lock a shard, recovering a poisoned guard. The table is a plain map
+/// of `Arc` handles with no invariant a panicking holder could leave
+/// half-applied (inserts and removes are single map calls), so the
+/// state behind a poisoned lock is always safe to keep — whereas
+/// propagating the poison would permanently panic every later
+/// OPEN/LIST/CLOSE on the shard after one handler-thread panic.
+fn lock_shard(shard: &Shard) -> MutexGuard<'_, HashMap<String, SessionRef>> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A shared, sharded map of open sessions.
 pub struct SessionRegistry {
@@ -50,7 +62,7 @@ impl SessionRegistry {
     /// could resolve someone else's session after a CLOSE/re-OPEN
     /// race).
     pub fn open(&self, sid: &str, session: ServiceSession) -> Result<SessionRef, ServiceError> {
-        let mut shard = self.shard(sid).lock().unwrap();
+        let mut shard = lock_shard(self.shard(sid));
         if shard.contains_key(sid) {
             return Err(ServiceError::SessionExists(sid.to_string()));
         }
@@ -62,7 +74,7 @@ impl SessionRegistry {
     /// Remove `sid` only if it still maps to `entry` (guards cleanup
     /// paths against removing a session a later `OPEN` re-registered).
     pub fn close_if_same(&self, sid: &str, entry: &SessionRef) -> bool {
-        let mut shard = self.shard(sid).lock().unwrap();
+        let mut shard = lock_shard(self.shard(sid));
         if shard.get(sid).is_some_and(|cur| Arc::ptr_eq(cur, entry)) {
             shard.remove(sid);
             true
@@ -74,9 +86,7 @@ impl SessionRegistry {
     /// Look up a session; the shard lock is released before returning,
     /// so callers lock only the session they need.
     pub fn get(&self, sid: &str) -> Result<SessionRef, ServiceError> {
-        self.shard(sid)
-            .lock()
-            .unwrap()
+        lock_shard(self.shard(sid))
             .get(sid)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownSession(sid.to_string()))
@@ -84,9 +94,7 @@ impl SessionRegistry {
 
     /// Remove a session; returns it for final inspection.
     pub fn close(&self, sid: &str) -> Result<SessionRef, ServiceError> {
-        self.shard(sid)
-            .lock()
-            .unwrap()
+        lock_shard(self.shard(sid))
             .remove(sid)
             .ok_or_else(|| ServiceError::UnknownSession(sid.to_string()))
     }
@@ -96,7 +104,7 @@ impl SessionRegistry {
         let mut ids: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| s.lock().unwrap().keys().cloned().collect::<Vec<_>>())
+            .flat_map(|s| lock_shard(s).keys().cloned().collect::<Vec<_>>())
             .collect();
         ids.sort();
         ids
@@ -104,7 +112,7 @@ impl SessionRegistry {
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True if no session is open.
@@ -148,6 +156,32 @@ mod tests {
         reg.close("a").unwrap();
         assert!(reg.get("a").is_err());
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_lock_is_recovered() {
+        // One shard, so the panicking thread poisons the lock every
+        // operation below must go through.
+        let reg = StdArc::new(SessionRegistry::new(1));
+        reg.open("a", session()).unwrap();
+        let r2 = reg.clone();
+        let panicked = std::thread::spawn(move || {
+            let _guard = r2.shards[0].lock().unwrap();
+            panic!("poison the shard while holding its lock");
+        })
+        .join();
+        assert!(panicked.is_err());
+        assert!(reg.shards[0].is_poisoned());
+        // Every table operation keeps working after the poisoning —
+        // the map held only Arc handles, nothing was half-applied.
+        assert_eq!(reg.list(), vec!["a".to_string()]);
+        assert_eq!(reg.len(), 1);
+        reg.open("b", session()).unwrap();
+        reg.get("a").unwrap();
+        let entry = reg.get("b").unwrap();
+        assert!(reg.close_if_same("b", &entry));
+        reg.close("a").unwrap();
+        assert!(reg.is_empty());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Follower-side replication engine (DESIGN.md §11).
+//!
+//! A follower daemon runs this loop on its own thread: poll the
+//! primary over the ordinary wire protocol, `REPL SYNC` any session it
+//! does not hold yet (installing the shipped files verbatim and
+//! rehydrating them through [`recover_session`] — the *same* path
+//! crash recovery takes, proven bit-identical by the replay-equivalence
+//! suite), then tail each session's WAL with `REPL FRAME` and apply
+//! the decoded records through [`ServiceSession::ingest`]/`flush`.
+//! Because the follower's session keeps its own store attached, every
+//! applied record is re-journaled locally, so the follower's WAL stays
+//! byte-identical to the primary's and promotion is nothing more than
+//! flipping the role flag — the on-disk state is already a primary's.
+//!
+//! Failure handling:
+//! * `ERR repl-stale` (the primary rotated its log under our cursor) —
+//!   drop the local copy and full-resync; replay determinism makes the
+//!   freshly shipped lineage equivalent to the one we were tailing.
+//! * apply/decode errors — treated the same way: resync from scratch
+//!   rather than serve a fork.
+//! * transport errors — retried every poll tick; once the primary has
+//!   been unreachable for the configured failover window the follower
+//!   promotes itself ([`ServerCtx::promote`]) and starts taking writes.
+
+use crate::client::{ClientError, IgpClient, ReplSyncInfo};
+use crate::durable::recover_session;
+use crate::server::ServerCtx;
+use crate::session::ServiceSession;
+use igp_store::{decode_frames, install_replica, WalRecord};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Follower tuning, fixed at spawn.
+pub(crate) struct FollowerConfig {
+    /// The primary's address (`host:port`).
+    pub primary: String,
+    /// Poll/heartbeat cadence.
+    pub interval: Duration,
+    /// Auto-promote after the primary has been unreachable this long;
+    /// `None` = only explicit `PROMOTE`.
+    pub failover: Option<Duration>,
+}
+
+/// Where the follower stands in one session's WAL: the snapshot
+/// sequence it is tailing and the absolute byte offset of the next
+/// frame to fetch.
+struct Cursor {
+    seq: u64,
+    offset: u64,
+}
+
+/// Spawn the replication thread.
+pub(crate) fn spawn(
+    ctx: Arc<ServerCtx>,
+    server_stop: Arc<AtomicBool>,
+    cfg: FollowerConfig,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("igp-repl".into())
+        .spawn(move || run(&ctx, &server_stop, &cfg))
+        .expect("spawn replication thread")
+}
+
+/// True once replication must cease: server shutdown, explicit stop,
+/// or promotion (we are no longer a follower).
+fn stopped(ctx: &ServerCtx, server_stop: &AtomicBool) -> bool {
+    server_stop.load(Ordering::SeqCst) || ctx.repl_stop.load(Ordering::SeqCst) || !ctx.is_follower()
+}
+
+fn run(ctx: &Arc<ServerCtx>, server_stop: &AtomicBool, cfg: &FollowerConfig) {
+    let mut cursors: HashMap<String, Cursor> = HashMap::new();
+    let mut conn: Option<IgpClient> = None;
+    let mut last_ok = Instant::now();
+    loop {
+        if stopped(ctx, server_stop) {
+            return;
+        }
+        match tick(ctx, server_stop, cfg, &mut conn, &mut cursors) {
+            Ok(()) => last_ok = Instant::now(),
+            Err(e) => {
+                conn = None; // reconnect next tick
+                let down = last_ok.elapsed();
+                igp_obs::warn!(
+                    target: "repl", "primary unreachable";
+                    primary = cfg.primary.as_str(), detail = e.to_string(),
+                    down_ms = down.as_millis() as u64,
+                );
+                if cfg.failover.is_some_and(|w| down >= w) {
+                    igp_obs::warn!(
+                        target: "repl", "heartbeat window elapsed; promoting";
+                        primary = cfg.primary.as_str(), down_ms = down.as_millis() as u64,
+                    );
+                    ctx.promote();
+                    return;
+                }
+            }
+        }
+        sleep_polling(ctx, server_stop, cfg.interval);
+    }
+}
+
+/// Sleep `d`, in short slices so shutdown/promotion joins promptly.
+fn sleep_polling(ctx: &ServerCtx, server_stop: &AtomicBool, d: Duration) {
+    let deadline = Instant::now() + d;
+    loop {
+        if stopped(ctx, server_stop) {
+            return;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+/// One poll of the primary. A returned error means the primary was
+/// unreachable (transport/protocol failure) and counts against the
+/// failover window; per-session server errors are handled inside.
+fn tick(
+    ctx: &Arc<ServerCtx>,
+    server_stop: &AtomicBool,
+    cfg: &FollowerConfig,
+    conn: &mut Option<IgpClient>,
+    cursors: &mut HashMap<String, Cursor>,
+) -> Result<(), ClientError> {
+    if conn.is_none() {
+        let c = IgpClient::connect(&*cfg.primary).map_err(ClientError::Io)?;
+        // A frozen (but not dead) primary must not wedge the loop past
+        // the heartbeat window.
+        let _ = c.set_read_timeout(Some(Duration::from_secs(5)));
+        *conn = Some(c);
+        igp_obs::info!(target: "repl", "connected to primary"; primary = cfg.primary.as_str());
+    }
+    let cli = conn.as_mut().expect("connection just established");
+    cli.ping()?; // heartbeat even when there are no sessions
+    let sids = cli.list()?;
+    // Sessions the primary closed (or never had) disappear here too —
+    // a follower must not serve reads for state the primary deleted.
+    for sid in ctx.registry.list() {
+        if !sids.contains(&sid) {
+            cursors.remove(&sid);
+            drop_local(ctx, &sid);
+            igp_obs::info!(target: "repl", "dropped session absent on primary"; sid = sid);
+        }
+    }
+    let mut lag_total: i64 = 0;
+    for sid in &sids {
+        if stopped(ctx, server_stop) {
+            return Ok(());
+        }
+        let r = if cursors.contains_key(sid) {
+            poll_session(ctx, cli, sid, cursors, &mut lag_total)
+        } else {
+            sync_session(ctx, cli, sid, cursors)
+        };
+        match r {
+            Ok(()) => {}
+            Err(ClientError::Server { kind, detail }) if kind == "repl-stale" => {
+                // The primary rotated its log under our cursor; the
+                // shipped snapshot lineage replaces ours wholesale.
+                igp_obs::info!(target: "repl", "cursor stale; resyncing"; sid = sid, detail = detail);
+                cursors.remove(sid);
+                sync_session(ctx, cli, sid, cursors)?;
+            }
+            Err(ClientError::Server { kind, detail }) => {
+                // Session-scoped server error (e.g. poisoned on the
+                // primary): log and retry next tick.
+                igp_obs::warn!(
+                    target: "repl", "session poll failed";
+                    sid = sid, kind = kind, detail = detail,
+                );
+            }
+            Err(e) => return Err(e), // transport: the whole tick failed
+        }
+    }
+    crate::obs::metrics().repl_lag_bytes.set(lag_total);
+    Ok(())
+}
+
+/// Bootstrap (or re-bootstrap) one session from a full `REPL SYNC`.
+fn sync_session(
+    ctx: &Arc<ServerCtx>,
+    cli: &mut IgpClient,
+    sid: &str,
+    cursors: &mut HashMap<String, Cursor>,
+) -> Result<(), ClientError> {
+    let sync = cli.repl_sync(sid)?;
+    match install_and_register(ctx, sid, &sync) {
+        Ok(()) => {
+            crate::obs::metrics().repl_syncs_applied_total.inc();
+            igp_obs::info!(
+                target: "repl", "session synced";
+                sid = sid, seq = sync.seq, wal_end = sync.wal_end,
+            );
+            cursors.insert(
+                sid.to_string(),
+                Cursor {
+                    seq: sync.seq,
+                    offset: sync.wal_end,
+                },
+            );
+        }
+        Err(e) => {
+            // Leave no half-installed replica behind; retried next tick.
+            igp_obs::warn!(target: "repl", "sync install failed"; sid = sid, detail = e);
+            drop_local(ctx, sid);
+        }
+    }
+    Ok(())
+}
+
+/// Install the shipped files and rehydrate through the recovery path.
+fn install_and_register(ctx: &ServerCtx, sid: &str, sync: &ReplSyncInfo) -> Result<(), String> {
+    let data_dir = ctx
+        .data_dir
+        .as_ref()
+        .ok_or("follower has no data_dir (unreachable: serve() enforces it)")?;
+    // Unregister any previous local copy first so no reader observes a
+    // session whose directory is being replaced underneath it.
+    let _ = ctx.registry.close(sid);
+    let dir = data_dir.join(sid);
+    install_replica(&dir, sync.seq, &sync.meta, &sync.snapshot, &sync.wal)
+        .map_err(|e| e.to_string())?;
+    let rec = recover_session(&dir, ctx.snapshot_policy).map_err(|e| e.to_string())?;
+    if let Some(w) = rec.warning {
+        // The primary ships only clean state; a repair here means the
+        // transfer itself is suspect.
+        return Err(format!("synced state needed repair: {w}"));
+    }
+    if rec.sid != sid {
+        return Err(format!(
+            "shipped meta names `{}`, expected `{sid}`",
+            rec.sid
+        ));
+    }
+    ctx.registry
+        .open(sid, rec.session)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Tail one session: fetch the frames past our cursor and apply them.
+fn poll_session(
+    ctx: &Arc<ServerCtx>,
+    cli: &mut IgpClient,
+    sid: &str,
+    cursors: &mut HashMap<String, Cursor>,
+    lag_total: &mut i64,
+) -> Result<(), ClientError> {
+    let (seq, offset) = {
+        let c = &cursors[sid];
+        (c.seq, c.offset)
+    };
+    let batch = cli.repl_frames(sid, seq, offset)?;
+    // Lag observed at poll time: how far the primary's WAL had run
+    // ahead of this cursor.
+    *lag_total += batch.to.saturating_sub(batch.from) as i64;
+    if batch.bytes.is_empty() {
+        return Ok(());
+    }
+    let applied = apply_frames(ctx, sid, &batch.bytes);
+    match applied {
+        Ok(true) => {
+            if let Some(c) = cursors.get_mut(sid) {
+                c.offset = batch.to;
+            }
+        }
+        Ok(false) => {} // stopped mid-batch; cursor untouched
+        Err(e) => {
+            // Never serve a fork: drop the local copy and resync.
+            igp_obs::warn!(target: "repl", "frame apply failed; resyncing"; sid = sid, detail = e);
+            cursors.remove(sid);
+            drop_local(ctx, sid);
+        }
+    }
+    Ok(())
+}
+
+/// Decode and apply one shipped frame batch. `Ok(false)` means the
+/// loop was stopped (shutdown/promotion) before the batch finished —
+/// the cursor must not advance.
+fn apply_frames(ctx: &Arc<ServerCtx>, sid: &str, bytes: &[u8]) -> Result<bool, String> {
+    let records = decode_frames(bytes).map_err(|e| e.to_string())?;
+    let entry = ctx.registry.get(sid).map_err(|e| e.to_string())?;
+    let m = crate::obs::metrics();
+    for rec in &records {
+        let mut s = entry
+            .lock()
+            .map_err(|_| "session lock poisoned".to_string())?;
+        // Checked under the session's lock: a promotion flips the flag
+        // *before* the first local write can acquire this lock, so no
+        // replicated frame lands on top of a post-promotion write.
+        if !ctx.is_follower() || ctx.repl_stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        let t0 = Instant::now();
+        apply_one(&mut s, rec).map_err(|e| e.to_string())?;
+        m.repl_apply_us.observe_duration(t0.elapsed());
+        m.repl_frames_applied_total.inc();
+    }
+    Ok(true)
+}
+
+/// Apply one WAL record exactly as recovery replay would — but through
+/// the journaling entry points, so the local store re-logs it and the
+/// follower's WAL stays byte-identical to the primary's. The primary
+/// already admission-controlled the delta; the follower mirrors its
+/// queue without re-checking the cap.
+fn apply_one(s: &mut ServiceSession, rec: &WalRecord) -> Result<(), crate::ServiceError> {
+    match rec {
+        WalRecord::Delta(d) => s.ingest(d).map(|_| ()),
+        WalRecord::Flush => s.flush().map(|_| ()),
+    }
+}
+
+/// Unregister a session and delete its replica directory.
+fn drop_local(ctx: &ServerCtx, sid: &str) {
+    if let Ok(entry) = ctx.registry.close(sid) {
+        if let Ok(mut s) = entry.lock() {
+            // Stop any in-flight journaling before the files go away.
+            let _ = s.detach_store();
+        }
+    }
+    if let Some(dd) = &ctx.data_dir {
+        let _ = std::fs::remove_dir_all(dd.join(sid));
+    }
+}

@@ -9,7 +9,7 @@
 //! flag on a short read timeout, so idle clients cannot hold the
 //! server open; the accept thread joins them all before exiting.
 
-use crate::protocol::{parse_request, Request};
+use crate::protocol::{encode_hex_lines, parse_request, Request};
 use crate::registry::SessionRegistry;
 use crate::session::{Ingest, ServiceSession, SessionConfig};
 use crate::ServiceError;
@@ -17,7 +17,8 @@ use crossbeam::channel::{self, Sender};
 use igp_core::session::StepSummary;
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{io as graph_io, CsrGraph};
-use igp_store::SnapshotPolicy;
+use igp_store::wal::HEADER_BYTES;
+use igp_store::{decode_frames, SnapshotPolicy};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -42,6 +43,18 @@ pub struct ServeOptions {
     pub data_dir: Option<PathBuf>,
     /// When durable sessions fold their WAL into a fresh snapshot.
     pub snapshot_policy: SnapshotPolicy,
+    /// Follower mode: replicate every session from the primary at this
+    /// address (requires `data_dir`). The daemon serves reads
+    /// (`PART`/`STAT`/`LIST`/`METRICS`) and refuses write verbs with
+    /// `ERR read-only` until promoted (`PROMOTE`, or `failover`).
+    pub follow: Option<String>,
+    /// Follower poll cadence: how often new WAL frames are fetched from
+    /// the primary (doubles as the heartbeat interval).
+    pub repl_interval: Duration,
+    /// Follower auto-promotion: promote once the primary has been
+    /// unreachable this long. `None` = promote only on explicit
+    /// `PROMOTE`.
+    pub failover: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -51,25 +64,56 @@ impl Default for ServeOptions {
             queue_cap: 1024,
             data_dir: None,
             snapshot_policy: SnapshotPolicy::default(),
+            follow: None,
+            repl_interval: Duration::from_millis(50),
+            failover: None,
         }
     }
 }
 
 /// Everything a connection handler needs, shared across threads.
-struct ServerCtx {
-    registry: SessionRegistry,
-    queue_cap: usize,
-    data_dir: Option<PathBuf>,
-    snapshot_policy: SnapshotPolicy,
+pub(crate) struct ServerCtx {
+    pub(crate) registry: SessionRegistry,
+    pub(crate) queue_cap: usize,
+    pub(crate) data_dir: Option<PathBuf>,
+    pub(crate) snapshot_policy: SnapshotPolicy,
+    /// Role flag: true while serving as a read-replica follower.
+    is_follower: AtomicBool,
+    /// Raised to stop the replication thread (promotion or shutdown).
+    pub(crate) repl_stop: AtomicBool,
+}
+
+impl ServerCtx {
+    /// True while this daemon is a read-only follower.
+    pub(crate) fn is_follower(&self) -> bool {
+        self.is_follower.load(Ordering::SeqCst)
+    }
+
+    /// Flip to primary and stop replication; returns whether the daemon
+    /// had been a follower (idempotent otherwise). Write verbs are
+    /// accepted from the moment this returns; the replication thread
+    /// observes the flag under each session's lock, so no frame is
+    /// applied on top of a post-promotion write.
+    pub(crate) fn promote(&self) -> bool {
+        let was = self.is_follower.swap(false, Ordering::SeqCst);
+        self.repl_stop.store(true, Ordering::SeqCst);
+        if was {
+            crate::obs::metrics().promotions_total.inc();
+            igp_obs::warn!(target: "serve", "promoted to primary");
+        }
+        was
+    }
 }
 
 /// A running daemon; dropping it shuts the daemon down.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    ctx: Arc<ServerCtx>,
     shutdown_tx: Sender<()>,
     accept: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
+    follower: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -87,6 +131,7 @@ impl ServerHandle {
         if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
+        // Drop joins the follower (if any) via shutdown().
     }
 
     /// Stop accepting, drain connections, and join the server threads.
@@ -95,11 +140,15 @@ impl ServerHandle {
         // Raise the flag directly too, in case the supervisor already
         // consumed its one shutdown message.
         self.stop.store(true, Ordering::SeqCst);
+        self.ctx.repl_stop.store(true, Ordering::SeqCst);
         let _ = self.shutdown_tx.send(());
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.follower.take() {
             let _ = h.join();
         }
     }
@@ -116,6 +165,14 @@ impl Drop for ServerHandle {
 /// recovered (snapshot + WAL replay) before the socket starts
 /// accepting, so clients never observe a half-booted daemon.
 pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<ServerHandle> {
+    if opts.follow.is_some() && opts.data_dir.is_none() {
+        // A follower *is* its replica directory; without one there is
+        // nothing to promote to.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "follower mode requires a data_dir",
+        ));
+    }
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     // Touch every layer's metric registration at boot so `METRICS`
@@ -154,9 +211,26 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
         queue_cap: opts.queue_cap.max(1),
         data_dir: opts.data_dir.clone(),
         snapshot_policy: opts.snapshot_policy,
+        is_follower: AtomicBool::new(opts.follow.is_some()),
+        repl_stop: AtomicBool::new(false),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let (shutdown_tx, shutdown_rx) = channel::unbounded::<()>();
+
+    // Follower mode: locally recovered sessions (above) give instant
+    // read availability; the replication thread then resyncs each one
+    // from the primary and keeps tailing its WAL.
+    let follower = opts.follow.as_ref().map(|primary| {
+        crate::repl::spawn(
+            ctx.clone(),
+            stop.clone(),
+            crate::repl::FollowerConfig {
+                primary: primary.clone(),
+                interval: opts.repl_interval,
+                failover: opts.failover,
+            },
+        )
+    });
 
     let supervisor = {
         let stop = stop.clone();
@@ -181,6 +255,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
         })
     };
 
+    let handle_ctx = ctx.clone();
     let accept = {
         let stop = stop.clone();
         let tx = shutdown_tx.clone();
@@ -210,9 +285,11 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
     Ok(ServerHandle {
         addr,
         stop,
+        ctx: handle_ctx,
         shutdown_tx,
         accept: Some(accept),
         supervisor: Some(supervisor),
+        follower,
     })
 }
 
@@ -282,6 +359,13 @@ fn handle_connection(
     let mut line = String::new();
     let m = crate::obs::metrics();
     while read_line_polling(&mut reader, stop, &mut line).is_some() {
+        // A busy client can keep every read succeeding before the poll
+        // timeout ever fires (a follower heartbeats faster than the
+        // timeout), so the stop flag must also be honored between
+        // requests or shutdown would never reclaim this thread.
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -313,13 +397,23 @@ fn handle_connection(
             }
             Ok(Request::Ping) => "PONG".to_string(),
             Ok(Request::Open { sid, cfg }) => {
+                // The graph block is drained even when the verb is
+                // refused, so the connection stays line-synchronized.
                 match read_graph_block(&mut reader, stop) {
                     None => break, // connection died mid-upload
+                    Some(_) if ctx.is_follower() => err_line(&ServiceError::ReadOnly),
                     Some(text) => {
                         m.bytes_in_total.add(text.len() as u64);
                         open_session(ctx, &sid, cfg, &text)
                     }
                 }
+            }
+            Ok(Request::Delta { .. } | Request::Flush { .. } | Request::Close { .. })
+                if ctx.is_follower() =>
+            {
+                // A follower's sessions advance only by replicated
+                // frames; local writes would fork the lineage.
+                err_line(&ServiceError::ReadOnly)
             }
             Ok(Request::Delta { sid, delta }) => {
                 with_session(registry, &sid, |s| {
@@ -359,10 +453,15 @@ fn handle_connection(
                 Err(e) => err_line(&e),
             }),
             Ok(Request::Stat { sid }) => with_session(registry, &sid, |s| {
+                let role = if ctx.is_follower() {
+                    "follower"
+                } else {
+                    "primary"
+                };
                 let g = s.inner().graph();
                 let m = CutMetrics::compute(g, s.inner().partitioning());
                 let mut line = format!(
-                    "OK stat sid={sid} n={} m={} cut={} imbalance={:.6} pending={} \
+                    "OK stat sid={sid} role={role} n={} m={} cut={} imbalance={:.6} pending={} \
                      steps={} moved={} scratch={}",
                     g.num_vertices(),
                     g.num_edges(),
@@ -434,6 +533,24 @@ fn handle_connection(
                 // runtime families in one exposition.
                 m.active_sessions.set(registry.list().len() as i64);
                 format!("OK metrics\n{}END", igp_obs::registry().render())
+            }
+            Ok(Request::ReplSync { sid }) => with_session(registry, &sid, |s| {
+                let reply = repl_sync_reply(&sid, s);
+                if reply.starts_with("OK ") {
+                    m.repl_syncs_shipped_total.inc();
+                }
+                reply
+            }),
+            Ok(Request::ReplFrames { sid, seq, offset }) => with_session(registry, &sid, |s| {
+                repl_frames_reply(&sid, s, seq, offset, m)
+            }),
+            Ok(Request::Promote) => {
+                let was = ctx.promote();
+                format!(
+                    "OK promoted role=primary sessions={} was_follower={}",
+                    registry.len(),
+                    u8::from(was),
+                )
             }
             Ok(Request::Shutdown) => {
                 m.bytes_out_total.add("OK bye\n".len() as u64);
@@ -579,6 +696,82 @@ fn step_line(sid: &str, s: &StepSummary, coalesced: usize, scratch: bool) -> Str
 
 fn err_line(e: &ServiceError) -> String {
     format!("ERR {} {e}", e.kind())
+}
+
+/// `REPL SYNC` reply: the session's full durable state — meta, current
+/// snapshot, and the acked WAL file — hex-encoded so the line protocol
+/// stays text. The header carries the cursor `(seq, wal_end)` the
+/// follower resumes `REPL FRAME` tailing from.
+fn repl_sync_reply(sid: &str, s: &mut ServiceSession) -> String {
+    let Some(st) = s.store() else {
+        return err_line(&ServiceError::Storage(format!(
+            "session `{sid}` is memory-only; nothing to replicate"
+        )));
+    };
+    let (seq, wal_end) = st.repl_cursor();
+    let files = st
+        .meta_file_bytes()
+        .and_then(|m| st.snapshot_file_bytes().map(|s| (m, s)))
+        .and_then(|(m, sn)| st.wal_file_bytes_from(0).map(|w| (m, sn, w)));
+    let (meta, snap, wal) = match files {
+        Ok(t) => t,
+        Err(e) => return err_line(&ServiceError::Storage(e.to_string())),
+    };
+    let mut out = format!(
+        "OK replsync sid={sid} seq={seq} wal_end={wal_end} \
+         meta_bytes={} snap_bytes={} wal_bytes={}\n",
+        meta.len(),
+        snap.len(),
+        wal.len(),
+    );
+    out.push_str(&encode_hex_lines(&meta));
+    out.push_str(&encode_hex_lines(&snap));
+    out.push_str(&encode_hex_lines(&wal));
+    out.push_str("END");
+    out
+}
+
+/// `REPL FRAME` reply: the raw frame bytes in `[offset, wal_end)` of
+/// the WAL the cursor names. A cursor from before a rotation (seq
+/// mismatch or out-of-range offset) gets `ERR repl-stale`, telling the
+/// follower to full-resync.
+fn repl_frames_reply(
+    sid: &str,
+    s: &mut ServiceSession,
+    seq: u64,
+    offset: u64,
+    m: &crate::obs::ServiceMetrics,
+) -> String {
+    let Some(st) = s.store() else {
+        return err_line(&ServiceError::Storage(format!(
+            "session `{sid}` is memory-only; nothing to replicate"
+        )));
+    };
+    let (cur_seq, wal_end) = st.repl_cursor();
+    if seq != cur_seq || offset < HEADER_BYTES || offset > wal_end {
+        return err_line(&ServiceError::ReplStale {
+            sid: sid.to_string(),
+            seq: cur_seq,
+        });
+    }
+    let bytes = match st.wal_file_bytes_from(offset) {
+        Ok(b) => b,
+        Err(e) => return err_line(&ServiceError::Storage(e.to_string())),
+    };
+    // Count (and sanity-check) the batch before shipping: a primary
+    // must never relay bytes it cannot decode itself.
+    let frames = match decode_frames(&bytes) {
+        Ok(r) => r.len() as u64,
+        Err(e) => return err_line(&ServiceError::Storage(e.to_string())),
+    };
+    m.repl_frames_shipped_total.add(frames);
+    let mut out = format!(
+        "OK replframes sid={sid} seq={cur_seq} from={offset} to={wal_end} frames={frames} bytes={}\n",
+        bytes.len(),
+    );
+    out.push_str(&encode_hex_lines(&bytes));
+    out.push_str("END");
+    out
 }
 
 #[cfg(test)]

@@ -2,6 +2,11 @@
 //! policy, fed by the delta queue and flushed when the policy fires —
 //! and, in `--data-dir` mode, journaled through an
 //! [`igp_store::SessionStore`] so a crash recovers it bit-identically.
+//!
+//! `ingest`/`flush` are also the replication apply path (DESIGN.md
+//! §11): a follower feeds decoded WAL frames through them with its own
+//! store attached, so every applied record is re-journaled locally and
+//! the replica's disk stays byte-identical to the primary's.
 
 use crate::policy::{PolicyView, RepartitionPolicy};
 use crate::ServiceError;

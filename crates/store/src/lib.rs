@@ -41,8 +41,8 @@ pub mod wal;
 
 pub use policy::{SnapshotPolicy, SnapshotTrigger, SnapshotView};
 pub use snapshot::SnapshotData;
-pub use store::{Inspection, Recovered, SessionState, SessionStore, StoreMeta};
-pub use wal::{WalRecord, WalTail};
+pub use store::{install_replica, Inspection, Recovered, SessionState, SessionStore, StoreMeta};
+pub use wal::{decode_frames, WalRecord, WalTail};
 
 /// Failure in the durability layer. Storage failures never take the
 /// in-memory session down; the serving layer reports them and degrades

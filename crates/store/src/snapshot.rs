@@ -20,7 +20,9 @@
 //! replaced by a single delta whose application to the previous
 //! snapshot's graph reproduces this one (and whose identity map links
 //! vertex ids across the two). Snapshot writes go through a temp file +
-//! rename, so a crash mid-write leaves the previous snapshot intact.
+//! fsync + rename + directory fsync, so a crash mid-write leaves the
+//! previous snapshot intact and a completed install cannot be undone
+//! by the directory entry never reaching disk.
 
 use crate::{crc32, StoreError};
 use igp_graph::{io as graph_io, CsrGraph, GraphDelta, NodeId, Partitioning};
@@ -111,6 +113,23 @@ pub fn write_snapshot(path: &Path, data: &SnapshotData) -> Result<(), StoreError
         f.sync_data()?;
     }
     std::fs::rename(&tmp, path)?;
+    // The rename is durable only once the directory entry is: without
+    // this, a crash can resurrect the pre-rotation state even though
+    // the snapshot's own bytes were fsynced.
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Fsync a directory so metadata operations inside it (create, rename,
+/// delete) survive a crash. On non-Unix targets this is a no-op —
+/// opening a directory for sync is a Unix idiom.
+pub fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
     Ok(())
 }
 
@@ -247,6 +266,26 @@ mod tests {
         assert_eq!(back.base_of_current, data.base_of_current);
         assert_eq!(back.lineage, data.lineage);
         assert_eq!(back.compacted_records, data.compacted_records);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    /// Regression (satellite): `write_snapshot` persists the *directory
+    /// entry* too — the rename alone does not survive a power cut on
+    /// its own. The dir-sync path must accept a real directory and
+    /// refuse a missing one (a silent no-op there would quietly skip
+    /// the durability barrier).
+    #[test]
+    fn dir_sync_path_stats_the_directory() {
+        let path = tmp("dirsync.snap");
+        write_snapshot(&path, &sample()).unwrap();
+        let dir = path.parent().unwrap();
+        assert!(dir.metadata().unwrap().is_dir());
+        fsync_dir(dir).expect("fsync of the snapshot's directory");
+        #[cfg(unix)]
+        assert!(
+            fsync_dir(&dir.join("no-such-subdir")).is_err(),
+            "a vanished directory must surface, not no-op"
+        );
         std::fs::remove_file(path).unwrap();
     }
 

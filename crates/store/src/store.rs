@@ -15,11 +15,12 @@
 //! file — crash between rename and WAL creation — is an empty tail).
 
 use crate::policy::{SnapshotPolicy, SnapshotView};
-use crate::snapshot::{read_snapshot, write_snapshot, SnapshotData};
-use crate::wal::{read_wal, WalRecord, WalWriter};
+use crate::snapshot::{fsync_dir, read_snapshot, write_snapshot, SnapshotData};
+use crate::wal::{read_wal, WalRecord, WalWriter, HEADER_BYTES};
 use crate::StoreError;
 use igp_graph::coalesce::DeltaCoalescer;
 use igp_graph::{CsrGraph, DirtStats, GraphDelta, NodeId, Partitioning};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const META_VERSION: u32 = 1;
@@ -110,6 +111,9 @@ pub struct Inspection {
     pub tail_dirt: DirtStats,
     /// Why trailing bytes are unusable, if any are.
     pub corruption: Option<String>,
+    /// Benign observation (e.g. an interrupted rotation recovery will
+    /// repair); never set for states that lose data.
+    pub note: Option<String>,
 }
 
 /// The on-disk half of one durable session.
@@ -162,8 +166,20 @@ fn write_meta(dir: &Path, meta: &StoreMeta) -> Result<(), StoreError> {
 
 fn read_meta(dir: &Path) -> Result<StoreMeta, StoreError> {
     let path = meta_path(dir);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|_| StoreError::Missing(format!("{} (not a session dir?)", path.display())))?;
+    // Only an absent file means "not a session dir". Any other I/O
+    // failure (EACCES, EIO, ...) on a file that may well exist must
+    // abort recovery loudly — mapping it to `Missing` would let boot
+    // silently skip a live session over a transient error.
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::Missing(format!(
+                "{} (not a session dir?)",
+                path.display()
+            )))
+        }
+        Err(e) => return Err(StoreError::Io(e)),
+    };
     let corrupt = |reason: &str| StoreError::Corrupt {
         what: path.display().to_string(),
         reason: reason.to_string(),
@@ -247,6 +263,9 @@ impl SessionStore {
             &state.to_snapshot(0, GraphDelta::default(), 0),
         )?;
         let wal = WalWriter::create(&wal_path(dir, 0), 0)?;
+        // Make the directory entries of the initial meta/snap/wal trio
+        // durable before the first ack can be issued against them.
+        fsync_dir(dir)?;
         Ok(SessionStore {
             dir: dir.to_path_buf(),
             meta,
@@ -314,6 +333,10 @@ impl SessionStore {
                 &state.to_snapshot(next, lineage, compacted),
             )?;
             self.wal = WalWriter::create(&wal_path(&self.dir, next), next)?;
+            // Persist the new WAL's directory entry before touching the
+            // old pair: only once the (snap, wal) pair at `next` is
+            // fully durable may its predecessor start to disappear.
+            fsync_dir(&self.dir)?;
             // Best-effort cleanup; stale files are ignored by recovery.
             let _ = std::fs::remove_file(snap_path(&self.dir, self.seq));
             let _ = std::fs::remove_file(wal_path(&self.dir, self.seq));
@@ -379,7 +402,7 @@ impl SessionStore {
             tail.records.truncate(good);
             if good < tail.ends.len() {
                 tail.good_bytes = if good == 0 {
-                    crate::wal::HEADER_BYTES
+                    HEADER_BYTES
                 } else {
                     tail.ends[good - 1]
                 };
@@ -393,6 +416,7 @@ impl SessionStore {
             // tail, recreated now.
             warnings.push(format!("missing {}; starting empty", wpath.display()));
             let wal = WalWriter::create(&wpath, snapshot.seq)?;
+            fsync_dir(dir)?;
             (Vec::new(), wal, None)
         };
         let dropped = match (dropped, warnings.is_empty()) {
@@ -425,6 +449,12 @@ impl SessionStore {
         let meta = read_meta(dir)?;
         let (snapshot, warnings) = latest_snapshot(dir)?;
         let wpath = wal_path(dir, snapshot.seq);
+        // An absent WAL is the same state `recover` treats as a benign
+        // interrupted rotation (crash between snapshot rename and WAL
+        // creation): an empty tail, not corruption. Keep the two paths
+        // aligned so the inspector never flags a directory recovery
+        // would rehydrate losslessly.
+        let mut note = None;
         let (records, tail_bytes, mut corruption) = if wpath.exists() {
             let tail = read_wal(&wpath)?;
             if tail.seq != snapshot.seq {
@@ -437,7 +467,11 @@ impl SessionStore {
                 (tail.records, tail.total_bytes, tail.corruption)
             }
         } else {
-            (Vec::new(), 0, Some("missing WAL file".to_string()))
+            note = Some(format!(
+                "missing {}; interrupted rotation, empty tail (recovery recreates it)",
+                wpath.display()
+            ));
+            (Vec::new(), 0, None)
         };
         let mut co = DeltaCoalescer::new(snapshot.graph.num_vertices());
         let mut tail_deltas = 0;
@@ -470,6 +504,7 @@ impl SessionStore {
             tail_net: co.net(),
             tail_dirt: co.dirt(),
             corruption,
+            note,
         })
     }
 
@@ -508,6 +543,82 @@ impl SessionStore {
     pub fn policy(&self) -> &SnapshotPolicy {
         &self.policy
     }
+
+    /// The replication cursor: `(snapshot seq, WAL byte end)`. A
+    /// follower holding `(seq, offset)` asks for the frame bytes in
+    /// `[offset, wal_bytes())` of `wal-<seq>.log`; after a rotation the
+    /// seq no longer matches and the follower must full-resync (its
+    /// local state is equivalent — replay determinism — just based on
+    /// an older snapshot lineage).
+    pub fn repl_cursor(&self) -> (u64, u64) {
+        (self.seq, self.wal.bytes())
+    }
+
+    /// Raw bytes of the meta file, as shipped by `REPL SYNC`.
+    pub fn meta_file_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        Ok(std::fs::read(meta_path(&self.dir))?)
+    }
+
+    /// Raw bytes of the current snapshot file, as shipped by
+    /// `REPL SYNC`.
+    pub fn snapshot_file_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        Ok(std::fs::read(snap_path(&self.dir, self.seq))?)
+    }
+
+    /// Raw bytes of the current WAL file in `[offset, wal_bytes())`.
+    /// `offset = 0` ships the whole file (bootstrap); a frame-boundary
+    /// offset ≥ [`HEADER_BYTES`] ships the
+    /// frames a follower has not yet applied. A cursor past the current
+    /// end is an error (the caller turns it into a resync).
+    pub fn wal_file_bytes_from(&self, offset: u64) -> Result<Vec<u8>, StoreError> {
+        let end = self.wal.bytes();
+        if offset > end {
+            return Err(StoreError::Corrupt {
+                what: self.wal.path().display().to_string(),
+                reason: format!("replication offset {offset} past WAL end {end}"),
+            });
+        }
+        let bytes = std::fs::read(self.wal.path())?;
+        if (bytes.len() as u64) < end {
+            return Err(StoreError::Corrupt {
+                what: self.wal.path().display().to_string(),
+                reason: format!(
+                    "file holds {} bytes but the writer acked {end}",
+                    bytes.len()
+                ),
+            });
+        }
+        Ok(bytes[offset as usize..end as usize].to_vec())
+    }
+}
+
+/// Install a replica of a primary's session directory from the raw
+/// file bytes shipped by `REPL SYNC` (meta, current snapshot, current
+/// WAL). Replaces any existing directory. The caller rehydrates the
+/// session afterwards via [`SessionStore::recover`] — the same code
+/// path proven bit-identical for crash recovery.
+pub fn install_replica(
+    dir: &Path,
+    seq: u64,
+    meta: &[u8],
+    snapshot: &[u8],
+    wal: &[u8],
+) -> Result<(), StoreError> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir)?;
+    }
+    std::fs::create_dir_all(dir)?;
+    for (path, bytes) in [
+        (meta_path(dir), meta),
+        (snap_path(dir, seq), snapshot),
+        (wal_path(dir, seq), wal),
+    ] {
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fsync_dir(dir)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -28,7 +28,9 @@ use std::path::{Path, PathBuf};
 
 const WAL_MAGIC: [u8; 4] = *b"IGPW";
 const WAL_VERSION: u32 = 1;
-pub(crate) const HEADER_BYTES: u64 = 16;
+/// Size of the WAL file header (magic · version · snapshot seq). Frame
+/// offsets — including replication cursors — start here.
+pub const HEADER_BYTES: u64 = 16;
 /// Upper bound on one frame's payload: far above any real delta, small
 /// enough that a corrupt length field cannot balloon recovery.
 const MAX_PAYLOAD: u32 = 64 << 20;
@@ -225,16 +227,41 @@ pub fn read_wal(path: &Path) -> Result<WalTail, StoreError> {
         });
     }
     let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let scan = scan_frames(&bytes[HEADER_BYTES as usize..], HEADER_BYTES);
+    Ok(WalTail {
+        seq,
+        good_bytes: scan.good_end,
+        total_bytes: bytes.len() as u64,
+        records: scan.records,
+        ends: scan.ends,
+        corruption: scan.corruption,
+    })
+}
+
+/// Result of walking a run of frames.
+struct FrameScan {
+    records: Vec<WalRecord>,
+    /// Absolute offset just past each intact frame.
+    ends: Vec<u64>,
+    /// Absolute offset just past the last intact frame.
+    good_end: u64,
+    corruption: Option<String>,
+}
+
+/// Walk frames in `bytes`, stopping at the first truncated or corrupt
+/// one. `base` is the file offset of `bytes[0]`, used only so reported
+/// offsets (and `ends`) are absolute.
+fn scan_frames(bytes: &[u8], base: u64) -> FrameScan {
     let mut records = Vec::new();
     let mut ends = Vec::new();
-    let mut pos = HEADER_BYTES as usize;
+    let mut pos = 0usize;
     let mut corruption = None;
     while pos < bytes.len() {
-        let start = pos;
+        let start = base + pos as u64;
         let Some(head) = bytes.get(pos..pos + 8) else {
             corruption = Some(format!(
                 "truncated frame header at offset {start} ({} bytes)",
-                bytes.len() - start
+                bytes.len() - pos
             ));
             break;
         };
@@ -262,16 +289,30 @@ pub fn read_wal(path: &Path) -> Result<WalTail, StoreError> {
             }
         }
         pos += 8 + len as usize;
-        ends.push(pos as u64);
+        ends.push(base + pos as u64);
     }
-    Ok(WalTail {
-        seq,
-        good_bytes: pos as u64,
-        total_bytes: bytes.len() as u64,
+    FrameScan {
         records,
         ends,
+        good_end: base + pos as u64,
         corruption,
-    })
+    }
+}
+
+/// Decode a run of raw frames (no file header) — the replication apply
+/// path. Unlike [`read_wal`], any torn or corrupt frame is a hard
+/// error: the primary ships only frames that were intact in its log, so
+/// damage here means the cursor or transport went wrong and the
+/// follower must resync, not silently apply a prefix.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<WalRecord>, StoreError> {
+    let scan = scan_frames(bytes, 0);
+    if let Some(reason) = scan.corruption {
+        return Err(StoreError::Corrupt {
+            what: "replication frames".into(),
+            reason,
+        });
+    }
+    Ok(scan.records)
 }
 
 #[cfg(test)]
@@ -367,6 +408,26 @@ mod tests {
         let tail = read_wal(&path).unwrap();
         assert_eq!(tail.records.len(), 3);
         assert!(tail.corruption.is_none());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn decode_frames_roundtrips_and_rejects_damage() {
+        let path = tmp("frames.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for r in &sample_records() {
+            w.append(r).unwrap();
+        }
+        drop(w);
+        let bytes = fs::read(&path).unwrap();
+        let frames = &bytes[HEADER_BYTES as usize..];
+        assert_eq!(decode_frames(frames).unwrap(), sample_records());
+        assert_eq!(decode_frames(&[]).unwrap(), Vec::<WalRecord>::new());
+        // Truncation and bit flips are hard errors, not silent prefixes.
+        assert!(decode_frames(&frames[..frames.len() - 1]).is_err());
+        let mut bad = frames.to_vec();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(decode_frames(&bad).is_err());
         fs::remove_file(path).unwrap();
     }
 

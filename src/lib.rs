@@ -12,8 +12,9 @@
 //!   the simulated-CM-5 machine and the shared-memory machine
 //!   (`igp-runtime`).
 //! * [`service`] — the serving layer: multi-tenant session registry,
-//!   delta coalescing, policy-driven repartition triggers, and the
-//!   `igp-serve`/`igp-cli` TCP daemon pair (`igp-service`).
+//!   delta coalescing, policy-driven repartition triggers, the
+//!   `igp-serve`/`igp-cli` TCP daemon pair, and WAL streaming
+//!   replication with follower failover (`igp-service`).
 //! * [`store`] — durability for the serving layer: per-session delta
 //!   write-ahead log, partition+graph snapshots, crash recovery
 //!   (`igp-store`).

@@ -1,0 +1,379 @@
+//! Replication + failover end to end over real TCP: a primary daemon
+//! journals sessions, a follower daemon (`follow` mode) bootstraps
+//! them via `REPL SYNC`, tails their WALs via `REPL FRAME`, serves
+//! read-only replicas, and takes over — manually (`PROMOTE`) or on
+//! heartbeat timeout — answering `PART` bit-identically to a
+//! single-threaded replay twin that never saw a crash.
+//!
+//! (The kill -9 variant of the drill runs in CI's `failover` job
+//! against the release binaries; in-process we crash the primary by
+//! dropping its handle, which leaves the same wire-visible state: the
+//! follower's connection dies and its heartbeats start failing.)
+
+use igp::graph::{generators, CsrGraph, GraphDelta};
+use igp::service::client::IgpClient;
+use igp::service::server::{serve, ServeOptions};
+use igp::service::session::{InitPartition, ServiceSession, SessionConfig};
+use igp::service::{ClientError, SnapshotPolicy};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igp-repl-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn primary_opts(data_dir: &std::path::Path, snap: SnapshotPolicy) -> ServeOptions {
+    ServeOptions {
+        shards: 4,
+        data_dir: Some(data_dir.to_path_buf()),
+        snapshot_policy: snap,
+        ..Default::default()
+    }
+}
+
+fn follower_opts(
+    data_dir: &std::path::Path,
+    primary: std::net::SocketAddr,
+    failover: Option<Duration>,
+) -> ServeOptions {
+    ServeOptions {
+        shards: 4,
+        data_dir: Some(data_dir.to_path_buf()),
+        snapshot_policy: SnapshotPolicy::EveryK(4),
+        follow: Some(primary.to_string()),
+        repl_interval: Duration::from_millis(15),
+        failover,
+        ..Default::default()
+    }
+}
+
+fn scenario(i: usize) -> (CsrGraph, SessionConfig, Vec<GraphDelta>) {
+    let base = generators::grid(6 + i, 6);
+    let mut cfg = SessionConfig::new(2 + i % 2);
+    cfg.init = InitPartition::RoundRobin;
+    cfg.policy = ["every:1", "every:3", "cost"][i % 3].parse().unwrap();
+    let mut mirror = base.clone();
+    let mut deltas = Vec::new();
+    for k in 0..12 {
+        let d = generators::random_churn_delta(&mirror, 2, 1, (i as u64) << 32 | k);
+        mirror = d.apply(&mirror).new_graph().clone();
+        deltas.push(d);
+    }
+    (base, cfg, deltas)
+}
+
+/// Single-threaded ground truth over the same prefix.
+fn replay(base: &CsrGraph, cfg: &SessionConfig, deltas: &[GraphDelta]) -> ServiceSession {
+    let mut s = ServiceSession::open(base.clone(), cfg.clone());
+    for d in deltas {
+        s.ingest(d).expect("replay ingest");
+    }
+    s
+}
+
+/// Poll until `f` returns true (replication is asynchronous by
+/// design); panics with `what` after 15s.
+fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while Instant::now() < deadline {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+/// True once the follower serves `sid` with the same partition, step
+/// count and pending queue as the primary.
+fn caught_up(fol: &mut IgpClient, pri: &mut IgpClient, sid: &str) -> bool {
+    let (Ok(fs), Ok(ps)) = (fol.stat(sid), pri.stat(sid)) else {
+        return false;
+    };
+    if (fs.steps, fs.pending) != (ps.steps, ps.pending) {
+        return false;
+    }
+    match (fol.partition(sid), pri.partition(sid)) {
+        (Ok(f), Ok(p)) => f == p,
+        _ => false,
+    }
+}
+
+/// The full drill: replicate two tenants, verify the read-replica
+/// contract, kill the primary mid-batch (one delta still queued),
+/// promote, and diff against the never-crashed replay twin.
+#[test]
+fn follower_replicates_promotes_and_serves_bit_identical() {
+    let dir_a = scratch_dir("drill-primary");
+    let dir_b = scratch_dir("drill-follower");
+    const TENANTS: usize = 2;
+    const BEFORE: usize = 9; // deltas before the crash
+
+    let primary = serve(
+        "127.0.0.1:0",
+        primary_opts(&dir_a, SnapshotPolicy::EveryK(4)),
+    )
+    .expect("bind primary");
+    let mut cli_p = IgpClient::connect(primary.addr()).expect("connect primary");
+    for i in 0..TENANTS {
+        let (base, cfg, deltas) = scenario(i);
+        let sid = format!("t{i}");
+        cli_p.open(&sid, &base, &cfg).expect("open");
+        for d in &deltas[..BEFORE] {
+            cli_p.delta(&sid, d).expect("delta");
+        }
+    }
+
+    // The follower comes up *after* traffic exists: bootstrap is a
+    // full REPL SYNC, later deltas arrive as REPL FRAMEs.
+    let follower =
+        serve("127.0.0.1:0", follower_opts(&dir_b, primary.addr(), None)).expect("bind follower");
+    let mut cli_f = IgpClient::connect(follower.addr()).expect("connect follower");
+    for i in 0..TENANTS {
+        let sid = format!("t{i}");
+        wait_until(&format!("follower catch-up on {sid}"), || {
+            caught_up(&mut cli_f, &mut cli_p, &sid)
+        });
+    }
+
+    // Read-replica contract: reads answer with role=follower, every
+    // write verb is a typed refusal.
+    let stat = cli_f.stat("t0").expect("follower stat");
+    assert_eq!(stat.role.as_deref(), Some("follower"));
+    let stat = cli_p.stat("t0").expect("primary stat");
+    assert_eq!(stat.role.as_deref(), Some("primary"));
+    let (base0, cfg0, deltas0) = scenario(0);
+    for err in [
+        cli_f.delta("t0", &deltas0[BEFORE]).expect_err("read-only"),
+        cli_f.flush("t0").map(|_| ()).expect_err("read-only"),
+        cli_f.close("t0").expect_err("read-only"),
+        cli_f
+            .open("fresh", &base0, &cfg0)
+            .map(|_| ())
+            .expect_err("read-only"),
+    ] {
+        match err {
+            ClientError::Server { ref kind, .. } => assert_eq!(kind, "read-only"),
+            other => panic!("expected typed read-only refusal, got {other:?}"),
+        }
+    }
+
+    // More primary traffic, paced one delta per catch-up so the
+    // incremental `REPL FRAME` path is what ships it — a tight burst
+    // would finish (and rotate the WAL) inside one poll interval and
+    // the follower would catch up by full resync instead.
+    for i in 0..TENANTS {
+        let (_, _, deltas) = scenario(i);
+        let sid = format!("t{i}");
+        for d in &deltas[BEFORE..] {
+            cli_p.delta(&sid, d).expect("late delta");
+            wait_until(&format!("follower tails {sid}"), || {
+                caught_up(&mut cli_f, &mut cli_p, &sid)
+            });
+        }
+    }
+
+    // Crash the primary. The follower is promoted by hand.
+    drop(cli_p);
+    drop(primary);
+    assert!(cli_f.promote().expect("promote"), "was a follower");
+    assert!(!cli_f.promote().expect("re-promote"), "now idempotent");
+
+    for i in 0..TENANTS {
+        let (base, cfg, deltas) = scenario(i);
+        let sid = format!("t{i}");
+        let truth = replay(&base, &cfg, &deltas);
+        let stat = cli_f.stat(&sid).expect("promoted stat");
+        assert_eq!(stat.role.as_deref(), Some("primary"));
+        assert_eq!(stat.steps, truth.steps(), "{sid}: steps diverged");
+        assert_eq!(
+            stat.pending,
+            truth.inner().pending_deltas(),
+            "{sid}: pending queue diverged"
+        );
+        assert_eq!(
+            cli_f.partition(&sid).expect("part"),
+            truth.assignment(),
+            "{sid}: promoted partition differs from never-crashed replay"
+        );
+    }
+
+    // The promoted daemon accepts writes and keeps matching the twin.
+    let (base, cfg, _) = scenario(0);
+    let extra = generators::localized_growth_delta(
+        replay(&base, &cfg, &scenario(0).2).inner().graph(),
+        0,
+        3,
+        7,
+    );
+    cli_f.delta("t0", &extra).expect("write after promotion");
+    let mut truth = replay(&base, &cfg, &scenario(0).2);
+    truth.ingest(&extra).expect("truth extra");
+    assert_eq!(cli_f.partition("t0").expect("part"), truth.assignment());
+
+    // The replication metrics moved: frames were shipped and applied.
+    let text = cli_f.metrics().expect("metrics");
+    let applied = text
+        .lines()
+        .find(|l| l.starts_with("igp_service_repl_frames_total{dir=\"applied\"}"))
+        .expect("applied-frames counter exported");
+    let v: u64 = applied.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(v > 0, "follower applied no frames: {applied}");
+    // `>= 1`, not `== 1`: the metrics registry is process-global and
+    // other tests in this binary promote their own followers.
+    let promoted = text
+        .lines()
+        .find(|l| l.starts_with("igp_service_promotions_total"))
+        .expect("promotions counter exported");
+    let v: u64 = promoted.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(v >= 1, "promotion not counted: {promoted}");
+
+    cli_f.shutdown().expect("shutdown");
+    follower.wait();
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// Heartbeat failover: with `failover` set, losing the primary flips
+/// the follower to primary on its own — no operator in the loop.
+#[test]
+fn follower_auto_promotes_on_heartbeat_timeout() {
+    let dir_a = scratch_dir("auto-primary");
+    let dir_b = scratch_dir("auto-follower");
+    let (base, cfg, deltas) = scenario(1);
+
+    let primary = serve(
+        "127.0.0.1:0",
+        primary_opts(&dir_a, SnapshotPolicy::EveryK(4)),
+    )
+    .expect("bind primary");
+    let mut cli_p = IgpClient::connect(primary.addr()).expect("connect");
+    cli_p.open("s", &base, &cfg).expect("open");
+    for d in &deltas[..6] {
+        cli_p.delta("s", d).expect("delta");
+    }
+
+    let follower = serve(
+        "127.0.0.1:0",
+        follower_opts(&dir_b, primary.addr(), Some(Duration::from_millis(250))),
+    )
+    .expect("bind follower");
+    let mut cli_f = IgpClient::connect(follower.addr()).expect("connect follower");
+    wait_until("follower catch-up", || {
+        caught_up(&mut cli_f, &mut cli_p, "s")
+    });
+
+    drop(cli_p);
+    drop(primary); // heartbeats start failing now
+    wait_until("auto-promotion", || {
+        cli_f
+            .stat("s")
+            .is_ok_and(|s| s.role.as_deref() == Some("primary"))
+    });
+
+    // Promoted on its own: serves the replay-twin state and takes writes.
+    let truth = replay(&base, &cfg, &deltas[..6]);
+    assert_eq!(cli_f.partition("s").expect("part"), truth.assignment());
+    cli_f.delta("s", &deltas[6]).expect("write after failover");
+
+    cli_f.shutdown().expect("shutdown");
+    follower.wait();
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// Rotation under the follower's cursor: a snapshot-happy primary
+/// (`EveryK(1)`) rotates its WAL on every record, so frame cursors go
+/// stale immediately and every catch-up is a `repl-stale` → full
+/// resync round trip. The replica must still converge bit-identically.
+#[test]
+fn log_rotation_under_cursor_forces_resync_and_converges() {
+    let dir_a = scratch_dir("stale-primary");
+    let dir_b = scratch_dir("stale-follower");
+    let (base, cfg, deltas) = scenario(0); // every:1 — every delta applies
+
+    let primary = serve(
+        "127.0.0.1:0",
+        primary_opts(&dir_a, SnapshotPolicy::EveryK(1)),
+    )
+    .expect("bind primary");
+    let mut cli_p = IgpClient::connect(primary.addr()).expect("connect");
+    cli_p.open("r", &base, &cfg).expect("open");
+    let follower =
+        serve("127.0.0.1:0", follower_opts(&dir_b, primary.addr(), None)).expect("bind follower");
+    let mut cli_f = IgpClient::connect(follower.addr()).expect("connect follower");
+
+    // Interleave primary writes with follower polls so cursors keep
+    // going stale mid-stream.
+    for d in &deltas {
+        cli_p.delta("r", d).expect("delta");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    wait_until("converged through repeated resyncs", || {
+        caught_up(&mut cli_f, &mut cli_p, "r")
+    });
+    let truth = replay(&base, &cfg, &deltas);
+    assert_eq!(cli_f.partition("r").expect("part"), truth.assignment());
+
+    cli_p.shutdown().expect("shutdown primary");
+    primary.wait();
+    drop(follower);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// A `CLOSE` on the primary propagates: the follower drops the session
+/// and deletes its replica directory instead of serving deleted state.
+#[test]
+fn close_on_primary_propagates_to_follower() {
+    let dir_a = scratch_dir("close-primary");
+    let dir_b = scratch_dir("close-follower");
+    let (base, cfg, deltas) = scenario(2);
+
+    let primary = serve(
+        "127.0.0.1:0",
+        primary_opts(&dir_a, SnapshotPolicy::EveryK(4)),
+    )
+    .expect("bind primary");
+    let mut cli_p = IgpClient::connect(primary.addr()).expect("connect");
+    cli_p.open("c", &base, &cfg).expect("open");
+    for d in &deltas[..4] {
+        cli_p.delta("c", d).expect("delta");
+    }
+    let follower =
+        serve("127.0.0.1:0", follower_opts(&dir_b, primary.addr(), None)).expect("bind follower");
+    let mut cli_f = IgpClient::connect(follower.addr()).expect("connect follower");
+    wait_until("replica exists", || {
+        cli_f.list().is_ok_and(|ids| ids.contains(&"c".to_string()))
+    });
+    assert!(dir_b.join("c").exists(), "replica directory materialized");
+    cli_p.close("c").expect("close on primary");
+    wait_until("replica dropped", || {
+        cli_f.list().is_ok_and(|ids| ids.is_empty())
+    });
+    wait_until("replica directory deleted", || !dir_b.join("c").exists());
+
+    cli_p.shutdown().expect("shutdown primary");
+    primary.wait();
+    let _ = follower; // dropped: joins the replication thread too
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// Follower mode without a data directory is a misconfiguration the
+/// daemon refuses at boot, not a silent memory-only replica.
+#[test]
+fn follower_without_data_dir_is_refused() {
+    let err = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            follow: Some("127.0.0.1:1".into()),
+            ..Default::default()
+        },
+    )
+    .err()
+    .expect("must not bind");
+    assert!(err.to_string().contains("data_dir"), "{err}");
+}

@@ -12,8 +12,10 @@ use igp::graph::{generators, CsrGraph, GraphDelta};
 use igp::service::durable::recover_session;
 use igp::service::session::{InitPartition, ServiceSession, SessionConfig};
 use igp::service::{RepartitionPolicy, SnapshotPolicy};
+use igp::store::store::SessionState;
+use igp::store::{SessionStore, StoreError};
 use proptest::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A scratch session directory, unique per test case.
 fn scratch_dir(tag: &str, case: u64) -> PathBuf {
@@ -246,6 +248,222 @@ fn corrupt_trailing_record_is_dropped_not_fatal() {
     assert!(rec2.warning.is_none(), "{:?}", rec2.warning);
     assert_eq!(rec2.session.deltas_received(), 5);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Assemble a session directory from named files of other directories.
+fn assemble(tag: &str, files: &[(&Path, &str, &str)]) -> PathBuf {
+    let dir = scratch_dir(tag, 0xA55E);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (src, name, dst) in files {
+        std::fs::copy(src.join(name), dir.join(dst))
+            .unwrap_or_else(|e| panic!("copy {name} for {tag}: {e}"));
+    }
+    dir
+}
+
+/// Crash-point sweep over the snapshot-rotation protocol (satellite):
+/// `write snap-(q+1).tmp → fsync → rename → fsync dir → create
+/// wal-(q+1) → fsync dir → delete old pair`. A kill between any two
+/// steps leaves at least one complete `(snapshot, WAL)` lineage on
+/// disk, so recovery from every intermediate state must be
+/// bit-identical to the never-crashed replay. The intermediate states
+/// are reassembled from directory copies taken before and after a real
+/// rotation.
+#[test]
+fn rotation_crash_points_all_recover_bit_identical() {
+    let base = generators::grid(6, 6);
+    let cfg = config(2, 0, true); // every:1 — each delta applies immediately
+    let deltas = delta_stream(&base, 5, 0x0D15C0);
+    let dir = scratch_dir("rotation", 5);
+    let mut s =
+        ServiceSession::open_durable(base.clone(), cfg.clone(), &dir, "r", SnapshotPolicy::Never)
+            .expect("open durable");
+    feed(&mut s, &deltas, 0);
+    let mut truth = ServiceSession::open(base, cfg);
+    feed(&mut truth, &deltas, 0);
+
+    // `pre`: the state just before the rotation (snap-0 + full wal-0).
+    let pre = assemble(
+        "rot-pre",
+        &[
+            (&dir, "meta", "meta"),
+            (&dir, "snap-0.snap", "snap-0.snap"),
+            (&dir, "wal-0.log", "wal-0.log"),
+        ],
+    );
+    // Drive the rotation by hand at the store level, then capture
+    // `post` (snap-1 + fresh empty wal-1; old pair deleted).
+    let mut st = s.detach_store().expect("session is durable");
+    st.snapshot_now(SessionState {
+        graph: s.inner().graph(),
+        part: s.inner().partitioning(),
+        base_of_current: s.inner().base_of_current(),
+        steps: s.inner().steps() as u64,
+        total_moved: s.inner().total_moved(),
+        deltas_received: s.deltas_received() as u64,
+        needs_scratch: s.inner().needs_scratch(),
+    })
+    .expect("forced rotation");
+    drop(st);
+    assert!(
+        !dir.join("snap-0.snap").exists() && !dir.join("wal-0.log").exists(),
+        "rotation must have retired the old pair"
+    );
+    let post = &dir;
+
+    // Each interruption point, as the file set a kill would leave.
+    let states: Vec<(&str, PathBuf)> = vec![
+        // Killed after writing the tmp snapshot, before the rename:
+        // the tmp file must be ignored, the old lineage replayed.
+        (
+            "tmp written, not renamed",
+            assemble(
+                "rot-s1",
+                &[
+                    (pre.as_path(), "meta", "meta"),
+                    (pre.as_path(), "snap-0.snap", "snap-0.snap"),
+                    (pre.as_path(), "wal-0.log", "wal-0.log"),
+                    (post.as_path(), "snap-1.snap", "snap-1.tmp"),
+                ],
+            ),
+        ),
+        // Killed after the rename, before the new WAL existed: benign
+        // interrupted rotation — the new snapshot wins, empty tail.
+        (
+            "renamed, no new wal",
+            assemble(
+                "rot-s2",
+                &[
+                    (pre.as_path(), "meta", "meta"),
+                    (pre.as_path(), "snap-0.snap", "snap-0.snap"),
+                    (pre.as_path(), "wal-0.log", "wal-0.log"),
+                    (post.as_path(), "snap-1.snap", "snap-1.snap"),
+                ],
+            ),
+        ),
+        // Killed after creating the new WAL, before deleting the old
+        // pair: both lineages complete; the newest wins.
+        (
+            "old pair not deleted",
+            assemble(
+                "rot-s3",
+                &[
+                    (pre.as_path(), "meta", "meta"),
+                    (pre.as_path(), "snap-0.snap", "snap-0.snap"),
+                    (pre.as_path(), "wal-0.log", "wal-0.log"),
+                    (post.as_path(), "snap-1.snap", "snap-1.snap"),
+                    (post.as_path(), "wal-1.log", "wal-1.log"),
+                ],
+            ),
+        ),
+        // Killed between the two deletes (snapshot goes first).
+        (
+            "old wal lingers",
+            assemble(
+                "rot-s4",
+                &[
+                    (pre.as_path(), "meta", "meta"),
+                    (pre.as_path(), "wal-0.log", "wal-0.log"),
+                    (post.as_path(), "snap-1.snap", "snap-1.snap"),
+                    (post.as_path(), "wal-1.log", "wal-1.log"),
+                ],
+            ),
+        ),
+    ];
+    for (what, state_dir) in states {
+        let rec = recover_session(&state_dir, SnapshotPolicy::Never)
+            .unwrap_or_else(|e| panic!("recover `{what}`: {e}"));
+        assert_bit_identical(&rec.session, &truth, what);
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+    std::fs::remove_dir_all(&pre).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: `inspect` and `recover` must agree that a missing WAL is
+/// a benign interrupted rotation — on the *same* fixture, `inspect`
+/// reports a note (not corruption) and `recover` comes back
+/// bit-identical with only a warning.
+#[test]
+fn missing_wal_is_benign_for_inspect_and_recover_alike() {
+    let base = generators::grid(6, 6);
+    let cfg = config(2, 0, true);
+    let deltas = delta_stream(&base, 4, 0xBE9);
+    let dir = scratch_dir("nowal", 8);
+    let mut s = ServiceSession::open_durable(
+        base.clone(),
+        cfg.clone(),
+        &dir,
+        "b",
+        SnapshotPolicy::EveryK(2),
+    )
+    .expect("open durable");
+    feed(&mut s, &deltas, 0);
+    let mut truth = ServiceSession::open(base, cfg);
+    feed(&mut truth, &deltas, 0);
+    drop(s);
+    // Reproduce the crash window: the current WAL never got created.
+    let seq = (0..10)
+        .rev()
+        .find(|q| dir.join(format!("snap-{q}.snap")).exists())
+        .expect("some snapshot");
+    std::fs::remove_file(dir.join(format!("wal-{seq}.log"))).expect("remove current wal");
+
+    let insp = SessionStore::inspect(&dir).expect("inspect survives a missing WAL");
+    assert!(
+        insp.corruption.is_none(),
+        "interrupted rotation misreported as corruption: {:?}",
+        insp.corruption
+    );
+    let note = insp.note.expect("the missing WAL is still worth a note");
+    assert!(note.contains("missing"), "{note}");
+    assert_eq!(
+        insp.tail_deltas + insp.tail_flushes,
+        0,
+        "tail must be empty"
+    );
+
+    let rec = recover_session(&dir, SnapshotPolicy::EveryK(2)).expect("recover");
+    let warning = rec
+        .warning
+        .clone()
+        .expect("recovery reports the recreated WAL");
+    assert!(warning.contains("missing"), "{warning}");
+    // EveryK(2) on 4 deltas: the last rotation compacted everything,
+    // so the snapshot alone carries the full state.
+    assert_bit_identical(&rec.session, &truth, "after interrupted rotation");
+    // The recreated log accepts traffic: a second recovery is clean.
+    drop(rec);
+    let rec2 = recover_session(&dir, SnapshotPolicy::EveryK(2)).expect("re-recover");
+    assert!(rec2.warning.is_none(), "{:?}", rec2.warning);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite regression: only a *missing* meta file may be read as
+/// "not a session directory". Any other I/O failure (here EISDIR, from
+/// meta existing as a directory) must abort recovery loudly instead of
+/// silently skipping the session.
+#[test]
+fn meta_io_error_is_not_mistaken_for_missing() {
+    let dir = scratch_dir("badmeta", 6);
+    std::fs::create_dir_all(dir.join("meta")).unwrap();
+    let Err(err) = SessionStore::recover(&dir, SnapshotPolicy::Never) else {
+        panic!("meta-as-directory cannot recover");
+    };
+    assert!(
+        matches!(err, StoreError::Io(_)),
+        "EISDIR must abort loudly, got: {err}"
+    );
+
+    // A genuinely absent meta still reads as "not a session dir".
+    let empty = scratch_dir("nometa", 7);
+    std::fs::create_dir_all(&empty).unwrap();
+    let Err(err) = SessionStore::recover(&empty, SnapshotPolicy::Never) else {
+        panic!("empty dir is no session");
+    };
+    assert!(matches!(err, StoreError::Missing(_)), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
 }
 
 /// The SPMD parallel driver recovers too: worker threads and backend
