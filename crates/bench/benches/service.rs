@@ -12,6 +12,13 @@
 //! igp-obs kill switch off vs on; the acceptance bar is < 5%). The
 //! `every:1` row pays one repartition per delta (the paper's loop);
 //! `cost` shows what policy-driven batching buys at the same traffic.
+//!
+//! The `concurrency` sweep sizes the event-loop core: 128/512/1024
+//! sessions held open on as many connections at once, recording the
+//! daemon's idle RSS with every session parked (the loop holds no
+//! thread per connection, so this is session + connection state, not
+//! stacks), sustained deltas/s across all sessions, and client-observed
+//! FLUSH p50/p99 (the repartition round trip through the worker pool).
 
 use igp_bench::artifact;
 use igp_graph::generators;
@@ -88,6 +95,105 @@ fn run_one(
     }
 }
 
+/// This process's resident set (MiB) from `/proc/self/status`; 0.0 when
+/// unreadable (non-Linux). The daemon runs in-process, so with every
+/// session idle this is dominated by daemon-side state.
+fn rss_mb() -> f64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    text.lines()
+        .find_map(|l| {
+            let kb: f64 = l
+                .strip_prefix("VmRSS:")?
+                .trim()
+                .split(' ')
+                .next()?
+                .parse()
+                .ok()?;
+            Some(kb / 1024.0)
+        })
+        .unwrap_or(0.0)
+}
+
+struct SweepPoint {
+    sessions: usize,
+    open_s: f64,
+    idle_rss_mb: f64,
+    deltas_per_s: f64,
+    flush_us: Arc<Histogram>,
+}
+
+/// One sweep rung: hold `sessions` open sessions on as many
+/// connections, stream `deltas_per_session` queued deltas into each,
+/// then FLUSH each one (timed — the repartition round trip), then tear
+/// everything down so the next rung starts clean.
+fn run_sweep(addr: std::net::SocketAddr, sessions: usize, deltas_per_session: usize) -> SweepPoint {
+    const DRIVERS: usize = 4;
+    let flush_us = Arc::new(Histogram::new());
+    let per = sessions.div_ceil(DRIVERS);
+
+    // Phase 1: open all sessions (one connection each) and park them.
+    let t0 = Instant::now();
+    let mut driver_conns: Vec<Vec<(IgpClient, String, igp_graph::CsrGraph)>> = (0..DRIVERS)
+        .map(|d| {
+            let lo = d * per;
+            let hi = sessions.min(lo + per);
+            (lo..hi)
+                .map(|i| {
+                    let mut cli = IgpClient::connect(addr).expect("connect");
+                    let sid = format!("sweep-{sessions}-{i}");
+                    let base = generators::grid(6, 6);
+                    let mut cfg = SessionConfig::new(PARTS);
+                    // Queue-only deltas; the FLUSH pays the repartition.
+                    cfg.policy = "every:1000".parse().expect("policy");
+                    cfg.init = InitPartition::RoundRobin;
+                    cli.open(&sid, &base, &cfg).expect("open");
+                    (cli, sid, base)
+                })
+                .collect()
+        })
+        .collect();
+    let open_s = t0.elapsed().as_secs_f64();
+    let idle_rss_mb = rss_mb();
+
+    // Phase 2: stream deltas round-robin across every session.
+    let t0 = Instant::now();
+    let handles: Vec<_> = driver_conns
+        .drain(..)
+        .map(|mut conns| {
+            let flush_us = flush_us.clone();
+            std::thread::spawn(move || {
+                for k in 0..deltas_per_session {
+                    for (cli, sid, mirror) in &mut conns {
+                        let seed = (k as u64) << 32 | mirror.num_vertices() as u64;
+                        let d = generators::random_churn_delta(mirror, 2, 1, seed);
+                        *mirror = d.apply(mirror).new_graph().clone();
+                        cli.delta(sid, &d).expect("delta");
+                    }
+                }
+                for (cli, sid, _) in &mut conns {
+                    flush_us.time(|| cli.flush(sid)).expect("flush");
+                }
+                for (cli, sid, _) in &mut conns {
+                    cli.close(sid).expect("close");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("driver");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    SweepPoint {
+        sessions,
+        open_s,
+        idle_rss_mb,
+        deltas_per_s: (sessions * deltas_per_session) as f64 / wall_s,
+        flush_us,
+    }
+}
+
 fn main() {
     let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
     let addr = server.addr();
@@ -112,6 +218,29 @@ fn main() {
             );
             points.push(p);
         }
+    }
+
+    // Concurrency sweep: many parked sessions, the event loop's home
+    // turf. Two queued deltas per session keep the total runtime sane
+    // at 1024 sessions on small CI hosts; the FLUSH histogram is where
+    // the repartition (worker pool round trip) cost shows.
+    println!(
+        "\n{:>9} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "sessions", "open", "idle RSS", "deltas/s", "flush p50", "flush p99"
+    );
+    let mut sweep = Vec::new();
+    for sessions in [128, 512, 1024] {
+        let p = run_sweep(addr, sessions, 2);
+        println!(
+            "{:>9} {:>7.2}s {:>8.1}MB {:>12.1} {:>10}µs {:>10}µs",
+            p.sessions,
+            p.open_s,
+            p.idle_rss_mb,
+            p.deltas_per_s,
+            p.flush_us.quantile(0.5),
+            p.flush_us.quantile(0.99),
+        );
+        sweep.push(p);
     }
 
     // Price the instrumentation itself: the same workload with the
@@ -161,6 +290,27 @@ fn main() {
             p.steps,
             artifact::hist_fields(&p.delta_us),
             if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    // schema_version 3: the event-loop concurrency sweep. `idle_rss_mb`
+    // is the whole process (daemon in-process) with all sessions parked;
+    // `flush_*_us` is the client-observed FLUSH round trip (wire +
+    // worker-pool repartition).
+    body.push_str("  \"concurrency\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"sessions\": {}, \"open_s\": {:.3}, \"idle_rss_mb\": {:.1}, \
+             \"deltas_per_s\": {:.1}, \"flush_p50_us\": {}, \"flush_p99_us\": {}, \
+             \"flush_max_us\": {}}}{}\n",
+            p.sessions,
+            p.open_s,
+            p.idle_rss_mb,
+            p.deltas_per_s,
+            p.flush_us.quantile(0.5),
+            p.flush_us.quantile(0.99),
+            p.flush_us.max(),
+            if i + 1 == sweep.len() { "" } else { "," }
         ));
     }
     body.push_str("  ]");

@@ -14,8 +14,11 @@ use std::fmt::Write as _;
 /// Version of the `BENCH_*.json` envelope + field layout. History:
 /// 1 = pre-envelope (ad-hoc per bench); 2 = shared envelope with
 /// `schema_version`/`host_cores` stamped here and `p50/p99` latency
-/// columns from [`igp_obs::Histogram`].
-pub const SCHEMA_VERSION: u32 = 2;
+/// columns from [`igp_obs::Histogram`]; 3 = `BENCH_service.json` gains
+/// a `concurrency` section (event-loop session sweep: per-N
+/// `sessions`, `open_s`, `idle_rss_mb`, `deltas_per_s`,
+/// `flush_p50_us`/`flush_p99_us`/`flush_max_us`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The host's logical core count (1 if undeterminable).
 pub fn host_cores() -> usize {

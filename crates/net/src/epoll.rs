@@ -1,0 +1,110 @@
+//! Linux selector: a thin, level-triggered wrapper over `epoll(7)`.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+use crate::event::{Event, Interest};
+use crate::sys;
+
+pub(crate) struct Selector {
+    ep: OwnedFd,
+    /// Kernel-filled scratch; sized lazily to the caller's `Events` capacity.
+    scratch: Vec<sys::epoll_event>,
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// Deliberately no EPOLLRDHUP: a half-closed peer would level-trigger every
+// wait even when the loop has parked the connection (Interest::NONE), and a
+// requested-readable socket already reports EOF through EPOLLIN.
+fn interest_bits(interest: Interest) -> u32 {
+    let mut ev = 0;
+    if interest.is_readable() {
+        ev |= sys::EPOLLIN;
+    }
+    if interest.is_writable() {
+        ev |= sys::EPOLLOUT;
+    }
+    ev
+}
+
+impl Selector {
+    pub(crate) fn new() -> io::Result<Selector> {
+        let fd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Selector {
+            ep: unsafe { OwnedFd::from_raw_fd(fd) },
+            scratch: Vec::new(),
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::epoll_event {
+            events: interest_bits(interest),
+            data: token as u64,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    pub(crate) fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument is ignored for DEL but must be non-null on
+        // kernels older than 2.6.9; pass a zeroed one unconditionally.
+        let mut ev = sys::epoll_event { events: 0, data: 0 };
+        cvt(unsafe { sys::epoll_ctl(self.ep.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, &mut ev) })
+            .map(|_| ())
+    }
+
+    pub(crate) fn poll(
+        &mut self,
+        out: &mut Vec<Event>,
+        capacity: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        out.clear();
+        self.scratch
+            .resize(capacity, sys::epoll_event { events: 0, data: 0 });
+        let n = unsafe {
+            sys::epoll_wait(
+                self.ep.as_raw_fd(),
+                self.scratch.as_mut_ptr(),
+                capacity as i32,
+                sys::timeout_ms(timeout),
+            )
+        };
+        let n = match cvt(n) {
+            Ok(n) => n as usize,
+            // A signal cut the wait short; the caller's loop re-derives its
+            // timers every iteration, so an empty batch is the right answer.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for slot in &self.scratch[..n] {
+            // Copy packed fields by value; taking references would be UB on
+            // the x86 packed layout.
+            let bits = { slot.events };
+            let data = { slot.data };
+            out.push(Event {
+                token: data as usize,
+                readable: bits & sys::EPOLLIN != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & sys::EPOLLERR != 0,
+                hup: bits & sys::EPOLLHUP != 0,
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,331 @@
+//! igp-net — minimal mio-style readiness substrate for the serving daemon.
+//!
+//! Three pieces, all std-only (syscalls bound directly in the private
+//! `sys` module, same offline stand-in discipline as the `vendor/` crates):
+//!
+//! * [`Poller`] — level-triggered readiness selector: `epoll(7)` on Linux,
+//!   `poll(2)` elsewhere. One loop thread registers nonblocking fds under
+//!   [`Token`]s and blocks in [`Poller::poll`] until something is ready.
+//! * [`Waker`] — self-pipe wakeup so *other* threads (worker pool, shutdown
+//!   callers) can interrupt that blocking poll, with an atomic dedup so a
+//!   burst of completions costs one wakeup.
+//! * [`WorkerPool`] — small fixed thread pool the loop dispatches CPU-heavy
+//!   jobs to (repartition, WAL append, snapshot), keeping the loop itself
+//!   free to service thousands of idle sockets.
+//!
+//! The API mirrors mio's shape (`register`/`reregister`/`deregister`,
+//! reusable [`Events`]) so the stand-in can be swapped for the real crate
+//! when a registry mirror is available; see `vendor/README.md` for the
+//! discipline. The `poll(2)` backend compiles and is unit-tested on Linux
+//! too, so CI proves both paths.
+
+#[cfg(target_os = "linux")]
+pub(crate) mod epoll;
+mod event;
+mod poller;
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+pub(crate) mod pollset;
+mod pool;
+mod sys;
+mod waker;
+
+pub use event::{Event, Events, Interest, Token};
+pub use poller::Poller;
+pub use pool::WorkerPool;
+pub use waker::Waker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Both selector backends behind one face so each test body runs twice.
+    trait Sel {
+        fn register(&self, fd: RawFd, token: usize, interest: Interest) -> std::io::Result<()>;
+        fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> std::io::Result<()>;
+        fn deregister(&self, fd: RawFd) -> std::io::Result<()>;
+        fn poll(
+            &mut self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> std::io::Result<()>;
+    }
+
+    #[cfg(target_os = "linux")]
+    impl Sel for crate::epoll::Selector {
+        fn register(&self, fd: RawFd, token: usize, interest: Interest) -> std::io::Result<()> {
+            crate::epoll::Selector::register(self, fd, token, interest)
+        }
+        fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> std::io::Result<()> {
+            crate::epoll::Selector::reregister(self, fd, token, interest)
+        }
+        fn deregister(&self, fd: RawFd) -> std::io::Result<()> {
+            crate::epoll::Selector::deregister(self, fd)
+        }
+        fn poll(
+            &mut self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> std::io::Result<()> {
+            crate::epoll::Selector::poll(self, out, cap, timeout)
+        }
+    }
+
+    impl Sel for crate::pollset::Selector {
+        fn register(&self, fd: RawFd, token: usize, interest: Interest) -> std::io::Result<()> {
+            crate::pollset::Selector::register(self, fd, token, interest)
+        }
+        fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> std::io::Result<()> {
+            crate::pollset::Selector::reregister(self, fd, token, interest)
+        }
+        fn deregister(&self, fd: RawFd) -> std::io::Result<()> {
+            crate::pollset::Selector::deregister(self, fd)
+        }
+        fn poll(
+            &mut self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> std::io::Result<()> {
+            crate::pollset::Selector::poll(self, out, cap, timeout)
+        }
+    }
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn readiness_roundtrip(sel: &mut dyn Sel) {
+        let (mut client, server) = tcp_pair();
+        server.set_nonblocking(true).unwrap();
+        let fd = server.as_raw_fd();
+        sel.register(fd, 7, Interest::READABLE).unwrap();
+        let mut out = Vec::new();
+
+        // Nothing to read yet → timeout path.
+        sel.poll(&mut out, 8, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(out.is_empty(), "spurious readiness on idle socket");
+
+        client.write_all(b"x").unwrap();
+        sel.poll(&mut out, 8, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token().0, 7);
+        assert!(out[0].is_readable());
+        assert!(!out[0].is_writable());
+
+        // Level-triggered: unread data re-fires.
+        sel.poll(&mut out, 8, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(out.len(), 1, "level-triggered readiness must re-fire");
+
+        // Add writable interest: a fresh socket's send buffer is writable.
+        sel.reregister(fd, 9, Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        sel.poll(&mut out, 8, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token().0, 9, "reregister must swap the token");
+        assert!(out[0].is_readable() && out[0].is_writable());
+
+        sel.deregister(fd).unwrap();
+        sel.poll(&mut out, 8, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(out.is_empty(), "deregistered fd still firing");
+    }
+
+    fn hup_is_readable(sel: &mut dyn Sel) {
+        let (client, server) = tcp_pair();
+        server.set_nonblocking(true).unwrap();
+        let fd = server.as_raw_fd();
+        sel.register(fd, 1, Interest::READABLE).unwrap();
+        drop(client);
+        let mut out = Vec::new();
+        sel.poll(&mut out, 8, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].is_readable(),
+            "peer close must surface as readable so the loop reads EOF"
+        );
+        sel.deregister(fd).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_readiness_roundtrip() {
+        readiness_roundtrip(&mut crate::epoll::Selector::new().unwrap());
+    }
+
+    #[test]
+    fn pollset_readiness_roundtrip() {
+        readiness_roundtrip(&mut crate::pollset::Selector::new().unwrap());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_hup_is_readable() {
+        hup_is_readable(&mut crate::epoll::Selector::new().unwrap());
+    }
+
+    #[test]
+    fn pollset_hup_is_readable() {
+        hup_is_readable(&mut crate::pollset::Selector::new().unwrap());
+    }
+
+    #[test]
+    fn pollset_duplicate_register_rejected() {
+        let sel = crate::pollset::Selector::new().unwrap();
+        let (_client, server) = tcp_pair();
+        let fd = server.as_raw_fd();
+        sel.register(fd, 1, Interest::READABLE).unwrap();
+        assert!(Sel::register(&sel, fd, 2, Interest::READABLE).is_err());
+        assert!(sel.deregister(fd).is_ok());
+        assert!(sel.deregister(fd).is_err());
+    }
+
+    #[test]
+    fn waker_unblocks_poll_from_another_thread() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new(&poller, Token(0)).unwrap());
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake();
+        });
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poller
+            .poll(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "wake did not land"
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(events.iter().next().unwrap().token(), Token(0));
+        waker.drain();
+        t.join().unwrap();
+
+        // Drained: the next poll must time out, not spin on a stale byte.
+        poller
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "waker byte not drained");
+    }
+
+    #[test]
+    fn waker_dedups_bursts() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, Token(0)).unwrap();
+        for _ in 0..1000 {
+            waker.wake();
+        }
+        let mut events = Events::with_capacity(8);
+        poller
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        waker.drain();
+        // 1000 wakes collapse to one pipe byte → one drained wakeup.
+        poller
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "burst of wakes left residue in the pipe");
+    }
+
+    #[test]
+    fn waker_after_drain_fires_again() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, Token(3)).unwrap();
+        waker.wake();
+        let mut events = Events::with_capacity(8);
+        poller
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        waker.drain();
+        waker.wake();
+        poller
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "post-drain wake was lost");
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_join_drains() {
+        let pool = WorkerPool::new(3, "test-pool");
+        assert_eq!(pool.workers(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            assert!(pool.execute(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.join();
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            100,
+            "join must drain the queue"
+        );
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        let pool = WorkerPool::new(1, "panic-pool");
+        pool.execute(Box::new(|| panic!("job blew up")));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.join();
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            1,
+            "worker died with the panicking job"
+        );
+    }
+
+    #[test]
+    fn pool_shared_across_threads_rejects_after_shutdown() {
+        let pool = Arc::new(WorkerPool::new(2, "shared-pool"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let d = Arc::clone(&done);
+                        pool.execute(Box::new(move || {
+                            d.fetch_add(1, Ordering::SeqCst);
+                        }));
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let pool = Arc::try_unwrap(pool).ok().expect("sole owner");
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn interest_algebra() {
+        let rw = Interest::READABLE | Interest::WRITABLE;
+        assert!(rw.is_readable() && rw.is_writable());
+        let r = rw.remove(Interest::WRITABLE);
+        assert!(r.is_readable() && !r.is_writable());
+        assert!(r.remove(Interest::READABLE).is_empty());
+    }
+}

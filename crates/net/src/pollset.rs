@@ -1,0 +1,126 @@
+//! Portable selector: `poll(2)` over an explicit registration table.
+//!
+//! This is the non-Linux backend, but it compiles (and is unit-tested)
+//! everywhere so a Linux-only CI run still proves both code paths. O(n) per
+//! wait — fine for the fallback, which is why Linux gets epoll.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::event::{Event, Interest};
+use crate::sys;
+
+pub(crate) struct Selector {
+    /// fd → (token, interest). BTreeMap keeps poll-array order deterministic.
+    regs: Mutex<BTreeMap<RawFd, (usize, Interest)>>,
+}
+
+fn events_bits(interest: Interest) -> i16 {
+    let mut ev = 0i16;
+    if interest.is_readable() {
+        ev |= sys::POLLIN;
+    }
+    if interest.is_writable() {
+        ev |= sys::POLLOUT;
+    }
+    ev
+}
+
+impl Selector {
+    pub(crate) fn new() -> io::Result<Selector> {
+        Ok(Selector {
+            regs: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    fn regs(&self) -> std::sync::MutexGuard<'_, BTreeMap<RawFd, (usize, Interest)>> {
+        self.regs.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match self.regs().entry(fd) {
+            std::collections::btree_map::Entry::Occupied(_) => Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            )),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert((token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match self.regs().get_mut(&fd) {
+            Some(slot) => {
+                *slot = (token, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match self.regs().remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn poll(
+        &mut self,
+        out: &mut Vec<Event>,
+        capacity: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        out.clear();
+        let (mut fds, tokens): (Vec<sys::pollfd>, Vec<usize>) = {
+            let regs = self.regs();
+            regs.iter()
+                .map(|(&fd, &(token, interest))| {
+                    (
+                        sys::pollfd {
+                            fd,
+                            events: events_bits(interest),
+                            revents: 0,
+                        },
+                        token,
+                    )
+                })
+                .unzip()
+        };
+        let n = unsafe {
+            sys::poll(
+                fds.as_mut_ptr(),
+                fds.len() as sys::nfds_t,
+                sys::timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for (slot, &token) in fds.iter().zip(tokens.iter()) {
+            if slot.revents == 0 {
+                continue;
+            }
+            out.push(Event {
+                token,
+                readable: slot.revents & sys::POLLIN != 0,
+                writable: slot.revents & sys::POLLOUT != 0,
+                error: slot.revents & sys::POLLERR != 0,
+                hup: slot.revents & sys::POLLHUP != 0,
+            });
+            if out.len() == capacity {
+                break;
+            }
+        }
+        Ok(())
+    }
+}

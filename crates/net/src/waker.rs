@@ -1,0 +1,62 @@
+//! [`Waker`]: cross-thread event-loop wakeup over a self-pipe.
+
+use std::io::{self, Read, Write};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::event::{Interest, Token};
+use crate::poller::Poller;
+
+/// Wakes a [`Poller::poll`] call from any thread.
+///
+/// A byte written to a pipe makes the read end poll-readable; an
+/// [`AtomicBool`] dedups so a burst of `wake()` calls costs one syscall and
+/// one loop wakeup, not N. The pipe can never fill: at most one byte is in
+/// flight per pending-flag cycle, and the loop drains on every fire.
+///
+/// Lost-wakeup safety: the loop MUST clear the pending flag (inside
+/// [`Waker::drain`], before the pipe read) *before* it consumes whatever
+/// queue the waker guards. A producer that enqueues after the queue was
+/// drained then observes `pending == false` and writes a fresh byte, so the
+/// next `poll` fires immediately. Producers must enqueue *before* calling
+/// `wake()`; the queue's own lock provides the happens-before edge.
+pub struct Waker {
+    reader: std::io::PipeReader,
+    writer: std::io::PipeWriter,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// Create a waker and register its read end with `poller` under `token`.
+    pub fn new(poller: &Poller, token: Token) -> io::Result<Waker> {
+        let (reader, writer) = std::io::pipe()?;
+        poller.register(reader.as_raw_fd(), token, Interest::READABLE)?;
+        Ok(Waker {
+            reader,
+            writer,
+            pending: AtomicBool::new(false),
+        })
+    }
+
+    /// Make the next (or current) `poll` call return. Callable from any
+    /// thread; deduped, so hot paths may call it unconditionally.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            // Blocking write is fine: ≤1 byte outstanding per cycle, and a
+            // pipe holds kilobytes. Error (loop gone) is unrecoverable and
+            // harmless — the process is shutting down.
+            let _ = (&self.writer).write(&[1]);
+        }
+    }
+
+    /// Consume the wakeup. Call from the loop thread when the waker's token
+    /// fires, *before* draining the guarded queue (see type docs for why the
+    /// flag clears first).
+    pub fn drain(&self) {
+        self.pending.store(false, Ordering::Release);
+        let mut buf = [0u8; 16];
+        // The fd is poll-readable, so one read returns without blocking; a
+        // cycle leaves at most ~2 bytes here, well under the buffer.
+        let _ = (&self.reader).read(&mut buf);
+    }
+}

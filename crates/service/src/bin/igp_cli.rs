@@ -12,6 +12,7 @@
 //! igp-cli [--addr HOST:PORT] metrics [--watch] [--interval SECS]
 //! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
 //!                                 [--policy SPEC] [--seed S]
+//! igp-cli [--addr HOST:PORT] soak [--sessions N] [--parts P] [--hold-secs S]
 //! igp-cli replay <data-dir> [sid]
 //! ```
 //!
@@ -23,6 +24,14 @@
 //! `promote` turns a read-replica follower (`igp-serve --follow`) into
 //! a writable primary — the manual half of failover; the daemon can
 //! also self-promote on heartbeat timeout (`--failover-ms`).
+//!
+//! `soak` is the event-loop scale probe: it opens N concurrent
+//! connections, each holding one tiny open session, verifies via
+//! `METRICS` that the daemon sees all N (`active_sessions`,
+//! `conns_active`), prints `soak ready`, idles for `--hold-secs`, then
+//! drops every connection. While it holds, the daemon's thread count
+//! must stay O(worker pool) — the CI idle-soak job asserts that from
+//! `/proc/<pid>/status`.
 //!
 //! `replay` needs no server: it inspects a `--data-dir` tree offline —
 //! per session, the stored config, the latest snapshot, the WAL tail
@@ -40,8 +49,9 @@ use std::io::Write as _;
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: igp-cli [--addr HOST:PORT] [--log-level LEVEL] \
-         <ping|open|delta|flush|stat|part|close|list|metrics|promote|shutdown|demo> …\n\
+         <ping|open|delta|flush|stat|part|close|list|metrics|promote|shutdown|demo|soak> …\n\
          \x20      igp-cli metrics [--watch] [--interval SECS]\n\
+         \x20      igp-cli soak [--sessions N] [--parts P] [--hold-secs S]\n\
          \x20      igp-cli replay <data-dir> [sid]"
     );
     std::process::exit(code);
@@ -167,6 +177,7 @@ fn main() {
         }
         "metrics" => cmd_metrics(&addr, args),
         "demo" => cmd_demo(&addr, args),
+        "soak" => cmd_soak(&addr, args),
         "replay" => cmd_replay(args),
         _ => usage(2),
     }
@@ -344,6 +355,72 @@ fn cmd_open(addr: &str, mut args: Vec<String>) {
         "open {sid}: n={} m={} cut={} imbalance={:.4}",
         ack.n, ack.m, ack.cut, ack.imbalance
     );
+}
+
+/// Hold N concurrent idle sessions against the daemon and verify it
+/// counts them all; the caller (CI's idle-soak job) asserts the
+/// daemon's thread count stays flat while this holds.
+fn cmd_soak(addr: &str, mut args: Vec<String>) {
+    let sessions: usize = take_value(&mut args, "--sessions")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| fail(format!("--sessions: {e}")))
+        })
+        .unwrap_or(1000);
+    let parts: usize = take_value(&mut args, "--parts")
+        .map(|v| v.parse().unwrap_or_else(|e| fail(format!("--parts: {e}"))))
+        .unwrap_or(2);
+    let hold_secs: u64 = take_value(&mut args, "--hold-secs")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| fail(format!("--hold-secs: {e}")))
+        })
+        .unwrap_or(5);
+    if !args.is_empty() {
+        usage(2);
+    }
+    // Tiny per-session graph: the probe measures connection/session
+    // bookkeeping, not partitioning throughput.
+    let base = generators::grid(4, 4);
+    let cfg = SessionConfig::new(parts);
+    let mut conns = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let mut cli = connect(addr);
+        let sid = format!("soak-{i}");
+        cli.open(&sid, &base, &cfg)
+            .unwrap_or_else(|e| fail(format!("open {sid}: {e}")));
+        conns.push(cli);
+    }
+    // The daemon must account for every held session and connection
+    // (the scrape connection itself may add one to conns_active).
+    let text = connect(addr).metrics().unwrap_or_else(|e| fail(e));
+    let active = scrape_value(&text, "igp_service_active_sessions")
+        .unwrap_or_else(|| fail("METRICS lacks igp_service_active_sessions"));
+    if active != sessions as i64 {
+        fail(format!(
+            "daemon reports active_sessions={active}, expected {sessions}"
+        ));
+    }
+    let conns_active = scrape_value(&text, "igp_service_conns_active")
+        .unwrap_or_else(|| fail("METRICS lacks igp_service_conns_active"));
+    if conns_active < sessions as i64 {
+        fail(format!(
+            "daemon reports conns_active={conns_active}, expected ≥ {sessions}"
+        ));
+    }
+    println!("soak ready sessions={sessions} conns_active={conns_active}");
+    let _ = std::io::stdout().flush();
+    std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+    drop(conns); // the daemon may already be gone (shutdown-under-load drill)
+    println!("soak done sessions={sessions}");
+}
+
+/// First sample of an unlabeled metric in a rendered exposition.
+fn scrape_value(text: &str, name: &str) -> Option<i64> {
+    text.lines().find_map(|l| {
+        let (n, v) = l.split_once(' ')?;
+        (n == name).then(|| v.trim().parse().ok())?
+    })
 }
 
 fn cmd_demo(addr: &str, mut args: Vec<String>) {

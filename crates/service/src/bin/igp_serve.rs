@@ -1,11 +1,17 @@
 //! `igp-serve` — the partitioning daemon.
 //!
 //! ```text
-//! igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]
+//! igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N] [--workers N]
 //!           [--data-dir DIR] [--snapshot-policy never|every:<k>|cost[:r:m:w]]
 //!           [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]
 //!           [--log-level error|warn|info|debug]
 //! ```
+//!
+//! The daemon runs one event-loop thread (nonblocking accept + state-
+//! machine connections over the `igp-net` poller) plus `--workers`
+//! threads for CPU-heavy verbs; thousands of idle sessions occupy no
+//! threads at all. `--workers 0` (the default) sizes the pool
+//! automatically from the machine's parallelism.
 //!
 //! With `--data-dir`, every session journals its deltas to a
 //! write-ahead log and snapshots per the snapshot policy; on boot, all
@@ -28,7 +34,7 @@ use std::io::Write;
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N]\n\
+        "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N] [--workers N]\n\
          \x20                [--data-dir DIR] [--snapshot-policy SPEC]\n\
          \x20                [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]\n\
          \x20                [--log-level error|warn|info|debug]"
@@ -53,6 +59,11 @@ fn main() {
             "--queue-cap" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => opts.queue_cap = n,
                 _ => usage(2),
+            },
+            // 0 = auto-size from the machine's parallelism.
+            "--workers" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.workers = n,
+                None => usage(2),
             },
             "--data-dir" => match args.next() {
                 Some(d) => opts.data_dir = Some(d.into()),

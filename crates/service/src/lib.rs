@@ -18,9 +18,11 @@
 //!   ([`policy::CostTrigger`], priced with
 //!   [`igp_runtime::CostModel`]);
 //! * [`server`] / [`client`] — a line-delimited text protocol over
-//!   `TcpListener` ([`protocol`] has the grammar; DESIGN.md §8 the
-//!   semantics), a thread-per-connection daemon (`igp-serve`) and a
-//!   scriptable client (`igp-cli`);
+//!   TCP ([`protocol`] has the grammar; DESIGN.md §8 the semantics):
+//!   an event-loop daemon (`igp-serve`) built on the [`igp_net`]
+//!   readiness poller — nonblocking accept, per-connection state
+//!   machines, CPU-heavy verbs on a fixed worker pool (DESIGN.md §12)
+//!   — and a scriptable client (`igp-cli`);
 //! * **replication** — a follower daemon (`igp-serve --follow`) pulls
 //!   the primary's durable state and WAL frames over the same wire
 //!   protocol (`REPL SYNC` / `REPL FRAME`), serves reads from its

@@ -111,6 +111,21 @@ pub struct ServiceMetrics {
     /// `igp_service_promotions_total` — follower→primary promotions
     /// (manual `PROMOTE` or heartbeat-timeout failover).
     pub promotions_total: Arc<Counter>,
+    /// `igp_service_conns_active` — TCP connections currently registered
+    /// with the event loop.
+    pub conns_active: Arc<Gauge>,
+    /// `igp_service_loop_wakeups_total` — times the event loop returned
+    /// from its poll wait (readiness, waker, or timer). A slow client
+    /// must cost O(bytes) wakeups, not a busy spin — the slowloris
+    /// regression test asserts on this counter.
+    pub loop_wakeups_total: Arc<Counter>,
+    /// `igp_service_poll_wait_us` — time the loop spent blocked in each
+    /// poll wait; the idle-heavy distribution is the proof the loop
+    /// sleeps instead of spinning.
+    pub poll_wait_us: Arc<Histogram>,
+    /// `igp_service_write_backpressure_total` — writes that filled the
+    /// socket buffer and left the connection parked on writability.
+    pub write_backpressure_total: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -239,6 +254,26 @@ pub fn metrics() -> &'static ServiceMetrics {
             promotions_total: r.counter(
                 "igp_service_promotions_total",
                 "Follower-to-primary promotions (manual or heartbeat failover)",
+                vec![],
+            ),
+            conns_active: r.gauge(
+                "igp_service_conns_active",
+                "TCP connections currently registered with the event loop",
+                vec![],
+            ),
+            loop_wakeups_total: r.counter(
+                "igp_service_loop_wakeups_total",
+                "Event-loop poll returns (readiness, waker, or timer)",
+                vec![],
+            ),
+            poll_wait_us: r.histogram(
+                "igp_service_poll_wait_us",
+                "Time the event loop spent blocked per poll wait (microseconds)",
+                vec![],
+            ),
+            write_backpressure_total: r.counter(
+                "igp_service_write_backpressure_total",
+                "Writes that filled the socket buffer and parked the connection on writability",
                 vec![],
             ),
         }

@@ -1,11 +1,14 @@
 //! Follower-side replication engine (DESIGN.md §11).
 //!
-//! A follower daemon runs this loop on its own thread: poll the
-//! primary over the ordinary wire protocol, `REPL SYNC` any session it
-//! does not hold yet (installing the shipped files verbatim and
-//! rehydrating them through [`recover_session`] — the *same* path
+//! A follower daemon owns one [`ReplEngine`]; the event loop fires
+//! [`ReplEngine::run_tick`] on the worker pool at the configured
+//! cadence (one tick in flight at a time — the loop timer replaces the
+//! dedicated `igp-repl` thread the old core spawned). Each tick polls
+//! the primary over the ordinary wire protocol, `REPL SYNC`s any
+//! session it does not hold yet (installing the shipped files verbatim
+//! and rehydrating them through [`recover_session`] — the *same* path
 //! crash recovery takes, proven bit-identical by the replay-equivalence
-//! suite), then tail each session's WAL with `REPL FRAME` and apply
+//! suite), then tails each session's WAL with `REPL FRAME` and applies
 //! the decoded records through [`ServiceSession::ingest`]/`flush`.
 //! Because the follower's session keeps its own store attached, every
 //! applied record is re-journaled locally, so the follower's WAL stays
@@ -30,15 +33,12 @@ use igp_store::{decode_frames, install_replica, WalRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Follower tuning, fixed at spawn.
+/// Follower tuning, fixed at construction.
 pub(crate) struct FollowerConfig {
     /// The primary's address (`host:port`).
     pub primary: String,
-    /// Poll/heartbeat cadence.
-    pub interval: Duration,
     /// Auto-promote after the primary has been unreachable this long;
     /// `None` = only explicit `PROMOTE`.
     pub failover: Option<Duration>,
@@ -52,16 +52,18 @@ struct Cursor {
     offset: u64,
 }
 
-/// Spawn the replication thread.
-pub(crate) fn spawn(
-    ctx: Arc<ServerCtx>,
-    server_stop: Arc<AtomicBool>,
+/// The follower's replication state machine. The event loop holds one
+/// behind a mutex and schedules [`ReplEngine::run_tick`] on the worker
+/// pool; because the loop keeps at most one tick in flight, the mutex
+/// is uncontended — it exists so the engine can live in a pool closure.
+pub(crate) struct ReplEngine {
     cfg: FollowerConfig,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("igp-repl".into())
-        .spawn(move || run(&ctx, &server_stop, &cfg))
-        .expect("spawn replication thread")
+    cursors: HashMap<String, Cursor>,
+    /// Kept across ticks; dropped (to force a reconnect) on any
+    /// transport error.
+    conn: Option<IgpClient>,
+    /// Last successful tick, for the failover window.
+    last_ok: Instant,
 }
 
 /// True once replication must cease: server shutdown, explicit stop,
@@ -70,50 +72,54 @@ fn stopped(ctx: &ServerCtx, server_stop: &AtomicBool) -> bool {
     server_stop.load(Ordering::SeqCst) || ctx.repl_stop.load(Ordering::SeqCst) || !ctx.is_follower()
 }
 
-fn run(ctx: &Arc<ServerCtx>, server_stop: &AtomicBool, cfg: &FollowerConfig) {
-    let mut cursors: HashMap<String, Cursor> = HashMap::new();
-    let mut conn: Option<IgpClient> = None;
-    let mut last_ok = Instant::now();
-    loop {
-        if stopped(ctx, server_stop) {
-            return;
+impl ReplEngine {
+    pub(crate) fn new(cfg: FollowerConfig) -> ReplEngine {
+        ReplEngine {
+            cfg,
+            cursors: HashMap::new(),
+            conn: None,
+            last_ok: Instant::now(),
         }
-        match tick(ctx, server_stop, cfg, &mut conn, &mut cursors) {
-            Ok(()) => last_ok = Instant::now(),
+    }
+
+    /// One replication tick. Returns `false` when replication is over
+    /// (stopped, promoted, or failover fired) and must not be
+    /// rescheduled; `true` asks the loop to fire again after its
+    /// interval.
+    pub(crate) fn run_tick(&mut self, ctx: &Arc<ServerCtx>, server_stop: &AtomicBool) -> bool {
+        if stopped(ctx, server_stop) {
+            return false;
+        }
+        match tick(
+            ctx,
+            server_stop,
+            &self.cfg,
+            &mut self.conn,
+            &mut self.cursors,
+        ) {
+            Ok(()) => {
+                self.last_ok = Instant::now();
+                true
+            }
             Err(e) => {
-                conn = None; // reconnect next tick
-                let down = last_ok.elapsed();
+                self.conn = None; // reconnect next tick
+                let down = self.last_ok.elapsed();
                 igp_obs::warn!(
                     target: "repl", "primary unreachable";
-                    primary = cfg.primary.as_str(), detail = e.to_string(),
+                    primary = self.cfg.primary.as_str(), detail = e.to_string(),
                     down_ms = down.as_millis() as u64,
                 );
-                if cfg.failover.is_some_and(|w| down >= w) {
+                if self.cfg.failover.is_some_and(|w| down >= w) {
                     igp_obs::warn!(
                         target: "repl", "heartbeat window elapsed; promoting";
-                        primary = cfg.primary.as_str(), down_ms = down.as_millis() as u64,
+                        primary = self.cfg.primary.as_str(), down_ms = down.as_millis() as u64,
                     );
                     ctx.promote();
-                    return;
+                    return false;
                 }
+                true
             }
         }
-        sleep_polling(ctx, server_stop, cfg.interval);
-    }
-}
-
-/// Sleep `d`, in short slices so shutdown/promotion joins promptly.
-fn sleep_polling(ctx: &ServerCtx, server_stop: &AtomicBool, d: Duration) {
-    let deadline = Instant::now() + d;
-    loop {
-        if stopped(ctx, server_stop) {
-            return;
-        }
-        let left = deadline.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            return;
-        }
-        std::thread::sleep(left.min(Duration::from_millis(10)));
     }
 }
 

@@ -1,31 +1,47 @@
-//! The daemon: a thread-per-connection TCP server speaking the line
-//! protocol, one [`SessionRegistry`] shared by every connection.
+//! The daemon: an event-loop TCP server speaking the line protocol,
+//! one [`SessionRegistry`] shared by every connection (DESIGN.md §12).
 //!
-//! Shutdown choreography (crossbeam channel + accept-wake):
-//! a `SHUTDOWN` request (or [`ServerHandle::shutdown`]) sends on the
-//! shutdown channel; a supervisor thread receives, raises the stop
-//! flag and opens a throwaway connection to the listener so the
-//! blocking `accept` observes the flag. Connection threads poll the
-//! flag on a short read timeout, so idle clients cannot hold the
-//! server open; the accept thread joins them all before exiting.
+//! One loop thread owns an [`igp_net::Poller`] (epoll on Linux) with the
+//! listener, a [`igp_net::Waker`], and every client socket registered
+//! nonblocking. Each connection is a small state machine — incremental
+//! line framing into reused per-connection buffers, a graph-upload
+//! sub-state for `OPEN`, and a buffered write queue with backpressure —
+//! so ten thousand idle sessions cost zero wakeups, not ten thousand
+//! 200ms poll syscalls. CPU-heavy verbs (repartition, WAL append,
+//! snapshot — anything that locks a session) run on a fixed
+//! [`igp_net::WorkerPool`]; the loop never blocks on them. A connection
+//! has at most one job in flight and is parked (`Interest::NONE` on the
+//! read side) until the reply is queued, which preserves the old
+//! thread-per-connection ordering: replies in request order, and the
+//! journal-before-ack guarantee holds because the reply string is only
+//! produced *after* the worker's durable append returns.
+//!
+//! Shutdown choreography: `SHUTDOWN` (or [`ServerHandle::shutdown`])
+//! raises the stop flag and wakes the loop via the waker — no more
+//! throwaway loopback connection to unblock a blocking `accept`, and no
+//! 200ms read-timeout polling to let idle connection threads notice the
+//! flag. The loop then closes the listener, lets in-flight jobs finish
+//! and their replies flush, joins the pool, and exits.
 
 use crate::protocol::{encode_hex_lines, parse_request, Request};
 use crate::registry::SessionRegistry;
 use crate::session::{Ingest, ServiceSession, SessionConfig};
 use crate::ServiceError;
-use crossbeam::channel::{self, Sender};
 use igp_core::session::StepSummary;
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{io as graph_io, CsrGraph};
+use igp_net::{Events, Interest, Poller, Token, Waker, WorkerPool};
 use igp_store::wal::HEADER_BYTES;
 use igp_store::{decode_frames, SnapshotPolicy};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -55,6 +71,12 @@ pub struct ServeOptions {
     /// unreachable this long. `None` = promote only on explicit
     /// `PROMOTE`.
     pub failover: Option<Duration>,
+    /// Worker threads for CPU-heavy verbs (everything that locks a
+    /// session: `OPEN`/`DELTA`/`FLUSH`/`STAT`/`PART`/`CLOSE`/`REPL *`,
+    /// plus replication ticks on a follower). `0` = auto: the machine's
+    /// parallelism clamped to `[2, 4]` — the daemon's concurrency now
+    /// comes from the event loop, not from thread count.
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -67,11 +89,22 @@ impl Default for ServeOptions {
             follow: None,
             repl_interval: Duration::from_millis(50),
             failover: None,
+            workers: 0,
         }
     }
 }
 
-/// Everything a connection handler needs, shared across threads.
+fn effective_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 4)
+}
+
+/// Everything a request handler needs, shared across threads.
 pub(crate) struct ServerCtx {
     pub(crate) registry: SessionRegistry,
     pub(crate) queue_cap: usize,
@@ -79,7 +112,7 @@ pub(crate) struct ServerCtx {
     pub(crate) snapshot_policy: SnapshotPolicy,
     /// Role flag: true while serving as a read-replica follower.
     is_follower: AtomicBool,
-    /// Raised to stop the replication thread (promotion or shutdown).
+    /// Raised to stop replication ticks (promotion or shutdown).
     pub(crate) repl_stop: AtomicBool,
 }
 
@@ -91,7 +124,7 @@ impl ServerCtx {
 
     /// Flip to primary and stop replication; returns whether the daemon
     /// had been a follower (idempotent otherwise). Write verbs are
-    /// accepted from the moment this returns; the replication thread
+    /// accepted from the moment this returns; the replication tick
     /// observes the flag under each session's lock, so no frame is
     /// applied on top of a post-promotion write.
     pub(crate) fn promote(&self) -> bool {
@@ -105,15 +138,55 @@ impl ServerCtx {
     }
 }
 
+/// What a worker thread reports back to the event loop. Producers push
+/// under the mutex *then* wake — the lock is the happens-before edge the
+/// waker's dedup flag relies on.
+enum Completion {
+    /// A connection's in-flight job finished; `generation` guards against
+    /// the slot having been reused by a newer connection.
+    Reply {
+        token: usize,
+        generation: u64,
+        reply: String,
+    },
+    /// The job panicked (the session mutex it held is now poisoned and
+    /// will report `ERR internal` on the next request). The connection
+    /// dies, exactly as its dedicated thread would have under the old
+    /// core.
+    Died { token: usize, generation: u64 },
+    /// A replication tick returned; `alive == false` means replication
+    /// is over (stopped or promoted) and must not be rescheduled.
+    ReplTick { alive: bool },
+}
+
+/// Loop-side mailbox shared with workers and [`ServerHandle`].
+struct LoopShared {
+    waker: Waker,
+    completions: Mutex<Vec<Completion>>,
+}
+
+impl LoopShared {
+    fn push(&self, c: Completion) {
+        self.completions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(c);
+        self.waker.wake();
+    }
+
+    fn take(&self, into: &mut Vec<Completion>) {
+        let mut q = self.completions.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::swap(&mut *q, into);
+    }
+}
+
 /// A running daemon; dropping it shuts the daemon down.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     ctx: Arc<ServerCtx>,
-    shutdown_tx: Sender<()>,
-    accept: Option<JoinHandle<()>>,
-    supervisor: Option<JoinHandle<()>>,
-    follower: Option<JoinHandle<()>>,
+    shared: Arc<LoopShared>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -125,30 +198,18 @@ impl ServerHandle {
     /// Block until the server exits (i.e. until some client sends
     /// `SHUTDOWN` or another thread calls shutdown).
     pub fn wait(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.supervisor.take() {
-            let _ = h.join();
-        }
-        // Drop joins the follower (if any) via shutdown().
     }
 
-    /// Stop accepting, drain connections, and join the server threads.
-    /// Idempotent.
+    /// Stop accepting, drain in-flight work, and join the loop (which
+    /// joins the worker pool). Idempotent.
     pub fn shutdown(&mut self) {
-        // Raise the flag directly too, in case the supervisor already
-        // consumed its one shutdown message.
         self.stop.store(true, Ordering::SeqCst);
         self.ctx.repl_stop.store(true, Ordering::SeqCst);
-        let _ = self.shutdown_tx.send(());
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.supervisor.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.follower.take() {
+        self.shared.waker.wake();
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
     }
@@ -174,6 +235,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
         ));
     }
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     // Touch every layer's metric registration at boot so `METRICS`
     // renders the full family set (zero-valued) before any traffic.
@@ -215,161 +277,487 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
         repl_stop: AtomicBool::new(false),
     });
     let stop = Arc::new(AtomicBool::new(false));
-    let (shutdown_tx, shutdown_rx) = channel::unbounded::<()>();
+
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+    let shared = Arc::new(LoopShared {
+        waker: Waker::new(&poller, WAKER)?,
+        completions: Mutex::new(Vec::new()),
+    });
 
     // Follower mode: locally recovered sessions (above) give instant
-    // read availability; the replication thread then resyncs each one
-    // from the primary and keeps tailing its WAL.
+    // read availability; replication ticks then resync each one from
+    // the primary and keep tailing its WAL.
     let follower = opts.follow.as_ref().map(|primary| {
-        crate::repl::spawn(
-            ctx.clone(),
-            stop.clone(),
-            crate::repl::FollowerConfig {
+        FollowerState::new(
+            crate::repl::ReplEngine::new(crate::repl::FollowerConfig {
                 primary: primary.clone(),
-                interval: opts.repl_interval,
                 failover: opts.failover,
-            },
+            }),
+            opts.repl_interval,
         )
     });
 
-    let supervisor = {
-        let stop = stop.clone();
-        std::thread::spawn(move || {
-            // Ok: a shutdown was requested. Err: every sender dropped,
-            // i.e. the server already exited — nothing to do.
-            if shutdown_rx.recv().is_ok() {
-                stop.store(true, Ordering::SeqCst);
-                // Wake the accept loop with a throwaway connection. A
-                // wildcard bind address (0.0.0.0 / [::]) is not a valid
-                // connect target on every platform — aim at loopback on
-                // the same port instead.
-                let mut wake = addr;
-                if wake.ip().is_unspecified() {
-                    wake.set_ip(match wake.ip() {
-                        std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                        std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-                    });
-                }
-                let _ = TcpStream::connect(wake);
-            }
-        })
-    };
-
-    let handle_ctx = ctx.clone();
-    let accept = {
-        let stop = stop.clone();
-        let tx = shutdown_tx.clone();
-        std::thread::spawn(move || {
-            let mut conns: Vec<JoinHandle<()>> = Vec::new();
-            for stream in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Reap finished connection threads so a long-lived
-                // daemon doesn't accumulate dead JoinHandles.
-                conns.retain(|h| !h.is_finished());
-                let Ok(stream) = stream else { continue };
-                let ctx = ctx.clone();
-                let stop = stop.clone();
-                let tx = tx.clone();
-                conns.push(std::thread::spawn(move || {
-                    handle_connection(stream, &ctx, &stop, &tx);
-                }));
-            }
-            for c in conns {
-                let _ = c.join();
-            }
-        })
+    let workers = effective_workers(opts.workers);
+    let event_loop = {
+        let mut el = EventLoop {
+            poller,
+            listener: Some(listener),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            pool: Some(WorkerPool::new(workers, "igp-worker")),
+            shared: shared.clone(),
+            ctx: ctx.clone(),
+            stop: stop.clone(),
+            jobs_in_flight: 0,
+            follower,
+            draining: false,
+            drain_deadline: None,
+        };
+        std::thread::Builder::new()
+            .name("igp-loop".into())
+            .spawn(move || el.run())?
     };
 
     Ok(ServerHandle {
         addr,
         stop,
-        ctx: handle_ctx,
-        shutdown_tx,
-        accept: Some(accept),
-        supervisor: Some(supervisor),
-        follower,
+        ctx,
+        shared,
+        event_loop: Some(event_loop),
     })
 }
 
 /// Longest accepted request line. Generous for DELTA payloads, small
 /// enough that a newline-free byte stream cannot balloon the daemon.
-const MAX_LINE_BYTES: u64 = 1 << 20;
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Largest accepted `OPEN` graph upload (METIS text).
 const MAX_GRAPH_BYTES: usize = 64 << 20;
 
-/// Read one line, tolerating read timeouts (used to poll `stop`).
-/// Returns `None` on EOF, connection error, server stop, or a line
-/// exceeding [`MAX_LINE_BYTES`] (the connection cannot be resynced
-/// without its newline, so it is dropped).
-fn read_line_polling(
-    reader: &mut BufReader<TcpStream>,
-    stop: &AtomicBool,
-    buf: &mut String,
-) -> Option<()> {
-    buf.clear();
-    loop {
-        // Bound each read by the line budget left; hitting the budget
-        // without a newline means an oversized line.
-        let remaining = MAX_LINE_BYTES.saturating_sub(buf.len() as u64);
-        if remaining == 0 {
-            return None;
+/// How long the drain phase waits for queued reply bytes to reach
+/// clients that are not reading, once all in-flight jobs are done.
+const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(3);
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+/// Connection slot `i` registers under token `FIRST_CONN + i`.
+const FIRST_CONN: usize = 2;
+
+/// Where a connection stands in the request cycle.
+enum ConnState {
+    /// Between requests: buffered lines are parsed and handled.
+    Idle,
+    /// Inside the graph block that follows an `OPEN` line, up to `END`.
+    Graph {
+        /// `Ok`: a parsed `OPEN` waiting for its graph text. `Err`: the
+        /// OPEN line was malformed — the block is still drained so the
+        /// connection stays line-synchronized, then this reply is sent.
+        pending: Result<(String, SessionConfig), String>,
+        text: String,
+        t0: Option<Instant>,
+        vi: Option<usize>,
+    },
+    /// A job for this connection is on the worker pool. Reads stay
+    /// parked (and buffered lines unprocessed) until the reply comes
+    /// back, preserving per-connection request order.
+    Busy,
+}
+
+/// One client connection: socket + framing/write buffers + state.
+///
+/// `rbuf`/`line` are reused across requests — framing never allocates a
+/// fresh `String` per request — and the line/graph byte caps are
+/// enforced incrementally as bytes arrive, so a slow client can never
+/// make the daemon buffer unbounded.
+struct Conn {
+    stream: TcpStream,
+    /// Distinguishes this connection from an earlier one that used the
+    /// same slot, for completions that outlive their connection.
+    generation: u64,
+    /// Raw inbound bytes; `[consumed, len)` is unframed input.
+    rbuf: Vec<u8>,
+    /// Bytes before this offset were already framed into lines.
+    consumed: usize,
+    /// Newline search resumes here (≥ `consumed`), so a trickling
+    /// client costs O(bytes), not O(bytes²).
+    scan: usize,
+    /// Reused per-line buffer the framer copies each request line into.
+    line: String,
+    /// Outbound bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    state: ConnState,
+    /// Peer sent EOF: finish processing buffered input, flush, close.
+    peer_eof: bool,
+    /// Reply queued and no further requests accepted (SHUTDOWN, drain);
+    /// the connection closes once `wbuf` flushes.
+    closing: bool,
+}
+
+impl Conn {
+    /// The interest this connection should be registered with right now.
+    fn desired_interest(&self) -> Interest {
+        let mut want = Interest::NONE;
+        let reading = !self.closing
+            && !self.peer_eof
+            && !matches!(self.state, ConnState::Busy)
+            && self.wbuf.is_empty();
+        if reading {
+            want = want.add(Interest::READABLE);
         }
-        match io::Read::take(io::Read::by_ref(reader), remaining).read_line(buf) {
-            Ok(0) => return None,
-            Ok(_) => {
-                if buf.ends_with('\n') || (buf.len() as u64) < MAX_LINE_BYTES {
-                    return Some(()); // full line (or final unterminated line at EOF)
-                }
-                return None; // budget exhausted mid-line
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Partial data (if any) stays appended in `buf`; keep
-                // reading unless the server is stopping.
-                if stop.load(Ordering::SeqCst) {
-                    return None;
-                }
-            }
-            Err(_) => return None,
+        if !self.wbuf.is_empty() {
+            want = want.add(Interest::WRITABLE);
+        }
+        want
+    }
+}
+
+/// Work the loop hands to the pool on behalf of a connection.
+enum PoolJob {
+    /// A session-locking verb, exactly as parsed.
+    Verb(Request),
+    /// A fully uploaded `OPEN`.
+    Open {
+        sid: String,
+        cfg: SessionConfig,
+        text: String,
+    },
+}
+
+/// Replication scheduling state (follower mode only).
+struct FollowerState {
+    engine: Arc<Mutex<crate::repl::ReplEngine>>,
+    interval: Duration,
+    /// Next tick is due at this instant (set `interval` after the
+    /// previous tick *completed*, matching the old thread's cadence).
+    next: Instant,
+    in_flight: bool,
+    /// Replication ended (shutdown or promotion); stop scheduling.
+    done: bool,
+}
+
+impl FollowerState {
+    fn new(engine: crate::repl::ReplEngine, interval: Duration) -> FollowerState {
+        FollowerState {
+            engine: Arc::new(Mutex::new(engine)),
+            interval,
+            next: Instant::now(),
+            in_flight: false,
+            done: false,
         }
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    ctx: &ServerCtx,
-    stop: &AtomicBool,
-    shutdown_tx: &Sender<()>,
-) {
-    let registry = &ctx.registry;
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_nodelay(true);
-    let mut out = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let m = crate::obs::metrics();
-    while read_line_polling(&mut reader, stop, &mut line).is_some() {
-        // A busy client can keep every read succeeding before the poll
-        // timeout ever fires (a follower heartbeats faster than the
-        // timeout), so the stop flag must also be honored between
-        // requests or shutdown would never reclaim this thread.
-        if stop.load(Ordering::SeqCst) {
-            break;
+struct EventLoop {
+    poller: Poller,
+    /// Dropped (and deregistered) when draining starts.
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_generation: u64,
+    /// `Option` only so the drain path can move it out to `join`.
+    pool: Option<WorkerPool>,
+    shared: Arc<LoopShared>,
+    ctx: Arc<ServerCtx>,
+    stop: Arc<AtomicBool>,
+    /// Connection jobs dispatched and not yet completed (counted even if
+    /// their connection died meanwhile).
+    jobs_in_flight: usize,
+    follower: Option<FollowerState>,
+    draining: bool,
+    /// Armed when the last in-flight job completes during drain.
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let m = crate::obs::metrics();
+        let mut events = Events::with_capacity(1024);
+        let mut inbox: Vec<Completion> = Vec::new();
+        loop {
+            if !self.draining && self.stop.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.draining && self.drain_complete() {
+                break;
+            }
+            self.schedule_repl_tick();
+            let timeout = self.poll_timeout();
+            let t0 = Instant::now();
+            if let Err(e) = self.poller.poll(&mut events, timeout) {
+                igp_obs::error!(target: "serve", "poll failed"; detail = e.to_string());
+                break;
+            }
+            m.poll_wait_us.observe_duration(t0.elapsed());
+            m.loop_wakeups_total.inc();
+            for ev in &events {
+                match ev.token() {
+                    LISTENER => self.accept_all(),
+                    WAKER => self.shared.waker.drain(),
+                    Token(t) => {
+                        self.on_conn_event(t - FIRST_CONN, ev.is_readable(), ev.is_writable())
+                    }
+                }
+            }
+            // Always sweep the mailbox: a completion pushed between the
+            // waker drain and here is either seen now or re-wakes us.
+            self.shared.take(&mut inbox);
+            for c in inbox.drain(..) {
+                self.on_completion(c);
+            }
         }
+        // All jobs completed (drain waits for them), so the queue is
+        // empty and this join is immediate.
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+
+    /// The nearest timer as a poll timeout; `None` blocks until an event
+    /// or a waker wake.
+    fn poll_timeout(&self) -> Option<Duration> {
+        let mut deadline: Option<Instant> = None;
+        if let Some(f) = &self.follower {
+            if !f.done && !f.in_flight && !self.draining {
+                deadline = Some(f.next);
+            }
+        }
+        if let Some(d) = self.drain_deadline {
+            deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+        }
+        deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    // -- accept path ----------------------------------------------------
+
+    fn accept_all(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.install_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient accept failure (e.g. fd exhaustion): give
+                    // up this wakeup rather than spin; the listener stays
+                    // level-triggered readable.
+                    igp_obs::warn!(target: "serve", "accept failed"; detail = e.to_string());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn install_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_generation += 1;
+        let interest = Interest::READABLE;
+        if self
+            .poller
+            .register(stream.as_raw_fd(), Token(FIRST_CONN + slot), interest)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            stream,
+            generation: self.next_generation,
+            rbuf: Vec::new(),
+            consumed: 0,
+            scan: 0,
+            line: String::new(),
+            wbuf: Vec::new(),
+            interest,
+            state: ConnState::Idle,
+            peer_eof: false,
+            closing: false,
+        });
+        crate::obs::metrics().conns_active.add(1);
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            crate::obs::metrics().conns_active.add(-1);
+            self.free.push(slot);
+        }
+    }
+
+    /// Re-register the connection if its desired interest changed.
+    fn sync_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let want = conn.desired_interest();
+        if want != conn.interest
+            && self
+                .poller
+                .reregister(conn.stream.as_raw_fd(), Token(FIRST_CONN + slot), want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    // -- read path ------------------------------------------------------
+
+    fn on_conn_event(&mut self, slot: usize, readable: bool, writable: bool) {
+        if self.conns.get(slot).is_none_or(|c| c.is_none()) {
+            return; // stale event for a closed connection
+        }
+        if writable {
+            self.flush_conn(slot);
+        }
+        let wants_read = self.conns[slot]
+            .as_ref()
+            .is_some_and(|c| !c.closing && !c.peer_eof && !matches!(c.state, ConnState::Busy));
+        if readable && wants_read {
+            self.read_conn(slot);
+        }
+        self.sync_interest(slot);
+    }
+
+    fn read_conn(&mut self, slot: usize) {
+        let mut buf = [0u8; 64 * 1024];
+        // Per-wakeup read budget: a client blasting bytes faster than we
+        // process them must not monopolize the loop or balloon `rbuf`
+        // past the caps within a single wakeup. Leftover input keeps the
+        // socket level-triggered readable, so the next poll resumes it.
+        for _ in 0..16 {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+            // Process per chunk, not per drained socket: the line/graph
+            // caps stay incremental (a chunk past the cap closes the
+            // connection before the next read), and a connection that
+            // goes Busy or backpressured parks with the rest of its
+            // input still in the kernel buffer.
+            self.process_conn(slot);
+            let parked = self.conns[slot].as_ref().is_none_or(|c| {
+                c.closing || c.peer_eof || matches!(c.state, ConnState::Busy) || !c.wbuf.is_empty()
+            });
+            if parked {
+                return;
+            }
+        }
+        self.process_conn(slot);
+    }
+
+    /// Frame and handle as many buffered lines as the connection's state
+    /// allows. Stops at: incomplete line, Busy (job dispatched), closing,
+    /// or write backpressure.
+    fn process_conn(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.closing || matches!(conn.state, ConnState::Busy) || !conn.wbuf.is_empty() {
+                break;
+            }
+            // Incremental framing: resume the newline scan where it left
+            // off; enforce the line cap on the unframed span as it grows.
+            let nl = conn.rbuf[conn.scan..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| conn.scan + i);
+            let (end, terminated) = match nl {
+                Some(i) => (i + 1, true),
+                None => {
+                    conn.scan = conn.rbuf.len();
+                    if conn.rbuf.len() - conn.consumed >= MAX_LINE_BYTES {
+                        // A line that exhausts its budget without a
+                        // newline cannot be resynced; drop the
+                        // connection, exactly as the old core did.
+                        self.close_conn(slot);
+                        return;
+                    }
+                    if conn.peer_eof && conn.consumed < conn.rbuf.len() {
+                        (conn.rbuf.len(), false) // final unterminated line
+                    } else {
+                        break;
+                    }
+                }
+            };
+            if terminated && end - conn.consumed > MAX_LINE_BYTES {
+                self.close_conn(slot);
+                return;
+            }
+            let Ok(s) = std::str::from_utf8(&conn.rbuf[conn.consumed..end]) else {
+                self.close_conn(slot); // the old line reader errored here too
+                return;
+            };
+            conn.line.clear();
+            conn.line.push_str(s);
+            conn.consumed = end;
+            conn.scan = end;
+            let _ = terminated;
+            // Hand the line over without giving up the reused buffer.
+            let line = std::mem::take(&mut conn.line);
+            match conn.state {
+                ConnState::Idle => self.handle_request_line(slot, &line),
+                ConnState::Graph { .. } => self.handle_graph_line(slot, &line),
+                ConnState::Busy => unreachable!("loop guard"),
+            }
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.line = line;
+            }
+        }
+        // Compact the consumed prefix once per pass (not per line, which
+        // would be quadratic over a graph upload).
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.consumed > 0 {
+            conn.rbuf.drain(..conn.consumed);
+            conn.scan -= conn.consumed;
+            conn.consumed = 0;
+        }
+        if conn.peer_eof && conn.rbuf.is_empty() && !matches!(conn.state, ConnState::Busy) {
+            // Input fully handled and the peer is gone: close once the
+            // replies have flushed.
+            conn.closing = true;
+            if conn.wbuf.is_empty() {
+                self.close_conn(slot);
+                return;
+            }
+        }
+        self.sync_interest(slot);
+    }
+
+    // -- request handling -----------------------------------------------
+
+    fn handle_request_line(&mut self, slot: usize, line: &str) {
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            continue;
+            return;
         }
+        let m = crate::obs::metrics();
         m.bytes_in_total.add(line.len() as u64);
         let parsed = parse_request(trimmed);
         let vi = parsed.as_ref().ok().map(crate::obs::verb_idx);
@@ -380,189 +768,175 @@ fn handle_connection(
                 verb = crate::obs::VERBS[vi], bytes = line.len(),
             );
         }
-        // Manual start/stop (not `Histogram::time`): several arms below
-        // `break`/`return` out of the match, which a closure cannot.
-        let t0 = igp_obs::enabled().then(std::time::Instant::now);
-        let reply = match parsed {
+        let t0 = igp_obs::enabled().then(Instant::now);
+        let conn = self.conns[slot].as_mut().expect("caller checked");
+        match parsed {
             Err(e) => {
                 // A malformed OPEN is still followed by the client's
                 // graph block: drain through END so the connection stays
                 // line-synchronized for the next request.
-                if trimmed.split_ascii_whitespace().next() == Some("OPEN")
-                    && read_graph_block(&mut reader, stop).is_none()
-                {
-                    break;
+                if trimmed.split_ascii_whitespace().next() == Some("OPEN") {
+                    conn.state = ConnState::Graph {
+                        pending: Err(format!("ERR proto {e}")),
+                        text: String::new(),
+                        t0: None,
+                        vi: None,
+                    };
+                } else {
+                    self.finish_request(slot, format!("ERR proto {e}"), t0, vi);
                 }
-                format!("ERR proto {e}")
             }
-            Ok(Request::Ping) => "PONG".to_string(),
+            Ok(Request::Ping) => self.finish_request(slot, "PONG".to_string(), t0, vi),
             Ok(Request::Open { sid, cfg }) => {
-                // The graph block is drained even when the verb is
-                // refused, so the connection stays line-synchronized.
-                match read_graph_block(&mut reader, stop) {
-                    None => break, // connection died mid-upload
-                    Some(_) if ctx.is_follower() => err_line(&ServiceError::ReadOnly),
-                    Some(text) => {
-                        m.bytes_in_total.add(text.len() as u64);
-                        open_session(ctx, &sid, cfg, &text)
-                    }
-                }
+                conn.state = ConnState::Graph {
+                    pending: Ok((sid, cfg)),
+                    text: String::new(),
+                    t0,
+                    vi,
+                };
             }
             Ok(Request::Delta { .. } | Request::Flush { .. } | Request::Close { .. })
-                if ctx.is_follower() =>
+                if self.ctx.is_follower() =>
             {
                 // A follower's sessions advance only by replicated
                 // frames; local writes would fork the lineage.
-                err_line(&ServiceError::ReadOnly)
+                self.finish_request(slot, err_line(&ServiceError::ReadOnly), t0, vi);
             }
-            Ok(Request::Delta { sid, delta }) => {
-                with_session(registry, &sid, |s| {
-                    // Admission control: a client outrunning its own
-                    // flushes gets a typed error, not an unbounded
-                    // queue.
-                    let pending = s.inner().pending_deltas();
-                    if pending >= ctx.queue_cap {
-                        m.backpressure_total.inc();
-                        return err_line(&ServiceError::Backpressure {
-                            sid: sid.clone(),
-                            pending,
-                            cap: ctx.queue_cap,
-                        });
-                    }
-                    match s.ingest(&delta) {
-                        Ok(Ingest::Queued { pending }) => {
-                            m.queue_depth.set(pending as i64);
-                            format!("OK queued sid={sid} pending={pending}")
-                        }
-                        Ok(Ingest::Stepped { summary, coalesced }) => {
-                            m.queue_depth.set(0);
-                            m.repartition_counter(&s.config().policy, false).inc();
-                            step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
-                        }
-                        Err(e) => err_line(&e),
-                    }
-                })
-            }
-            Ok(Request::Flush { sid }) => with_session(registry, &sid, |s| match s.flush() {
-                Ok(Some((summary, coalesced))) => {
-                    m.queue_depth.set(0);
-                    m.repartition_counter(&s.config().policy, true).inc();
-                    step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
-                }
-                Ok(None) => format!("OK noop sid={sid}"),
-                Err(e) => err_line(&e),
-            }),
-            Ok(Request::Stat { sid }) => with_session(registry, &sid, |s| {
-                let role = if ctx.is_follower() {
-                    "follower"
-                } else {
-                    "primary"
-                };
-                let g = s.inner().graph();
-                let m = CutMetrics::compute(g, s.inner().partitioning());
-                let mut line = format!(
-                    "OK stat sid={sid} role={role} n={} m={} cut={} imbalance={:.6} pending={} \
-                     steps={} moved={} scratch={}",
-                    g.num_vertices(),
-                    g.num_edges(),
-                    m.total_cut_edges,
-                    m.count_imbalance,
-                    s.inner().pending_deltas(),
-                    s.steps(),
-                    s.inner().total_moved(),
-                    u8::from(s.inner().needs_scratch()),
-                );
-                if let Some(st) = s.store() {
-                    line.push_str(&format!(
-                        " wal_records={} wal_bytes={} snap_seq={} snapshots={}",
-                        st.wal_records(),
-                        st.wal_bytes(),
-                        st.seq(),
-                        st.snapshots_written(),
-                    ));
-                }
-                // Per-session repartition latency (the session's private
-                // histogram — the METRICS exposition has the global one).
-                if let Some((p50, p99, max)) = s.repart_latency_us() {
-                    line.push_str(&format!(
-                        " repart_p50_us={p50} repart_p99_us={p99} repart_max_us={max}"
-                    ));
-                }
-                line
-            }),
-            Ok(Request::Part { sid }) => with_session(registry, &sid, |s| {
-                let assign = s.assignment();
-                let mut out = format!("OK part sid={sid} n={}", assign.len());
-                for p in assign {
-                    out.push(' ');
-                    out.push_str(&p.to_string());
-                }
-                out
-            }),
-            Ok(Request::Close { sid }) => match registry.close(&sid) {
-                Ok(entry) => {
-                    // A closed session must not resurrect at next boot:
-                    // detach the store (stopping further writes even if
-                    // another thread still holds the Arc) and delete
-                    // its directory.
-                    let dir = match entry.lock() {
-                        Ok(mut s) => s.detach_store().map(|st| st.dir().to_path_buf()),
-                        // Poisoned by an earlier panic: fall back to
-                        // the conventional location.
-                        Err(_) => ctx.data_dir.as_ref().map(|d| d.join(&sid)),
-                    };
-                    if let Some(dir) = dir {
-                        let _ = std::fs::remove_dir_all(dir);
-                    }
-                    format!("OK closed sid={sid}")
-                }
-                Err(e) => err_line(&e),
-            },
+            Ok(
+                req @ (Request::Delta { .. }
+                | Request::Flush { .. }
+                | Request::Stat { .. }
+                | Request::Part { .. }
+                | Request::Close { .. }
+                | Request::ReplSync { .. }
+                | Request::ReplFrames { .. }),
+            ) => self.dispatch(slot, PoolJob::Verb(req), t0, vi),
             Ok(Request::List) => {
-                let ids = registry.list();
+                let ids = self.ctx.registry.list();
                 let mut out = format!("OK list count={}", ids.len());
                 for id in ids {
                     out.push(' ');
                     out.push_str(&id);
                 }
-                out
+                self.finish_request(slot, out, t0, vi);
             }
             Ok(Request::Metrics) => {
                 // Refresh the registry-derived gauge, then render the
                 // whole process registry: service, store, core and
                 // runtime families in one exposition.
-                m.active_sessions.set(registry.list().len() as i64);
-                format!("OK metrics\n{}END", igp_obs::registry().render())
+                m.active_sessions.set(self.ctx.registry.len() as i64);
+                let out = format!("OK metrics\n{}END", igp_obs::registry().render());
+                self.finish_request(slot, out, t0, vi);
             }
-            Ok(Request::ReplSync { sid }) => with_session(registry, &sid, |s| {
-                let reply = repl_sync_reply(&sid, s);
-                if reply.starts_with("OK ") {
-                    m.repl_syncs_shipped_total.inc();
-                }
-                reply
-            }),
-            Ok(Request::ReplFrames { sid, seq, offset }) => with_session(registry, &sid, |s| {
-                repl_frames_reply(&sid, s, seq, offset, m)
-            }),
             Ok(Request::Promote) => {
-                let was = ctx.promote();
-                format!(
+                let was = self.ctx.promote();
+                if let Some(f) = &mut self.follower {
+                    f.done = true;
+                }
+                let out = format!(
                     "OK promoted role=primary sessions={} was_follower={}",
-                    registry.len(),
+                    self.ctx.registry.len(),
                     u8::from(was),
-                )
+                );
+                self.finish_request(slot, out, t0, vi);
             }
             Ok(Request::Shutdown) => {
-                m.bytes_out_total.add("OK bye\n".len() as u64);
-                let _ = writeln!(out, "OK bye");
-                let _ = out.flush();
-                let _ = shutdown_tx.send(());
+                self.queue_reply(slot, "OK bye".to_string());
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    conn.closing = true;
+                }
+                self.stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn handle_graph_line(&mut self, slot: usize, line: &str) {
+        let conn = self.conns[slot].as_mut().expect("caller checked");
+        let ConnState::Graph {
+            pending: _, text, ..
+        } = &mut conn.state
+        else {
+            unreachable!("caller checked");
+        };
+        if line.trim() != "END" {
+            if text.len() + line.len() > MAX_GRAPH_BYTES {
+                self.close_conn(slot); // oversized upload: drop the connection
                 return;
             }
-        };
-        if let (Some(t0), Some(vi)) = (t0, vi) {
-            m.request_us[vi].observe_duration(t0.elapsed());
+            text.push_str(line);
+            return;
         }
+        let state = std::mem::replace(&mut conn.state, ConnState::Idle);
+        let ConnState::Graph {
+            pending,
+            text,
+            t0,
+            vi,
+        } = state
+        else {
+            unreachable!("matched above");
+        };
+        match pending {
+            Err(reply) => self.finish_request(slot, reply, t0, vi),
+            Ok((sid, cfg)) => self.dispatch(slot, PoolJob::Open { sid, cfg, text }, t0, vi),
+        }
+    }
+
+    /// Observe latency and queue the reply (loop-inline verbs).
+    fn finish_request(
+        &mut self,
+        slot: usize,
+        reply: String,
+        t0: Option<Instant>,
+        vi: Option<usize>,
+    ) {
+        if let (Some(t0), Some(vi)) = (t0, vi) {
+            crate::obs::metrics().request_us[vi].observe_duration(t0.elapsed());
+        }
+        self.queue_reply(slot, reply);
+    }
+
+    /// Park the connection and run the job on the pool; the completion
+    /// routes the reply back through the waker.
+    fn dispatch(&mut self, slot: usize, job: PoolJob, t0: Option<Instant>, vi: Option<usize>) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        conn.state = ConnState::Busy;
+        let token = FIRST_CONN + slot;
+        let generation = conn.generation;
+        let ctx = self.ctx.clone();
+        let shared = self.shared.clone();
+        self.jobs_in_flight += 1;
+        let pool = self.pool.as_ref().expect("pool lives until drain ends");
+        pool.execute(Box::new(move || {
+            // A panicking handler poisons the session lock it held (the
+            // next request gets a typed `ERR internal`); contain it here
+            // so the completion still reaches the loop.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let reply = pool_reply(&ctx, job);
+                if let (Some(t0), Some(vi)) = (t0, vi) {
+                    crate::obs::metrics().request_us[vi].observe_duration(t0.elapsed());
+                }
+                reply
+            }));
+            shared.push(match outcome {
+                Ok(reply) => Completion::Reply {
+                    token,
+                    generation,
+                    reply,
+                },
+                Err(_) => Completion::Died { token, generation },
+            });
+        }));
+    }
+
+    // -- write path -----------------------------------------------------
+
+    /// Count the reply (bytes out, typed-error kind) and queue it on the
+    /// connection's write buffer, flushing as much as the socket takes.
+    fn queue_reply(&mut self, slot: usize, reply: String) {
+        let m = crate::obs::metrics();
         if let Some(rest) = reply.strip_prefix("ERR ") {
             if let Some(c) = rest
                 .split_ascii_whitespace()
@@ -573,26 +947,340 @@ fn handle_connection(
             }
         }
         m.bytes_out_total.add(reply.len() as u64 + 1);
-        if writeln!(out, "{reply}").and_then(|_| out.flush()).is_err() {
-            break;
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        conn.wbuf.extend_from_slice(reply.as_bytes());
+        conn.wbuf.push(b'\n');
+        self.flush_conn(slot);
+        self.sync_interest(slot);
+    }
+
+    /// Write as much of `wbuf` as the socket accepts; close on error or
+    /// when a closing connection finishes flushing.
+    fn flush_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let mut written = 0;
+        let mut backpressured = false;
+        while written < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[written..]) {
+                Ok(0) => break,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    backpressured = true;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
         }
+        if written > 0 {
+            conn.wbuf.drain(..written);
+        }
+        if backpressured && !conn.wbuf.is_empty() {
+            crate::obs::metrics().write_backpressure_total.inc();
+        }
+        if conn.wbuf.is_empty() {
+            if conn.closing {
+                self.close_conn(slot);
+                return;
+            }
+            // Backpressure lifted: requests buffered behind the stalled
+            // reply can run now.
+            self.process_conn(slot);
+        }
+    }
+
+    // -- completions ----------------------------------------------------
+
+    fn on_completion(&mut self, c: Completion) {
+        match c {
+            Completion::Reply {
+                token,
+                generation,
+                reply,
+            } => {
+                self.jobs_in_flight -= 1;
+                let slot = token - FIRST_CONN;
+                if self.conn_matches(slot, generation) {
+                    if let Some(conn) = self.conns[slot].as_mut() {
+                        conn.state = ConnState::Idle;
+                        if self.draining {
+                            // In-flight requests complete and reply even
+                            // under shutdown (the old core joined its
+                            // connection threads), but nothing new runs.
+                            conn.closing = true;
+                        }
+                    }
+                    self.queue_reply(slot, reply);
+                    if let Some(conn) = self.conns[slot].as_mut() {
+                        if !conn.closing {
+                            // Pipelined requests may already be buffered.
+                            self.process_conn(slot);
+                        }
+                    }
+                    self.sync_interest(slot);
+                }
+                self.arm_drain_deadline();
+            }
+            Completion::Died { token, generation } => {
+                self.jobs_in_flight -= 1;
+                let slot = token - FIRST_CONN;
+                if self.conn_matches(slot, generation) {
+                    self.close_conn(slot);
+                }
+                self.arm_drain_deadline();
+            }
+            Completion::ReplTick { alive } => {
+                if let Some(f) = &mut self.follower {
+                    f.in_flight = false;
+                    f.done |= !alive;
+                    f.next = Instant::now() + f.interval;
+                }
+                self.arm_drain_deadline();
+            }
+        }
+    }
+
+    fn conn_matches(&self, slot: usize, generation: u64) -> bool {
+        self.conns
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|c| c.generation == generation)
+    }
+
+    // -- replication scheduling -----------------------------------------
+
+    fn schedule_repl_tick(&mut self) {
+        if self.draining {
+            return;
+        }
+        let Some(f) = &mut self.follower else { return };
+        if f.done || f.in_flight || Instant::now() < f.next {
+            return;
+        }
+        if !self.ctx.is_follower() || self.ctx.repl_stop.load(Ordering::SeqCst) {
+            f.done = true;
+            return;
+        }
+        f.in_flight = true;
+        let engine = f.engine.clone();
+        let ctx = self.ctx.clone();
+        let stop = self.stop.clone();
+        let shared = self.shared.clone();
+        let pool = self.pool.as_ref().expect("pool lives until drain ends");
+        pool.execute(Box::new(move || {
+            let alive = match engine.lock() {
+                Ok(mut e) => e.run_tick(&ctx, &stop),
+                Err(_) => false,
+            };
+            shared.push(Completion::ReplTick { alive });
+        }));
+    }
+
+    // -- shutdown -------------------------------------------------------
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.ctx.repl_stop.store(true, Ordering::SeqCst);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        // Idle connections close now (in-flight ones reply first, then
+        // close via the completion path).
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if matches!(conn.state, ConnState::Busy) {
+                continue;
+            }
+            conn.closing = true;
+            if conn.wbuf.is_empty() {
+                self.close_conn(slot);
+            }
+        }
+        self.arm_drain_deadline();
+    }
+
+    /// Once nothing is in flight, give lingering write buffers a bounded
+    /// grace to reach their clients.
+    fn arm_drain_deadline(&mut self) {
+        if self.draining
+            && self.jobs_in_flight == 0
+            && !self.follower.as_ref().is_some_and(|f| f.in_flight)
+        {
+            self.drain_deadline
+                .get_or_insert_with(|| Instant::now() + DRAIN_FLUSH_GRACE);
+        }
+    }
+
+    fn drain_complete(&mut self) -> bool {
+        if self.jobs_in_flight > 0 || self.follower.as_ref().is_some_and(|f| f.in_flight) {
+            return false;
+        }
+        let open = self.conns.iter().filter(|c| c.is_some()).count();
+        if open == 0 {
+            return true;
+        }
+        if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            // Grace expired: abandon unflushed bytes to unreading peers.
+            for slot in 0..self.conns.len() {
+                self.close_conn(slot);
+            }
+            return true;
+        }
+        false
     }
 }
 
-/// Read the METIS graph block that follows an `OPEN` line, up to the
-/// `END` terminator.
-fn read_graph_block(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> Option<String> {
-    let mut text = String::new();
-    let mut line = String::new();
-    loop {
-        read_line_polling(reader, stop, &mut line)?;
-        if line.trim() == "END" {
-            return Some(text);
+/// Compute the reply for a pool-dispatched verb. Runs on a worker
+/// thread; every arm is the old thread-per-connection handler arm,
+/// verbatim — including journal-before-ack: the reply string exists only
+/// after the session's durable append (inside `ingest`/`flush`) has
+/// returned.
+fn pool_reply(ctx: &Arc<ServerCtx>, job: PoolJob) -> String {
+    let registry = &ctx.registry;
+    let m = crate::obs::metrics();
+    match job {
+        PoolJob::Open { sid, cfg, text } => {
+            // Follower check sits here (not at dispatch) to mirror the
+            // old core, which decided after the upload finished.
+            if ctx.is_follower() {
+                err_line(&ServiceError::ReadOnly)
+            } else {
+                m.bytes_in_total.add(text.len() as u64);
+                open_session(ctx, &sid, cfg, &text)
+            }
         }
-        if text.len() + line.len() > MAX_GRAPH_BYTES {
-            return None; // oversized upload: drop the connection
+        PoolJob::Verb(Request::Delta { sid, delta }) => with_session(registry, &sid, |s| {
+            // Admission control: a client outrunning its own flushes
+            // gets a typed error, not an unbounded queue.
+            let pending = s.inner().pending_deltas();
+            if pending >= ctx.queue_cap {
+                m.backpressure_total.inc();
+                return err_line(&ServiceError::Backpressure {
+                    sid: sid.clone(),
+                    pending,
+                    cap: ctx.queue_cap,
+                });
+            }
+            match s.ingest(&delta) {
+                Ok(Ingest::Queued { pending }) => {
+                    m.queue_depth.set(pending as i64);
+                    format!("OK queued sid={sid} pending={pending}")
+                }
+                Ok(Ingest::Stepped { summary, coalesced }) => {
+                    m.queue_depth.set(0);
+                    m.repartition_counter(&s.config().policy, false).inc();
+                    step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
+                }
+                Err(e) => err_line(&e),
+            }
+        }),
+        PoolJob::Verb(Request::Flush { sid }) => {
+            with_session(registry, &sid, |s| match s.flush() {
+                Ok(Some((summary, coalesced))) => {
+                    m.queue_depth.set(0);
+                    m.repartition_counter(&s.config().policy, true).inc();
+                    step_line(&sid, &summary, coalesced, s.inner().needs_scratch())
+                }
+                Ok(None) => format!("OK noop sid={sid}"),
+                Err(e) => err_line(&e),
+            })
         }
-        text.push_str(&line);
+        PoolJob::Verb(Request::Stat { sid }) => with_session(registry, &sid, |s| {
+            let role = if ctx.is_follower() {
+                "follower"
+            } else {
+                "primary"
+            };
+            let g = s.inner().graph();
+            let m = CutMetrics::compute(g, s.inner().partitioning());
+            let mut line = format!(
+                "OK stat sid={sid} role={role} n={} m={} cut={} imbalance={:.6} pending={} \
+                 steps={} moved={} scratch={}",
+                g.num_vertices(),
+                g.num_edges(),
+                m.total_cut_edges,
+                m.count_imbalance,
+                s.inner().pending_deltas(),
+                s.steps(),
+                s.inner().total_moved(),
+                u8::from(s.inner().needs_scratch()),
+            );
+            if let Some(st) = s.store() {
+                line.push_str(&format!(
+                    " wal_records={} wal_bytes={} snap_seq={} snapshots={}",
+                    st.wal_records(),
+                    st.wal_bytes(),
+                    st.seq(),
+                    st.snapshots_written(),
+                ));
+            }
+            // Per-session repartition latency (the session's private
+            // histogram — the METRICS exposition has the global one).
+            if let Some((p50, p99, max)) = s.repart_latency_us() {
+                line.push_str(&format!(
+                    " repart_p50_us={p50} repart_p99_us={p99} repart_max_us={max}"
+                ));
+            }
+            line
+        }),
+        PoolJob::Verb(Request::Part { sid }) => with_session(registry, &sid, |s| {
+            let assign = s.assignment();
+            let mut out = format!("OK part sid={sid} n={}", assign.len());
+            for p in assign {
+                out.push(' ');
+                out.push_str(&p.to_string());
+            }
+            out
+        }),
+        PoolJob::Verb(Request::Close { sid }) => match registry.close(&sid) {
+            Ok(entry) => {
+                // A closed session must not resurrect at next boot:
+                // detach the store (stopping further writes even if
+                // another thread still holds the Arc) and delete its
+                // directory.
+                let dir = match entry.lock() {
+                    Ok(mut s) => s.detach_store().map(|st| st.dir().to_path_buf()),
+                    // Poisoned by an earlier panic: fall back to the
+                    // conventional location.
+                    Err(_) => ctx.data_dir.as_ref().map(|d| d.join(&sid)),
+                };
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                format!("OK closed sid={sid}")
+            }
+            Err(e) => err_line(&e),
+        },
+        PoolJob::Verb(Request::ReplSync { sid }) => with_session(registry, &sid, |s| {
+            let reply = repl_sync_reply(&sid, s);
+            if reply.starts_with("OK ") {
+                m.repl_syncs_shipped_total.inc();
+            }
+            reply
+        }),
+        PoolJob::Verb(Request::ReplFrames { sid, seq, offset }) => {
+            with_session(registry, &sid, |s| {
+                repl_frames_reply(&sid, s, seq, offset, m)
+            })
+        }
+        PoolJob::Verb(req) => {
+            // Ping/List/Metrics/Promote/Shutdown/Open are loop-inline and
+            // never dispatched; reaching here is a loop bug, not a client
+            // error.
+            err_line(&ServiceError::Internal(format!(
+                "verb `{}` is not a pool verb",
+                crate::obs::VERBS[crate::obs::verb_idx(&req)]
+            )))
+        }
     }
 }
 
@@ -779,12 +1467,23 @@ mod tests {
     use super::*;
 
     /// Regression: shutting down a daemon bound to a wildcard address
-    /// must not hang — the accept-loop wake targets loopback, since a
-    /// connect to 0.0.0.0 is not valid on every platform.
+    /// must not hang. The old core woke its blocking `accept` with a
+    /// throwaway loopback connection (wildcard addresses are not valid
+    /// connect targets everywhere); the event loop's waker has no such
+    /// address sensitivity, but the behaviour must hold.
     #[test]
     fn shutdown_unblocks_wildcard_bind() {
         let mut h = serve("0.0.0.0:0", ServeOptions::default()).expect("bind");
         assert!(h.addr().ip().is_unspecified());
-        h.shutdown(); // joins accept + supervisor; must return promptly
+        h.shutdown(); // joins the loop (and pool); must return promptly
+    }
+
+    /// The auto worker count stays small and fixed: the loop, not the
+    /// thread count, provides concurrency.
+    #[test]
+    fn auto_workers_is_small_and_fixed() {
+        let w = effective_workers(0);
+        assert!((2..=4).contains(&w), "auto workers = {w}");
+        assert_eq!(effective_workers(7), 7);
     }
 }

@@ -54,6 +54,8 @@ pub use igp_graph as graph;
 pub use igp_lp as lp;
 /// Adaptive meshes (`igp-mesh`).
 pub use igp_mesh as mesh;
+/// Readiness poller (epoll/poll), event-loop waker, worker pool (`igp-net`).
+pub use igp_net as net;
 /// Observability: metrics, structured logging, span timers (`igp-obs`).
 pub use igp_obs as obs;
 /// SPMD runtime (`igp-runtime`).

@@ -1,0 +1,175 @@
+//! Event-loop behaviour tests (DESIGN.md §12): request pipelining and
+//! per-connection reply ordering across the worker-pool boundary, write
+//! backpressure toward a non-reading client, fan-out across many
+//! concurrent connections, and shutdown while connections are open.
+//!
+//! The wire-*semantics* suites (`service_e2e`, `service_durability`,
+//! `service_repl`) prove the event loop changed nothing observable;
+//! this one covers the behaviours only an event loop has.
+
+use igp::service::client::IgpClient;
+use igp::service::server::{serve, ServeOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A 3-vertex path graph as an OPEN block. `every:2` so the first
+/// DELTA queues and the FLUSH afterwards repartitions.
+fn path3_open(sid: &str) -> String {
+    format!("OPEN {sid} parts=2 policy=every:2\n3 2\n2\n1 3\n2\nEND\n")
+}
+
+/// Pipelined requests on one connection answer strictly in order, even
+/// though some verbs run inline on the loop and others round-trip
+/// through the worker pool. A pool verb parks the connection, so the
+/// inline verb queued behind it must *not* jump ahead.
+#[test]
+fn pipelined_requests_reply_in_order() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+
+    // OPEN (pool) → PING (inline) → DELTA (pool) → PING (inline) →
+    // FLUSH (pool) → STAT (pool) → CLOSE (pool) → PING (inline),
+    // all in one write.
+    let mut script = path3_open("p");
+    script.push_str("PING\nDELTA p av=1 ae=0:3:1\nPING\nFLUSH p\nSTAT p\nCLOSE p\nPING\n");
+    conn.write_all(script.as_bytes()).expect("write");
+
+    let mut r = BufReader::new(&mut conn);
+    let mut lines = Vec::new();
+    for _ in 0..8 {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("reply");
+        lines.push(line.trim_end().to_string());
+    }
+    assert!(lines[0].starts_with("OK open sid=p n=3"), "{:?}", lines[0]);
+    assert_eq!(lines[1], "PONG");
+    assert!(lines[2].starts_with("OK queued sid=p"), "{:?}", lines[2]);
+    assert_eq!(lines[3], "PONG");
+    assert!(lines[4].starts_with("OK step sid=p"), "{:?}", lines[4]);
+    assert!(lines[5].starts_with("OK stat sid=p"), "{:?}", lines[5]);
+    assert_eq!(lines[6], "OK closed sid=p");
+    assert_eq!(lines[7], "PONG");
+}
+
+/// A client that fires many large-reply requests without reading must
+/// not wedge the daemon: replies buffer under write backpressure and
+/// all arrive, in order, once the client drains.
+#[test]
+fn backpressured_writer_delivers_everything() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+    // A big session so PART replies are large (~20 KiB each);
+    // round-robin init keeps the OPEN itself cheap.
+    let g = igp::graph::generators::grid(100, 100);
+    let mut cfg = igp::service::session::SessionConfig::new(4);
+    cfg.init = igp::service::session::InitPartition::RoundRobin;
+    cli.open("big", &g, &cfg).expect("open");
+
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    const REQS: usize = 100;
+    for _ in 0..REQS {
+        conn.write_all(b"PART big\n").expect("write");
+    }
+    // Let replies pile into the socket and the daemon's write buffer
+    // before we start reading.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut r = BufReader::new(&mut conn);
+    let mut first = String::new();
+    for i in 0..REQS {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("reply");
+        assert!(
+            line.starts_with("OK part sid=big n=10000 "),
+            "reply {i} malformed: {:.60}…",
+            line
+        );
+        if i == 0 {
+            first = line;
+        } else {
+            assert_eq!(line, first, "reply {i} differs from reply 0");
+        }
+    }
+    // The daemon is still healthy for everyone else.
+    cli.ping().expect("ping after backpressure");
+}
+
+/// Many concurrent connections, each with its own session and delta
+/// stream, all served correctly by a small fixed thread count.
+#[test]
+fn concurrent_connections_fan_out() {
+    const CONNS: usize = 24;
+    let opts = ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    };
+    let server = serve("127.0.0.1:0", opts).expect("bind");
+    let addr = server.addr();
+    let handles: Vec<_> = (0..CONNS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let sid = format!("c{i}");
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                let mut script = path3_open(&sid);
+                script.push_str(&format!(
+                    "DELTA {sid} av=1 ae=0:3:1\nFLUSH {sid}\nSTAT {sid}\nCLOSE {sid}\n"
+                ));
+                conn.write_all(script.as_bytes()).expect("write");
+                let mut r = BufReader::new(conn);
+                let mut replies = Vec::new();
+                for _ in 0..5 {
+                    let mut line = String::new();
+                    r.read_line(&mut line).expect("reply");
+                    replies.push(line);
+                }
+                assert!(replies[0].starts_with(&format!("OK open sid={sid} n=3")));
+                assert!(replies[1].starts_with(&format!("OK queued sid={sid}")));
+                assert!(replies[2].starts_with(&format!("OK step sid={sid} step=")));
+                assert!(replies[3].starts_with(&format!("OK stat sid={sid} ")));
+                assert!(replies[4].starts_with(&format!("OK closed sid={sid}")));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}
+
+/// SHUTDOWN with other connections still open: the shutting-down client
+/// gets `OK bye`, idle connections see EOF, and the daemon exits.
+#[test]
+fn shutdown_under_open_connections() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let addr = server.addr();
+    // A few idle connections the drain must sweep up.
+    let idlers: Vec<TcpStream> = (0..8)
+        .map(|_| TcpStream::connect(addr).expect("c"))
+        .collect();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(b"SHUTDOWN\n").expect("write");
+    let mut r = BufReader::new(&mut conn);
+    let mut line = String::new();
+    r.read_line(&mut line).expect("bye");
+    assert_eq!(line.trim_end(), "OK bye");
+    server.wait(); // must return: drain closes the idlers itself
+    for mut c in idlers {
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(c.read(&mut buf).unwrap_or(0), 0, "idler must see EOF");
+    }
+}
+
+/// EOF mid-line still processes the final unterminated request — parity
+/// with the old `BufRead`-based reader.
+#[test]
+fn eof_flushes_final_unterminated_line() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.write_all(b"PING").expect("write"); // no trailing newline
+    conn.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut r = BufReader::new(&mut conn);
+    let mut line = String::new();
+    r.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim_end(), "PONG");
+}
