@@ -258,6 +258,50 @@ mod tests {
         assert_eq!(events.len(), 1, "post-drain wake was lost");
     }
 
+    /// Regression: a `wake()` landing between drain's flag-clear and its
+    /// pipe read must never kill the waker. The old greedy multi-byte
+    /// drain could consume the racing wake's byte, leaving `pending ==
+    /// true` over an empty pipe — after which every `wake()` is a no-op
+    /// and the loop sleeps forever. Hammer the interleaving, then prove
+    /// a fresh wake still fires.
+    #[test]
+    fn waker_survives_wake_racing_drain() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new(&poller, Token(0)).unwrap());
+        let w = Arc::clone(&waker);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        let t = std::thread::spawn(move || {
+            for _ in 0..20_000 {
+                w.wake();
+                std::hint::spin_loop();
+            }
+            d.store(true, Ordering::SeqCst);
+        });
+        // Drain as fast as fires arrive (drain ONLY on a fire: its
+        // one-byte read assumes readability), maximizing store/read vs
+        // swap/write interleavings.
+        let mut events = Events::with_capacity(8);
+        loop {
+            poller
+                .poll(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            if !events.is_empty() {
+                waker.drain();
+            } else if done.load(Ordering::SeqCst) {
+                break; // producer finished and the pipe is empty
+            }
+        }
+        t.join().unwrap();
+        // The waker must still be alive.
+        waker.wake();
+        poller
+            .poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "wake after a drain race was lost");
+        waker.drain();
+    }
+
     #[test]
     fn pool_runs_jobs_and_join_drains() {
         let pool = WorkerPool::new(3, "test-pool");

@@ -11,8 +11,9 @@ use crate::poller::Poller;
 ///
 /// A byte written to a pipe makes the read end poll-readable; an
 /// [`AtomicBool`] dedups so a burst of `wake()` calls costs one syscall and
-/// one loop wakeup, not N. The pipe can never fill: at most one byte is in
-/// flight per pending-flag cycle, and the loop drains on every fire.
+/// one loop wakeup, not N. The pipe can never fill: a new byte requires a
+/// `false → true` flag transition, which requires an intervening drain, and
+/// each drain consumes a byte.
 ///
 /// Lost-wakeup safety: the loop MUST clear the pending flag (inside
 /// [`Waker::drain`], before the pipe read) *before* it consumes whatever
@@ -20,6 +21,16 @@ use crate::poller::Poller;
 /// drained then observes `pending == false` and writes a fresh byte, so the
 /// next `poll` fires immediately. Producers must enqueue *before* calling
 /// `wake()`; the queue's own lock provides the happens-before edge.
+///
+/// [`Waker::drain`] reads exactly ONE byte, never more. Every `false → true`
+/// transition writes exactly one byte, so bytes-in-pipe always covers
+/// undrained transitions; the pipe is FIFO, so a drain racing a concurrent
+/// `wake()` can consume the new wake's byte only if every earlier byte is
+/// already consumed — in which case the racing `wake()`'s flag swap happened
+/// after this drain's flag clear, the flag settles `false`, and the next
+/// `wake()` writes again. A greedy multi-byte read breaks exactly this: it
+/// can consume the byte of a wake that re-raised the flag mid-drain, leaving
+/// `pending == true` over an empty pipe — a permanently dead waker.
 pub struct Waker {
     reader: std::io::PipeReader,
     writer: std::io::PipeWriter,
@@ -42,21 +53,26 @@ impl Waker {
     /// thread; deduped, so hot paths may call it unconditionally.
     pub fn wake(&self) {
         if !self.pending.swap(true, Ordering::AcqRel) {
-            // Blocking write is fine: ≤1 byte outstanding per cycle, and a
-            // pipe holds kilobytes. Error (loop gone) is unrecoverable and
-            // harmless — the process is shutting down.
+            // Blocking write is fine: at most a couple of bytes are ever
+            // outstanding (see type docs), and a pipe holds kilobytes.
+            // Error (loop gone) is unrecoverable and harmless — the
+            // process is shutting down.
             let _ = (&self.writer).write(&[1]);
         }
     }
 
-    /// Consume the wakeup. Call from the loop thread when the waker's token
-    /// fires, *before* draining the guarded queue (see type docs for why the
-    /// flag clears first).
+    /// Consume the wakeup. Call from the loop thread ONLY when the waker's
+    /// token fires (the fd is then poll-readable, so the one-byte read
+    /// cannot block), *before* draining the guarded queue (see type docs
+    /// for why the flag clears first — and why exactly one byte is read).
     pub fn drain(&self) {
         self.pending.store(false, Ordering::Release);
-        let mut buf = [0u8; 16];
-        // The fd is poll-readable, so one read returns without blocking; a
-        // cycle leaves at most ~2 bytes here, well under the buffer.
-        let _ = (&self.reader).read(&mut buf);
+        let mut buf = [0u8; 1];
+        loop {
+            match (&self.reader).read(&mut buf) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                _ => break,
+            }
+        }
     }
 }

@@ -602,13 +602,26 @@ impl EventLoop {
             return;
         };
         let want = conn.desired_interest();
-        if want != conn.interest
-            && self
-                .poller
-                .reregister(conn.stream.as_raw_fd(), Token(FIRST_CONN + slot), want)
-                .is_ok()
+        if want == conn.interest {
+            return;
+        }
+        match self
+            .poller
+            .reregister(conn.stream.as_raw_fd(), Token(FIRST_CONN + slot), want)
         {
-            conn.interest = want;
+            Ok(()) => conn.interest = want,
+            Err(e) => {
+                // A registration whose interest we cannot control is worse
+                // than a dropped connection: e.g. a failed downgrade to
+                // NONE leaves level-triggered readable armed on a socket
+                // the loop refuses to read, busy-spinning the loop until
+                // the peer goes away. Close instead.
+                igp_obs::warn!(
+                    target: "serve", "interest change failed; closing connection";
+                    detail = e.to_string(),
+                );
+                self.close_conn(slot);
+            }
         }
     }
 
@@ -620,6 +633,10 @@ impl EventLoop {
         }
         if writable {
             self.flush_conn(slot);
+            // Backpressure lifted: requests buffered behind the stalled
+            // reply run now (process_conn self-guards against a still
+            // non-empty wbuf, Busy, or a closed slot).
+            self.process_conn(slot);
         }
         let wants_read = self.conns[slot]
             .as_ref()
@@ -985,15 +1002,16 @@ impl EventLoop {
         if backpressured && !conn.wbuf.is_empty() {
             crate::obs::metrics().write_backpressure_total.inc();
         }
-        if conn.wbuf.is_empty() {
-            if conn.closing {
-                self.close_conn(slot);
-                return;
-            }
-            // Backpressure lifted: requests buffered behind the stalled
-            // reply can run now.
-            self.process_conn(slot);
+        if conn.wbuf.is_empty() && conn.closing {
+            self.close_conn(slot);
         }
+        // Deliberately NOT re-entering process_conn here: flush_conn is
+        // called from inside process_conn's own loop (via queue_reply), so
+        // re-entry would nest one stack frame per buffered pipelined line —
+        // a 64KB burst of `PING\n` must not overflow the loop thread's
+        // stack. Callers that need to resume parked input after a flush
+        // (the writability-event and completion paths) call process_conn
+        // themselves, iteratively.
     }
 
     // -- completions ----------------------------------------------------

@@ -159,6 +159,33 @@ fn shutdown_under_open_connections() {
     }
 }
 
+/// A dense burst of pipelined inline verbs must drain iteratively. The
+/// regression: `flush_conn` re-entering `process_conn` after a fully
+/// flushed reply nests one call chain per buffered line, so ~52k
+/// buffered `PING\n` lines overflow the loop thread's stack and abort
+/// the whole daemon — a remote crash from one cheap burst.
+#[test]
+fn pipelined_inline_burst_does_not_overflow_loop_stack() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let conn = TcpStream::connect(server.addr()).expect("connect");
+    const LINES: usize = 52 * 1024;
+    let mut w = conn.try_clone().expect("clone");
+    // Write and read concurrently so neither socket buffer can deadlock
+    // the single test thread mid-burst.
+    let writer = std::thread::spawn(move || {
+        let burst = "PING\n".repeat(LINES);
+        w.write_all(burst.as_bytes())
+    });
+    let mut r = BufReader::new(conn);
+    let mut line = String::new();
+    for i in 0..LINES {
+        line.clear();
+        r.read_line(&mut line).expect("reply");
+        assert_eq!(line.trim_end(), "PONG", "reply {i} of {LINES}");
+    }
+    writer.join().expect("writer thread").expect("burst write");
+}
+
 /// EOF mid-line still processes the final unterminated request — parity
 /// with the old `BufRead`-based reader.
 #[test]
