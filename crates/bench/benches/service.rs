@@ -269,6 +269,31 @@ fn main() {
          off {off_rate:.1} deltas/s, on {on_rate:.1} deltas/s ({obs_overhead_pct:+.2}%)"
     );
 
+    // Same protocol for the tracing layer alone: metrics stay on both
+    // sides, only the span recorder flips, so the delta prices the
+    // flight-recorder writes (and trace-ctx bookkeeping), not the
+    // counters underneath.
+    let (mut trace_off_rate, mut trace_on_rate) = (0f64, 0f64);
+    for _ in 0..OVERHEAD_RUNS {
+        igp_obs::trace::set_trace_enabled(false);
+        let off = run_one(addr, overhead_policy, overhead_clients, OVERHEAD_DELTAS);
+        igp_obs::trace::set_trace_enabled(true);
+        let on = run_one(addr, overhead_policy, overhead_clients, OVERHEAD_DELTAS);
+        trace_off_rate = trace_off_rate.max(off.deltas_per_s);
+        trace_on_rate = trace_on_rate.max(on.deltas_per_s);
+    }
+    let trace_overhead_pct = (trace_off_rate / trace_on_rate - 1.0) * 100.0;
+    println!(
+        "trace overhead ({overhead_policy}, {overhead_clients} clients): \
+         off {trace_off_rate:.1} deltas/s, on {trace_on_rate:.1} deltas/s \
+         ({trace_overhead_pct:+.2}%)"
+    );
+    assert!(
+        trace_overhead_pct < 5.0,
+        "tracing costs {trace_overhead_pct:.2}% throughput; the flight \
+         recorder is supposed to be ~free (< 5%)"
+    );
+
     let mut body = String::new();
     body.push_str(&format!(
         "  \"workload\": \"10x10 grid churn, {DELTAS_PER_CLIENT} deltas/client, P={PARTS}, IGPR\",\n"
@@ -277,6 +302,11 @@ fn main() {
         "  \"obs_overhead\": {{\"policy\": \"{overhead_policy}\", \
          \"clients\": {overhead_clients}, \"off_deltas_per_s\": {off_rate:.1}, \
          \"on_deltas_per_s\": {on_rate:.1}, \"overhead_pct\": {obs_overhead_pct:.2}}},\n"
+    ));
+    body.push_str(&format!(
+        "  \"trace_overhead\": {{\"policy\": \"{overhead_policy}\", \
+         \"clients\": {overhead_clients}, \"off_deltas_per_s\": {trace_off_rate:.1}, \
+         \"on_deltas_per_s\": {trace_on_rate:.1}, \"overhead_pct\": {trace_overhead_pct:.2}}},\n"
     ));
     body.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {

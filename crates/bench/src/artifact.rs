@@ -17,8 +17,11 @@ use std::fmt::Write as _;
 /// columns from [`igp_obs::Histogram`]; 3 = `BENCH_service.json` gains
 /// a `concurrency` section (event-loop session sweep: per-N
 /// `sessions`, `open_s`, `idle_rss_mb`, `deltas_per_s`,
-/// `flush_p50_us`/`flush_p99_us`/`flush_max_us`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// `flush_p50_us`/`flush_p99_us`/`flush_max_us`); 4 =
+/// `BENCH_service.json` gains `trace_overhead` (A/B of the request
+/// flight recorder with metrics held on, same envelope as
+/// `obs_overhead`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The host's logical core count (1 if undeterminable).
 pub fn host_cores() -> usize {

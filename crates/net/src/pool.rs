@@ -3,6 +3,13 @@
 //! Built on `Mutex<VecDeque> + Condvar` rather than the vendored crossbeam
 //! channel: that stand-in wraps `std::sync::mpsc`, which is single-consumer,
 //! and a pool needs N consumers on one queue.
+//!
+//! The pool itself carries no observability state: jobs are opaque
+//! closures, so callers that need per-request context on the worker
+//! (trace ids, log prefixes, enqueue timestamps) capture it in the
+//! closure and re-establish it as the job's first act. `igp-service`
+//! relies on this to propagate request traces loop → worker without
+//! the pool growing an `igp-obs` dependency.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -4,7 +4,7 @@
 //! workspace's `rand`/`rayon` stand-ins: every crate in the serving
 //! path links this, so it must stay tiny and pull nothing in.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`], [`SpanTimer`])
 //!   registered into the process-wide [`registry()`], which renders a
@@ -13,10 +13,16 @@
 //!   kill switch ([`set_enabled`]) so benches can price the
 //!   instrumentation itself.
 //! - **Structured logging** ([`error!`], [`warn!`], [`info!`],
-//!   [`debug!`]) with a global `--log-level` gate and per-target
-//!   overrides; lines are `LEVEL target message key=value ...`.
+//!   [`debug!`]) with a global `--log-level` gate, per-target
+//!   overrides, and a per-thread context prefix ([`set_log_ctx`]) so
+//!   interleaved daemon lines stay attributable; lines are
+//!   `LEVEL target [ctx] message key=value ...`.
 //! - **Span timers** ([`SpanTimer`]) that feed wall-clock durations
 //!   (µs) into histograms on drop.
+//! - **Request tracing** ([`trace::Span`]) recording causal span trees
+//!   into per-thread ring-buffer flight recorders, rendered by the
+//!   daemon's `TRACE DUMP` verb and the slow-request log
+//!   ([`trace::set_slow_threshold_us`]).
 //!
 //! Metric naming follows DESIGN.md §10.1: `igp_<layer>_<what>_<unit>`,
 //! with time histograms in microseconds (`_us`) and counts as
@@ -25,8 +31,12 @@
 mod log;
 mod metrics;
 mod registry;
+pub mod trace;
 
-pub use log::{log_enabled, max_level, set_max_level, set_target_level, write_log, Level};
+pub use log::{
+    current_log_ctx, log_enabled, max_level, set_log_ctx, set_max_level, set_target_level,
+    write_log, Level, LogCtxGuard,
+};
 pub use metrics::{Counter, Gauge, Histogram, SpanTimer};
 pub use registry::{registry, Labels, Registry};
 

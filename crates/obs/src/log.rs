@@ -10,7 +10,9 @@
 //! igp_obs::info!(target: "serve", "listening"; addr = "127.0.0.1:7171");
 //! ```
 
+use std::cell::RefCell;
 use std::io::Write as _;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -107,13 +109,88 @@ pub fn log_enabled(level: Level, target: &str) -> bool {
     }
 }
 
+thread_local! {
+    /// Per-thread log context, prefixed into every line the thread
+    /// emits (e.g. `conn=7 sid=s1 trace=0x…`). A single reused buffer:
+    /// [`set_log_ctx`] clears and rewrites it in place, so the steady
+    /// state allocates nothing.
+    static LOG_CTX: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Restores the thread's previous log context on drop. `!Send`: the
+/// guard must drop on the thread whose context it replaced.
+pub struct LogCtxGuard {
+    prev: String,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for LogCtxGuard {
+    fn drop(&mut self) {
+        let _ = LOG_CTX.try_with(|c| {
+            let mut cur = c.borrow_mut();
+            cur.clear();
+            cur.push_str(&self.prev);
+        });
+    }
+}
+
+/// Install a log context for the calling thread until the guard drops:
+/// every line this thread logs gains the context between the target and
+/// the message. Contexts nest — the guard restores what it replaced.
+///
+/// ```
+/// let _ctx = igp_obs::set_log_ctx(format_args!("conn={} sid={}", 7, "s1"));
+/// igp_obs::info!(target: "serve", "queued"); // INFO  serve conn=7 sid=s1 queued
+/// ```
+pub fn set_log_ctx(args: std::fmt::Arguments<'_>) -> LogCtxGuard {
+    use std::fmt::Write as _;
+    let prev = LOG_CTX.with(|c| {
+        let mut cur = c.borrow_mut();
+        // The previous context is usually empty, so the clone does not
+        // allocate; clearing (not replacing) the buffer keeps its
+        // capacity, so rewriting it each request allocates nothing in
+        // the steady state.
+        let prev = cur.clone();
+        cur.clear();
+        let _ = cur.write_fmt(args);
+        prev
+    });
+    LogCtxGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// The calling thread's current log context ("" when none is set).
+pub fn current_log_ctx() -> String {
+    LOG_CTX.with(|c| c.borrow().clone())
+}
+
 /// Emit one line. Not for direct use — go through the macros, which
 /// check [`log_enabled`] before formatting.
 pub fn write_log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     let stderr = std::io::stderr();
     let mut out = stderr.lock();
-    // A single write_fmt keeps the line atomic across threads.
-    let _ = out.write_fmt(format_args!("{:5} {} {}\n", level.as_str(), target, args));
+    // A single write_fmt keeps the line atomic across threads. try_with
+    // covers logging from TLS destructors during thread teardown.
+    let _ = LOG_CTX
+        .try_with(|c| {
+            let ctx = c.borrow();
+            if ctx.is_empty() {
+                out.write_fmt(format_args!("{:5} {} {}\n", level.as_str(), target, args))
+            } else {
+                out.write_fmt(format_args!(
+                    "{:5} {} {} {}\n",
+                    level.as_str(),
+                    target,
+                    ctx,
+                    args
+                ))
+            }
+        })
+        .unwrap_or_else(|_| {
+            out.write_fmt(format_args!("{:5} {} {}\n", level.as_str(), target, args))
+        });
 }
 
 /// Log at [`Level::Error`]: `error!(target: "serve", "msg"; key = val, ...)`.
@@ -214,6 +291,34 @@ mod tests {
         // Replacing an override works.
         set_target_level("t_noisy", Level::Debug);
         assert!(log_enabled(Level::Debug, "t_noisy"));
+    }
+
+    #[test]
+    fn log_ctx_nests_and_restores() {
+        assert_eq!(current_log_ctx(), "");
+        {
+            let _outer = set_log_ctx(format_args!("conn={}", 7));
+            assert_eq!(current_log_ctx(), "conn=7");
+            {
+                let _inner = set_log_ctx(format_args!("conn={} sid={}", 7, "s1"));
+                assert_eq!(current_log_ctx(), "conn=7 sid=s1");
+            }
+            assert_eq!(current_log_ctx(), "conn=7");
+        }
+        assert_eq!(current_log_ctx(), "");
+    }
+
+    #[test]
+    fn log_ctx_is_per_thread() {
+        let _ctx = set_log_ctx(format_args!("conn=main"));
+        std::thread::spawn(|| {
+            assert_eq!(current_log_ctx(), "");
+            let _ctx = set_log_ctx(format_args!("conn=other"));
+            assert_eq!(current_log_ctx(), "conn=other");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_log_ctx(), "conn=main");
     }
 
     #[test]

@@ -1,0 +1,887 @@
+//! Request-scoped tracing: causal spans feeding a per-thread
+//! ring-buffer **flight recorder**.
+//!
+//! A trace is a tree of spans sharing one trace id. The serving layer
+//! mints a root span per request ([`Span::root_from`]); every layer a
+//! request crosses opens a child ([`Span::child`], [`Span::ambient`])
+//! whose drop records `(trace, span, parent, name, start, dur, detail)`
+//! into the calling thread's ring. Context crosses threads either
+//! explicitly (a [`TraceCtx`] captured into a pool job) or implicitly
+//! through the per-thread ambient context ([`Span::enter`]), which is
+//! how store-layer hooks attach without the store knowing about
+//! requests.
+//!
+//! The recorder is built for an always-on hot path:
+//!
+//! - **Zero allocation**: a record is a fixed 64-byte struct; names are
+//!   `&'static str` stored as raw `(ptr, len)` words.
+//! - **Lock-free**: each thread owns a fixed ring ([`RING_CAP`] slots,
+//!   overwrite-oldest) and is its only writer. Readers (the `TRACE
+//!   DUMP` verb) validate each slot with a crossbeam-style seqlock —
+//!   odd sequence = write in progress, changed sequence = torn read —
+//!   and simply discard invalid slots.
+//! - **Kill-switch-aware**: recording requires both the global obs
+//!   switch ([`crate::enabled`]) and the trace switch
+//!   ([`set_trace_enabled`]), so the bench can price tracing alone.
+//!   A disabled span is inert: no ids, no clock reads, no record.
+//!
+//! Completed root spans additionally push their trace id into a global
+//! completed-ring so [`render_traces`] can show the most recent *whole*
+//! traces, and optionally feed the **slow-request log**
+//! ([`set_slow_threshold_us`]): a root exceeding the threshold emits a
+//! structured `warn!` with the full span breakdown.
+//!
+//! Memory bound: rings exist only on threads that record spans (the
+//! event loop, the pool workers, the replication poller), each
+//! `RING_CAP * 64 B` = 128 KiB.
+
+use std::cell::{Cell, UnsafeCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Slots per thread ring; at 64 B/slot this is 128 KiB per recording
+/// thread, enough for several hundred recent traces.
+pub const RING_CAP: usize = 2048;
+
+/// Capacity of the completed-trace id ring (`TRACE DUMP` look-back).
+pub const COMPLETED_CAP: usize = 1024;
+
+/// Trace recording switch, independent of the metrics switch so the
+/// A/B bench can measure tracing with metrics still on.
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Slow-request threshold in µs; 0 disables the slow log.
+static SLOW_US: AtomicU64 = AtomicU64::new(0);
+
+/// Is span recording active? Requires both the global obs switch and
+/// the trace switch; one relaxed load each.
+#[inline]
+pub fn recording() -> bool {
+    crate::enabled() && TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span recording on or off process-wide (dumps still work).
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Configure the slow-request log: a root span whose duration reaches
+/// `threshold_us` emits a `warn!(target: "trace")` with its span
+/// breakdown. 0 (the default) disables it.
+pub fn set_slow_threshold_us(threshold_us: u64) {
+    SLOW_US.store(threshold_us, Ordering::Relaxed);
+}
+
+/// Current slow-request threshold (µs); 0 = disabled.
+pub fn slow_threshold_us() -> u64 {
+    SLOW_US.load(Ordering::Relaxed)
+}
+
+/// Render a trace id the way dumps and logs do (`0x`-prefixed, zero
+/// padded so ids align in columns).
+pub fn fmt_trace_id(id: u64) -> String {
+    format!("{id:#018x}")
+}
+
+// ---------------------------------------------------------------------------
+// Ids and the time base
+// ---------------------------------------------------------------------------
+
+/// Mint a non-zero id (shared counter for trace and span ids; 0 is the
+/// "no parent" sentinel). Seeded from wall-clock nanos mixed through
+/// the golden-ratio multiplier so two daemons started independently
+/// draw from far-apart ranges — a follower adopts primary trace ids
+/// verbatim, and colliding with its own locally-minted ids would merge
+/// unrelated trees in a dump.
+fn next_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        AtomicU64::new(nanos.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    });
+    loop {
+        let id = next.fetch_add(1, Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Process-wide time origin; span start times are µs since this.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn us_since_epoch(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+/// Trace context: the pair a child span needs — which trace it belongs
+/// to and which span is its parent. `Copy` so it travels into pool-job
+/// closures and across the replication wire (as the bare `trace` id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id shared by every span in the tree.
+    pub trace: u64,
+    /// Span id of the would-be parent.
+    pub span: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Ambient context (per-thread)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static AMBIENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The calling thread's ambient trace context, if a span is entered.
+pub fn ambient() -> Option<TraceCtx> {
+    AMBIENT.with(Cell::get)
+}
+
+/// The calling thread's ambient trace id (for stamping wire replies).
+pub fn current_trace_id() -> Option<u64> {
+    ambient().map(|c| c.trace)
+}
+
+/// Restores the previous ambient context on drop. `!Send`: the guard
+/// must drop on the thread that created it.
+pub struct AmbientGuard {
+    prev: Option<TraceCtx>,
+    restore: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        if self.restore {
+            AMBIENT.with(|a| a.set(self.prev));
+        }
+    }
+}
+
+/// Install `ctx` as the thread's ambient context until the guard
+/// drops. A `None` ctx is a no-op guard (disabled span entered).
+pub fn enter(ctx: Option<TraceCtx>) -> AmbientGuard {
+    match ctx {
+        Some(c) => AmbientGuard {
+            prev: AMBIENT.with(|a| a.replace(Some(c))),
+            restore: true,
+            _not_send: PhantomData,
+        },
+        None => AmbientGuard {
+            prev: None,
+            restore: false,
+            _not_send: PhantomData,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    detail: u64,
+}
+
+/// A live span: drop records it. Disabled spans (`inner: None`) cost
+/// nothing and produce nothing — every constructor checks
+/// [`recording`] first, so call sites need no gating of their own.
+pub struct Span {
+    inner: Option<Inner>,
+}
+
+impl Span {
+    /// A span that records nothing (the off-switch value).
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Mint a fresh trace with this span as its root.
+    pub fn root(name: &'static str) -> Span {
+        if !recording() {
+            return Span::disabled();
+        }
+        Span::root_from(name, Instant::now())
+    }
+
+    /// Mint a fresh trace whose root started at `start` — the serving
+    /// loop captures the instant *before* parsing, so the `parse`
+    /// child sits inside the root rather than before it.
+    pub fn root_from(name: &'static str, start: Instant) -> Span {
+        if !recording() {
+            return Span::disabled();
+        }
+        let trace = next_id();
+        Span {
+            inner: Some(Inner {
+                trace,
+                span: next_id(),
+                parent: 0,
+                name,
+                start,
+                detail: 0,
+            }),
+        }
+    }
+
+    /// A root span adopted into an *existing* trace id — how a
+    /// follower's frame-apply work joins the primary's request trace.
+    /// Completes the trace (and feeds the slow log) on drop, like any
+    /// root.
+    pub fn adopted_root(trace: u64, name: &'static str) -> Span {
+        if !recording() || trace == 0 {
+            return Span::disabled();
+        }
+        Span {
+            inner: Some(Inner {
+                trace,
+                span: next_id(),
+                parent: 0,
+                name,
+                start: Instant::now(),
+                detail: 0,
+            }),
+        }
+    }
+
+    /// A child of an explicit context (`None` ⇒ disabled).
+    pub fn child_of(ctx: Option<TraceCtx>, name: &'static str) -> Span {
+        let Some(ctx) = ctx else {
+            return Span::disabled();
+        };
+        if !recording() {
+            return Span::disabled();
+        }
+        Span {
+            inner: Some(Inner {
+                trace: ctx.trace,
+                span: next_id(),
+                parent: ctx.span,
+                name,
+                start: Instant::now(),
+                detail: 0,
+            }),
+        }
+    }
+
+    /// A child of this span.
+    pub fn child(&self, name: &'static str) -> Span {
+        Span::child_of(self.ctx(), name)
+    }
+
+    /// A child of the thread's ambient context — inert when no span is
+    /// entered, which is what keeps store-layer hooks silent during
+    /// recovery replay.
+    pub fn ambient(name: &'static str) -> Span {
+        Span::child_of(ambient(), name)
+    }
+
+    /// This span's context (what a child or a pool job captures).
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        self.inner.as_ref().map(|i| TraceCtx {
+            trace: i.trace,
+            span: i.span,
+        })
+    }
+
+    /// Is this span live (recording on at construction)?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach one numeric detail (bytes appended, frames applied, …)
+    /// rendered as `detail=N` in dumps.
+    pub fn set_detail(&mut self, v: u64) {
+        if let Some(i) = self.inner.as_mut() {
+            i.detail = v;
+        }
+    }
+
+    /// Install this span as the thread's ambient context until the
+    /// guard drops.
+    pub fn enter(&self) -> AmbientGuard {
+        enter(self.ctx())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(i) = self.inner.take() else { return };
+        let dur = i.start.elapsed();
+        let dur_us = dur.as_micros() as u64;
+        push_record(RawRecord {
+            trace: i.trace,
+            span: i.span,
+            parent: i.parent,
+            start_us: us_since_epoch(i.start),
+            dur_us,
+            detail: i.detail,
+            name_ptr: i.name.as_ptr() as usize,
+            name_len: i.name.len(),
+        });
+        if i.parent == 0 {
+            note_completed(i.trace);
+            let slow = SLOW_US.load(Ordering::Relaxed);
+            if slow != 0 && dur_us >= slow {
+                crate::warn!(target: "trace", "slow request";
+                    trace = fmt_trace_id(i.trace),
+                    root = i.name,
+                    dur_us = dur_us,
+                    spans = render_breakdown(i.trace));
+            }
+        }
+    }
+}
+
+/// Record a span with externally measured timing — how queue-wait is
+/// captured: the dispatch site keeps the enqueue instant, the worker
+/// records the span when it picks the job up. No-op when `ctx` is
+/// `None`.
+pub fn record_span(ctx: Option<TraceCtx>, name: &'static str, start: Instant, dur: Duration) {
+    let Some(ctx) = ctx else { return };
+    if !recording() {
+        return;
+    }
+    push_record(RawRecord {
+        trace: ctx.trace,
+        span: next_id(),
+        parent: ctx.span,
+        start_us: us_since_epoch(start),
+        dur_us: dur.as_micros() as u64,
+        detail: 0,
+        name_ptr: name.as_ptr() as usize,
+        name_len: name.len(),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The flight recorder: per-thread seqlock rings
+// ---------------------------------------------------------------------------
+
+/// The fixed-size slot payload. Names are raw `(ptr, len)` words: a
+/// torn read of two integers is still just integers, and the pair is
+/// only reinterpreted as a `&'static str` *after* seqlock validation
+/// proves the record was read whole.
+#[derive(Clone, Copy)]
+struct RawRecord {
+    trace: u64,
+    span: u64,
+    parent: u64,
+    start_us: u64,
+    dur_us: u64,
+    detail: u64,
+    name_ptr: usize,
+    name_len: usize,
+}
+
+const ZERO_RECORD: RawRecord = RawRecord {
+    trace: 0,
+    span: 0,
+    parent: 0,
+    start_us: 0,
+    dur_us: 0,
+    detail: 0,
+    name_ptr: 0,
+    name_len: 0,
+};
+
+/// One ring slot guarded by a seqlock sequence: `2n+1` while record
+/// `n` is being written, `2n+2` once complete, 0 = never written. The
+/// sequence encodes the record's global index, so a reader can both
+/// detect tearing and recover per-thread write order.
+struct Slot {
+    seq: AtomicU64,
+    rec: UnsafeCell<RawRecord>,
+}
+
+/// A per-thread ring. The owning thread is the only writer (enforced
+/// by reaching it through a thread-local); any thread may read.
+struct Ring {
+    thread: u64,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: cross-thread access to `rec` follows the seqlock protocol in
+// `push` / `read_slot`; readers discard any slot whose sequence was
+// odd or changed across the read.
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(thread: u64) -> Ring {
+        Ring {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAP)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    rec: UnsafeCell::new(ZERO_RECORD),
+                })
+                .collect(),
+        }
+    }
+
+    /// Owner-thread-only write (crossbeam-style seqlock): mark the
+    /// slot odd, fence, write the payload, publish even.
+    fn push(&self, rec: RawRecord) {
+        let n = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(n % RING_CAP as u64) as usize];
+        slot.seq.store(2 * n + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        // SAFETY: single writer (the owning thread); concurrent
+        // readers race benignly — they validate the sequence after
+        // their volatile read and discard torn data.
+        unsafe { std::ptr::write_volatile(slot.rec.get(), rec) };
+        slot.seq.store(2 * n + 2, Ordering::Release);
+        self.head.store(n + 1, Ordering::Release);
+    }
+
+    /// Validated read of one slot: `Some((index, record))` if the
+    /// record was read whole, `None` if empty, mid-write, or torn.
+    fn read_slot(&self, i: usize) -> Option<(u64, RawRecord)> {
+        let slot = &self.slots[i];
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 % 2 == 1 {
+            return None;
+        }
+        // SAFETY: raw integer read; only trusted after validation.
+        let rec = unsafe { std::ptr::read_volatile(slot.rec.get()) };
+        fence(Ordering::Acquire);
+        let s2 = slot.seq.load(Ordering::Relaxed);
+        (s1 == s2).then_some((s1 / 2 - 1, rec))
+    }
+}
+
+/// Registry of every thread ring ever created (rings outlive their
+/// thread so dumps can still show a finished worker's spans).
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: Arc<Ring> = {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+        let ring = Arc::new(Ring::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+        rings().lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&ring));
+        ring
+    };
+}
+
+fn push_record(rec: RawRecord) {
+    // try_with: a span dropped during thread teardown (after TLS
+    // destruction) silently loses its record rather than aborting.
+    let _ = MY_RING.try_with(|r| r.push(rec));
+}
+
+// ---------------------------------------------------------------------------
+// Completed traces
+// ---------------------------------------------------------------------------
+
+static COMPLETED: [AtomicU64; COMPLETED_CAP] = [const { AtomicU64::new(0) }; COMPLETED_CAP];
+static COMPLETED_HEAD: AtomicU64 = AtomicU64::new(0);
+
+fn note_completed(trace: u64) {
+    let n = COMPLETED_HEAD.fetch_add(1, Ordering::Relaxed);
+    COMPLETED[(n % COMPLETED_CAP as u64) as usize].store(trace, Ordering::Relaxed);
+}
+
+/// The ids of up to `n` most recently completed traces, oldest first,
+/// de-duplicated keeping each id's most recent completion.
+pub fn recent_completed(n: usize) -> Vec<u64> {
+    let head = COMPLETED_HEAD.load(Ordering::Relaxed);
+    let avail = head.min(COMPLETED_CAP as u64);
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for back in 0..avail {
+        if out.len() >= n {
+            break;
+        }
+        let idx = ((head - 1 - back) % COMPLETED_CAP as u64) as usize;
+        let id = COMPLETED[idx].load(Ordering::Relaxed);
+        if id != 0 && seen.insert(id) {
+            out.push(id);
+        }
+    }
+    out.reverse();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and rendering
+// ---------------------------------------------------------------------------
+
+/// One validated span record from the flight recorder.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Trace id shared by the tree.
+    pub trace: u64,
+    /// This span's id.
+    pub span: u64,
+    /// Parent span id; 0 for roots.
+    pub parent: u64,
+    /// Static span name (`req:flush`, `wal_append`, …).
+    pub name: &'static str,
+    /// Start, µs since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Caller-attached detail value; 0 = none.
+    pub detail: u64,
+    /// Recording thread's ring id.
+    pub thread: u64,
+    /// Per-thread record index (monotonic in write order).
+    pub index: u64,
+}
+
+/// Collect every currently-validatable record across all thread rings.
+/// Lock-free with respect to writers; a slot being overwritten mid-read
+/// is simply skipped.
+pub fn snapshot() -> Vec<SpanRecord> {
+    let rings: Vec<Arc<Ring>> = rings().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut out = Vec::new();
+    for ring in rings {
+        for i in 0..RING_CAP {
+            if let Some((index, rec)) = ring.read_slot(i) {
+                if rec.trace == 0 {
+                    continue;
+                }
+                // SAFETY: the seqlock validated the record whole, so
+                // (name_ptr, name_len) is a pair the owning thread
+                // stored from a live `&'static str`.
+                let name = unsafe {
+                    std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                        rec.name_ptr as *const u8,
+                        rec.name_len,
+                    ))
+                };
+                out.push(SpanRecord {
+                    trace: rec.trace,
+                    span: rec.span,
+                    parent: rec.parent,
+                    name,
+                    start_us: rec.start_us,
+                    dur_us: rec.dur_us,
+                    detail: rec.detail,
+                    thread: ring.thread,
+                    index,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the `n` most recent completed traces as indented span trees,
+/// oldest first; one block per trace:
+///
+/// ```text
+/// trace 0x00000000000000a3 root=req:flush dur_us=1412 spans=6
+///   req:flush +0us 1412us
+///     parse +0us 2us
+///     ...
+/// ```
+///
+/// Offsets (`+Nus`) are relative to the trace's earliest span start. A
+/// trace whose records were already overwritten renders nothing.
+pub fn render_traces(n: usize) -> String {
+    let ids = recent_completed(n);
+    if ids.is_empty() {
+        return String::new();
+    }
+    let records = snapshot();
+    let mut out = String::new();
+    for id in ids {
+        render_trace_tree(&mut out, id, &records);
+    }
+    out
+}
+
+fn render_trace_tree(out: &mut String, id: u64, records: &[SpanRecord]) {
+    use std::fmt::Write as _;
+    let mut spans: Vec<&SpanRecord> = records.iter().filter(|r| r.trace == id).collect();
+    if spans.is_empty() {
+        return;
+    }
+    spans.sort_by_key(|r| (r.start_us, r.span));
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|r| r.span).collect();
+    let t_min = spans[0].start_us;
+    let t_max = spans
+        .iter()
+        .map(|r| r.start_us + r.dur_us)
+        .max()
+        .unwrap_or(t_min);
+    // Top level: true roots plus orphans whose parent was overwritten.
+    let tops: Vec<&SpanRecord> = spans
+        .iter()
+        .copied()
+        .filter(|r| r.parent == 0 || !ids.contains(&r.parent))
+        .collect();
+    let root_name = tops
+        .iter()
+        .find(|r| r.parent == 0)
+        .or(tops.first())
+        .map_or("?", |r| r.name);
+    let _ = writeln!(
+        out,
+        "trace {} root={} dur_us={} spans={}",
+        fmt_trace_id(id),
+        root_name,
+        t_max - t_min,
+        spans.len()
+    );
+    let mut budget = spans.len();
+    for top in tops {
+        render_node(out, &spans, top, 1, t_min, &mut budget);
+    }
+}
+
+fn render_node(
+    out: &mut String,
+    spans: &[&SpanRecord],
+    node: &SpanRecord,
+    depth: usize,
+    t_min: u64,
+    budget: &mut usize,
+) {
+    use std::fmt::Write as _;
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    let indent = "  ".repeat(depth.min(16));
+    let _ = write!(
+        out,
+        "{indent}{} +{}us {}us",
+        node.name,
+        node.start_us - t_min,
+        node.dur_us
+    );
+    if node.detail != 0 {
+        let _ = write!(out, " detail={}", node.detail);
+    }
+    out.push('\n');
+    for child in spans.iter().filter(|r| r.parent == node.span) {
+        render_node(out, spans, child, depth + 1, t_min, budget);
+    }
+}
+
+/// Compact one-line breakdown for the slow-request log:
+/// `name:durus,name:durus,...` in start order.
+pub fn render_breakdown(trace: u64) -> String {
+    let mut spans: Vec<SpanRecord> = snapshot()
+        .into_iter()
+        .filter(|r| r.trace == trace)
+        .collect();
+    spans.sort_by_key(|r| (r.start_us, r.span));
+    spans
+        .iter()
+        .map(|r| format!("{}:{}us", r.name, r.dur_us))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_of(trace: u64) -> Vec<SpanRecord> {
+        snapshot()
+            .into_iter()
+            .filter(|r| r.trace == trace)
+            .collect()
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = crate::testsync::exclusive();
+        crate::set_enabled(false);
+        let root = Span::root("req:test");
+        assert!(!root.is_recording());
+        assert!(root.ctx().is_none());
+        let child = root.child("inner");
+        assert!(child.ctx().is_none());
+        let _amb = root.enter();
+        assert!(ambient().is_none());
+        assert!(Span::ambient("hook").ctx().is_none());
+        drop(child);
+        drop(root);
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn propagation_and_render() {
+        let _g = crate::testsync::recording();
+        let trace;
+        {
+            let mut root = Span::root("req:prop");
+            trace = root.ctx().unwrap().trace;
+            root.set_detail(42);
+            {
+                let child = root.child("stage_a");
+                let _amb = child.enter();
+                assert_eq!(ambient(), child.ctx());
+                assert_eq!(current_trace_id(), Some(trace));
+                let hook = Span::ambient("hook");
+                assert_eq!(hook.ctx().unwrap().trace, trace);
+            }
+            assert!(ambient().is_none());
+        }
+        let spans = spans_of(trace);
+        assert_eq!(spans.len(), 3);
+        let root = spans.iter().find(|r| r.name == "req:prop").unwrap();
+        let stage = spans.iter().find(|r| r.name == "stage_a").unwrap();
+        let hook = spans.iter().find(|r| r.name == "hook").unwrap();
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.detail, 42);
+        assert_eq!(stage.parent, root.span);
+        assert_eq!(hook.parent, stage.span);
+        assert!(recent_completed(usize::MAX).contains(&trace));
+        let text = render_traces(usize::MAX);
+        let block: Vec<&str> = text
+            .lines()
+            .skip_while(|l| {
+                *l != format!(
+                    "trace {} root=req:prop dur_us={} spans=3",
+                    fmt_trace_id(trace),
+                    {
+                        let t0 = spans.iter().map(|r| r.start_us).min().unwrap();
+                        spans.iter().map(|r| r.start_us + r.dur_us).max().unwrap() - t0
+                    }
+                )
+            })
+            .take_while(|l| !l.is_empty())
+            .take(4)
+            .collect();
+        assert_eq!(block.len(), 4, "trace block missing in:\n{text}");
+        assert!(block[1].starts_with("  req:prop +0us"));
+        assert!(block[1].ends_with("detail=42"));
+        assert!(block[2].starts_with("    stage_a +"));
+        assert!(block[3].starts_with("      hook +"));
+    }
+
+    #[test]
+    fn explicit_ctx_crosses_threads() {
+        let _g = crate::testsync::recording();
+        let root = Span::root("req:cross");
+        let trace = root.ctx().unwrap().trace;
+        let ctx = root.ctx();
+        let enq = Instant::now();
+        std::thread::spawn(move || {
+            record_span(ctx, "queue_wait", enq, enq.elapsed());
+            let exec = Span::child_of(ctx, "exec");
+            let _amb = exec.enter();
+            drop(Span::ambient("wal_append"));
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let spans = spans_of(trace);
+        let names: Vec<&str> = spans.iter().map(|r| r.name).collect();
+        for want in ["req:cross", "queue_wait", "exec", "wal_append"] {
+            assert!(names.contains(&want), "{want} missing from {names:?}");
+        }
+        let exec = spans.iter().find(|r| r.name == "exec").unwrap();
+        let wal = spans.iter().find(|r| r.name == "wal_append").unwrap();
+        assert_eq!(wal.parent, exec.span);
+        // Worker-side spans recorded on the worker's ring, root on ours.
+        let root_rec = spans.iter().find(|r| r.name == "req:cross").unwrap();
+        assert_ne!(exec.thread, root_rec.thread);
+    }
+
+    #[test]
+    fn adopted_root_joins_existing_trace() {
+        let _g = crate::testsync::recording();
+        let primary = Span::root("req:repl-frames");
+        let trace = primary.ctx().unwrap().trace;
+        drop(primary);
+        {
+            let follower = Span::adopted_root(trace, "repl:apply");
+            assert_eq!(follower.ctx().unwrap().trace, trace);
+            let _amb = follower.enter();
+            drop(Span::ambient("frame_apply"));
+        }
+        let names: Vec<&str> = spans_of(trace).iter().map(|r| r.name).collect();
+        assert!(names.contains(&"req:repl-frames"));
+        assert!(names.contains(&"repl:apply"));
+        assert!(names.contains(&"frame_apply"));
+        // Both roots completed the same trace id exactly once in the
+        // dedup'd view.
+        let completed = recent_completed(usize::MAX);
+        assert_eq!(completed.iter().filter(|t| **t == trace).count(), 1);
+        assert!(Span::adopted_root(0, "x").ctx().is_none());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let _g = crate::testsync::recording();
+        let first = Span::root("req:first");
+        let first_trace = first.ctx().unwrap().trace;
+        drop(first);
+        assert!(!spans_of(first_trace).is_empty());
+        // Fill this thread's ring several times over.
+        for _ in 0..(RING_CAP * 2) {
+            drop(Span::root("req:filler"));
+        }
+        assert!(
+            spans_of(first_trace).is_empty(),
+            "oldest record survived overwrite"
+        );
+    }
+
+    #[test]
+    fn slow_threshold_roundtrip() {
+        assert_eq!(slow_threshold_us(), 0);
+        set_slow_threshold_us(250);
+        assert_eq!(slow_threshold_us(), 250);
+        set_slow_threshold_us(0);
+    }
+
+    #[test]
+    fn slow_log_renders_breakdown() {
+        let _g = crate::testsync::recording();
+        let trace;
+        {
+            let root = Span::root("req:slow");
+            trace = root.ctx().unwrap().trace;
+            let child = root.child("stall");
+            std::thread::sleep(Duration::from_millis(2));
+            drop(child);
+        }
+        let breakdown = render_breakdown(trace);
+        assert!(breakdown.starts_with("req:slow:"), "{breakdown}");
+        assert!(breakdown.contains(",stall:"), "{breakdown}");
+    }
+
+    #[test]
+    fn trace_switch_independent_of_metrics() {
+        let _g = crate::testsync::recording();
+        set_trace_enabled(false);
+        assert!(!recording());
+        assert!(!Span::root("req:off").is_recording());
+        // Metrics stay on while tracing is off.
+        assert!(crate::enabled());
+        set_trace_enabled(true);
+        assert!(recording());
+    }
+
+    #[test]
+    fn trace_id_formatting() {
+        assert_eq!(fmt_trace_id(0xab), "0x00000000000000ab");
+        assert_eq!(fmt_trace_id(u64::MAX), "0xffffffffffffffff");
+    }
+}

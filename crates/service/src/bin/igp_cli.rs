@@ -10,6 +10,7 @@
 //! igp-cli [--addr HOST:PORT] flush|stat|part|close <sid>
 //! igp-cli [--addr HOST:PORT] list | shutdown | promote
 //! igp-cli [--addr HOST:PORT] metrics [--watch] [--interval SECS]
+//! igp-cli [--addr HOST:PORT] trace [--dump N] [--slow THRESHOLD_US]
 //! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
 //!                                 [--policy SPEC] [--seed S]
 //! igp-cli [--addr HOST:PORT] soak [--sessions N] [--parts P] [--hold-secs S]
@@ -33,6 +34,11 @@
 //! must stay O(worker pool) — the CI idle-soak job asserts that from
 //! `/proc/<pid>/status`.
 //!
+//! `trace` dumps the daemon's flight recorder: the span trees of the
+//! most recently completed request traces (`--dump N` picks how many,
+//! newest last). `--slow N` instead sets the daemon's slow-request
+//! threshold in µs (0 disables the slow log).
+//!
 //! `replay` needs no server: it inspects a `--data-dir` tree offline —
 //! per session, the stored config, the latest snapshot, the WAL tail
 //! (record counts + bytes), the tail coalesced into one canonical
@@ -49,8 +55,9 @@ use std::io::Write as _;
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: igp-cli [--addr HOST:PORT] [--log-level LEVEL] \
-         <ping|open|delta|flush|stat|part|close|list|metrics|promote|shutdown|demo|soak> …\n\
+         <ping|open|delta|flush|stat|part|close|list|metrics|trace|promote|shutdown|demo|soak> …\n\
          \x20      igp-cli metrics [--watch] [--interval SECS]\n\
+         \x20      igp-cli trace [--dump N] [--slow THRESHOLD_US]\n\
          \x20      igp-cli soak [--sessions N] [--parts P] [--hold-secs S]\n\
          \x20      igp-cli replay <data-dir> [sid]"
     );
@@ -176,6 +183,7 @@ fn main() {
             }
         }
         "metrics" => cmd_metrics(&addr, args),
+        "trace" => cmd_trace(&addr, args),
         "demo" => cmd_demo(&addr, args),
         "soak" => cmd_soak(&addr, args),
         "replay" => cmd_replay(args),
@@ -218,6 +226,27 @@ fn cmd_metrics(addr: &str, mut args: Vec<String>) {
         }
         std::thread::sleep(std::time::Duration::from_secs(interval.max(1)));
     }
+}
+
+/// Dump the daemon's flight recorder (`TRACE DUMP`), or set its
+/// slow-request threshold (`--slow N`, µs).
+fn cmd_trace(addr: &str, mut args: Vec<String>) {
+    let slow: Option<u64> = take_value(&mut args, "--slow")
+        .map(|v| v.parse().unwrap_or_else(|e| fail(format!("--slow: {e}"))));
+    let dump: Option<usize> = take_value(&mut args, "--dump")
+        .map(|v| v.parse().unwrap_or_else(|e| fail(format!("--dump: {e}"))));
+    if !args.is_empty() {
+        usage(2);
+    }
+    let mut cli = connect(addr);
+    if let Some(us) = slow {
+        let acked = cli.trace_slow(us).unwrap_or_else(|e| fail(e));
+        println!("slow_us={acked}");
+        return;
+    }
+    let text = cli.trace_dump(dump).unwrap_or_else(|e| fail(e));
+    print!("{text}");
+    let _ = std::io::stdout().flush();
 }
 
 /// Offline WAL/snapshot inspector: no server, read-only.

@@ -4,7 +4,7 @@
 //! igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N] [--workers N]
 //!           [--data-dir DIR] [--snapshot-policy never|every:<k>|cost[:r:m:w]]
 //!           [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]
-//!           [--log-level error|warn|info|debug]
+//!           [--log-level error|warn|info|debug] [--slow-us N]
 //! ```
 //!
 //! The daemon runs one event-loop thread (nonblocking accept + state-
@@ -25,6 +25,10 @@
 //! becomes a primary on `PROMOTE` — or automatically once the primary
 //! has been unreachable for `--failover-ms` (off by default).
 //!
+//! `--slow-us N` arms the slow-request log: any request whose root
+//! trace span exceeds N µs is logged at WARN with its per-span
+//! breakdown (`TRACE SLOW` adjusts it at runtime; 0 disables).
+//!
 //! Prints `igp-serve listening on <addr>` once the socket is bound
 //! (scripts wait for that line), then serves until a client sends
 //! `SHUTDOWN`.
@@ -37,7 +41,7 @@ fn usage(code: i32) -> ! {
         "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N] [--workers N]\n\
          \x20                [--data-dir DIR] [--snapshot-policy SPEC]\n\
          \x20                [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]\n\
-         \x20                [--log-level error|warn|info|debug]"
+         \x20                [--log-level error|warn|info|debug] [--slow-us N]"
     );
     std::process::exit(code);
 }
@@ -103,6 +107,10 @@ fn main() {
             },
             "--log-level" => match args.next().as_deref().and_then(igp_obs::Level::parse) {
                 Some(l) => igp_obs::set_max_level(l),
+                None => usage(2),
+            },
+            "--slow-us" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(us) => opts.slow_us = Some(us),
                 None => usage(2),
             },
             "--help" | "-h" => usage(0),

@@ -143,6 +143,10 @@ pub struct ReplFrameBatch {
     /// Raw frame bytes (`to - from` of them; decode with
     /// [`igp_store::decode_frames`]).
     pub bytes: Vec<u8>,
+    /// Trace id of the primary request that served this batch; the
+    /// follower adopts it so its frame-apply spans join the primary's
+    /// trace. Absent when the primary traces nothing.
+    pub trace: Option<u64>,
 }
 
 /// A connected protocol client.
@@ -320,7 +324,48 @@ impl IgpClient {
                 )))
             }
         }
-        // The exposition body: raw lines up to the END terminator.
+        self.read_text_until_end()
+    }
+
+    /// `TRACE DUMP [n]` → the rendered span trees of the daemon's `n`
+    /// most recently completed traces (daemon default when `None`).
+    pub fn trace_dump(&mut self, n: Option<usize>) -> Result<String, ClientError> {
+        let line = match n {
+            Some(n) => format!("TRACE DUMP {n}"),
+            None => "TRACE DUMP".to_string(),
+        };
+        self.send(&line)?;
+        let first = self.recv()?;
+        match first.as_str() {
+            "OK trace" => {}
+            _ => {
+                let tokens: Vec<&str> = first.split_ascii_whitespace().collect();
+                if let ["ERR", kind, detail @ ..] = tokens.as_slice() {
+                    return Err(ClientError::Server {
+                        kind: kind.to_string(),
+                        detail: detail.join(" "),
+                    });
+                }
+                return Err(ClientError::Proto(format!(
+                    "expected `OK trace`, got `{first}`"
+                )));
+            }
+        }
+        self.read_text_until_end()
+    }
+
+    /// `TRACE SLOW <threshold_us>` — set the daemon's slow-request
+    /// threshold (0 disables the slow log). Returns the value the
+    /// daemon acknowledged.
+    pub fn trace_slow(&mut self, threshold_us: u64) -> Result<u64, ClientError> {
+        let rest = self.roundtrip_ok(&format!("TRACE SLOW {threshold_us}"), "trace")?;
+        let kv = parse_kv(&to_strs(&rest)).map_err(ClientError::Proto)?;
+        field(&kv, "slow_us")
+    }
+
+    /// Read the raw-text body of a multi-line reply up to (and
+    /// consuming) its `END` terminator.
+    fn read_text_until_end(&mut self) -> Result<String, ClientError> {
         let mut text = String::new();
         loop {
             let mut line = String::new();
@@ -428,6 +473,7 @@ impl IgpClient {
             from: field(&kv, "from")?,
             to: field(&kv, "to")?,
             frames: field(&kv, "frames")?,
+            trace: field_opt(&kv, "trace")?,
             bytes: self.read_hex_block(nbytes)?,
         };
         self.expect_end()?;

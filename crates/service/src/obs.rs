@@ -13,7 +13,7 @@ use igp_obs::{registry, Counter, Gauge, Histogram};
 
 /// The protocol verbs, in the order [`verb_idx`] assigns; used as the
 /// `verb` label value.
-pub const VERBS: [&str; 13] = [
+pub const VERBS: [&str; 14] = [
     "ping",
     "open",
     "delta",
@@ -27,6 +27,7 @@ pub const VERBS: [&str; 13] = [
     "repl-sync",
     "repl-frames",
     "promote",
+    "trace",
 ];
 
 /// Index of a parsed request's verb into the per-verb metric arrays.
@@ -45,6 +46,45 @@ pub fn verb_idx(req: &Request) -> usize {
         Request::ReplSync { .. } => 10,
         Request::ReplFrames { .. } => 11,
         Request::Promote => 12,
+        Request::TraceDump { .. } | Request::TraceSlow { .. } => 13,
+    }
+}
+
+/// Root span names for request traces, parallel to [`VERBS`].
+const REQ_SPAN_NAMES: [&str; VERBS.len()] = [
+    "req:ping",
+    "req:open",
+    "req:delta",
+    "req:flush",
+    "req:stat",
+    "req:part",
+    "req:close",
+    "req:list",
+    "req:metrics",
+    "req:shutdown",
+    "req:repl-sync",
+    "req:repl-frames",
+    "req:promote",
+    "req:trace",
+];
+
+/// The trace root-span name for a parsed request (`req:<verb>`).
+pub fn req_span_name(req: &Request) -> &'static str {
+    REQ_SPAN_NAMES[verb_idx(req)]
+}
+
+/// The session id a request targets, if any — worker log context.
+pub fn request_sid(req: &Request) -> Option<&str> {
+    match req {
+        Request::Open { sid, .. }
+        | Request::Delta { sid, .. }
+        | Request::Flush { sid }
+        | Request::Stat { sid }
+        | Request::Part { sid }
+        | Request::Close { sid }
+        | Request::ReplSync { sid }
+        | Request::ReplFrames { sid, .. } => Some(sid),
+        _ => None,
     }
 }
 
@@ -126,6 +166,15 @@ pub struct ServiceMetrics {
     /// `igp_service_write_backpressure_total` — writes that filled the
     /// socket buffer and left the connection parked on writability.
     pub write_backpressure_total: Arc<Counter>,
+    /// `igp_service_loop_iter_us` — time per event-loop iteration
+    /// (readiness sweep + completions), excluding the poll wait. The
+    /// loop-health gauge traces contextualize: a fat tail here means
+    /// inline work is starving the loop.
+    pub loop_iter_us: Arc<Histogram>,
+    /// `igp_service_pool_queue_wait_us` — dispatch→pickup latency for
+    /// worker-pool jobs; the direct measure of pool saturation, and
+    /// the same quantity the `queue_wait` trace span shows per request.
+    pub pool_queue_wait_us: Arc<Histogram>,
 }
 
 impl ServiceMetrics {
@@ -274,6 +323,16 @@ pub fn metrics() -> &'static ServiceMetrics {
             write_backpressure_total: r.counter(
                 "igp_service_write_backpressure_total",
                 "Writes that filled the socket buffer and parked the connection on writability",
+                vec![],
+            ),
+            loop_iter_us: r.histogram(
+                "igp_service_loop_iter_us",
+                "Event-loop iteration time, poll wait excluded (microseconds)",
+                vec![],
+            ),
+            pool_queue_wait_us: r.histogram(
+                "igp_service_pool_queue_wait_us",
+                "Worker-pool job wait from dispatch to pickup (microseconds)",
                 vec![],
             ),
         }

@@ -16,11 +16,15 @@
 //! REPL SYNC <sid>
 //! REPL FRAME <sid> <seq> <offset>
 //! PROMOTE
+//! TRACE DUMP [n]
+//! TRACE SLOW <threshold_us>
 //! ```
 //!
 //! `METRICS` is the other multi-line exception, on the response side:
 //! `OK metrics`, then the Prometheus-style text exposition, then a
-//! line reading `END`.
+//! line reading `END`. `TRACE DUMP` answers the same way (`OK trace`,
+//! indented span trees, `END`); `TRACE SLOW` sets the slow-request log
+//! threshold (0 disables) and answers `OK trace slow_us=<v>`.
 //!
 //! The two `REPL` verbs (DESIGN.md §11) also answer multi-line: a
 //! header with byte counts, hex-encoded payload lines (64 KiB of raw
@@ -50,7 +54,16 @@ pub enum Request {
     ReplSync { sid: String },
     ReplFrames { sid: String, seq: u64, offset: u64 },
     Promote,
+    TraceDump { n: usize },
+    TraceSlow { threshold_us: u64 },
 }
+
+/// Traces a bare `TRACE DUMP` renders.
+pub const TRACE_DUMP_DEFAULT: usize = 32;
+
+/// Upper bound on `TRACE DUMP <n>` (the completed-trace ring holds no
+/// more anyway).
+pub const TRACE_DUMP_MAX: usize = 1024;
 
 /// Session ids are single tokens: no whitespace, printable, bounded.
 fn check_sid(sid: &str) -> Result<String, String> {
@@ -148,6 +161,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Err("usage: PROMOTE".into())
             }
         }
+        "TRACE" => match rest.as_slice() {
+            ["DUMP"] => Ok(Request::TraceDump {
+                n: TRACE_DUMP_DEFAULT,
+            }),
+            ["DUMP", n] => {
+                let n: usize = n.parse().map_err(|e| format!("bad trace count: {e}"))?;
+                if n == 0 || n > TRACE_DUMP_MAX {
+                    return Err(format!("trace count must be 1..={TRACE_DUMP_MAX}"));
+                }
+                Ok(Request::TraceDump { n })
+            }
+            ["SLOW", us] => Ok(Request::TraceSlow {
+                threshold_us: us.parse().map_err(|e| format!("bad threshold: {e}"))?,
+            }),
+            _ => Err("usage: TRACE DUMP [n] | TRACE SLOW <threshold_us>".into()),
+        },
         other => Err(format!("unknown verb `{other}`")),
     }
 }
@@ -445,6 +474,45 @@ mod tests {
             "REPL FRAME s1 3 -1",
             "REPL NOPE s1",
             "PROMOTE now",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_lines_parse() {
+        assert_eq!(
+            parse_request("TRACE DUMP").unwrap(),
+            Request::TraceDump {
+                n: TRACE_DUMP_DEFAULT
+            }
+        );
+        assert_eq!(
+            parse_request("TRACE DUMP 5").unwrap(),
+            Request::TraceDump { n: 5 }
+        );
+        assert_eq!(
+            parse_request(&format!("TRACE DUMP {TRACE_DUMP_MAX}")).unwrap(),
+            Request::TraceDump { n: TRACE_DUMP_MAX }
+        );
+        assert_eq!(
+            parse_request("TRACE SLOW 2500").unwrap(),
+            Request::TraceSlow { threshold_us: 2500 }
+        );
+        assert_eq!(
+            parse_request("TRACE SLOW 0").unwrap(),
+            Request::TraceSlow { threshold_us: 0 }
+        );
+        for bad in [
+            "TRACE",
+            "TRACE DUMP 0",
+            "TRACE DUMP x",
+            "TRACE DUMP 5 6",
+            &format!("TRACE DUMP {}", TRACE_DUMP_MAX + 1),
+            "TRACE SLOW",
+            "TRACE SLOW -1",
+            "TRACE SLOW x",
+            "TRACE NOPE",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?}");
         }

@@ -29,6 +29,7 @@ use crate::client::{ClientError, IgpClient, ReplSyncInfo};
 use crate::durable::recover_session;
 use crate::server::ServerCtx;
 use crate::session::ServiceSession;
+use igp_obs::trace::Span;
 use igp_store::{decode_frames, install_replica, WalRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -268,7 +269,7 @@ fn poll_session(
     if batch.bytes.is_empty() {
         return Ok(());
     }
-    let applied = apply_frames(ctx, sid, &batch.bytes);
+    let applied = apply_frames(ctx, sid, &batch.bytes, batch.trace);
     match applied {
         Ok(true) => {
             if let Some(c) = cursors.get_mut(sid) {
@@ -289,7 +290,26 @@ fn poll_session(
 /// Decode and apply one shipped frame batch. `Ok(false)` means the
 /// loop was stopped (shutdown/promotion) before the batch finished —
 /// the cursor must not advance.
-fn apply_frames(ctx: &Arc<ServerCtx>, sid: &str, bytes: &[u8]) -> Result<bool, String> {
+///
+/// `trace` is the primary trace id the `REPL FRAME` reply carried;
+/// when present the whole batch is applied under an adopted root span
+/// (`repl:apply`), so a `TRACE DUMP` on the follower shows the same
+/// trace id as the primary request that journaled the frames.
+fn apply_frames(
+    ctx: &Arc<ServerCtx>,
+    sid: &str,
+    bytes: &[u8],
+    trace: Option<u64>,
+) -> Result<bool, String> {
+    let root = match trace {
+        Some(t) => Span::adopted_root(t, "repl:apply"),
+        None => Span::disabled(),
+    };
+    let _ambient = root.enter();
+    let _lctx = match trace {
+        Some(t) => igp_obs::set_log_ctx(format_args!("sid={sid} trace={t:#018x}")),
+        None => igp_obs::set_log_ctx(format_args!("sid={sid}")),
+    };
     let records = decode_frames(bytes).map_err(|e| e.to_string())?;
     let entry = ctx.registry.get(sid).map_err(|e| e.to_string())?;
     let m = crate::obs::metrics();
@@ -304,6 +324,9 @@ fn apply_frames(ctx: &Arc<ServerCtx>, sid: &str, bytes: &[u8]) -> Result<bool, S
             return Ok(false);
         }
         let t0 = Instant::now();
+        // Entered so the re-journaling `wal_append` span nests here.
+        let frame_span = root.child("frame_apply");
+        let _frame_ambient = frame_span.enter();
         apply_one(&mut s, rec).map_err(|e| e.to_string())?;
         m.repl_apply_us.observe_duration(t0.elapsed());
         m.repl_frames_applied_total.inc();

@@ -31,6 +31,7 @@ use igp_core::session::StepSummary;
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{io as graph_io, CsrGraph};
 use igp_net::{Events, Interest, Poller, Token, Waker, WorkerPool};
+use igp_obs::trace::Span;
 use igp_store::wal::HEADER_BYTES;
 use igp_store::{decode_frames, SnapshotPolicy};
 use std::io::{self, Read, Write};
@@ -77,6 +78,11 @@ pub struct ServeOptions {
     /// parallelism clamped to `[2, 4]` — the daemon's concurrency now
     /// comes from the event loop, not from thread count.
     pub workers: usize,
+    /// Slow-request log threshold (µs): a request whose root trace span
+    /// exceeds this emits a structured `warn!` with the full span
+    /// breakdown (the `--slow-us` flag; `TRACE SLOW` changes it live).
+    /// `None` leaves the process-wide threshold untouched.
+    pub slow_us: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +96,7 @@ impl Default for ServeOptions {
             repl_interval: Duration::from_millis(50),
             failover: None,
             workers: 0,
+            slow_us: None,
         }
     }
 }
@@ -243,6 +250,9 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
     let _ = igp_core::obs::metrics();
     let _ = igp_store::obs::metrics();
     let _ = igp_runtime::obs::metrics();
+    if let Some(us) = opts.slow_us {
+        igp_obs::trace::set_slow_threshold_us(us);
+    }
     let registry = SessionRegistry::new(opts.shards);
     if let Some(dir) = &opts.data_dir {
         std::fs::create_dir_all(dir)?;
@@ -354,10 +364,14 @@ enum ConnState {
         /// `Ok`: a parsed `OPEN` waiting for its graph text. `Err`: the
         /// OPEN line was malformed — the block is still drained so the
         /// connection stays line-synchronized, then this reply is sent.
-        pending: Result<(String, SessionConfig), String>,
+        /// Boxed: `SessionConfig` would otherwise dominate every
+        /// `ConnState`, and almost all connections sit in `Idle`/`Busy`.
+        pending: Box<Result<(String, SessionConfig), String>>,
         text: String,
         t0: Option<Instant>,
         vi: Option<usize>,
+        /// The request's root trace span, held open across the upload.
+        root: Span,
     },
     /// A job for this connection is on the worker pool. Reads stay
     /// parked (and buffered lines unprocessed) until the reply comes
@@ -395,6 +409,10 @@ struct Conn {
     /// Reply queued and no further requests accepted (SHUTDOWN, drain);
     /// the connection closes once `wbuf` flushes.
     closing: bool,
+    /// Root trace span of the in-flight pool job, kept loop-side so the
+    /// completion path can nest the `reply` span under it before it
+    /// completes the trace.
+    trace_root: Option<Span>,
 }
 
 impl Conn {
@@ -493,6 +511,7 @@ impl EventLoop {
             }
             m.poll_wait_us.observe_duration(t0.elapsed());
             m.loop_wakeups_total.inc();
+            let iter0 = igp_obs::enabled().then(Instant::now);
             for ev in &events {
                 match ev.token() {
                     LISTENER => self.accept_all(),
@@ -507,6 +526,11 @@ impl EventLoop {
             self.shared.take(&mut inbox);
             for c in inbox.drain(..) {
                 self.on_completion(c);
+            }
+            if let Some(iter0) = iter0 {
+                // Iteration time (poll wait excluded): how long the loop
+                // was unavailable to new readiness this pass.
+                m.loop_iter_us.observe_duration(iter0.elapsed());
             }
         }
         // All jobs completed (drain waits for them), so the queue is
@@ -584,6 +608,7 @@ impl EventLoop {
             state: ConnState::Idle,
             peer_eof: false,
             closing: false,
+            trace_root: None,
         });
         crate::obs::metrics().conns_active.add(1);
     }
@@ -776,6 +801,11 @@ impl EventLoop {
         }
         let m = crate::obs::metrics();
         m.bytes_in_total.add(line.len() as u64);
+        // Clock before the parse: the root span must start no later
+        // than its `parse` child (request_us gains the parse time too,
+        // a sub-µs widening).
+        let t0 = igp_obs::enabled().then(Instant::now);
+        let _lctx = igp_obs::set_log_ctx(format_args!("conn={}", FIRST_CONN + slot));
         let parsed = parse_request(trimmed);
         let vi = parsed.as_ref().ok().map(crate::obs::verb_idx);
         if let Some(vi) = vi {
@@ -785,7 +815,13 @@ impl EventLoop {
                 verb = crate::obs::VERBS[vi], bytes = line.len(),
             );
         }
-        let t0 = igp_obs::enabled().then(Instant::now);
+        let root = match (&parsed, t0) {
+            (Ok(req), Some(t0)) => Span::root_from(crate::obs::req_span_name(req), t0),
+            _ => Span::disabled(),
+        };
+        if let (Some(t0), Some(ctx)) = (t0, root.ctx()) {
+            igp_obs::trace::record_span(Some(ctx), "parse", t0, t0.elapsed());
+        }
         let conn = self.conns[slot].as_mut().expect("caller checked");
         match parsed {
             Err(e) => {
@@ -794,22 +830,24 @@ impl EventLoop {
                 // line-synchronized for the next request.
                 if trimmed.split_ascii_whitespace().next() == Some("OPEN") {
                     conn.state = ConnState::Graph {
-                        pending: Err(format!("ERR proto {e}")),
+                        pending: Box::new(Err(format!("ERR proto {e}"))),
                         text: String::new(),
                         t0: None,
                         vi: None,
+                        root,
                     };
                 } else {
-                    self.finish_request(slot, format!("ERR proto {e}"), t0, vi);
+                    self.finish_request(slot, format!("ERR proto {e}"), t0, vi, root);
                 }
             }
-            Ok(Request::Ping) => self.finish_request(slot, "PONG".to_string(), t0, vi),
+            Ok(Request::Ping) => self.finish_request(slot, "PONG".to_string(), t0, vi, root),
             Ok(Request::Open { sid, cfg }) => {
                 conn.state = ConnState::Graph {
-                    pending: Ok((sid, cfg)),
+                    pending: Box::new(Ok((sid, cfg))),
                     text: String::new(),
                     t0,
                     vi,
+                    root,
                 };
             }
             Ok(Request::Delta { .. } | Request::Flush { .. } | Request::Close { .. })
@@ -817,7 +855,7 @@ impl EventLoop {
             {
                 // A follower's sessions advance only by replicated
                 // frames; local writes would fork the lineage.
-                self.finish_request(slot, err_line(&ServiceError::ReadOnly), t0, vi);
+                self.finish_request(slot, err_line(&ServiceError::ReadOnly), t0, vi, root);
             }
             Ok(
                 req @ (Request::Delta { .. }
@@ -827,7 +865,7 @@ impl EventLoop {
                 | Request::Close { .. }
                 | Request::ReplSync { .. }
                 | Request::ReplFrames { .. }),
-            ) => self.dispatch(slot, PoolJob::Verb(req), t0, vi),
+            ) => self.dispatch(slot, PoolJob::Verb(req), t0, vi, root),
             Ok(Request::List) => {
                 let ids = self.ctx.registry.list();
                 let mut out = format!("OK list count={}", ids.len());
@@ -835,7 +873,7 @@ impl EventLoop {
                     out.push(' ');
                     out.push_str(&id);
                 }
-                self.finish_request(slot, out, t0, vi);
+                self.finish_request(slot, out, t0, vi, root);
             }
             Ok(Request::Metrics) => {
                 // Refresh the registry-derived gauge, then render the
@@ -843,7 +881,17 @@ impl EventLoop {
                 // runtime families in one exposition.
                 m.active_sessions.set(self.ctx.registry.len() as i64);
                 let out = format!("OK metrics\n{}END", igp_obs::registry().render());
-                self.finish_request(slot, out, t0, vi);
+                self.finish_request(slot, out, t0, vi, root);
+            }
+            Ok(Request::TraceDump { n }) => {
+                let out = format!("OK trace\n{}END", igp_obs::trace::render_traces(n));
+                self.finish_request(slot, out, t0, vi, root);
+            }
+            Ok(Request::TraceSlow { threshold_us }) => {
+                igp_obs::trace::set_slow_threshold_us(threshold_us);
+                igp_obs::info!(target: "serve", "slow-request threshold set"; slow_us = threshold_us);
+                let out = format!("OK trace slow_us={threshold_us}");
+                self.finish_request(slot, out, t0, vi, root);
             }
             Ok(Request::Promote) => {
                 let was = self.ctx.promote();
@@ -855,7 +903,7 @@ impl EventLoop {
                     self.ctx.registry.len(),
                     u8::from(was),
                 );
-                self.finish_request(slot, out, t0, vi);
+                self.finish_request(slot, out, t0, vi, root);
             }
             Ok(Request::Shutdown) => {
                 self.queue_reply(slot, "OK bye".to_string());
@@ -889,51 +937,87 @@ impl EventLoop {
             text,
             t0,
             vi,
+            root,
         } = state
         else {
             unreachable!("matched above");
         };
-        match pending {
-            Err(reply) => self.finish_request(slot, reply, t0, vi),
-            Ok((sid, cfg)) => self.dispatch(slot, PoolJob::Open { sid, cfg, text }, t0, vi),
+        match *pending {
+            Err(reply) => self.finish_request(slot, reply, t0, vi, root),
+            Ok((sid, cfg)) => self.dispatch(slot, PoolJob::Open { sid, cfg, text }, t0, vi, root),
         }
     }
 
-    /// Observe latency and queue the reply (loop-inline verbs).
+    /// Observe latency and queue the reply (loop-inline verbs). Dropping
+    /// `root` here completes the request's trace — after the `reply`
+    /// child, so children always hit the ring before their root.
     fn finish_request(
         &mut self,
         slot: usize,
         reply: String,
         t0: Option<Instant>,
         vi: Option<usize>,
+        root: Span,
     ) {
         if let (Some(t0), Some(vi)) = (t0, vi) {
             crate::obs::metrics().request_us[vi].observe_duration(t0.elapsed());
         }
+        let reply_span = root.child("reply");
         self.queue_reply(slot, reply);
+        drop(reply_span);
+        drop(root);
     }
 
     /// Park the connection and run the job on the pool; the completion
     /// routes the reply back through the waker.
-    fn dispatch(&mut self, slot: usize, job: PoolJob, t0: Option<Instant>, vi: Option<usize>) {
+    fn dispatch(
+        &mut self,
+        slot: usize,
+        job: PoolJob,
+        t0: Option<Instant>,
+        vi: Option<usize>,
+        root: Span,
+    ) {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
         };
         conn.state = ConnState::Busy;
         let token = FIRST_CONN + slot;
         let generation = conn.generation;
+        // The job closure carries only the trace *context*; the root
+        // span parks with the connection so the completion path can
+        // nest the reply under it and complete the trace loop-side.
+        let dispatch_span = root.child("dispatch");
+        let job_ctx = root.ctx();
+        conn.trace_root = Some(root);
+        let sid = job_sid(&job).map(str::to_string);
+        let enqueued = igp_obs::enabled().then(Instant::now);
         let ctx = self.ctx.clone();
         let shared = self.shared.clone();
         self.jobs_in_flight += 1;
         let pool = self.pool.as_ref().expect("pool lives until drain ends");
         pool.execute(Box::new(move || {
+            let m = crate::obs::metrics();
+            let _lctx = worker_log_ctx(token, sid.as_deref(), job_ctx);
+            if let Some(enq) = enqueued {
+                // Dispatch→pickup latency: the direct measure of pool
+                // saturation, as both a histogram and a trace span.
+                let wait = enq.elapsed();
+                m.pool_queue_wait_us.observe_duration(wait);
+                igp_obs::trace::record_span(job_ctx, "queue_wait", enq, wait);
+            }
             // A panicking handler poisons the session lock it held (the
             // next request gets a typed `ERR internal`); contain it here
             // so the completion still reaches the loop.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Entering the exec span makes it the thread's ambient
+                // context, which is what the store-layer span hooks
+                // (wal_append, snapshot, repartition) attach to.
+                let exec = Span::child_of(job_ctx, "exec");
+                let _ambient = exec.enter();
                 let reply = pool_reply(&ctx, job);
                 if let (Some(t0), Some(vi)) = (t0, vi) {
-                    crate::obs::metrics().request_us[vi].observe_duration(t0.elapsed());
+                    m.request_us[vi].observe_duration(t0.elapsed());
                 }
                 reply
             }));
@@ -946,6 +1030,7 @@ impl EventLoop {
                 Err(_) => Completion::Died { token, generation },
             });
         }));
+        drop(dispatch_span);
     }
 
     // -- write path -----------------------------------------------------
@@ -1026,8 +1111,10 @@ impl EventLoop {
                 self.jobs_in_flight -= 1;
                 let slot = token - FIRST_CONN;
                 if self.conn_matches(slot, generation) {
+                    let mut root = None;
                     if let Some(conn) = self.conns[slot].as_mut() {
                         conn.state = ConnState::Idle;
+                        root = conn.trace_root.take();
                         if self.draining {
                             // In-flight requests complete and reply even
                             // under shutdown (the old core joined its
@@ -1035,7 +1122,12 @@ impl EventLoop {
                             conn.closing = true;
                         }
                     }
+                    let reply_span = root.as_ref().map(|r| r.child("reply"));
                     self.queue_reply(slot, reply);
+                    // Child before root, so the slow log and the dump
+                    // both see the complete tree.
+                    drop(reply_span);
+                    drop(root);
                     if let Some(conn) = self.conns[slot].as_mut() {
                         if !conn.closing {
                             // Pipelined requests may already be buffered.
@@ -1154,6 +1246,34 @@ impl EventLoop {
             return true;
         }
         false
+    }
+}
+
+/// The session id a pool job targets, if any (worker log context).
+fn job_sid(job: &PoolJob) -> Option<&str> {
+    match job {
+        PoolJob::Verb(req) => crate::obs::request_sid(req),
+        PoolJob::Open { sid, .. } => Some(sid),
+    }
+}
+
+/// Worker-thread log context for a dispatched job: connection token,
+/// plus session id and trace id when the job has them.
+fn worker_log_ctx(
+    token: usize,
+    sid: Option<&str>,
+    ctx: Option<igp_obs::trace::TraceCtx>,
+) -> igp_obs::LogCtxGuard {
+    match (sid, ctx) {
+        (Some(sid), Some(c)) => igp_obs::set_log_ctx(format_args!(
+            "conn={token} sid={sid} trace={:#018x}",
+            c.trace
+        )),
+        (Some(sid), None) => igp_obs::set_log_ctx(format_args!("conn={token} sid={sid}")),
+        (None, Some(c)) => {
+            igp_obs::set_log_ctx(format_args!("conn={token} trace={:#018x}", c.trace))
+        }
+        (None, None) => igp_obs::set_log_ctx(format_args!("conn={token}")),
     }
 }
 
@@ -1472,9 +1592,16 @@ fn repl_frames_reply(
     };
     m.repl_frames_shipped_total.add(frames);
     let mut out = format!(
-        "OK replframes sid={sid} seq={cur_seq} from={offset} to={wal_end} frames={frames} bytes={}\n",
+        "OK replframes sid={sid} seq={cur_seq} from={offset} to={wal_end} frames={frames} bytes={}",
         bytes.len(),
     );
+    // The primary's trace id rides the header — never the frame bytes,
+    // which must re-journal byte-identical on the follower — so the
+    // follower's apply spans can join this request's trace.
+    if let Some(trace) = igp_obs::trace::current_trace_id() {
+        out.push_str(&format!(" trace={trace}"));
+    }
+    out.push('\n');
     out.push_str(&encode_hex_lines(&bytes));
     out.push_str("END");
     out

@@ -282,6 +282,8 @@ impl ServiceSession {
         self.deltas_received += 1;
         if self.cfg.policy.should_flush(&self.policy_view()) {
             let coalesced = pending;
+            // Inert during recovery replay (no ambient trace there).
+            let _sp = igp_obs::trace::Span::ambient("repartition");
             match self.repart_us.time(|| self.session.flush()) {
                 Some(summary) => {
                     self.total_weight = self.session.graph().total_vertex_weight();
@@ -312,6 +314,8 @@ impl ServiceSession {
     /// The pure (journal-free) flush path used by recovery replay.
     pub(crate) fn flush_replay(&mut self) -> Option<(StepSummary, usize)> {
         let coalesced = self.session.pending_deltas();
+        // Inert during recovery replay (no ambient trace there).
+        let _sp = igp_obs::trace::Span::ambient("repartition");
         let stepped = self
             .repart_us
             .time(|| self.session.flush())

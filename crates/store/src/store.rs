@@ -323,6 +323,7 @@ impl SessionStore {
     /// its [`DeltaCoalescer::net`] — one canonical delta recorded as
     /// the snapshot's lineage.
     pub fn snapshot_now(&mut self, state: SessionState<'_>) -> Result<(), StoreError> {
+        let _sp = igp_obs::trace::Span::ambient("snapshot");
         let m = crate::obs::metrics();
         m.snapshot_us.time(|| -> Result<(), StoreError> {
             let next = self.seq + 1;

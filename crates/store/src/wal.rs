@@ -152,6 +152,9 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        // Joins whatever request trace is ambient on this thread
+        // (inert during recovery replay, which traces nothing).
+        let _sp = igp_obs::trace::Span::ambient("wal_append");
         let m = crate::obs::metrics();
         m.wal_append_us.time(|| -> Result<(), StoreError> {
             self.file.write_all(&frame)?;
