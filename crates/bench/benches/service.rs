@@ -23,11 +23,12 @@
 use igp_bench::artifact;
 use igp_graph::generators;
 use igp_obs::Histogram;
-use igp_service::client::{DeltaAck, IgpClient};
+use igp_service::client::{http_get, DeltaAck, IgpClient};
 use igp_service::server::{serve, ServeOptions};
 use igp_service::session::{InitPartition, SessionConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const CLIENTS: [usize; 3] = [1, 2, 4];
 const DELTAS_PER_CLIENT: usize = 25;
@@ -195,8 +196,13 @@ fn run_sweep(addr: std::net::SocketAddr, sessions: usize, deltas_per_session: us
 }
 
 fn main() {
-    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let opts = ServeOptions {
+        http: Some("127.0.0.1:0".into()),
+        ..ServeOptions::default()
+    };
+    let server = serve("127.0.0.1:0", opts).expect("bind");
     let addr = server.addr();
+    let http_addr = server.http_addr().expect("ops listener");
 
     println!(
         "{:>10} {:>8} {:>10} {:>12} {:>8} {:>9} {:>9}",
@@ -294,6 +300,50 @@ fn main() {
          recorder is supposed to be ~free (< 5%)"
     );
 
+    // Price the ops plane: the same workload with a concurrent
+    // `GET /metrics` scraper hammering the HTTP listener (40 Hz — far
+    // hotter than any real Prometheus) vs without. The exposition
+    // renders on the event-loop thread, so this is the worst case for
+    // scrape interference with serving traffic.
+    const SCRAPE_INTERVAL_MS: u64 = 25;
+    let (mut plain_rate, mut scraped_rate) = (0f64, 0f64);
+    let mut scrapes_total = 0u64;
+    for _ in 0..OVERHEAD_RUNS {
+        let plain = run_one(addr, overhead_policy, overhead_clients, OVERHEAD_DELTAS);
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (code, _) =
+                        http_get(http_addr, "/metrics", Duration::from_secs(10)).expect("scrape");
+                    assert_eq!(code, 200, "scrape failed mid-bench");
+                    n += 1;
+                    std::thread::sleep(Duration::from_millis(SCRAPE_INTERVAL_MS));
+                }
+                n
+            })
+        };
+        let scraped = run_one(addr, overhead_policy, overhead_clients, OVERHEAD_DELTAS);
+        stop.store(true, Ordering::Relaxed);
+        scrapes_total += scraper.join().expect("scraper");
+        plain_rate = plain_rate.max(plain.deltas_per_s);
+        scraped_rate = scraped_rate.max(scraped.deltas_per_s);
+    }
+    let http_scrape_overhead_pct = (plain_rate / scraped_rate - 1.0) * 100.0;
+    println!(
+        "http scrape overhead ({overhead_policy}, {overhead_clients} clients, \
+         /metrics every {SCRAPE_INTERVAL_MS}ms, {scrapes_total} scrapes): \
+         plain {plain_rate:.1} deltas/s, scraped {scraped_rate:.1} deltas/s \
+         ({http_scrape_overhead_pct:+.2}%)"
+    );
+    assert!(
+        http_scrape_overhead_pct < 5.0,
+        "ops-plane scraping costs {http_scrape_overhead_pct:.2}% throughput; \
+         the exposition must stay ~free under load (< 5%)"
+    );
+
     let mut body = String::new();
     body.push_str(&format!(
         "  \"workload\": \"10x10 grid churn, {DELTAS_PER_CLIENT} deltas/client, P={PARTS}, IGPR\",\n"
@@ -307,6 +357,13 @@ fn main() {
         "  \"trace_overhead\": {{\"policy\": \"{overhead_policy}\", \
          \"clients\": {overhead_clients}, \"off_deltas_per_s\": {trace_off_rate:.1}, \
          \"on_deltas_per_s\": {trace_on_rate:.1}, \"overhead_pct\": {trace_overhead_pct:.2}}},\n"
+    ));
+    body.push_str(&format!(
+        "  \"http_scrape_overhead\": {{\"policy\": \"{overhead_policy}\", \
+         \"clients\": {overhead_clients}, \"scrape_interval_ms\": {SCRAPE_INTERVAL_MS}, \
+         \"plain_deltas_per_s\": {plain_rate:.1}, \
+         \"scraped_deltas_per_s\": {scraped_rate:.1}, \
+         \"overhead_pct\": {http_scrape_overhead_pct:.2}}},\n"
     ));
     body.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {

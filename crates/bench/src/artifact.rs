@@ -20,8 +20,11 @@ use std::fmt::Write as _;
 /// `flush_p50_us`/`flush_p99_us`/`flush_max_us`); 4 =
 /// `BENCH_service.json` gains `trace_overhead` (A/B of the request
 /// flight recorder with metrics held on, same envelope as
-/// `obs_overhead`).
-pub const SCHEMA_VERSION: u32 = 4;
+/// `obs_overhead`); 5 = `BENCH_service.json` gains
+/// `http_scrape_overhead` (same workload with a concurrent ops-plane
+/// `GET /metrics` scraper vs without; the exposition renders on the
+/// event-loop thread, so this prices scraping under load).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The host's logical core count (1 if undeterminable).
 pub fn host_cores() -> usize {

@@ -26,12 +26,13 @@ mod poller;
 #[cfg_attr(target_os = "linux", allow(dead_code))]
 pub(crate) mod pollset;
 mod pool;
+pub mod signal;
 mod sys;
 mod waker;
 
 pub use event::{Event, Events, Interest, Token};
 pub use poller::Poller;
-pub use pool::WorkerPool;
+pub use pool::{PoolHook, WorkerPool};
 pub use waker::Waker;
 
 #[cfg(test)]
@@ -336,6 +337,41 @@ mod tests {
             1,
             "worker died with the panicking job"
         );
+    }
+
+    /// The liveness hook sees a balanced busy/idle pair per job, on the
+    /// executing worker's index — including around a panicking job.
+    #[test]
+    fn pool_hook_brackets_every_job() {
+        struct CountingHook {
+            busy: [AtomicUsize; 2],
+            idle: [AtomicUsize; 2],
+        }
+        impl PoolHook for CountingHook {
+            fn busy(&self, worker: usize) {
+                self.busy[worker].fetch_add(1, Ordering::SeqCst);
+            }
+            fn idle(&self, worker: usize) {
+                self.idle[worker].fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let hook = Arc::new(CountingHook {
+            busy: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            idle: [AtomicUsize::new(0), AtomicUsize::new(0)],
+        });
+        let pool = WorkerPool::with_hook(2, "hook-pool", Some(hook.clone()));
+        for i in 0..40 {
+            if i % 10 == 3 {
+                pool.execute(Box::new(|| panic!("hooked panic")));
+            } else {
+                pool.execute(Box::new(|| {}));
+            }
+        }
+        pool.join();
+        let busy: usize = hook.busy.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        let idle: usize = hook.idle.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        assert_eq!(busy, 40, "one busy per job");
+        assert_eq!(idle, 40, "one idle per job, panics included");
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! (trace ids, log prefixes, enqueue timestamps) capture it in the
 //! closure and re-establish it as the job's first act. `igp-service`
 //! relies on this to propagate request traces loop → worker without
-//! the pool growing an `igp-obs` dependency.
+//! the pool growing an `igp-obs` dependency. The one exception is
+//! per-*worker* (not per-job) liveness: a [`PoolHook`] installed at
+//! construction is told which worker index goes busy/idle around each
+//! job — something a job closure cannot know — so the service's stall
+//! watchdog can stamp one heartbeat cell per worker.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -17,6 +21,18 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Observes worker liveness transitions. `busy` fires on the worker
+/// thread immediately before each job, `idle` immediately after it
+/// (panicking jobs included — the pool's `catch_unwind` sits inside
+/// the pair). Implementations must be cheap and non-blocking; they run
+/// on the hot dispatch path of every job.
+pub trait PoolHook: Send + Sync {
+    /// Worker `worker` picked up a job.
+    fn busy(&self, worker: usize);
+    /// Worker `worker` finished its job and is parked again.
+    fn idle(&self, worker: usize);
+}
 
 struct State {
     jobs: VecDeque<Job>,
@@ -42,6 +58,12 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawn `workers` threads (minimum 1) named `{name}-{i}`.
     pub fn new(workers: usize, name: &str) -> WorkerPool {
+        WorkerPool::with_hook(workers, name, None)
+    }
+
+    /// Like [`WorkerPool::new`], with an optional liveness hook called
+    /// around every job (see [`PoolHook`]).
+    pub fn with_hook(workers: usize, name: &str, hook: Option<Arc<dyn PoolHook>>) -> WorkerPool {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -53,9 +75,10 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let hook = hook.clone();
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i, hook.as_deref()))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -112,7 +135,7 @@ fn lock(m: &Mutex<State>) -> std::sync::MutexGuard<'_, State> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize, hook: Option<&dyn PoolHook>) {
     loop {
         let job = {
             let mut state = lock(&shared.state);
@@ -126,6 +149,12 @@ fn worker_loop(shared: &Shared) {
                 state = shared.cv.wait(state).unwrap_or_else(|p| p.into_inner());
             }
         };
+        if let Some(h) = hook {
+            h.busy(worker);
+        }
         let _ = catch_unwind(AssertUnwindSafe(job));
+        if let Some(h) = hook {
+            h.idle(worker);
+        }
     }
 }

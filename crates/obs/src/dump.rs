@@ -1,0 +1,219 @@
+//! Black-box diagnostic bundles (DESIGN.md §14.3).
+//!
+//! A bundle is one plain-text file: a `key: value` header (always
+//! starting with the magic line and a `reason:`), then named sections
+//! delimited by `--- section: <name> ---` markers, closed by a final
+//! `--- end ---` line so a truncated dump is detectable. The daemon
+//! writes one on panic and on SIGTERM/SIGINT (`igp-serve --diag-dir`);
+//! [`validate`] is the shared parser the CLI (`igp-cli diag`) and CI
+//! drills use to assert a dump is complete.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// First line of every bundle; bump the version if the format changes.
+pub const DUMP_MAGIC: &str = "IGP-DIAG v1";
+
+const SECTION_PREFIX: &str = "--- section: ";
+const SECTION_SUFFIX: &str = " ---";
+const END_MARKER: &str = "--- end ---";
+
+/// Assembles one diagnostic bundle.
+pub struct DumpBuilder {
+    header: String,
+    sections: Vec<(String, String)>,
+}
+
+impl DumpBuilder {
+    /// Start a bundle for the given crash/kill reason.
+    pub fn new(reason: &str) -> DumpBuilder {
+        let mut b = DumpBuilder {
+            header: format!("{DUMP_MAGIC}\n"),
+            sections: Vec::new(),
+        };
+        b.kv("reason", &sanitize(reason));
+        b.kv("pid", &std::process::id().to_string());
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        b.kv("unix_time", &unix.to_string());
+        b
+    }
+
+    /// Append a `key: value` header line (single line; newlines in the
+    /// value are flattened).
+    pub fn kv(&mut self, key: &str, value: &str) -> &mut DumpBuilder {
+        self.header
+            .push_str(&format!("{key}: {}\n", sanitize(value)));
+        self
+    }
+
+    /// Append a named section with a free-form body.
+    pub fn section(&mut self, name: &str, body: &str) -> &mut DumpBuilder {
+        self.sections.push((name.to_string(), body.to_string()));
+        self
+    }
+
+    /// The full bundle text.
+    pub fn render(&self) -> String {
+        let mut out = self.header.clone();
+        for (name, body) in &self.sections {
+            out.push_str(&format!("{SECTION_PREFIX}{name}{SECTION_SUFFIX}\n"));
+            out.push_str(body);
+            if !body.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out.push_str(END_MARKER);
+        out.push('\n');
+        out
+    }
+
+    /// Write the bundle to a fresh uniquely-named file under `dir`
+    /// (created if missing) and fsync it — a crash-time artifact that
+    /// itself vanished in the crash would be useless.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(dir)?;
+        let pid = std::process::id();
+        loop {
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("igp-diag-{pid}-{n}.txt"));
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(self.render().as_bytes())?;
+                    f.sync_all()?;
+                    return Ok(path);
+                }
+                // A previous run of this pid left the name behind
+                // (counter restarted): take the next sequence number.
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// What [`validate`] extracts from a well-formed bundle.
+#[derive(Debug)]
+pub struct DumpSummary {
+    /// The `reason:` header value.
+    pub reason: String,
+    /// Section names with their body sizes in bytes, in file order.
+    pub sections: Vec<(String, usize)>,
+}
+
+/// Parse and structurally validate a bundle: magic first line, a
+/// `reason:` header, well-formed section markers, and the closing end
+/// marker (so truncation fails validation).
+pub fn validate(text: &str) -> Result<DumpSummary, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l == DUMP_MAGIC => {}
+        Some(l) => return Err(format!("bad magic line `{l}` (want `{DUMP_MAGIC}`)")),
+        None => return Err("empty dump".to_string()),
+    }
+    let mut reason = None;
+    let mut sections: Vec<(String, usize)> = Vec::new();
+    let mut in_header = true;
+    let mut ended = false;
+    for line in lines {
+        if ended {
+            return Err(format!("content after `{END_MARKER}`: `{line}`"));
+        }
+        if line == END_MARKER {
+            ended = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(SECTION_PREFIX) {
+            let Some(name) = rest.strip_suffix(SECTION_SUFFIX) else {
+                return Err(format!("malformed section marker `{line}`"));
+            };
+            in_header = false;
+            sections.push((name.to_string(), 0));
+            continue;
+        }
+        if in_header {
+            let Some((k, v)) = line.split_once(": ") else {
+                return Err(format!("malformed header line `{line}`"));
+            };
+            if k == "reason" {
+                reason = Some(v.to_string());
+            }
+        } else if let Some(last) = sections.last_mut() {
+            last.1 += line.len() + 1;
+        }
+    }
+    if !ended {
+        return Err(format!("truncated dump: no `{END_MARKER}`"));
+    }
+    let reason = reason.ok_or("missing `reason:` header")?;
+    Ok(DumpSummary { reason, sections })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_renders_and_validates() {
+        let mut b = DumpBuilder::new("signal SIGTERM");
+        b.kv("version", "1.2.3");
+        b.section("watchdog", "status ok\nloop ok busy_us=0\n");
+        b.section("metrics", "# HELP x y\n# TYPE x counter\nx 1\n");
+        let text = b.render();
+        let s = validate(&text).expect("valid");
+        assert_eq!(s.reason, "signal SIGTERM");
+        assert_eq!(s.sections.len(), 2);
+        assert_eq!(s.sections[0].0, "watchdog");
+        assert_eq!(s.sections[1].0, "metrics");
+        assert!(s.sections.iter().all(|(_, n)| *n > 0));
+    }
+
+    #[test]
+    fn truncated_dump_fails_validation() {
+        let mut b = DumpBuilder::new("panic: boom");
+        b.section("traces", "t\n");
+        let text = b.render();
+        let cut = &text[..text.len() - END_MARKER.len() - 1];
+        assert!(validate(cut).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn bad_magic_and_missing_reason_fail() {
+        assert!(validate("nope\n--- end ---\n").is_err());
+        let no_reason = format!("{DUMP_MAGIC}\npid: 1\n{END_MARKER}\n");
+        assert!(validate(&no_reason).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn newlines_in_reason_are_flattened() {
+        let b = DumpBuilder::new("multi\nline");
+        let s = validate(&b.render()).expect("valid");
+        assert_eq!(s.reason, "multi line");
+    }
+
+    #[test]
+    fn write_to_creates_unique_files() {
+        let dir = std::env::temp_dir().join(format!("igp-dump-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = DumpBuilder::new("test");
+        b.section("s", "body\n");
+        let p1 = b.write_to(&dir).expect("write");
+        let p2 = b.write_to(&dir).expect("write");
+        assert_ne!(p1, p2);
+        let text = std::fs::read_to_string(&p1).expect("read");
+        validate(&text).expect("valid on disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

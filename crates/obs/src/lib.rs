@@ -23,11 +23,18 @@
 //!   into per-thread ring-buffer flight recorders, rendered by the
 //!   daemon's `TRACE DUMP` verb and the slow-request log
 //!   ([`trace::set_slow_threshold_us`]).
+//! - **Liveness watchdogs** ([`health::Watchdog`]) — busy-since and
+//!   freshness heartbeat cells with per-component stall bars, feeding
+//!   the daemon's `/healthz`/`/readyz` endpoints — and **black-box
+//!   dumps** ([`health`], [`dump`]): the crash-time bundle the daemon
+//!   writes on panic or SIGTERM.
 //!
 //! Metric naming follows DESIGN.md §10.1: `igp_<layer>_<what>_<unit>`,
 //! with time histograms in microseconds (`_us`) and counts as
 //! `_total`.
 
+pub mod dump;
+pub mod health;
 mod log;
 mod metrics;
 mod registry;

@@ -14,6 +14,8 @@
 //! igp-cli [--addr HOST:PORT] demo [--sessions N] [--deltas K] [--parts P]
 //!                                 [--policy SPEC] [--seed S]
 //! igp-cli [--addr HOST:PORT] soak [--sessions N] [--parts P] [--hold-secs S]
+//! igp-cli health [--http HOST:PORT] [--watch] [--interval SECS]
+//! igp-cli diag <bundle-file>
 //! igp-cli replay <data-dir> [sid]
 //! ```
 //!
@@ -39,6 +41,17 @@
 //! newest last). `--slow N` instead sets the daemon's slow-request
 //! threshold in µs (0 disables the slow log).
 //!
+//! `health` talks to the daemon's ops-plane HTTP listener (`igp-serve
+//! --http`, not the line-protocol port): it fetches `/healthz` and
+//! `/readyz`, prints the per-component watchdog verdicts, and exits
+//! nonzero unless both answered 200 — a scriptable probe for CI and
+//! process supervisors. `--watch` re-probes on an interval and never
+//! exits on an unhealthy answer (the point is to watch it recover).
+//!
+//! `diag` validates a black-box bundle written by `igp-serve
+//! --diag-dir` (structure, magic, end marker) and prints its reason and
+//! section inventory; exits nonzero on a malformed or truncated bundle.
+//!
 //! `replay` needs no server: it inspects a `--data-dir` tree offline —
 //! per session, the stored config, the latest snapshot, the WAL tail
 //! (record counts + bytes), the tail coalesced into one canonical
@@ -46,7 +59,7 @@
 //! caught.
 
 use igp_graph::{generators, io as graph_io};
-use igp_service::client::{DeltaAck, IgpClient};
+use igp_service::client::{http_get, DeltaAck, IgpClient};
 use igp_service::protocol::{parse_bool, parse_delta_fields};
 use igp_service::session::SessionConfig;
 use igp_store::SessionStore;
@@ -59,6 +72,8 @@ fn usage(code: i32) -> ! {
          \x20      igp-cli metrics [--watch] [--interval SECS]\n\
          \x20      igp-cli trace [--dump N] [--slow THRESHOLD_US]\n\
          \x20      igp-cli soak [--sessions N] [--parts P] [--hold-secs S]\n\
+         \x20      igp-cli health [--http HOST:PORT] [--watch] [--interval SECS]\n\
+         \x20      igp-cli diag <bundle-file>\n\
          \x20      igp-cli replay <data-dir> [sid]"
     );
     std::process::exit(code);
@@ -186,6 +201,8 @@ fn main() {
         "trace" => cmd_trace(&addr, args),
         "demo" => cmd_demo(&addr, args),
         "soak" => cmd_soak(&addr, args),
+        "health" => cmd_health(args),
+        "diag" => cmd_diag(args),
         "replay" => cmd_replay(args),
         _ => usage(2),
     }
@@ -247,6 +264,85 @@ fn cmd_trace(addr: &str, mut args: Vec<String>) {
     let text = cli.trace_dump(dump).unwrap_or_else(|e| fail(e));
     print!("{text}");
     let _ = std::io::stdout().flush();
+}
+
+/// Probe the ops plane: `GET /healthz` + `GET /readyz` against the
+/// daemon's `--http` listener, render the component verdicts, and exit
+/// nonzero unless both answered 200. `--watch` re-probes forever
+/// instead (supervisors use the one-shot form to gate restarts).
+fn cmd_health(mut args: Vec<String>) {
+    let http = take_value(&mut args, "--http").unwrap_or_else(|| "127.0.0.1:7422".into());
+    let watch = args
+        .iter()
+        .position(|a| a == "--watch")
+        .map(|i| args.remove(i))
+        .is_some();
+    let interval: u64 = take_value(&mut args, "--interval")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| fail(format!("--interval: {e}")))
+        })
+        .unwrap_or(2);
+    if !args.is_empty() {
+        usage(2);
+    }
+    let timeout = std::time::Duration::from_secs(5);
+    let mut out = std::io::stdout();
+    loop {
+        let (hcode, hbody) =
+            http_get(&http, "/healthz", timeout).unwrap_or_else(|e| fail(format!("{http}: {e}")));
+        let (rcode, rbody) =
+            http_get(&http, "/readyz", timeout).unwrap_or_else(|e| fail(format!("{http}: {e}")));
+        let mut text = format!("healthz {hcode}\n");
+        // /healthz bodies are `status <overall>` + one line per
+        // component; indent them under the probe line.
+        for line in hbody.lines() {
+            text.push_str(&format!("  {line}\n"));
+        }
+        // /readyz repeats the component table; only its verdict lines
+        // (`ready 0|1`, `draining 1`) add information here.
+        text.push_str(&format!("readyz {rcode}\n"));
+        for line in rbody
+            .lines()
+            .take_while(|l| !l.starts_with("status "))
+            .filter(|l| !l.is_empty())
+        {
+            text.push_str(&format!("  {line}\n"));
+        }
+        if write!(out, "{text}").and_then(|()| out.flush()).is_err() {
+            return;
+        }
+        if !watch {
+            if hcode != 200 || rcode != 200 {
+                std::process::exit(1);
+            }
+            return;
+        }
+        if writeln!(out, "---").is_err() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval.max(1)));
+    }
+}
+
+/// Validate a black-box bundle (`igp-serve --diag-dir`) and print its
+/// inventory; exit 1 if the bundle is malformed or truncated.
+fn cmd_diag(mut args: Vec<String>) {
+    if args.len() != 1 {
+        usage(2);
+    }
+    let path = args.remove(0);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("read {path}: {e}")));
+    match igp_obs::dump::validate(&text) {
+        Ok(summary) => {
+            println!("valid bundle: {path}");
+            println!("  reason: {}", summary.reason);
+            for (name, bytes) in &summary.sections {
+                println!("  section {name}: {bytes} bytes");
+            }
+        }
+        Err(e) => fail(format!("{path}: invalid bundle: {e}")),
+    }
 }
 
 /// Offline WAL/snapshot inspector: no server, read-only.

@@ -5,6 +5,8 @@
 //!           [--data-dir DIR] [--snapshot-policy never|every:<k>|cost[:r:m:w]]
 //!           [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]
 //!           [--log-level error|warn|info|debug] [--slow-us N]
+//!           [--http HOST:PORT] [--diag-dir DIR]
+//!           [--watchdog-loop-ms N] [--watchdog-worker-ms N] [--debug-stall]
 //! ```
 //!
 //! The daemon runs one event-loop thread (nonblocking accept + state-
@@ -29,9 +31,21 @@
 //! trace span exceeds N µs is logged at WARN with its per-span
 //! breakdown (`TRACE SLOW` adjusts it at runtime; 0 disables).
 //!
+//! `--http HOST:PORT` opens the ops plane: a second listener on the
+//! same event loop serving `GET /metrics`, `/healthz`, `/readyz`,
+//! `/traces` and `/sessions` (DESIGN.md §14.1). `--watchdog-loop-ms` /
+//! `--watchdog-worker-ms` retune the liveness bars behind `/healthz`;
+//! `--debug-stall` accepts the `STALL` fault-injection verb (never in
+//! production).
+//!
+//! `--diag-dir DIR` arms the black box: on panic, SIGTERM or SIGINT the
+//! daemon writes one diagnostic bundle (watchdog verdicts, session
+//! table, metrics, recent traces) to DIR, then — for signals — drains
+//! gracefully. Validate a bundle with `igp-cli diag <file>`.
+//!
 //! Prints `igp-serve listening on <addr>` once the socket is bound
 //! (scripts wait for that line), then serves until a client sends
-//! `SHUTDOWN`.
+//! `SHUTDOWN` (or SIGTERM/SIGINT arrives).
 
 use igp_service::server::{serve, ServeOptions};
 use std::io::Write;
@@ -41,7 +55,9 @@ fn usage(code: i32) -> ! {
         "usage: igp-serve [--addr HOST:PORT] [--shards N] [--queue-cap N] [--workers N]\n\
          \x20                [--data-dir DIR] [--snapshot-policy SPEC]\n\
          \x20                [--follow HOST:PORT] [--repl-interval-ms N] [--failover-ms N]\n\
-         \x20                [--log-level error|warn|info|debug] [--slow-us N]"
+         \x20                [--log-level error|warn|info|debug] [--slow-us N]\n\
+         \x20                [--http HOST:PORT] [--diag-dir DIR]\n\
+         \x20                [--watchdog-loop-ms N] [--watchdog-worker-ms N] [--debug-stall]"
     );
     std::process::exit(code);
 }
@@ -113,6 +129,27 @@ fn main() {
                 Some(us) => opts.slow_us = Some(us),
                 None => usage(2),
             },
+            "--http" => match args.next() {
+                Some(a) => opts.http = Some(a),
+                None => usage(2),
+            },
+            "--diag-dir" => match args.next() {
+                Some(d) => opts.diag_dir = Some(d.into()),
+                None => usage(2),
+            },
+            "--watchdog-loop-ms" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => {
+                    opts.loop_stall = std::time::Duration::from_millis(ms);
+                }
+                _ => usage(2),
+            },
+            "--watchdog-worker-ms" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => {
+                    opts.worker_stall = std::time::Duration::from_millis(ms);
+                }
+                _ => usage(2),
+            },
+            "--debug-stall" => opts.debug_stall = true,
             "--help" | "-h" => usage(0),
             _ => usage(2),
         }
@@ -125,8 +162,44 @@ fn main() {
         }
     };
     println!("igp-serve listening on {}", handle.addr());
+    if let Some(http) = handle.http_addr() {
+        println!("igp-serve http on {http}");
+    }
     let _ = std::io::stdout().flush();
     igp_obs::info!(target: "serve", "listening"; addr = handle.addr());
+    // SIGTERM/SIGINT: write the black box, then drain gracefully. The
+    // handler itself only pokes a pipe; this watcher thread does the
+    // real work and the main thread's `wait()` observes the drain.
+    {
+        let trigger = handle.trigger();
+        match igp_net::signal::pipe_on_signals(&[igp_net::signal::SIGTERM, igp_net::signal::SIGINT])
+        {
+            Ok(mut pipe) => {
+                std::thread::Builder::new()
+                    .name("igp-signal".into())
+                    .spawn(move || {
+                        if let Ok(sig) = pipe.wait() {
+                            let name = match sig {
+                                igp_net::signal::SIGINT => "SIGINT",
+                                igp_net::signal::SIGTERM => "SIGTERM",
+                                _ => "signal",
+                            };
+                            igp_obs::warn!(target: "serve", "signal received; draining"; signal = name);
+                            let _ = igp_service::diag::dump_all(&format!("signal: {name}"));
+                            trigger.shutdown();
+                            // A second signal while draining: exit hard.
+                            if pipe.wait().is_ok() {
+                                std::process::exit(130);
+                            }
+                        }
+                    })
+                    .expect("spawn signal watcher");
+            }
+            Err(e) => {
+                igp_obs::warn!(target: "serve", "signal handling unavailable"; detail = e.to_string());
+            }
+        }
+    }
     handle.wait();
     igp_obs::info!(target: "serve", "shut down cleanly");
     println!("igp-serve: shut down cleanly");

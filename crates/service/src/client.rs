@@ -109,6 +109,14 @@ pub struct StatInfo {
     /// The daemon's role (`primary` or `follower`); absent when talking
     /// to a pre-replication daemon.
     pub role: Option<String>,
+    /// Daemon uptime in whole seconds; absent on pre-ops-plane daemons.
+    pub uptime_s: Option<u64>,
+    /// Follower only: milliseconds since last fully caught up with the
+    /// primary (0 while caught up).
+    pub repl_lag_ms: Option<u64>,
+    /// Follower only: milliseconds since the last successful
+    /// replication tick (absent before the first one).
+    pub repl_heartbeat_age_ms: Option<u64>,
 }
 
 /// A session's full durable state as shipped by `REPL SYNC`: the raw
@@ -301,6 +309,9 @@ impl IgpClient {
             repart_p99_us: field_opt(&kv, "repart_p99_us")?,
             repart_max_us: field_opt(&kv, "repart_max_us")?,
             role: kv.iter().find(|(k, _)| k == "role").map(|(_, v)| v.clone()),
+            uptime_s: field_opt(&kv, "uptime_s")?,
+            repl_lag_ms: field_opt(&kv, "repl_lag_ms")?,
+            repl_heartbeat_age_ms: field_opt(&kv, "repl_heartbeat_age_ms")?,
         })
     }
 
@@ -527,6 +538,40 @@ impl IgpClient {
             other => Err(ClientError::Proto(format!("expected bye, got `{other}`"))),
         }
     }
+}
+
+/// One blocking `GET` against a daemon's ops-plane HTTP listener
+/// (`--http`); returns the status code and the response body. A
+/// deliberately minimal HTTP/1.0 client — enough for `igp-cli health`,
+/// the test suite and CI smoke scripts, with a read timeout so a hung
+/// daemon cannot wedge the caller.
+pub fn http_get<A: ToSocketAddrs>(
+    addr: A,
+    path: &str,
+    timeout: std::time::Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nConnection: close\r\n\r\n").as_bytes())?;
+    let mut raw = Vec::new();
+    {
+        use io::Read;
+        stream.read_to_end(&mut raw)?;
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some(t) => t,
+        None => text
+            .split_once("\n\n")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP head/body split"))?,
+    };
+    let status = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP status code"))?;
+    Ok((status, body.to_string()))
 }
 
 fn to_strs(v: &[String]) -> Vec<&str> {

@@ -1,0 +1,152 @@
+//! Crash-time black-box dumps (DESIGN.md §14.3).
+//!
+//! Every daemon started with a `diag_dir` registers itself here; the
+//! first registration also installs a process-wide panic hook. On a
+//! panic — or on demand via [`dump_all`], which `igp-serve`'s signal
+//! watcher calls for SIGTERM/SIGINT — each registered daemon writes one
+//! [`igp_obs::dump`] bundle to its directory: build identity, watchdog
+//! verdicts, the session table, a full metrics exposition, and the
+//! flight recorder's recent traces. The bundle is what you read when
+//! the process is already gone — the black box, not a live endpoint.
+//!
+//! Everything on this path must work from inside a panic hook: session
+//! rows come from `try_lock` (a panicking worker holds its session's
+//! lock), and a dump failure is logged, never propagated.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, Once, Weak};
+
+use crate::server::ServerCtx;
+use igp_obs::dump::DumpBuilder;
+
+/// Daemons participating in crash-time dumps (weak: a shut-down
+/// server's context must not be kept alive by the diagnostic plane).
+static TARGETS: Mutex<Vec<Weak<ServerCtx>>> = Mutex::new(Vec::new());
+
+/// Register a daemon for crash-time dumps. No-op for daemons without a
+/// `diag_dir`. Called by `serve()`; the first effective registration
+/// installs the panic hook.
+pub(crate) fn register_server(ctx: &Arc<ServerCtx>) {
+    if ctx.diag_dir.is_none() {
+        return;
+    }
+    let mut targets = TARGETS.lock().unwrap_or_else(|p| p.into_inner());
+    targets.retain(|w| w.upgrade().is_some());
+    targets.push(Arc::downgrade(ctx));
+    drop(targets);
+    install_panic_hook();
+}
+
+fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Dump first: `prev` may abort (panic = abort profiles).
+            let _ = dump_all(&format!("panic: {info}"));
+            prev(info);
+        }));
+    });
+}
+
+/// Write a diagnostic bundle for every registered (still-live) daemon;
+/// returns the paths written. `reason` lands in the bundle header.
+pub fn dump_all(reason: &str) -> Vec<PathBuf> {
+    let targets: Vec<Arc<ServerCtx>> = {
+        let t = TARGETS.lock().unwrap_or_else(|p| p.into_inner());
+        t.iter().filter_map(Weak::upgrade).collect()
+    };
+    let mut written = Vec::new();
+    for ctx in targets {
+        let Some(dir) = ctx.diag_dir.clone() else {
+            continue;
+        };
+        match write_bundle(&ctx, reason, &dir) {
+            Ok(path) => {
+                igp_obs::warn!(
+                    target: "diag", "black-box dump written";
+                    path = path.display().to_string(), reason = reason,
+                );
+                written.push(path);
+            }
+            Err(e) => {
+                igp_obs::error!(
+                    target: "diag", "black-box dump failed";
+                    dir = dir.display().to_string(), detail = e.to_string(),
+                );
+            }
+        }
+    }
+    written
+}
+
+fn write_bundle(ctx: &ServerCtx, reason: &str, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+    let mut b = DumpBuilder::new(reason);
+    b.kv("version", env!("CARGO_PKG_VERSION"))
+        .kv(
+            "profile",
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        )
+        .kv(
+            "role",
+            if ctx.is_follower() {
+                "follower"
+            } else {
+                "primary"
+            },
+        )
+        .kv("uptime_s", &crate::obs::uptime_s().to_string());
+    b.section("watchdog", &ctx.health.watchdog.check().render());
+    b.section("sessions", &crate::server::render_sessions(ctx));
+    crate::server::refresh_serving_gauges(ctx);
+    b.section("metrics", &igp_obs::registry().render());
+    b.section("traces", &igp_obs::trace::render_traces(16));
+    b.write_to(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::server::{serve, ServeOptions};
+    use igp_obs::dump::validate;
+
+    #[test]
+    fn dump_all_writes_a_valid_bundle_per_registered_daemon() {
+        let dir = tempdir::scratch("diag-dump-test");
+        let opts = ServeOptions {
+            diag_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let h = serve("127.0.0.1:0", opts).expect("serve");
+        let written = super::dump_all("test: on-demand");
+        let ours: Vec<_> = written.iter().filter(|p| p.starts_with(&dir)).collect();
+        assert_eq!(ours.len(), 1, "one bundle for this daemon: {written:?}");
+        let text = std::fs::read_to_string(ours[0]).expect("read bundle");
+        let summary = validate(&text).expect("bundle validates");
+        assert_eq!(summary.reason, "test: on-demand");
+        let names: Vec<_> = summary.sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["watchdog", "sessions", "metrics", "traces"]);
+        drop(h);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    mod tempdir {
+        use std::path::PathBuf;
+
+        pub fn scratch(tag: &str) -> PathBuf {
+            let dir = std::env::temp_dir().join(format!(
+                "igp-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos(),
+            ));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            dir
+        }
+    }
+}

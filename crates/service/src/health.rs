@@ -1,0 +1,192 @@
+//! Per-daemon watchdog wiring (DESIGN.md §14.2).
+//!
+//! [`igp_obs::health`] supplies the primitives (busy-since
+//! [`HealthCell`]s, last-success [`FreshnessCell`]s, the [`Watchdog`]
+//! that renders verdicts); this module owns how one daemon composes
+//! them:
+//!
+//! * `loop` — one cell the event loop stamps busy before its readiness
+//!   sweep and idle before each poll wait;
+//! * `worker-<i>` — one cell per pool worker, stamped via the
+//!   [`igp_net::PoolHook`] around every job;
+//! * `store` — the process-global durability cell
+//!   ([`igp_store::obs::health_cell`]), stamped around WAL appends and
+//!   snapshot writes;
+//! * `repl` — follower only: a freshness cell stamped on every
+//!   successful replication tick, plus the caught-up bookkeeping behind
+//!   the `repl_lag_ms` gauge.
+//!
+//! Each daemon owns its own [`DaemonHealth`] (in-process test fleets
+//! must not share verdicts); the one exception is the store cell, which
+//! is process-global because a stalling disk is process-wide.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use igp_net::PoolHook;
+use igp_obs::health::{FreshnessCell, HealthCell, Watchdog};
+
+/// Follower replication liveness: a freshness heartbeat plus the
+/// "since when have we been behind?" bookkeeping that defines
+/// `repl_lag_ms` (milliseconds since last fully caught up; 0 while
+/// caught up).
+pub(crate) struct ReplHealth {
+    /// Stamped on every successful replication tick.
+    pub fresh: Arc<FreshnessCell>,
+    /// When the follower last *fell* behind; `None` while caught up.
+    behind_since: Mutex<Option<Instant>>,
+}
+
+impl ReplHealth {
+    /// Freshness bar: four missed ticks, floored at 500ms so very fast
+    /// test intervals don't flap.
+    pub fn new(repl_interval: Duration) -> Arc<ReplHealth> {
+        let bar = (repl_interval * 4).max(Duration::from_millis(500));
+        Arc::new(ReplHealth {
+            fresh: FreshnessCell::new(bar),
+            behind_since: Mutex::new(None),
+        })
+    }
+
+    /// Record a successful tick that observed `lag_bytes` of WAL still
+    /// to fetch; returns the current time-lag in milliseconds.
+    pub fn note_tick(&self, lag_bytes: u64) -> u64 {
+        self.fresh.stamp();
+        let mut behind = self.behind_since.lock().unwrap_or_else(|p| p.into_inner());
+        if lag_bytes == 0 {
+            *behind = None;
+            0
+        } else {
+            let since = behind.get_or_insert_with(Instant::now);
+            since.elapsed().as_millis() as u64
+        }
+    }
+
+    /// Current `repl_lag_ms` without recording a tick.
+    pub fn lag_ms(&self) -> u64 {
+        let behind = self.behind_since.lock().unwrap_or_else(|p| p.into_inner());
+        behind.map_or(0, |t| t.elapsed().as_millis() as u64)
+    }
+
+    /// Milliseconds since the last successful tick; `None` before the
+    /// first one.
+    pub fn heartbeat_age_ms(&self) -> Option<u64> {
+        self.fresh.age().map(|d| d.as_millis() as u64)
+    }
+}
+
+/// One daemon's full watchdog: the component cells plus the
+/// [`Watchdog`] they are registered in.
+pub(crate) struct DaemonHealth {
+    pub watchdog: Watchdog,
+    pub loop_cell: Arc<HealthCell>,
+    pub worker_cells: Vec<Arc<HealthCell>>,
+    /// `Some` on followers only.
+    pub repl: Option<Arc<ReplHealth>>,
+}
+
+impl DaemonHealth {
+    /// Build and register the full component set for one daemon.
+    pub fn new(
+        loop_bar: Duration,
+        worker_bar: Duration,
+        workers: usize,
+        repl: Option<Arc<ReplHealth>>,
+    ) -> Arc<DaemonHealth> {
+        let watchdog = Watchdog::new();
+        let loop_cell = HealthCell::new(loop_bar);
+        watchdog.register_cell("loop", loop_cell.clone());
+        let worker_cells: Vec<_> = (0..workers)
+            .map(|i| {
+                let cell = HealthCell::new(worker_bar);
+                watchdog.register_cell(&format!("worker-{i}"), cell.clone());
+                cell
+            })
+            .collect();
+        watchdog.register_cell("store", igp_store::obs::health_cell().clone());
+        if let Some(r) = &repl {
+            watchdog.register_freshness("repl", r.fresh.clone());
+        }
+        Arc::new(DaemonHealth {
+            watchdog,
+            loop_cell,
+            worker_cells,
+            repl,
+        })
+    }
+}
+
+/// [`PoolHook`] adapter stamping each worker's cell around its jobs.
+pub(crate) struct WorkerHealthHook {
+    cells: Vec<Arc<HealthCell>>,
+}
+
+impl WorkerHealthHook {
+    pub fn new(cells: Vec<Arc<HealthCell>>) -> Arc<WorkerHealthHook> {
+        Arc::new(WorkerHealthHook { cells })
+    }
+}
+
+impl PoolHook for WorkerHealthHook {
+    fn busy(&self, worker: usize) {
+        if let Some(c) = self.cells.get(worker) {
+            c.busy();
+        }
+    }
+    fn idle(&self, worker: usize) {
+        if let Some(c) = self.cells.get(worker) {
+            c.idle();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igp_obs::health::HealthState;
+
+    #[test]
+    fn daemon_health_registers_expected_components() {
+        let dh = DaemonHealth::new(
+            Duration::from_millis(250),
+            Duration::from_secs(60),
+            2,
+            Some(ReplHealth::new(Duration::from_millis(50))),
+        );
+        let r = dh.watchdog.check();
+        let names: Vec<_> = r.components.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["loop", "worker-0", "worker-1", "store", "repl"]);
+        // Fresh follower: repl never stamped yet → degraded, not ok.
+        assert_eq!(r.overall, HealthState::Degraded);
+        dh.repl.as_ref().unwrap().note_tick(0);
+        assert_eq!(dh.watchdog.check().overall, HealthState::Ok);
+    }
+
+    #[test]
+    fn repl_lag_ms_tracks_behind_time() {
+        let rh = ReplHealth::new(Duration::from_millis(50));
+        assert_eq!(rh.note_tick(0), 0);
+        assert_eq!(rh.lag_ms(), 0);
+        let first = rh.note_tick(100);
+        std::thread::sleep(Duration::from_millis(5));
+        let later = rh.note_tick(40);
+        assert!(
+            later >= first + 5,
+            "lag grows while behind: {first} → {later}"
+        );
+        assert!(rh.lag_ms() >= later);
+        assert_eq!(rh.note_tick(0), 0, "caught up resets the clock");
+        assert!(rh.heartbeat_age_ms().unwrap() < 1_000);
+    }
+
+    #[test]
+    fn worker_hook_out_of_range_is_ignored() {
+        let cells = vec![HealthCell::new(Duration::from_secs(1))];
+        let hook = WorkerHealthHook::new(cells.clone());
+        hook.busy(0);
+        hook.idle(0);
+        hook.busy(7); // no panic
+        hook.idle(7);
+        assert_eq!(cells[0].stalls(), 0);
+    }
+}

@@ -57,7 +57,9 @@
 //! ```
 
 pub mod client;
+pub mod diag;
 pub mod durable;
+mod health;
 pub mod obs;
 pub mod policy;
 pub mod protocol;
@@ -71,7 +73,7 @@ pub use durable::{recover_all, recover_session, RecoveredSession};
 pub use igp_store::SnapshotPolicy;
 pub use policy::{CostTrigger, PolicyView, RepartitionPolicy};
 pub use registry::SessionRegistry;
-pub use server::{serve, ServeOptions, ServerHandle};
+pub use server::{serve, ServeOptions, ServerHandle, ShutdownTrigger};
 pub use session::{Ingest, InitPartition, ServiceSession, SessionConfig};
 
 use igp_graph::CoalesceError;

@@ -13,7 +13,7 @@ use igp_obs::{registry, Counter, Gauge, Histogram};
 
 /// The protocol verbs, in the order [`verb_idx`] assigns; used as the
 /// `verb` label value.
-pub const VERBS: [&str; 14] = [
+pub const VERBS: [&str; 15] = [
     "ping",
     "open",
     "delta",
@@ -28,6 +28,7 @@ pub const VERBS: [&str; 14] = [
     "repl-frames",
     "promote",
     "trace",
+    "stall",
 ];
 
 /// Index of a parsed request's verb into the per-verb metric arrays.
@@ -47,6 +48,7 @@ pub fn verb_idx(req: &Request) -> usize {
         Request::ReplFrames { .. } => 11,
         Request::Promote => 12,
         Request::TraceDump { .. } | Request::TraceSlow { .. } => 13,
+        Request::Stall { .. } => 14,
     }
 }
 
@@ -66,6 +68,7 @@ const REQ_SPAN_NAMES: [&str; VERBS.len()] = [
     "req:repl-frames",
     "req:promote",
     "req:trace",
+    "req:stall",
 ];
 
 /// The trace root-span name for a parsed request (`req:<verb>`).
@@ -101,6 +104,12 @@ const ERROR_KINDS: [&str; 10] = [
     "internal",
     "read-only",
     "repl-stale",
+];
+
+/// Ops-plane HTTP paths, in the order `ServiceMetrics::http_requests_total`
+/// indexes; the final `other` bucket absorbs 404s and unknown paths.
+pub const HTTP_PATHS: [&str; 6] = [
+    "metrics", "healthz", "readyz", "traces", "sessions", "other",
 ];
 
 /// All service-layer metric handles; one instance per process.
@@ -175,6 +184,25 @@ pub struct ServiceMetrics {
     /// worker-pool jobs; the direct measure of pool saturation, and
     /// the same quantity the `queue_wait` trace span shows per request.
     pub pool_queue_wait_us: Arc<Histogram>,
+    /// `igp_service_http_requests_total{path=…}` — ops-plane HTTP GETs
+    /// served, indexed per [`HTTP_PATHS`]; use
+    /// [`ServiceMetrics::http_request`] for the by-path lookup.
+    http_requests_total: [Arc<Counter>; HTTP_PATHS.len()],
+    /// `igp_service_repl_lag_ms` — milliseconds since this follower was
+    /// last fully caught up with its primary (0 while caught up).
+    pub repl_lag_ms: Arc<Gauge>,
+    /// `igp_service_repl_heartbeat_age_ms` — milliseconds since the
+    /// follower's last successful replication tick against the primary.
+    pub repl_heartbeat_age_ms: Arc<Gauge>,
+    /// `process_start_time_seconds` — Unix time this process started
+    /// (Prometheus well-known name; constant after startup).
+    pub process_start_time_seconds: Arc<Gauge>,
+    /// `process_uptime_seconds` — seconds since process start; refreshed
+    /// on every `METRICS` / `/metrics` render.
+    pub process_uptime_seconds: Arc<Gauge>,
+    /// `igp_build_info{version=…,profile=…}` — constant 1; the labels
+    /// carry the build identity.
+    pub build_info: Arc<Gauge>,
 }
 
 impl ServiceMetrics {
@@ -202,6 +230,34 @@ impl ServiceMetrics {
         };
         &self.repartitions_total[p][usize::from(explicit_flush)]
     }
+
+    /// The HTTP request counter for an ops-plane path token (see
+    /// [`HTTP_PATHS`]); unknown tokens land in the `other` bucket.
+    pub fn http_request(&self, path: &str) -> &Counter {
+        let i = HTTP_PATHS
+            .iter()
+            .position(|p| *p == path)
+            .unwrap_or(HTTP_PATHS.len() - 1);
+        &self.http_requests_total[i]
+    }
+}
+
+/// Monotonic process start instant (first call wins; the daemon calls
+/// this at startup so it reflects serve time, not first-metric time).
+pub fn process_start() -> std::time::Instant {
+    static START: OnceLock<std::time::Instant> = OnceLock::new();
+    *START.get_or_init(std::time::Instant::now)
+}
+
+/// Whole seconds since [`process_start`].
+pub fn uptime_s() -> u64 {
+    process_start().elapsed().as_secs()
+}
+
+/// Refresh `process_uptime_seconds`; called from every metrics render
+/// path (`METRICS` verb and the HTTP `/metrics` endpoint).
+pub fn refresh_process_gauges() {
+    metrics().process_uptime_seconds.set(uptime_s() as i64);
 }
 
 /// The service layer's registered metric handles.
@@ -335,6 +391,64 @@ pub fn metrics() -> &'static ServiceMetrics {
                 "Worker-pool job wait from dispatch to pickup (microseconds)",
                 vec![],
             ),
+            http_requests_total: std::array::from_fn(|i| {
+                r.counter(
+                    "igp_service_http_requests_total",
+                    "Ops-plane HTTP GET requests served, by path",
+                    vec![("path", HTTP_PATHS[i].to_string())],
+                )
+            }),
+            repl_lag_ms: r.gauge(
+                "igp_service_repl_lag_ms",
+                "Milliseconds since the follower was last fully caught up (0 while caught up)",
+                vec![],
+            ),
+            repl_heartbeat_age_ms: r.gauge(
+                "igp_service_repl_heartbeat_age_ms",
+                "Milliseconds since the follower's last successful replication tick",
+                vec![],
+            ),
+            process_start_time_seconds: {
+                let g = r.gauge(
+                    "process_start_time_seconds",
+                    "Unix time the process started, in seconds",
+                    vec![],
+                );
+                let started = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| {
+                        d.as_secs()
+                            .saturating_sub(process_start().elapsed().as_secs())
+                    })
+                    .unwrap_or(0);
+                g.set(started as i64);
+                g
+            },
+            process_uptime_seconds: r.gauge(
+                "process_uptime_seconds",
+                "Seconds since the process started",
+                vec![],
+            ),
+            build_info: {
+                let g = r.gauge(
+                    "igp_build_info",
+                    "Build identity (constant 1; labels carry version and profile)",
+                    vec![
+                        ("version", env!("CARGO_PKG_VERSION").to_string()),
+                        (
+                            "profile",
+                            if cfg!(debug_assertions) {
+                                "debug"
+                            } else {
+                                "release"
+                            }
+                            .to_string(),
+                        ),
+                    ],
+                );
+                g.set(1);
+                g
+            },
         }
     })
 }
@@ -384,5 +498,24 @@ mod tests {
         }
         assert!(m.error("proto").is_some());
         assert!(m.error("not-a-kind").is_none());
+    }
+
+    #[test]
+    fn http_path_lookup_and_process_gauges() {
+        let m = metrics();
+        let before = m.http_request("other").get();
+        m.http_request("metrics").inc();
+        m.http_request("not-a-path").inc();
+        assert_eq!(m.http_request("other").get(), before + 1);
+        refresh_process_gauges();
+        assert_eq!(m.build_info.get(), 1);
+        assert!(m.process_start_time_seconds.get() > 0);
+        assert_eq!(
+            VERBS[verb_idx(&Request::Stall {
+                target: crate::protocol::StallTarget::Loop,
+                ms: 1,
+            })],
+            "stall"
+        );
     }
 }

@@ -18,6 +18,7 @@
 //! PROMOTE
 //! TRACE DUMP [n]
 //! TRACE SLOW <threshold_us>
+//! STALL LOOP <ms> | STALL WORKER <ms>
 //! ```
 //!
 //! `METRICS` is the other multi-line exception, on the response side:
@@ -33,6 +34,13 @@
 //! frames in `[offset, wal_end)` of log `<seq>`, answering
 //! `ERR repl-stale` after a rotation so the follower knows to resync.
 //! `PROMOTE` flips a follower to primary.
+//!
+//! `STALL` is fault injection for the liveness watchdogs (DESIGN.md
+//! §14.2): it wedges the event loop (`LOOP`) or one pool worker
+//! (`WORKER`) for the given number of milliseconds, so tests and chaos
+//! drills can assert `/healthz` flips to degraded and recovers. It is
+//! refused with `ERR proto` unless the daemon was started with
+//! `--debug-stall`.
 
 use crate::policy::RepartitionPolicy;
 use crate::session::{InitPartition, SessionConfig};
@@ -56,7 +64,19 @@ pub enum Request {
     Promote,
     TraceDump { n: usize },
     TraceSlow { threshold_us: u64 },
+    Stall { target: StallTarget, ms: u64 },
 }
+
+/// What `STALL` wedges: the event loop thread or one pool worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallTarget {
+    Loop,
+    Worker,
+}
+
+/// Longest accepted `STALL` (keeps fault injection from turning into a
+/// denial of service even with `--debug-stall` on).
+pub const STALL_MAX_MS: u64 = 10_000;
 
 /// Traces a bare `TRACE DUMP` renders.
 pub const TRACE_DUMP_DEFAULT: usize = 32;
@@ -177,6 +197,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }),
             _ => Err("usage: TRACE DUMP [n] | TRACE SLOW <threshold_us>".into()),
         },
+        "STALL" => {
+            let (target, ms) = match rest.as_slice() {
+                ["LOOP", ms] => (StallTarget::Loop, ms),
+                ["WORKER", ms] => (StallTarget::Worker, ms),
+                _ => return Err("usage: STALL LOOP <ms> | STALL WORKER <ms>".into()),
+            };
+            let ms: u64 = ms.parse().map_err(|e| format!("bad stall ms: {e}"))?;
+            if ms == 0 || ms > STALL_MAX_MS {
+                return Err(format!("stall ms must be 1..={STALL_MAX_MS}"));
+            }
+            Ok(Request::Stall { target, ms })
+        }
         other => Err(format!("unknown verb `{other}`")),
     }
 }
@@ -513,6 +545,35 @@ mod tests {
             "TRACE SLOW -1",
             "TRACE SLOW x",
             "TRACE NOPE",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn stall_lines_parse() {
+        assert_eq!(
+            parse_request("STALL LOOP 250").unwrap(),
+            Request::Stall {
+                target: StallTarget::Loop,
+                ms: 250
+            }
+        );
+        assert_eq!(
+            parse_request("STALL WORKER 1").unwrap(),
+            Request::Stall {
+                target: StallTarget::Worker,
+                ms: 1
+            }
+        );
+        for bad in [
+            "STALL",
+            "STALL LOOP",
+            "STALL LOOP 0",
+            "STALL LOOP x",
+            "STALL WORKER 10001",
+            "STALL BOTH 5",
+            "STALL LOOP 5 6",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?}");
         }

@@ -184,7 +184,18 @@ fn tick(
             Err(e) => return Err(e), // transport: the whole tick failed
         }
     }
-    crate::obs::metrics().repl_lag_bytes.set(lag_total);
+    let m = crate::obs::metrics();
+    m.repl_lag_bytes.set(lag_total);
+    // Successful tick: stamp the watchdog's freshness cell and refresh
+    // the time-domain lag gauges (repl_lag_ms is "how long have we been
+    // behind", not a byte count — see DESIGN.md §14.2).
+    if let Some(rh) = &ctx.health.repl {
+        let lag_ms = rh.note_tick(lag_total.max(0) as u64);
+        m.repl_lag_ms.set(lag_ms as i64);
+        if let Some(age) = rh.heartbeat_age_ms() {
+            m.repl_heartbeat_age_ms.set(age as i64);
+        }
+    }
     Ok(())
 }
 

@@ -23,14 +23,16 @@
 //! flag. The loop then closes the listener, lets in-flight jobs finish
 //! and their replies flush, joins the pool, and exits.
 
-use crate::protocol::{encode_hex_lines, parse_request, Request};
+use crate::health::{DaemonHealth, ReplHealth, WorkerHealthHook};
+use crate::protocol::{encode_hex_lines, parse_request, Request, StallTarget};
 use crate::registry::SessionRegistry;
 use crate::session::{Ingest, ServiceSession, SessionConfig};
 use crate::ServiceError;
 use igp_core::session::StepSummary;
 use igp_graph::metrics::CutMetrics;
 use igp_graph::{io as graph_io, CsrGraph};
-use igp_net::{Events, Interest, Poller, Token, Waker, WorkerPool};
+use igp_net::{Events, Interest, Poller, PoolHook, Token, Waker, WorkerPool};
+use igp_obs::health::HealthState;
 use igp_obs::trace::Span;
 use igp_store::wal::HEADER_BYTES;
 use igp_store::{decode_frames, SnapshotPolicy};
@@ -83,6 +85,25 @@ pub struct ServeOptions {
     /// breakdown (the `--slow-us` flag; `TRACE SLOW` changes it live).
     /// `None` leaves the process-wide threshold untouched.
     pub slow_us: Option<u64>,
+    /// Ops-plane HTTP address (`--http`): a second listener on the same
+    /// event loop serving `GET /metrics`, `/healthz`, `/readyz`,
+    /// `/traces` and `/sessions` (DESIGN.md §14.1). `None` = no HTTP.
+    pub http: Option<String>,
+    /// Black-box dump directory (`--diag-dir`): a panic (and, in
+    /// `igp-serve`, SIGTERM/SIGINT) writes a diagnostic bundle here
+    /// (DESIGN.md §14.3). `None` = no dumps.
+    pub diag_dir: Option<PathBuf>,
+    /// Watchdog bar for the event loop: one loop iteration (readiness
+    /// sweep + completions, poll wait excluded) busy past this is a
+    /// stall.
+    pub loop_stall: Duration,
+    /// Watchdog bar for pool workers: one job busy past this is a
+    /// stall. Generous by default — repartitions of large graphs are
+    /// legitimately slow.
+    pub worker_stall: Duration,
+    /// Accept the `STALL` fault-injection verb (`--debug-stall`). Off
+    /// by default; production daemons refuse it with `ERR proto`.
+    pub debug_stall: bool,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +118,11 @@ impl Default for ServeOptions {
             failover: None,
             workers: 0,
             slow_us: None,
+            http: None,
+            diag_dir: None,
+            loop_stall: Duration::from_millis(250),
+            worker_stall: Duration::from_secs(60),
+            debug_stall: false,
         }
     }
 }
@@ -121,6 +147,15 @@ pub(crate) struct ServerCtx {
     is_follower: AtomicBool,
     /// Raised to stop replication ticks (promotion or shutdown).
     pub(crate) repl_stop: AtomicBool,
+    /// This daemon's watchdog and its heartbeat cells.
+    pub(crate) health: Arc<DaemonHealth>,
+    /// Raised when the loop enters drain — `/readyz` flips not-ready
+    /// while in-flight work finishes.
+    pub(crate) draining: AtomicBool,
+    /// Where this daemon writes black-box dumps, if anywhere.
+    pub(crate) diag_dir: Option<PathBuf>,
+    /// `STALL` fault injection enabled.
+    pub(crate) debug_stall: bool,
 }
 
 impl ServerCtx {
@@ -138,6 +173,12 @@ impl ServerCtx {
         let was = self.is_follower.swap(false, Ordering::SeqCst);
         self.repl_stop.store(true, Ordering::SeqCst);
         if was {
+            // The replication tick stops on purpose; its freshness cell
+            // must stop counting as late or the promoted primary would
+            // read degraded (and un-ready) forever.
+            if let Some(r) = &self.health.repl {
+                r.fresh.retire();
+            }
             crate::obs::metrics().promotions_total.inc();
             igp_obs::warn!(target: "serve", "promoted to primary");
         }
@@ -190,16 +231,51 @@ impl LoopShared {
 /// A running daemon; dropping it shuts the daemon down.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     ctx: Arc<ServerCtx>,
     shared: Arc<LoopShared>,
     event_loop: Option<JoinHandle<()>>,
 }
 
+/// A cloneable, non-joining shutdown request: raises the stop flag and
+/// wakes the loop, nothing more. For contexts that must not block on
+/// the loop's exit — the signal watcher thread asks for shutdown with
+/// this, then the main thread's [`ServerHandle::wait`] observes it.
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    stop: Arc<AtomicBool>,
+    ctx: Arc<ServerCtx>,
+    shared: Arc<LoopShared>,
+}
+
+impl ShutdownTrigger {
+    /// Request a graceful drain; returns immediately.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.ctx.repl_stop.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+    }
+}
+
 impl ServerHandle {
     /// The bound address (resolves port 0 requests).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The ops-plane HTTP address, when one was requested.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// A detached handle that can request shutdown without joining.
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            stop: self.stop.clone(),
+            ctx: self.ctx.clone(),
+            shared: self.shared.clone(),
+        }
     }
 
     /// Block until the server exits (i.e. until some client sends
@@ -244,6 +320,18 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let http_listener = match &opts.http {
+        Some(a) => {
+            let l = TcpListener::bind(a.as_str())?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    let http_addr = match &http_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     // Touch every layer's metric registration at boot so `METRICS`
     // renders the full family set (zero-valued) before any traffic.
     let _ = crate::obs::metrics();
@@ -278,6 +366,12 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
             igp_obs::error!(target: "serve", "session NOT recovered"; detail = f);
         }
     }
+    let workers = effective_workers(opts.workers);
+    let repl_health = opts
+        .follow
+        .as_ref()
+        .map(|_| ReplHealth::new(opts.repl_interval));
+    let health = DaemonHealth::new(opts.loop_stall, opts.worker_stall, workers, repl_health);
     let ctx = Arc::new(ServerCtx {
         registry,
         queue_cap: opts.queue_cap.max(1),
@@ -285,11 +379,21 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
         snapshot_policy: opts.snapshot_policy,
         is_follower: AtomicBool::new(opts.follow.is_some()),
         repl_stop: AtomicBool::new(false),
+        health,
+        draining: AtomicBool::new(false),
+        diag_dir: opts.diag_dir.clone(),
+        debug_stall: opts.debug_stall,
     });
+    // Daemons with a diag dir participate in crash-time dumps (and the
+    // process-wide panic hook is installed on first registration).
+    crate::diag::register_server(&ctx);
     let stop = Arc::new(AtomicBool::new(false));
 
     let poller = Poller::new()?;
     poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+    if let Some(l) = &http_listener {
+        poller.register(l.as_raw_fd(), HTTP_LISTENER, Interest::READABLE)?;
+    }
     let shared = Arc::new(LoopShared {
         waker: Waker::new(&poller, WAKER)?,
         completions: Mutex::new(Vec::new()),
@@ -308,15 +412,16 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
         )
     });
 
-    let workers = effective_workers(opts.workers);
+    let hook: Arc<dyn PoolHook> = WorkerHealthHook::new(ctx.health.worker_cells.clone());
     let event_loop = {
         let mut el = EventLoop {
             poller,
             listener: Some(listener),
+            http_listener,
             conns: Vec::new(),
             free: Vec::new(),
             next_generation: 0,
-            pool: Some(WorkerPool::new(workers, "igp-worker")),
+            pool: Some(WorkerPool::with_hook(workers, "igp-worker", Some(hook))),
             shared: shared.clone(),
             ctx: ctx.clone(),
             stop: stop.clone(),
@@ -332,6 +437,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, opts: ServeOptions) -> io::Result<Server
 
     Ok(ServerHandle {
         addr,
+        http_addr,
         stop,
         ctx,
         shared,
@@ -350,10 +456,25 @@ const MAX_GRAPH_BYTES: usize = 64 << 20;
 /// clients that are not reading, once all in-flight jobs are done.
 const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(3);
 
+/// Largest accepted ops-plane HTTP request head.
+const MAX_HTTP_HEAD: usize = 8 * 1024;
+
 const LISTENER: Token = Token(0);
 const WAKER: Token = Token(1);
+/// The ops-plane HTTP listener (present only with `--http`).
+const HTTP_LISTENER: Token = Token(2);
 /// Connection slot `i` registers under token `FIRST_CONN + i`.
-const FIRST_CONN: usize = 2;
+const FIRST_CONN: usize = 3;
+
+/// Which protocol a connection speaks, fixed by the listener that
+/// accepted it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    /// The line protocol (the primary listener).
+    Line,
+    /// Ops-plane HTTP/1.0: one GET, one response, close.
+    Http,
+}
 
 /// Where a connection stands in the request cycle.
 enum ConnState {
@@ -387,6 +508,7 @@ enum ConnState {
 /// make the daemon buffer unbounded.
 struct Conn {
     stream: TcpStream,
+    kind: ConnKind,
     /// Distinguishes this connection from an earlier one that used the
     /// same slot, for completions that outlive their connection.
     generation: u64,
@@ -473,6 +595,8 @@ struct EventLoop {
     poller: Poller,
     /// Dropped (and deregistered) when draining starts.
     listener: Option<TcpListener>,
+    /// The ops-plane HTTP listener, same lifecycle as `listener`.
+    http_listener: Option<TcpListener>,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     next_generation: u64,
@@ -493,6 +617,7 @@ struct EventLoop {
 impl EventLoop {
     fn run(&mut self) {
         let m = crate::obs::metrics();
+        let loop_cell = self.ctx.health.loop_cell.clone();
         let mut events = Events::with_capacity(1024);
         let mut inbox: Vec<Completion> = Vec::new();
         loop {
@@ -504,8 +629,14 @@ impl EventLoop {
             }
             self.schedule_repl_tick();
             let timeout = self.poll_timeout();
+            // The watchdog heartbeat brackets the poll wait: blocked in
+            // poll is *parked*, everything else in the iteration is
+            // *busy* — a stall is an iteration that would not yield.
+            loop_cell.idle();
             let t0 = Instant::now();
-            if let Err(e) = self.poller.poll(&mut events, timeout) {
+            let polled = self.poller.poll(&mut events, timeout);
+            loop_cell.busy();
+            if let Err(e) = polled {
                 igp_obs::error!(target: "serve", "poll failed"; detail = e.to_string());
                 break;
             }
@@ -514,8 +645,9 @@ impl EventLoop {
             let iter0 = igp_obs::enabled().then(Instant::now);
             for ev in &events {
                 match ev.token() {
-                    LISTENER => self.accept_all(),
+                    LISTENER => self.accept_all(ConnKind::Line),
                     WAKER => self.shared.waker.drain(),
+                    HTTP_LISTENER => self.accept_all(ConnKind::Http),
                     Token(t) => {
                         self.on_conn_event(t - FIRST_CONN, ev.is_readable(), ev.is_writable())
                     }
@@ -557,13 +689,17 @@ impl EventLoop {
 
     // -- accept path ----------------------------------------------------
 
-    fn accept_all(&mut self) {
+    fn accept_all(&mut self, kind: ConnKind) {
         loop {
-            let Some(listener) = &self.listener else {
+            let listener = match kind {
+                ConnKind::Line => &self.listener,
+                ConnKind::Http => &self.http_listener,
+            };
+            let Some(listener) = listener else {
                 return;
             };
             match listener.accept() {
-                Ok((stream, _)) => self.install_conn(stream),
+                Ok((stream, _)) => self.install_conn(stream, kind),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => {
@@ -577,7 +713,7 @@ impl EventLoop {
         }
     }
 
-    fn install_conn(&mut self, stream: TcpStream) {
+    fn install_conn(&mut self, stream: TcpStream, kind: ConnKind) {
         if stream.set_nonblocking(true).is_err() {
             return;
         }
@@ -598,6 +734,7 @@ impl EventLoop {
         }
         self.conns[slot] = Some(Conn {
             stream,
+            kind,
             generation: self.next_generation,
             rbuf: Vec::new(),
             consumed: 0,
@@ -715,6 +852,12 @@ impl EventLoop {
     /// allows. Stops at: incomplete line, Busy (job dispatched), closing,
     /// or write backpressure.
     fn process_conn(&mut self, slot: usize) {
+        if self.conns[slot]
+            .as_ref()
+            .is_some_and(|c| c.kind == ConnKind::Http)
+        {
+            return self.process_http(slot);
+        }
         loop {
             let Some(conn) = self.conns[slot].as_mut() else {
                 return;
@@ -790,6 +933,134 @@ impl EventLoop {
             }
         }
         self.sync_interest(slot);
+    }
+
+    // -- ops-plane HTTP -------------------------------------------------
+
+    /// HTTP connections have a one-shot cycle: buffer the request head,
+    /// route it, queue the response, close once it flushes. Bodies are
+    /// never read (every endpoint is a GET), and the head is capped so
+    /// a non-HTTP peer cannot balloon the buffer.
+    fn process_http(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.closing || !conn.wbuf.is_empty() {
+            self.sync_interest(slot);
+            return;
+        }
+        let Some(head_end) = find_http_head_end(&conn.rbuf) else {
+            if conn.rbuf.len() > MAX_HTTP_HEAD || conn.peer_eof {
+                self.close_conn(slot);
+            }
+            return;
+        };
+        if head_end > MAX_HTTP_HEAD {
+            self.close_conn(slot);
+            return;
+        }
+        let head = String::from_utf8_lossy(&conn.rbuf[..head_end]).into_owned();
+        conn.rbuf.clear();
+        conn.consumed = 0;
+        conn.scan = 0;
+        let response = self.http_response(&head);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        crate::obs::metrics()
+            .bytes_out_total
+            .add(response.len() as u64);
+        conn.wbuf.extend_from_slice(response.as_bytes());
+        conn.closing = true;
+        self.flush_conn(slot);
+        self.sync_interest(slot);
+    }
+
+    /// Route one parsed request head to an endpoint (DESIGN.md §14.1).
+    fn http_response(&mut self, head: &str) -> String {
+        let line = head.lines().next().unwrap_or("");
+        let mut it = line.split_ascii_whitespace();
+        let (method, target) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+        let path = target.split('?').next().unwrap_or("");
+        let m = crate::obs::metrics();
+        if method != "GET" {
+            m.http_request("other").inc();
+            return http_message(405, "Method Not Allowed", "only GET is served\n");
+        }
+        match path {
+            "/metrics" => {
+                m.http_request("metrics").inc();
+                refresh_serving_gauges(&self.ctx);
+                let body = igp_obs::registry().render();
+                format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len(),
+                )
+            }
+            "/healthz" => {
+                m.http_request("healthz").inc();
+                let r = self.ctx.health.watchdog.check();
+                if r.overall == HealthState::Ok {
+                    http_message(200, "OK", &r.render())
+                } else {
+                    http_message(503, "Service Unavailable", &r.render())
+                }
+            }
+            "/readyz" => {
+                m.http_request("readyz").inc();
+                let r = self.ctx.health.watchdog.check();
+                let draining = self.draining;
+                // Liveness degradation only blocks readiness at
+                // `unhealthy` — but a follower whose replication is not
+                // fresh is *not* ready to serve reads, so the `repl`
+                // component must be fully ok.
+                let repl_ok = r
+                    .components
+                    .iter()
+                    .filter(|c| c.name == "repl")
+                    .all(|c| c.state == HealthState::Ok);
+                let ready = !draining && r.overall != HealthState::Unhealthy && repl_ok;
+                let mut body = format!("ready {}\n", u8::from(ready));
+                if draining {
+                    body.push_str("draining 1\n");
+                }
+                body.push_str(&r.render());
+                if ready {
+                    http_message(200, "OK", &body)
+                } else {
+                    http_message(503, "Service Unavailable", &body)
+                }
+            }
+            "/traces" => {
+                m.http_request("traces").inc();
+                let n = target
+                    .split_once('?')
+                    .and_then(|(_, q)| {
+                        q.split('&')
+                            .find_map(|kv| kv.strip_prefix("n="))
+                            .and_then(|v| v.parse::<usize>().ok())
+                    })
+                    .unwrap_or(16);
+                http_message(200, "OK", &igp_obs::trace::render_traces(n))
+            }
+            "/sessions" => {
+                m.http_request("sessions").inc();
+                http_message(200, "OK", &render_sessions(&self.ctx))
+            }
+            "/" => {
+                m.http_request("other").inc();
+                http_message(
+                    200,
+                    "OK",
+                    "igp-serve ops plane\n/metrics\n/healthz\n/readyz\n/traces\n/sessions\n",
+                )
+            }
+            _ => {
+                m.http_request("other").inc();
+                http_message(404, "Not Found", "unknown path\n")
+            }
+        }
     }
 
     // -- request handling -----------------------------------------------
@@ -876,10 +1147,10 @@ impl EventLoop {
                 self.finish_request(slot, out, t0, vi, root);
             }
             Ok(Request::Metrics) => {
-                // Refresh the registry-derived gauge, then render the
-                // whole process registry: service, store, core and
-                // runtime families in one exposition.
-                m.active_sessions.set(self.ctx.registry.len() as i64);
+                // Refresh the registry- and clock-derived gauges, then
+                // render the whole process registry: service, store,
+                // core and runtime families in one exposition.
+                refresh_serving_gauges(&self.ctx);
                 let out = format!("OK metrics\n{}END", igp_obs::registry().render());
                 self.finish_request(slot, out, t0, vi, root);
             }
@@ -904,6 +1175,36 @@ impl EventLoop {
                     u8::from(was),
                 );
                 self.finish_request(slot, out, t0, vi, root);
+            }
+            Ok(Request::Stall { target, ms }) => {
+                if !self.ctx.debug_stall {
+                    self.finish_request(
+                        slot,
+                        "ERR proto STALL requires --debug-stall".to_string(),
+                        t0,
+                        vi,
+                        root,
+                    );
+                } else {
+                    match target {
+                        StallTarget::Loop => {
+                            // Fault injection: hold the loop thread
+                            // hostage so the watchdog's stall detection
+                            // can be tested end to end.
+                            igp_obs::warn!(target: "serve", "injected loop stall"; ms = ms);
+                            std::thread::sleep(Duration::from_millis(ms));
+                            let out = format!("OK stalled target=loop ms={ms}");
+                            self.finish_request(slot, out, t0, vi, root);
+                        }
+                        StallTarget::Worker => self.dispatch(
+                            slot,
+                            PoolJob::Verb(Request::Stall { target, ms }),
+                            t0,
+                            vi,
+                            root,
+                        ),
+                    }
+                }
             }
             Ok(Request::Shutdown) => {
                 self.queue_reply(slot, "OK bye".to_string());
@@ -1197,8 +1498,12 @@ impl EventLoop {
 
     fn begin_drain(&mut self) {
         self.draining = true;
+        self.ctx.draining.store(true, Ordering::SeqCst);
         self.ctx.repl_stop.store(true, Ordering::SeqCst);
         if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        if let Some(listener) = self.http_listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
         }
         // Idle connections close now (in-flight ones reply first, then
@@ -1368,6 +1673,15 @@ fn pool_reply(ctx: &Arc<ServerCtx>, job: PoolJob) -> String {
                     " repart_p50_us={p50} repart_p99_us={p99} repart_max_us={max}"
                 ));
             }
+            line.push_str(&format!(" uptime_s={}", crate::obs::uptime_s()));
+            if ctx.is_follower() {
+                if let Some(rh) = &ctx.health.repl {
+                    line.push_str(&format!(" repl_lag_ms={}", rh.lag_ms()));
+                    if let Some(age) = rh.heartbeat_age_ms() {
+                        line.push_str(&format!(" repl_heartbeat_age_ms={age}"));
+                    }
+                }
+            }
             line
         }),
         PoolJob::Verb(Request::Part { sid }) => with_session(registry, &sid, |s| {
@@ -1409,6 +1723,17 @@ fn pool_reply(ctx: &Arc<ServerCtx>, job: PoolJob) -> String {
             with_session(registry, &sid, |s| {
                 repl_frames_reply(&sid, s, seq, offset, m)
             })
+        }
+        PoolJob::Verb(Request::Stall {
+            target: StallTarget::Worker,
+            ms,
+        }) => {
+            // Fault injection (gated at dispatch by --debug-stall):
+            // occupy this worker so its heartbeat cell registers a
+            // stall.
+            igp_obs::warn!(target: "serve", "injected worker stall"; ms = ms);
+            std::thread::sleep(Duration::from_millis(ms));
+            format!("OK stalled target=worker ms={ms}")
         }
         PoolJob::Verb(req) => {
             // Ping/List/Metrics/Promote/Shutdown/Open are loop-inline and
@@ -1522,6 +1847,86 @@ fn step_line(sid: &str, s: &StepSummary, coalesced: usize, scratch: bool) -> Str
 
 fn err_line(e: &ServiceError) -> String {
     format!("ERR {} {e}", e.kind())
+}
+
+/// End of the HTTP request head (`\r\n\r\n` or bare `\n\n`), if fully
+/// buffered; returns the offset one past the blank line.
+fn find_http_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+                return Some(i + 2);
+            }
+            if i + 2 < buf.len() && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A complete plain-text HTTP/1.0 response.
+fn http_message(code: u16, reason: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+}
+
+/// The `/sessions` table: one line per session, read with `try_lock` so
+/// a busy session shows as `busy=1` instead of blocking the loop (or a
+/// crash-time dump) on a worker's session lock.
+pub(crate) fn render_sessions(ctx: &ServerCtx) -> String {
+    let ids = ctx.registry.list();
+    let role = if ctx.is_follower() {
+        "follower"
+    } else {
+        "primary"
+    };
+    let mut out = format!("role {role}\nsessions {}\n", ids.len());
+    for sid in ids {
+        let Ok(entry) = ctx.registry.get(&sid) else {
+            continue; // closed between list and get
+        };
+        match entry.try_lock() {
+            Ok(s) => {
+                let g = s.inner().graph();
+                out.push_str(&format!(
+                    "{sid} n={} m={} pending={} steps={} scratch={}\n",
+                    g.num_vertices(),
+                    g.num_edges(),
+                    s.inner().pending_deltas(),
+                    s.steps(),
+                    u8::from(s.inner().needs_scratch()),
+                ));
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {
+                out.push_str(&format!("{sid} busy=1\n"));
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                out.push_str(&format!("{sid} poisoned=1\n"));
+            }
+        };
+    }
+    out
+}
+
+/// Refresh every registry- or clock-derived gauge ahead of a metrics
+/// render (the `METRICS` verb, HTTP `/metrics`, and the dump all route
+/// through here).
+pub(crate) fn refresh_serving_gauges(ctx: &ServerCtx) {
+    let m = crate::obs::metrics();
+    m.active_sessions.set(ctx.registry.len() as i64);
+    crate::obs::refresh_process_gauges();
+    if let Some(rh) = &ctx.health.repl {
+        m.repl_lag_ms.set(rh.lag_ms() as i64);
+        if let Some(age) = rh.heartbeat_age_ms() {
+            m.repl_heartbeat_age_ms.set(age as i64);
+        }
+    }
 }
 
 /// `REPL SYNC` reply: the session's full durable state — meta, current

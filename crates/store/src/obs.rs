@@ -1,10 +1,31 @@
 //! Store-layer metrics: WAL append latency and volume, snapshot and
 //! recovery durations, corrupt-tail truncations. Registered into the
-//! global igp-obs registry (naming per DESIGN.md §10.1).
+//! global igp-obs registry (naming per DESIGN.md §10.1). Also home of
+//! the process-global durability [`health_cell`] the serving layer's
+//! watchdog registers as its `store` component.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
+use igp_obs::health::HealthCell;
 use igp_obs::{registry, Counter, Histogram};
+
+/// How long a durable write may run before the watchdog calls it a
+/// stall — generous, because fsync-class latency spikes are normal.
+const STORE_STALL_BAR: Duration = Duration::from_secs(2);
+
+/// How long a failed durable write holds the store `unhealthy`.
+pub(crate) const STORE_FAIL_HOLD: Duration = Duration::from_secs(5);
+
+/// The process-global store heartbeat cell, stamped busy/idle around
+/// every WAL append and snapshot write (and `unhealthy` for a hold
+/// after one fails). Process-global — unlike the serving layer's
+/// per-daemon cells — because a stalling or failing disk is a
+/// process-wide condition.
+pub fn health_cell() -> &'static Arc<HealthCell> {
+    static CELL: OnceLock<Arc<HealthCell>> = OnceLock::new();
+    CELL.get_or_init(|| HealthCell::new(STORE_STALL_BAR))
+}
 
 /// All store-layer metric handles; one instance per process.
 pub struct StoreMetrics {

@@ -325,7 +325,9 @@ impl SessionStore {
     pub fn snapshot_now(&mut self, state: SessionState<'_>) -> Result<(), StoreError> {
         let _sp = igp_obs::trace::Span::ambient("snapshot");
         let m = crate::obs::metrics();
-        m.snapshot_us.time(|| -> Result<(), StoreError> {
+        let cell = crate::obs::health_cell();
+        cell.busy();
+        let written = m.snapshot_us.time(|| -> Result<(), StoreError> {
             let next = self.seq + 1;
             let lineage = self.co.net();
             let compacted = self.wal.records();
@@ -347,7 +349,12 @@ impl SessionStore {
             self.ops_since_snap = 0;
             self.steps_at_snap = state.steps;
             Ok(())
-        })?;
+        });
+        cell.idle();
+        if written.is_err() {
+            cell.note_failure(crate::obs::STORE_FAIL_HOLD);
+        }
+        written?;
         m.snapshots_total.inc();
         Ok(())
     }

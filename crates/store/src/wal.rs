@@ -156,11 +156,18 @@ impl WalWriter {
         // (inert during recovery replay, which traces nothing).
         let _sp = igp_obs::trace::Span::ambient("wal_append");
         let m = crate::obs::metrics();
-        m.wal_append_us.time(|| -> Result<(), StoreError> {
+        let cell = crate::obs::health_cell();
+        cell.busy();
+        let appended = m.wal_append_us.time(|| -> Result<(), StoreError> {
             self.file.write_all(&frame)?;
             self.file.flush()?;
             Ok(())
-        })?;
+        });
+        cell.idle();
+        if appended.is_err() {
+            cell.note_failure(crate::obs::STORE_FAIL_HOLD);
+        }
+        appended?;
         m.wal_frames_total.inc();
         m.wal_bytes_total.add(frame.len() as u64);
         self.bytes += frame.len() as u64;

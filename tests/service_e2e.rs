@@ -250,8 +250,11 @@ fn metrics_exposition_covers_all_layers() {
             value.parse::<f64>().is_ok(),
             "non-numeric value in `{line}`"
         );
+        // `process_*` is the conventional Prometheus prefix for the
+        // process-level families (start time / uptime); everything
+        // else is namespaced under `igp_`.
         assert!(
-            series.starts_with("igp_")
+            (series.starts_with("igp_") || series.starts_with("process_"))
                 && series.matches('{').count() == series.matches('}').count(),
             "malformed series name in `{line}`"
         );

@@ -1,0 +1,502 @@
+//! Ops-plane end-to-end tests (DESIGN.md §14): the HTTP exposition
+//! listener riding the event loop, the liveness watchdogs behind
+//! `/healthz`, and readiness semantics across draining and replication.
+//!
+//! The stall drills use the `STALL` fault-injection verb (gated behind
+//! `--debug-stall`) to freeze the event loop or a pool worker for real
+//! — the watchdog must flip `/healthz` to 503 *while the stall is
+//! still in progress* (worker case) or hold the verdict long enough
+//! for the resumed loop itself to report it (loop case), then recover.
+
+use igp::service::client::{http_get, IgpClient};
+use igp::service::server::{serve, ServeOptions, ServerHandle};
+use igp::service::session::{InitPartition, SessionConfig};
+use igp::service::SnapshotPolicy;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const GET_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn http_opts() -> ServeOptions {
+    ServeOptions {
+        http: Some("127.0.0.1:0".into()),
+        ..Default::default()
+    }
+}
+
+fn get(server: &ServerHandle, path: &str) -> (u16, String) {
+    let addr = server.http_addr().expect("ops listener bound");
+    http_get(addr, path, GET_TIMEOUT).expect("GET")
+}
+
+/// Poll until `f` returns true; panics with `what` after 15s.
+fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while Instant::now() < deadline {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igp-http-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drive a little traffic so every serving-path metric family has
+/// nonzero samples behind it.
+fn traffic(server: &ServerHandle) {
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+    let g = igp::graph::generators::grid(6, 6);
+    let mut cfg = SessionConfig::new(2);
+    cfg.init = InitPartition::RoundRobin;
+    cfg.policy = "every:1".parse().unwrap();
+    cli.open("ops", &g, &cfg).expect("open");
+    let d = igp::graph::generators::random_churn_delta(&g, 2, 1, 7);
+    cli.delta("ops", &d).expect("delta");
+    cli.flush("ops").expect("flush");
+}
+
+// -- exposition-format conformance --------------------------------------
+
+/// Scan a `{...}` label block (braces included): returns Err unless it
+/// is a comma-separated list of `name="value"` pairs with `\"`/`\\`
+/// escapes — the exposition grammar the registry promises (§10.2).
+fn check_label_block(block: &str) -> Result<(), String> {
+    let inner = &block[1..block.len() - 1];
+    let b = inner.as_bytes();
+    let mut i = 0;
+    loop {
+        let start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if i == start {
+            return Err(format!("empty label name in `{block}`"));
+        }
+        if i >= b.len() || b[i] != b'=' {
+            return Err(format!("label without `=` in `{block}`"));
+        }
+        i += 1;
+        if i >= b.len() || b[i] != b'"' {
+            return Err(format!("unquoted label value in `{block}`"));
+        }
+        i += 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => break,
+                _ => i += 1,
+            }
+        }
+        if i >= b.len() {
+            return Err(format!("unterminated label value in `{block}`"));
+        }
+        i += 1; // past the closing quote
+        if i == b.len() {
+            return Ok(());
+        }
+        if b[i] != b',' {
+            return Err(format!("junk after label value in `{block}`"));
+        }
+        i += 1;
+    }
+}
+
+/// Split `name{labels} value` → (name, label block or "", value text),
+/// honouring quotes inside the label block.
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("no name/value split in `{line}`"))?;
+    let name = &line[..name_end];
+    let rest = &line[name_end..];
+    if !rest.starts_with('{') {
+        return Ok((name, "", rest.trim_start()));
+    }
+    let b = rest.as_bytes();
+    let (mut i, mut in_str, mut esc) = (1, false, false);
+    while i < b.len() {
+        match b[i] {
+            _ if esc => esc = false,
+            b'\\' if in_str => esc = true,
+            b'"' => in_str = !in_str,
+            b'}' if !in_str => {
+                return Ok((name, &rest[..=i], rest[i + 1..].trim_start()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(format!("unclosed label block in `{line}`"))
+}
+
+fn metric_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Structurally validate a whole exposition: every family opens with
+/// `# HELP` + `# TYPE` (in that order, once), samples follow their own
+/// family's header block (no interleaving), names/labels/values parse,
+/// and no (name, labels) series repeats.
+fn assert_exposition_conforms(text: &str) -> Vec<String> {
+    let mut families: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    let mut current: Option<(String, String)> = None; // (family, type)
+    let mut series_seen: HashSet<String> = HashSet::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            assert!(metric_name_ok(name), "bad family name in `{line}`");
+            assert!(
+                !families.contains(&name.to_string()),
+                "family `{name}` appears twice"
+            );
+            assert!(pending_help.is_none(), "HELP `{name}` after dangling HELP");
+            families.push(name.to_string());
+            pending_help = Some(name.to_string());
+            current = None;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let (name, ty) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            assert_eq!(
+                pending_help.take().as_deref(),
+                Some(name),
+                "TYPE not immediately after its HELP: `{line}`"
+            );
+            assert!(
+                ["counter", "gauge", "summary", "histogram", "untyped"].contains(&ty),
+                "unknown type in `{line}`"
+            );
+            current = Some((name.to_string(), ty.to_string()));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment `{line}`");
+        let (family, ty) = current
+            .as_ref()
+            .unwrap_or_else(|| panic!("sample before any TYPE header: `{line}`"));
+        let (name, labels, value) =
+            split_sample(line).unwrap_or_else(|e| panic!("{e} (family `{family}`)"));
+        assert!(metric_name_ok(name), "bad sample name in `{line}`");
+        let suffix_ok = ty == "summary"
+            && ["_max", "_count", "_sum"]
+                .iter()
+                .any(|s| name == format!("{family}{s}"));
+        assert!(
+            name == family || suffix_ok,
+            "sample `{name}` under family `{family}` (type {ty})"
+        );
+        if !labels.is_empty() {
+            check_label_block(labels).unwrap_or_else(|e| panic!("{e}"));
+        }
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in `{line}`"
+        );
+        assert!(
+            series_seen.insert(format!("{name}{labels}")),
+            "duplicate series `{name}{labels}`"
+        );
+    }
+    assert!(pending_help.is_none(), "HELP with no TYPE at end");
+    families
+}
+
+/// `GET /metrics` under live traffic is a conformant exposition and
+/// carries the ops-plane families: per-path HTTP counters, process
+/// start/uptime gauges and the constant `igp_build_info` series.
+#[test]
+fn metrics_endpoint_is_a_conformant_exposition() {
+    let server = serve("127.0.0.1:0", http_opts()).expect("bind");
+    traffic(&server);
+    // One throwaway scrape so http_requests_total{path="metrics"} is
+    // provably nonzero in the second one.
+    let (code, _) = get(&server, "/metrics");
+    assert_eq!(code, 200);
+    let (code, body) = get(&server, "/metrics");
+    assert_eq!(code, 200);
+
+    let families = assert_exposition_conforms(&body);
+    assert!(families.len() >= 10, "only {} families", families.len());
+    for want in [
+        "igp_service_requests_total",
+        "igp_service_http_requests_total",
+        "igp_service_active_sessions",
+        "igp_service_repl_lag_ms",
+        "igp_service_repl_heartbeat_age_ms",
+        "process_start_time_seconds",
+        "process_uptime_seconds",
+        "igp_build_info",
+    ] {
+        assert!(families.iter().any(|f| f == want), "missing family {want}");
+    }
+    assert!(
+        body.contains("igp_build_info{") && body.contains("version=\""),
+        "build info must carry its labels:\n{body}"
+    );
+    let scraped = body
+        .lines()
+        .find(|l| l.starts_with("igp_service_http_requests_total{path=\"metrics\"}"))
+        .expect("per-path scrape counter");
+    let n: i64 = scraped.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(n >= 1, "scrape counter not counting: {scraped}");
+
+    // STAT rides along: the wire now reports daemon uptime.
+    let mut cli = IgpClient::connect(server.addr()).expect("connect");
+    let stat = cli.stat("ops").expect("stat");
+    assert!(stat.uptime_s.is_some(), "STAT must report uptime_s");
+}
+
+/// The rest of the surface: index, health, readiness, session table,
+/// traces, unknown paths, non-GET methods, and an oversized request
+/// head (slowloris-by-header) that must be cut off without a reply.
+#[test]
+fn ops_endpoints_index_health_sessions_traces_and_errors() {
+    let server = serve("127.0.0.1:0", http_opts()).expect("bind");
+    traffic(&server);
+
+    let (code, body) = get(&server, "/");
+    assert_eq!(code, 200);
+    assert!(
+        body.contains("/metrics") && body.contains("/healthz"),
+        "{body}"
+    );
+
+    let (code, body) = get(&server, "/healthz");
+    assert_eq!(code, 200, "healthy daemon: {body}");
+    assert!(body.starts_with("status ok\n"), "{body}");
+    for component in ["loop ok", "worker-0 ok", "store "] {
+        assert!(body.contains(component), "missing `{component}`:\n{body}");
+    }
+
+    let (code, body) = get(&server, "/readyz");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.starts_with("ready 1\n"), "{body}");
+
+    let (code, body) = get(&server, "/sessions");
+    assert_eq!(code, 200);
+    assert!(body.contains("role primary"), "{body}");
+    assert!(body.contains("sessions 1"), "{body}");
+    assert!(body.contains("ops "), "session row missing:\n{body}");
+
+    let (code, body) = get(&server, "/traces?n=4");
+    assert_eq!(code, 200);
+    assert!(body.contains("trace "), "flight recorder empty:\n{body}");
+
+    let (code, _) = get(&server, "/no-such-path");
+    assert_eq!(code, 404);
+
+    // Non-GET: 405, and the daemon survives.
+    let http = server.http_addr().unwrap();
+    let mut raw = TcpStream::connect(http).expect("connect");
+    raw.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.0 405 "), "{reply}");
+
+    // A head that never terminates within the cap: closed, no reply.
+    let mut raw = TcpStream::connect(http).expect("connect");
+    raw.set_read_timeout(Some(GET_TIMEOUT)).unwrap();
+    let junk = format!(
+        "GET /metrics HTTP/1.0\r\nX-Pad: {}\r\n",
+        "a".repeat(16 * 1024)
+    );
+    raw.write_all(junk.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).expect("read");
+    assert!(buf.is_empty(), "oversized head must be dropped unreplied");
+
+    let (code, _) = get(&server, "/healthz");
+    assert_eq!(code, 200, "daemon must shrug off the abuse");
+}
+
+/// `STALL` is a fault-injection verb; without `--debug-stall` it must
+/// be refused like any other protocol error.
+#[test]
+fn stall_verb_is_gated_behind_debug_flag() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.write_all(b"STALL LOOP 5\nPING\n").expect("write");
+    let mut r = BufReader::new(&mut conn);
+    let mut line = String::new();
+    r.read_line(&mut line).expect("reply");
+    assert!(
+        line.starts_with("ERR proto") && line.contains("--debug-stall"),
+        "{line}"
+    );
+    line.clear();
+    r.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim_end(), "PONG");
+}
+
+/// Freeze the event loop itself. The loop can't answer `/healthz`
+/// *during* its own stall — that is exactly why a finished stall holds
+/// the verdict degraded — so a GET queued behind the stall must come
+/// back 503 once the loop resumes, and the verdict must clear after
+/// the hold expires.
+#[test]
+fn loop_stall_flips_healthz_to_degraded_and_recovers() {
+    let opts = ServeOptions {
+        loop_stall: Duration::from_millis(100),
+        debug_stall: true,
+        ..http_opts()
+    };
+    let server = serve("127.0.0.1:0", opts).expect("bind");
+    let http = server.http_addr().unwrap();
+
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.write_all(b"STALL LOOP 900\n").expect("write");
+    // Let the loop actually enter the stall before probing, so the
+    // probe is queued behind it rather than racing it.
+    std::thread::sleep(Duration::from_millis(150));
+    let (code, body) = http_get(http, "/healthz", GET_TIMEOUT).expect("GET");
+    assert_eq!(code, 503, "stall not observed:\n{body}");
+    assert!(
+        body.contains("loop degraded") || body.contains("loop unhealthy"),
+        "wrong component blamed:\n{body}"
+    );
+    let mut r = BufReader::new(&mut conn);
+    let mut line = String::new();
+    r.read_line(&mut line).expect("reply");
+    assert!(line.starts_with("OK stalled target=loop"), "{line}");
+
+    wait_until("loop verdict to clear", || {
+        matches!(http_get(http, "/healthz", GET_TIMEOUT), Ok((200, _)))
+    });
+}
+
+/// Freeze a pool worker. The loop stays live, so `/healthz` must flip
+/// to 503 while the worker is *still wedged* — within the watchdog
+/// bar, not after the job ends — and recover once the hold expires.
+#[test]
+fn worker_stall_flips_healthz_within_the_bar_and_recovers() {
+    let opts = ServeOptions {
+        workers: 1,
+        worker_stall: Duration::from_millis(150),
+        debug_stall: true,
+        ..http_opts()
+    };
+    let server = serve("127.0.0.1:0", opts).expect("bind");
+    let http = server.http_addr().unwrap();
+    let (code, _) = get(&server, "/healthz");
+    assert_eq!(code, 200);
+
+    let stall_ms = 2_000u64;
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.write_all(format!("STALL WORKER {stall_ms}\n").as_bytes())
+        .expect("write");
+    let started = Instant::now();
+    let mut flipped_at = None;
+    while started.elapsed() < Duration::from_millis(stall_ms) {
+        let (code, body) = http_get(http, "/healthz", GET_TIMEOUT).expect("GET");
+        if code == 503 {
+            assert!(
+                body.contains("worker-0 degraded") || body.contains("worker-0 unhealthy"),
+                "wrong component blamed:\n{body}"
+            );
+            flipped_at = Some(started.elapsed());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let flipped_at = flipped_at.expect("/healthz never flipped during a wedged worker");
+    assert!(
+        flipped_at < Duration::from_millis(stall_ms),
+        "flip observed only after the stall ended ({flipped_at:?})"
+    );
+
+    let mut r = BufReader::new(&mut conn);
+    let mut line = String::new();
+    r.read_line(&mut line).expect("reply");
+    assert!(line.starts_with("OK stalled target=worker"), "{line}");
+    wait_until("worker verdict to clear", || {
+        matches!(http_get(http, "/healthz", GET_TIMEOUT), Ok((200, _)))
+    });
+}
+
+/// Readiness is stricter than liveness for a follower: while its
+/// primary is reachable it is ready, and once the primary dies its
+/// replication freshness lapses and `/readyz` must flip to 503 — the
+/// load-balancer signal to stop routing reads at a stale replica.
+#[test]
+fn follower_readyz_tracks_primary_reachability() {
+    let dir_a = scratch_dir("ready-primary");
+    let dir_b = scratch_dir("ready-follower");
+    let primary = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            data_dir: Some(dir_a.clone()),
+            snapshot_policy: SnapshotPolicy::EveryK(4),
+            ..Default::default()
+        },
+    )
+    .expect("bind primary");
+    traffic(&primary);
+
+    let follower = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            data_dir: Some(dir_b.clone()),
+            snapshot_policy: SnapshotPolicy::EveryK(4),
+            follow: Some(primary.addr().to_string()),
+            repl_interval: Duration::from_millis(15),
+            ..http_opts()
+        },
+    )
+    .expect("bind follower");
+    let http = follower.http_addr().unwrap();
+
+    wait_until("follower to become ready", || {
+        matches!(http_get(http, "/readyz", GET_TIMEOUT), Ok((200, _)))
+    });
+
+    // The follower's STAT surfaces the replication gauges.
+    let mut cli = IgpClient::connect(follower.addr()).expect("connect follower");
+    let stat = cli.stat("ops").expect("follower stat");
+    assert_eq!(stat.role.as_deref(), Some("follower"));
+    assert!(stat.repl_lag_ms.is_some(), "STAT must report repl_lag_ms");
+    assert!(
+        stat.repl_heartbeat_age_ms.is_some(),
+        "STAT must report repl_heartbeat_age_ms"
+    );
+
+    // Kill the primary: heartbeats lapse, readiness must go.
+    drop(primary);
+    wait_until("follower to report not-ready", || {
+        match http_get(http, "/readyz", GET_TIMEOUT) {
+            Ok((code, body)) => code == 503 && body.contains("repl"),
+            Err(_) => false,
+        }
+    });
+    // …while the follower itself still answers (liveness ≠ readiness).
+    let (_, body) = http_get(http, "/readyz", GET_TIMEOUT).expect("GET");
+    assert!(body.starts_with("ready 0\n"), "{body}");
+
+    // Promotion retires the replication heartbeat: the new primary
+    // must become ready again, not stay wedged on a silent tick.
+    assert!(cli.promote().expect("promote"), "was a follower");
+    wait_until("promoted daemon to become ready", || {
+        matches!(http_get(http, "/readyz", GET_TIMEOUT), Ok((200, _)))
+    });
+    let (code, body) = http_get(http, "/healthz", GET_TIMEOUT).expect("GET");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("repl ok retired=1"), "{body}");
+
+    drop(follower);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
